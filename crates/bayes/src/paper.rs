@@ -1,0 +1,717 @@
+//! The concrete network structures evaluated in the paper.
+//!
+//! §5.5 compares three static BN slice structures (Fig. 7), three temporal
+//! dependency wirings (Fig. 8 and the two in-text variants), and an
+//! audio-visual highlight network (Fig. 10/11, with and without the
+//! "passing" sub-network). This module builds each of them with
+//! domain-informed initial CPTs, ready for EM refinement.
+//!
+//! Feature columns follow the paper's numbering (§5.5): f1 keywords,
+//! f2 pause rate, f3–f5 short-time-energy statistics, f6–f8 pitch
+//! statistics, f9–f10 MFCC statistics, f11 part of race, f12 replay,
+//! f13 color difference, f14 semaphore, f15 dust, f16 sand, f17 motion.
+
+use crate::cpt::Cpt;
+use crate::dbn::Dbn;
+use crate::slice::{NodeId, SliceNet};
+use crate::Result;
+
+/// Audio evidence node names in f1…f10 order.
+pub const AUDIO_FEATURES: [&str; 10] = [
+    "Kw", "Pause", "SteAvg", "SteDyn", "SteMax", "PitchAvg", "PitchDyn", "PitchMax", "MfccAvg",
+    "MfccMax",
+];
+
+/// Audio-visual evidence node names in f1…f17 order.
+pub const AV_FEATURES: [&str; 17] = [
+    "Kw", "Pause", "SteAvg", "SteDyn", "SteMax", "PitchAvg", "PitchDyn", "PitchMax", "MfccAvg",
+    "MfccMax", "PartOfRace", "Replay", "ColorDiff", "Semaphore", "Dust", "Sand", "Motion",
+];
+
+/// The three static slice structures of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BnStructure {
+    /// Fig. 7a — "fully parameterized": the query node drives hidden
+    /// mid-level nodes (speech, energy, pitch) which drive the evidence.
+    FullyParameterized,
+    /// Fig. 7b — evidence nodes influence the query node directly.
+    DirectEvidence,
+    /// Fig. 7c — input/output: evidence feeds mid-level hidden nodes which
+    /// feed the query.
+    InputOutput,
+}
+
+/// The three temporal wirings discussed in §5.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalVariant {
+    /// Fig. 8 (variant 1, the winner): every hidden node persists, the
+    /// query node fans out to all hidden nodes, and all hidden nodes feed
+    /// the query in the next slice.
+    Full,
+    /// Variant 2: all non-observable nodes distribute evidence to the
+    /// query node of the next slice; only the query receives temporal
+    /// evidence.
+    QueryOnly,
+    /// Variant 3: every hidden node persists and feeds the next query,
+    /// but the query fans out only to itself.
+    NoQueryFanOut,
+}
+
+/// A built paper network: the DBN plus the ids needed to feed evidence and
+/// read the query posterior.
+#[derive(Debug, Clone)]
+pub struct PaperNet {
+    /// The network.
+    pub dbn: Dbn,
+    /// Main query node ("EA" for audio nets, "HL" for audio-visual).
+    pub query: NodeId,
+    /// Evidence node ids in feature order (f1…), for
+    /// [`crate::evidence::EvidenceSeq::from_matrix`].
+    pub feature_nodes: Vec<NodeId>,
+}
+
+impl PaperNet {
+    /// Node id by name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.dbn.slice().id_of(name)
+    }
+}
+
+/// `p(child = 1 | parents)` rows from a logistic combination: the row for
+/// parent values `v` is `sigmoid(bias + Σ w_i v_i)`. A compact way to
+/// initialize multi-parent binary CPTs with monotone domain knowledge.
+fn logistic_rows(parent_cards: &[usize], weights: &[f64], bias: f64) -> Vec<f64> {
+    assert_eq!(parent_cards.len(), weights.len());
+    let configs: usize = parent_cards.iter().product();
+    (0..configs)
+        .map(|cfg| {
+            let mut rest = cfg;
+            let mut z = bias;
+            for (c, w) in parent_cards.iter().zip(weights) {
+                let v = rest % c;
+                rest /= c;
+                z += w * v as f64;
+            }
+            1.0 / (1.0 + (-z).exp())
+        })
+        .collect()
+}
+
+fn binary_logistic(parent_cards: Vec<usize>, weights: &[f64], bias: f64) -> Cpt {
+    let rows = logistic_rows(&parent_cards, weights, bias);
+    Cpt::binary(parent_cards, &rows).expect("logistic rows are valid probabilities")
+}
+
+/// Persistence-flavored transition rows: `p_base` when every temporal
+/// parent is 0, pulled towards 1 by active parents.
+#[cfg_attr(not(test), allow(dead_code))]
+fn persistence(parent_cards: Vec<usize>, self_weight: f64, other_weight: f64, bias: f64) -> Cpt {
+    let n = parent_cards.len();
+    let mut weights = vec![other_weight; n];
+    if n > 0 {
+        // By convention the node's own previous value is the *last*
+        // temporal parent appended by the builders below.
+        weights[n - 1] = self_weight;
+    }
+    binary_logistic(parent_cards, &weights, bias)
+}
+
+// ---------------------------------------------------------------------------
+// Audio networks (Fig. 7 / Fig. 8)
+// ---------------------------------------------------------------------------
+
+/// Builds the static audio BN of the given structure.
+pub fn audio_bn(structure: BnStructure) -> Result<PaperNet> {
+    build_audio(structure, None)
+}
+
+/// Builds the audio DBN: the slice structure plus a temporal wiring.
+/// Structure (b) has a single hidden node, so every variant degenerates to
+/// query persistence.
+pub fn audio_dbn(structure: BnStructure, variant: TemporalVariant) -> Result<PaperNet> {
+    build_audio(structure, Some(variant))
+}
+
+fn build_audio(structure: BnStructure, variant: Option<TemporalVariant>) -> Result<PaperNet> {
+    match structure {
+        BnStructure::FullyParameterized => audio_fully_parameterized(variant),
+        BnStructure::DirectEvidence => audio_direct_evidence(variant),
+        BnStructure::InputOutput => audio_input_output(variant),
+    }
+}
+
+fn audio_fully_parameterized(variant: Option<TemporalVariant>) -> Result<PaperNet> {
+    let mut s = SliceNet::new();
+    let ea = s.hidden("EA", 2, &[]);
+    let sp = s.hidden("SP", 2, &[ea]);
+    let en = s.hidden("EN", 2, &[ea, sp]);
+    let pi = s.hidden("PI", 2, &[ea, sp]);
+    let kw = s.observed("Kw", 2, &[ea]);
+    let pause = s.observed("Pause", 2, &[sp]);
+    let ste_avg = s.observed("SteAvg", 2, &[en]);
+    let ste_dyn = s.observed("SteDyn", 2, &[en]);
+    let ste_max = s.observed("SteMax", 2, &[en]);
+    let p_avg = s.observed("PitchAvg", 2, &[pi]);
+    let p_dyn = s.observed("PitchDyn", 2, &[pi]);
+    let p_max = s.observed("PitchMax", 2, &[pi]);
+    let m_avg = s.observed("MfccAvg", 2, &[sp]);
+    let m_max = s.observed("MfccMax", 2, &[sp]);
+
+    let temporal = temporal_edges(variant, ea, &[sp, en, pi]);
+    let mut dbn = Dbn::new(s, temporal)?;
+
+    dbn.set_prior_cpt(ea, Cpt::binary(vec![], &[0.15])?)?;
+    dbn.set_prior_cpt(sp, Cpt::binary(vec![2], &[0.55, 0.95])?)?;
+    // Config order: EA + 2*SP.
+    dbn.set_prior_cpt(en, Cpt::binary(vec![2, 2], &[0.10, 0.45, 0.25, 0.90])?)?;
+    dbn.set_prior_cpt(pi, Cpt::binary(vec![2, 2], &[0.10, 0.40, 0.20, 0.88])?)?;
+
+    set_audio_evidence_cpts(
+        &mut dbn,
+        &[
+            (kw, 0.03, 0.45),
+            (pause, 0.70, 0.25),
+            (ste_avg, 0.20, 0.85),
+            (ste_dyn, 0.22, 0.80),
+            (ste_max, 0.18, 0.88),
+            (p_avg, 0.20, 0.85),
+            (p_dyn, 0.25, 0.78),
+            (p_max, 0.18, 0.86),
+            (m_avg, 0.25, 0.75),
+            (m_max, 0.22, 0.78),
+        ],
+    )?;
+
+    set_transition_cpts(&mut dbn, ea, &[sp, en, pi], variant)?;
+
+    Ok(PaperNet {
+        feature_nodes: vec![
+            kw, pause, ste_avg, ste_dyn, ste_max, p_avg, p_dyn, p_max, m_avg, m_max,
+        ],
+        dbn,
+        query: ea,
+    })
+}
+
+fn audio_direct_evidence(variant: Option<TemporalVariant>) -> Result<PaperNet> {
+    let mut s = SliceNet::new();
+    let mut evidence = Vec::new();
+    for name in AUDIO_FEATURES {
+        evidence.push(s.observed(name, 2, &[]));
+    }
+    let ea = s.hidden("EA", 2, &evidence);
+    let temporal = if variant.is_some() {
+        vec![(ea, ea)]
+    } else {
+        Vec::new()
+    };
+    let mut dbn = Dbn::new(s, temporal)?;
+    // Evidence priors: features fire rarely a priori.
+    for &e in &evidence {
+        dbn.set_cpt(e, Cpt::binary(vec![], &[0.25])?)?;
+    }
+    // Query CPT: noisy logistic combination of the ten cues. Pause rate
+    // (index 1) votes *against* excitement; everything else votes for.
+    let mut weights = vec![1.1; 10];
+    weights[1] = -0.9;
+    weights[0] = 1.6; // keywords are a strong cue
+    let pcards = vec![2; 10];
+    dbn.set_prior_cpt(ea, binary_logistic(pcards.clone(), &weights, -3.4))?;
+    if variant.is_some() {
+        // Transition: same cues plus the previous query value.
+        let mut tweights = weights.clone();
+        tweights.push(2.2);
+        let mut tcards = pcards;
+        tcards.push(2);
+        dbn.set_trans_cpt(ea, binary_logistic(tcards, &tweights, -4.4))?;
+    }
+    Ok(PaperNet {
+        feature_nodes: evidence,
+        dbn,
+        query: ea,
+    })
+}
+
+fn audio_input_output(variant: Option<TemporalVariant>) -> Result<PaperNet> {
+    let mut s = SliceNet::new();
+    let kw = s.observed("Kw", 2, &[]);
+    let pause = s.observed("Pause", 2, &[]);
+    let ste_avg = s.observed("SteAvg", 2, &[]);
+    let ste_dyn = s.observed("SteDyn", 2, &[]);
+    let ste_max = s.observed("SteMax", 2, &[]);
+    let p_avg = s.observed("PitchAvg", 2, &[]);
+    let p_dyn = s.observed("PitchDyn", 2, &[]);
+    let p_max = s.observed("PitchMax", 2, &[]);
+    let m_avg = s.observed("MfccAvg", 2, &[]);
+    let m_max = s.observed("MfccMax", 2, &[]);
+    let en = s.hidden("EN", 2, &[ste_avg, ste_dyn, ste_max]);
+    let pi = s.hidden("PI", 2, &[p_avg, p_dyn, p_max]);
+    let sp = s.hidden("SP", 2, &[pause, m_avg, m_max]);
+    let ea = s.hidden("EA", 2, &[en, pi, sp, kw]);
+
+    let temporal = temporal_edges(variant, ea, &[en, pi, sp]);
+    let mut dbn = Dbn::new(s, temporal)?;
+
+    for &e in &[kw, pause, ste_avg, ste_dyn, ste_max, p_avg, p_dyn, p_max, m_avg, m_max] {
+        dbn.set_cpt(e, Cpt::binary(vec![], &[0.25])?)?;
+    }
+    dbn.set_prior_cpt(en, binary_logistic(vec![2, 2, 2], &[1.4, 1.2, 1.4], -2.6))?;
+    dbn.set_prior_cpt(pi, binary_logistic(vec![2, 2, 2], &[1.4, 1.2, 1.4], -2.6))?;
+    dbn.set_prior_cpt(sp, binary_logistic(vec![2, 2, 2], &[-1.2, 1.3, 1.3], -0.6))?;
+    dbn.set_prior_cpt(ea, binary_logistic(vec![2, 2, 2, 2], &[1.5, 1.5, 1.0, 1.8], -3.2))?;
+    set_transition_cpts(&mut dbn, ea, &[en, pi, sp], variant)?;
+
+    Ok(PaperNet {
+        feature_nodes: vec![
+            kw, pause, ste_avg, ste_dyn, ste_max, p_avg, p_dyn, p_max, m_avg, m_max,
+        ],
+        dbn,
+        query: ea,
+    })
+}
+
+/// Temporal edge set for the query node `q` and mid-level hidden `mids`.
+fn temporal_edges(
+    variant: Option<TemporalVariant>,
+    q: NodeId,
+    mids: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    let Some(variant) = variant else {
+        return Vec::new();
+    };
+    let mut edges = Vec::new();
+    match variant {
+        TemporalVariant::Full => {
+            // Mids feed next query; query fans out to next mids; everyone
+            // persists. Self-edges are appended last so `persistence` can
+            // weight them (see the CPT builders).
+            for &m in mids {
+                edges.push((m, q));
+                edges.push((q, m));
+                edges.push((m, m));
+            }
+            edges.push((q, q));
+        }
+        TemporalVariant::QueryOnly => {
+            for &m in mids {
+                edges.push((m, q));
+            }
+            edges.push((q, q));
+        }
+        TemporalVariant::NoQueryFanOut => {
+            for &m in mids {
+                edges.push((m, q));
+                edges.push((m, m));
+            }
+            edges.push((q, q));
+        }
+    }
+    edges
+}
+
+/// Installs transition CPTs matching [`temporal_edges`]'s parent order.
+fn set_transition_cpts(
+    dbn: &mut Dbn,
+    q: NodeId,
+    mids: &[NodeId],
+    variant: Option<TemporalVariant>,
+) -> Result<()> {
+    let Some(variant) = variant else {
+        return Ok(());
+    };
+    // Query transition: intra parents first, then temporal (mids…, self).
+    let q_intra: Vec<usize> = dbn.slice().nodes()[q]
+        .intra_parents
+        .iter()
+        .map(|&p| dbn.slice().nodes()[p].card)
+        .collect();
+    let q_temporal = dbn.temporal_parents(q);
+    let mut cards = q_intra.clone();
+    cards.extend(q_temporal.iter().map(|_| 2));
+    let mut weights = vec![1.2; q_intra.len()];
+    // Temporal mids contribute mildly; the self edge dominates so that the
+    // query state persists across 0.1 s clips (excited commentary spans
+    // seconds, not single clips).
+    for &tp in &q_temporal {
+        weights.push(if tp == q { 4.2 } else { 0.5 });
+    }
+    let bias = -2.5 - 1.0 * q_intra.len() as f64;
+    dbn.set_trans_cpt(q, binary_logistic(cards, &weights, bias))?;
+
+    // Mid transitions.
+    for &m in mids {
+        let temporal = dbn.temporal_parents(m);
+        if temporal.is_empty() {
+            // QueryOnly variant: mids keep their prior CPT each slice.
+            let prior = dbn.prior_cpt(m).clone();
+            dbn.set_trans_cpt(m, prior)?;
+            continue;
+        }
+        let intra: Vec<usize> = dbn.slice().nodes()[m]
+            .intra_parents
+            .iter()
+            .map(|&p| dbn.slice().nodes()[p].card)
+            .collect();
+        let mut cards = intra.clone();
+        cards.extend(temporal.iter().map(|_| 2));
+        let mut weights = vec![1.0; intra.len()];
+        for &tp in &temporal {
+            weights.push(if tp == m { 3.5 } else { 0.5 });
+        }
+        let bias = -2.2 - 0.8 * intra.len() as f64;
+        dbn.set_trans_cpt(m, binary_logistic(cards, &weights, bias))?;
+    }
+    let _ = variant;
+    Ok(())
+}
+
+fn set_audio_evidence_cpts(dbn: &mut Dbn, specs: &[(NodeId, f64, f64)]) -> Result<()> {
+    for &(node, p_off, p_on) in specs {
+        dbn.set_cpt(node, Cpt::binary(vec![2], &[p_off, p_on])?)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Audio-visual network (Fig. 10 / Fig. 11)
+// ---------------------------------------------------------------------------
+
+/// Ids of the audio-visual network's query nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct AvNodes {
+    /// Highlight — the main query node.
+    pub highlight: NodeId,
+    /// Excited announcer sub-query.
+    pub excited: NodeId,
+    /// Race-start sub-query.
+    pub start: NodeId,
+    /// Fly-out sub-query.
+    pub fly_out: NodeId,
+    /// Passing sub-query (absent when the passing sub-network is excluded).
+    pub passing: Option<NodeId>,
+}
+
+/// Builds the audio-visual highlight DBN of Fig. 10/11. With
+/// `with_passing = false` the passing sub-network is excluded, the
+/// simplification the paper applies after the Belgian GP results
+/// (Table 4).
+pub fn audio_visual_dbn(with_passing: bool) -> Result<(PaperNet, AvNodes)> {
+    let mut s = SliceNet::new();
+    let hl = s.hidden("HL", 2, &[]);
+    let ea = s.hidden("EA", 2, &[hl]);
+    let st = s.hidden("ST", 2, &[hl]);
+    let fo = s.hidden("FO", 2, &[hl]);
+    let ps = if with_passing {
+        Some(s.hidden("PS", 2, &[hl]))
+    } else {
+        None
+    };
+
+    // Audio evidence under EA.
+    let kw = s.observed("Kw", 2, &[ea]);
+    let pause = s.observed("Pause", 2, &[ea]);
+    let ste_avg = s.observed("SteAvg", 2, &[ea]);
+    let ste_dyn = s.observed("SteDyn", 2, &[ea]);
+    let ste_max = s.observed("SteMax", 2, &[ea]);
+    let p_avg = s.observed("PitchAvg", 2, &[ea]);
+    let p_dyn = s.observed("PitchDyn", 2, &[ea]);
+    let p_max = s.observed("PitchMax", 2, &[ea]);
+    let m_avg = s.observed("MfccAvg", 2, &[ea]);
+    let m_max = s.observed("MfccMax", 2, &[ea]);
+    // Visual evidence.
+    let part = s.observed("PartOfRace", 2, &[st]);
+    let replay = s.observed("Replay", 2, &[hl]);
+    let color = match ps {
+        Some(ps) => s.observed("ColorDiff", 2, &[ps]),
+        None => s.observed("ColorDiff", 2, &[]),
+    };
+    let sema = s.observed("Semaphore", 2, &[st]);
+    let dust = s.observed("Dust", 2, &[fo]);
+    let sand = s.observed("Sand", 2, &[fo]);
+    let motion = match ps {
+        Some(ps) => s.observed("Motion", 2, &[st, ps]),
+        None => s.observed("Motion", 2, &[st]),
+    };
+
+    // Temporal wiring (Fig. 11): persistence everywhere, HL fans out to
+    // the sub-queries and receives from them. Self-edges appended last.
+    let mut subs = vec![ea, st, fo];
+    if let Some(ps) = ps {
+        subs.push(ps);
+    }
+    let mut temporal = Vec::new();
+    for &m in &subs {
+        temporal.push((m, hl));
+        temporal.push((hl, m));
+        temporal.push((m, m));
+    }
+    temporal.push((hl, hl));
+    let mut dbn = Dbn::new(s, temporal)?;
+
+    dbn.set_prior_cpt(hl, Cpt::binary(vec![], &[0.12])?)?;
+    dbn.set_prior_cpt(ea, Cpt::binary(vec![2], &[0.08, 0.75])?)?;
+    dbn.set_prior_cpt(st, Cpt::binary(vec![2], &[0.01, 0.10])?)?;
+    dbn.set_prior_cpt(fo, Cpt::binary(vec![2], &[0.01, 0.15])?)?;
+    if let Some(ps) = ps {
+        dbn.set_prior_cpt(ps, Cpt::binary(vec![2], &[0.03, 0.30])?)?;
+    }
+
+    set_audio_evidence_cpts(
+        &mut dbn,
+        &[
+            (kw, 0.03, 0.45),
+            (pause, 0.70, 0.25),
+            (ste_avg, 0.20, 0.85),
+            (ste_dyn, 0.22, 0.80),
+            (ste_max, 0.18, 0.88),
+            (p_avg, 0.20, 0.85),
+            (p_dyn, 0.25, 0.78),
+            (p_max, 0.18, 0.86),
+            (m_avg, 0.25, 0.75),
+            (m_max, 0.22, 0.78),
+        ],
+    )?;
+    dbn.set_cpt(part, Cpt::binary(vec![2], &[0.30, 0.85])?)?;
+    dbn.set_cpt(replay, Cpt::binary(vec![2], &[0.05, 0.45])?)?;
+    match ps {
+        Some(_) => dbn.set_cpt(color, Cpt::binary(vec![2], &[0.25, 0.75])?)?,
+        None => dbn.set_cpt(color, Cpt::binary(vec![], &[0.3])?)?,
+    }
+    dbn.set_cpt(sema, Cpt::binary(vec![2], &[0.01, 0.80])?)?;
+    dbn.set_cpt(dust, Cpt::binary(vec![2], &[0.04, 0.80])?)?;
+    dbn.set_cpt(sand, Cpt::binary(vec![2], &[0.05, 0.75])?)?;
+    match ps {
+        // Config order: ST + 2*PS.
+        Some(_) => dbn.set_cpt(
+            motion,
+            Cpt::binary(vec![2, 2], &[0.20, 0.85, 0.75, 0.95])?,
+        )?,
+        None => dbn.set_cpt(motion, Cpt::binary(vec![2], &[0.25, 0.85])?)?,
+    }
+
+    // Transitions.
+    let hl_temporal = dbn.temporal_parents(hl);
+    let mut w = Vec::new();
+    for &tp in &hl_temporal {
+        w.push(if tp == hl { 4.5 } else { 0.6 });
+    }
+    let cards = vec![2; hl_temporal.len()];
+    dbn.set_trans_cpt(hl, binary_logistic(cards, &w, -2.8))?;
+    for &m in &subs {
+        let temporal = dbn.temporal_parents(m);
+        let mut cards = vec![2]; // intra parent HL
+        cards.extend(temporal.iter().map(|_| 2));
+        let mut w = vec![1.4];
+        for &tp in &temporal {
+            w.push(if tp == m { 3.8 } else { 0.5 });
+        }
+        dbn.set_trans_cpt(m, binary_logistic(cards, &w, -3.0))?;
+    }
+
+    let feature_nodes = vec![
+        kw, pause, ste_avg, ste_dyn, ste_max, p_avg, p_dyn, p_max, m_avg, m_max, part, replay,
+        color, sema, dust, sand, motion,
+    ];
+    Ok((
+        PaperNet {
+            dbn,
+            query: hl,
+            feature_nodes,
+        },
+        AvNodes {
+            highlight: hl,
+            excited: ea,
+            start: st,
+            fly_out: fo,
+            passing: ps,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::evidence::EvidenceSeq;
+
+    #[test]
+    fn logistic_rows_are_monotone_in_parents() {
+        let rows = logistic_rows(&[2, 2], &[1.0, 2.0], -1.5);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[1] > rows[0]); // first parent on
+        assert!(rows[2] > rows[0]); // second parent on
+        assert!(rows[3] > rows[1] && rows[3] > rows[2]);
+        assert!(rows.iter().all(|p| *p > 0.0 && *p < 1.0));
+    }
+
+    #[test]
+    fn persistence_favors_self_edge() {
+        let cpt = persistence(vec![2, 2], 3.0, 0.5, -1.5);
+        // Self (last parent) on vs other parent on.
+        assert!(cpt.prob(0b10, 1) > cpt.prob(0b01, 1));
+    }
+
+    #[test]
+    fn all_audio_structures_build_and_infer() {
+        for structure in [
+            BnStructure::FullyParameterized,
+            BnStructure::DirectEvidence,
+            BnStructure::InputOutput,
+        ] {
+            let bn = audio_bn(structure).unwrap();
+            assert!(bn.dbn.is_static());
+            assert_eq!(bn.feature_nodes.len(), 10);
+            let engine = Engine::new(&bn.dbn).unwrap();
+            // Feed a strongly "excited" feature vector; pause rate low.
+            let mut features = vec![0.9; 10];
+            features[1] = 0.1;
+            let ev = EvidenceSeq::from_matrix(&bn.feature_nodes, &[features]);
+            let post = engine.filter(&ev, None).unwrap();
+            let p_excited = post.marginal(0, bn.query).unwrap()[1];
+            // And a quiet vector.
+            let mut quiet = vec![0.1; 10];
+            quiet[1] = 0.9;
+            let ev_q = EvidenceSeq::from_matrix(&bn.feature_nodes, &[quiet]);
+            let p_quiet = engine
+                .filter(&ev_q, None)
+                .unwrap()
+                .marginal(0, bn.query)
+                .unwrap()[1];
+            assert!(
+                p_excited > p_quiet + 0.2,
+                "{structure:?}: excited {p_excited} vs quiet {p_quiet}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_temporal_variants_build_and_infer() {
+        for variant in [
+            TemporalVariant::Full,
+            TemporalVariant::QueryOnly,
+            TemporalVariant::NoQueryFanOut,
+        ] {
+            for structure in [
+                BnStructure::FullyParameterized,
+                BnStructure::DirectEvidence,
+                BnStructure::InputOutput,
+            ] {
+                let net = audio_dbn(structure, variant).unwrap();
+                assert!(!net.dbn.is_static());
+                let engine = Engine::new(&net.dbn).unwrap();
+                let mut rows = Vec::new();
+                for t in 0..20 {
+                    let excited = (5..15).contains(&t);
+                    let p = if excited { 0.85 } else { 0.15 };
+                    let mut row = vec![p; 10];
+                    row[1] = 1.0 - p;
+                    rows.push(row);
+                }
+                let ev = EvidenceSeq::from_matrix(&net.feature_nodes, &rows);
+                let post = engine.filter(&ev, None).unwrap();
+                let trace = post.trace(net.query, 1).unwrap();
+                let mid: f64 = trace[8..12].iter().sum::<f64>() / 4.0;
+                let edge: f64 = trace[0..3].iter().sum::<f64>() / 3.0;
+                assert!(
+                    mid > edge,
+                    "{structure:?}/{variant:?}: mid {mid} vs edge {edge}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dbn_trace_is_smoother_than_bn_trace() {
+        use crate::metrics::roughness;
+        let bn = audio_bn(BnStructure::FullyParameterized).unwrap();
+        let dbn = audio_dbn(BnStructure::FullyParameterized, TemporalVariant::Full).unwrap();
+        // An excited burst (clips 20..40) with clip-level flicker on top —
+        // the static BN trace follows the flicker, the DBN integrates it
+        // away (the paper's Fig. 9 contrast). Compare normalized roughness
+        // so the two traces' different dynamic ranges don't bias the
+        // statistic.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|t| {
+                let base: f64 = if (20..40).contains(&t) { 0.8 } else { 0.2 };
+                let flick: f64 = if t % 2 == 0 { 0.15 } else { -0.15 };
+                let p = (base + flick).clamp(0.0, 1.0);
+                let mut row = vec![p; 10];
+                row[1] = 1.0 - p;
+                row
+            })
+            .collect();
+        let ev_bn = EvidenceSeq::from_matrix(&bn.feature_nodes, &rows);
+        let ev_dbn = EvidenceSeq::from_matrix(&dbn.feature_nodes, &rows);
+        let bn_trace = Engine::new(&bn.dbn)
+            .unwrap()
+            .filter(&ev_bn, None)
+            .unwrap()
+            .trace(bn.query, 1)
+            .unwrap();
+        let dbn_trace = Engine::new(&dbn.dbn)
+            .unwrap()
+            .filter(&ev_dbn, None)
+            .unwrap()
+            .trace(dbn.query, 1)
+            .unwrap();
+        let range = |tr: &[f64]| {
+            let mx = tr.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = tr.iter().cloned().fold(f64::MAX, f64::min);
+            (mx - mn).max(1e-9)
+        };
+        let bn_r = roughness(&bn_trace) / range(&bn_trace);
+        let dbn_r = roughness(&dbn_trace) / range(&dbn_trace);
+        assert!(dbn_r < bn_r, "dbn {dbn_r} !< bn {bn_r}");
+        // Both still respond to the burst.
+        assert!(dbn_trace[30] > dbn_trace[5] + 0.2);
+    }
+
+    #[test]
+    fn audio_visual_net_with_and_without_passing() {
+        let (with, nodes_with) = audio_visual_dbn(true).unwrap();
+        let (without, nodes_without) = audio_visual_dbn(false).unwrap();
+        assert!(nodes_with.passing.is_some());
+        assert!(nodes_without.passing.is_none());
+        assert_eq!(with.feature_nodes.len(), 17);
+        assert_eq!(without.feature_nodes.len(), 17);
+        // Hidden counts: HL + EA + ST + FO (+ PS).
+        assert_eq!(with.dbn.slice().hidden_ids().len(), 5);
+        assert_eq!(without.dbn.slice().hidden_ids().len(), 4);
+
+        // A start-like evidence pattern raises both HL and ST.
+        let engine = Engine::new(&without.dbn).unwrap();
+        let mut rows = Vec::new();
+        for t in 0..10 {
+            let mut row = vec![0.2; 17];
+            row[1] = 0.8; // pause rate high when idle
+            if (3..7).contains(&t) {
+                for v in row.iter_mut().take(10) {
+                    *v = 0.8;
+                }
+                row[1] = 0.2;
+                row[10] = 0.9; // part of race
+                row[13] = 0.95; // semaphore
+                row[16] = 0.9; // motion
+            }
+            rows.push(row);
+        }
+        let ev = EvidenceSeq::from_matrix(&without.feature_nodes, &rows);
+        let post = engine.filter(&ev, None).unwrap();
+        let hl = post.trace(nodes_without.highlight, 1).unwrap();
+        let st = post.trace(nodes_without.start, 1).unwrap();
+        assert!(hl[5] > hl[0]);
+        assert!(st[5] > st[0]);
+    }
+
+    #[test]
+    fn feature_constants_match_network_order() {
+        let bn = audio_bn(BnStructure::FullyParameterized).unwrap();
+        for (k, &node) in bn.feature_nodes.iter().enumerate() {
+            assert_eq!(bn.dbn.slice().nodes()[node].name, AUDIO_FEATURES[k]);
+        }
+        let (av, _) = audio_visual_dbn(true).unwrap();
+        for (k, &node) in av.feature_nodes.iter().enumerate() {
+            assert_eq!(av.dbn.slice().nodes()[node].name, AV_FEATURES[k]);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Feature-extraction benchmarks: the §5.2/§5.3 per-clip costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use f1_media::features::audio::AudioAnalyzer;
+use f1_media::features::video::{motion_field, MOTION_BASELINE};
+use f1_media::synth::audio::AudioSynth;
+use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig};
+use f1_media::synth::video::VideoSynth;
+
+fn bench_audio(c: &mut Criterion) {
+    let sc = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 60));
+    let audio = AudioSynth::new(&sc);
+    let analyzer = AudioAnalyzer::standard();
+    let clip = audio.clip(sc.live.start + 50);
+    c.bench_function("audio_clip_analysis", |b| {
+        b.iter(|| analyzer.analyze_clip(&clip).unwrap());
+    });
+    c.bench_function("audio_clip_synthesis", |b| {
+        b.iter(|| audio.clip(300));
+    });
+}
+
+fn bench_video(c: &mut Criterion) {
+    let sc = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 60));
+    let video = VideoSynth::new(&sc);
+    c.bench_function("frame_render", |b| {
+        b.iter(|| video.frame(500));
+    });
+    let f0 = video.frame(500);
+    let f1 = video.frame(500 + MOTION_BASELINE);
+    c.bench_function("motion_field", |b| {
+        b.iter(|| motion_field(&f0, &f1));
+    });
+    c.bench_function("histogram_8_bins", |b| {
+        b.iter(|| f0.histogram(8));
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Single-core CI boxes: small sample counts keep the suite tractable.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_audio, bench_video
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! The Fig. 3/4 benchmark: six HMMs evaluated serially vs in parallel,
+//! both natively and through the MIL path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use f1_hmm::{DiscreteHmm, HmmBank};
+use f1_monet::prelude::*;
+
+fn bank_and_obs() -> (HmmBank, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let names = [
+        "Service",
+        "Forehand",
+        "Smash",
+        "Backhand",
+        "VolleyBackhand",
+        "VolleyForehand",
+    ];
+    let mut bank = HmmBank::new();
+    for name in names {
+        bank.insert(name, DiscreteHmm::random(6, 12, &mut rng));
+    }
+    let obs = DiscreteHmm::random(6, 12, &mut rng).sample(10_000, &mut rng).1;
+    (bank, obs)
+}
+
+fn bench_native(c: &mut Criterion) {
+    let (bank, obs) = bank_and_obs();
+    let mut group = c.benchmark_group("hmm_bank_6_models_10k_symbols");
+    group.bench_function("serial", |b| {
+        b.iter(|| bank.evaluate(&obs).unwrap());
+    });
+    for threads in [2, 6] {
+        group.bench_function(format!("parallel_{threads}"), |b| {
+            b.iter(|| bank.evaluate_parallel(&obs, threads).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mil_path(c: &mut Criterion) {
+    let (bank, obs) = bank_and_obs();
+    let kernel = Kernel::new();
+    kernel
+        .load_module(std::sync::Arc::new(f1_hmm::mel::HmmModule::new(bank, 3)))
+        .unwrap();
+    let mut bat = Bat::new(AtomType::Void, AtomType::Int);
+    for &o in &obs {
+        bat.append_void(Atom::Int(o as i64)).unwrap();
+    }
+    kernel.set_bat("obs", bat);
+    c.bench_function("hmm_eval_via_mil_parallel_6", |b| {
+        b.iter(|| {
+            kernel
+                .eval_mil(r#"RETURN hmmEval(bat("obs"), 6);"#)
+                .unwrap()
+        });
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Single-core CI boxes: small sample counts keep the suite tractable.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_native, bench_mil_path
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! DBN inference benchmarks: exact vs Boyen-Koller filtering, smoothing,
+//! and EM iterations — the costs behind Tables 1–4.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use f1_bayes::bk::Clusters;
+use f1_bayes::em::{train, EmConfig};
+use f1_bayes::engine::Engine;
+use f1_bayes::evidence::EvidenceSeq;
+use f1_bayes::paper::{audio_dbn, audio_visual_dbn, BnStructure, TemporalVariant};
+
+fn synthetic_evidence(nodes: &[usize], len: usize) -> EvidenceSeq {
+    let rows: Vec<Vec<f64>> = (0..len)
+        .map(|t| {
+            (0..nodes.len())
+                .map(|k| 0.5 + 0.4 * (((t * 13 + k * 7) % 10) as f64 / 10.0 - 0.5))
+                .collect()
+        })
+        .collect();
+    EvidenceSeq::from_matrix(nodes, &rows)
+}
+
+fn bench_filtering(c: &mut Criterion) {
+    let net = audio_dbn(BnStructure::FullyParameterized, TemporalVariant::Full).unwrap();
+    let ev = synthetic_evidence(&net.feature_nodes, 1000);
+    let engine = Engine::new(&net.dbn).unwrap();
+    let mut group = c.benchmark_group("dbn_filtering_1000_clips");
+    group.bench_function("exact", |b| {
+        b.iter(|| engine.filter(&ev, None).unwrap());
+    });
+    let separated = Clusters::separate(&net.dbn, &["EA"]).unwrap();
+    group.bench_function("boyen_koller_separated", |b| {
+        b.iter(|| engine.filter(&ev, Some(separated.as_slices())).unwrap());
+    });
+    let singletons = Clusters::singletons(&net.dbn);
+    group.bench_function("boyen_koller_factored", |b| {
+        b.iter(|| engine.filter(&ev, Some(singletons.as_slices())).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_smoothing_and_em(c: &mut Criterion) {
+    let net = audio_dbn(BnStructure::FullyParameterized, TemporalVariant::Full).unwrap();
+    let ev = synthetic_evidence(&net.feature_nodes, 250);
+    let engine = Engine::new(&net.dbn).unwrap();
+    c.bench_function("dbn_smoothing_250_clips", |b| {
+        b.iter(|| engine.smooth(&ev).unwrap());
+    });
+    let seqs: Vec<EvidenceSeq> = (0..4)
+        .map(|_| synthetic_evidence(&net.feature_nodes, 250))
+        .collect();
+    c.bench_function("dbn_em_iteration_4x250_clips", |b| {
+        b.iter_batched(
+            || net.dbn.clone(),
+            |mut dbn| {
+                train(
+                    &mut dbn,
+                    &seqs,
+                    &EmConfig {
+                        max_iters: 1,
+                        tol: 0.0,
+                        pseudocount: 0.1,
+                    },
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_av_net(c: &mut Criterion) {
+    let (net, _) = audio_visual_dbn(true).unwrap();
+    let ev = synthetic_evidence(&net.feature_nodes, 1000);
+    let engine = Engine::new(&net.dbn).unwrap();
+    c.bench_function("av_dbn_filtering_1000_clips_32_states", |b| {
+        b.iter(|| engine.filter(&ev, None).unwrap());
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Single-core CI boxes: small sample counts keep the suite tractable.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_filtering, bench_smoothing_and_em, bench_av_net
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Kernel micro-benchmarks: BAT operators and MIL interpretation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use f1_monet::ops::{self, Aggregate};
+use f1_monet::prelude::*;
+
+fn big_bat(n: usize) -> Bat {
+    Bat::from_tail(AtomType::Int, (0..n as i64).map(|v| Atom::Int(v % 1000))).unwrap()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let b = big_bat(100_000);
+    let mut group = c.benchmark_group("bat_ops_100k");
+    group.bench_function("select_range", |bch| {
+        bch.iter(|| ops::select_range(&b, &Atom::Int(100), &Atom::Int(200)));
+    });
+    group.bench_function("sum", |bch| {
+        bch.iter(|| ops::aggregate(&b, Aggregate::Sum).unwrap());
+    });
+    group.bench_function("sort", |bch| {
+        bch.iter(|| ops::sort_by_tail(&b));
+    });
+    group.bench_function("histogram", |bch| {
+        bch.iter(|| ops::histogram(&b));
+    });
+    let keys = Bat::from_pairs(
+        AtomType::Int,
+        AtomType::Str,
+        (0..1000).map(|v| (Atom::Int(v), Atom::str(format!("d{v}")))),
+    )
+    .unwrap();
+    group.bench_function("join_100k_x_1k", |bch| {
+        bch.iter(|| ops::join(&b, &keys));
+    });
+    group.finish();
+}
+
+fn bench_mil(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    kernel.set_bat("data", big_bat(10_000));
+    c.bench_function("mil_select_count_10k", |b| {
+        b.iter(|| {
+            kernel
+                .eval_mil(r#"RETURN bat("data").select(100, 200).count;"#)
+                .unwrap()
+        });
+    });
+    c.bench_function("mil_parse_only", |b| {
+        b.iter(|| kernel.eval_mil("VAR x := 1 + 2 * 3; RETURN x;").unwrap());
+    });
+}
+
+fn bench_moa(c: &mut Criterion) {
+    use f1_moa::{execute, Aggregate as MoaAgg, MoaExpr, Predicate};
+    let kernel = Kernel::new();
+    kernel.set_bat("data", big_bat(10_000));
+    c.bench_function("moa_compile_execute_select_count", |b| {
+        b.iter(|| {
+            let e = MoaExpr::collection("data")
+                .select(Predicate::Range(Atom::Int(100), Atom::Int(200)))
+                .aggregate(MoaAgg::Count);
+            execute(&kernel, e).unwrap()
+        });
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Single-core CI boxes: small sample counts keep the suite tractable.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_ops, bench_mil, bench_moa
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Text pipeline benchmarks: detection, refinement, recognition (§5.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig};
+use f1_media::synth::video::VideoSynth;
+use f1_text::detect::{has_shaded_region, DetectConfig};
+use f1_text::pipeline::{recognize_region, PipelineConfig};
+use f1_text::refine::min_filter;
+use f1_text::Vocabulary;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let sc = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 300));
+    let video = VideoSynth::new(&sc);
+    let cap = sc.captions.first().expect("scenario has captions");
+    let frame = video.frame(cap.start_frame + 3);
+    let cfg = DetectConfig::default();
+    c.bench_function("caption_detection_per_frame", |b| {
+        b.iter(|| has_shaded_region(&frame, &cfg));
+    });
+    let frames: Vec<_> = (0..3).map(|k| video.frame(cap.start_frame + 3 + k)).collect();
+    c.bench_function("caption_min_filter_3_frames", |b| {
+        b.iter(|| min_filter(&frames, cfg.band_y, cfg.band_h));
+    });
+    let region = min_filter(&frames, cfg.band_y, cfg.band_h);
+    let vocab = Vocabulary::formula1();
+    let pcfg = PipelineConfig::default();
+    c.bench_function("caption_recognition", |b| {
+        b.iter(|| recognize_region(&region, &vocab, &pcfg));
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Single-core CI boxes: small sample counts keep the suite tractable.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! The experiments binary: regenerates every table and figure of the
+//! paper's evaluation on the synthetic substrate.
+//!
+//! ```text
+//! experiments [--duration SECONDS] [table1 table2 table3 table4 ablation
+//!              fig9 temporal clustering keywords endpoint shots hmm queries]
+//! ```
+//!
+//! With no experiment names, everything runs. Traces for Fig. 9 are
+//! written to `fig9_traces.json` next to the working directory.
+
+use std::time::Instant;
+
+use f1_bench::experiments;
+use f1_bench::{prepare_race, RaceData, DEFAULT_DURATION_S};
+use f1_media::synth::scenario::RaceProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut duration = DEFAULT_DURATION_S;
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duration" => {
+                duration = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_DURATION_S);
+                i += 2;
+            }
+            other => {
+                selected.push(other.to_lowercase());
+                i += 1;
+            }
+        }
+    }
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+
+    println!("# Cobra VDBMS — paper experiment reproduction");
+    println!("# synthetic broadcasts of {duration} s per race (paper: ~90 min)\n");
+
+    let t0 = Instant::now();
+    let prepare = |profile: RaceProfile| -> RaceData {
+        let t = Instant::now();
+        let race = prepare_race(profile, duration);
+        eprintln!(
+            "prepared {} ({} clips) in {:.1}s",
+            profile.name(),
+            race.scenario.n_clips,
+            t.elapsed().as_secs_f64()
+        );
+        race
+    };
+    let german = prepare(RaceProfile::German);
+    let needs_belgian = want("table2") || want("table4");
+    let belgian = needs_belgian.then(|| prepare(RaceProfile::Belgian));
+    let usa = needs_belgian.then(|| prepare(RaceProfile::Usa));
+
+    let mut t1out = None;
+    if want("table1") || want("table2") || want("fig9") || want("clustering") {
+        let out = experiments::table1(&german);
+        if want("table1") {
+            println!("{}", out.table);
+        }
+        t1out = Some(out);
+    }
+    if want("table2") {
+        let t1 = t1out.as_ref().expect("table1 ran");
+        println!(
+            "{}",
+            experiments::table2(
+                &t1.dbn_full,
+                belgian.as_ref().expect("belgian prepared"),
+                usa.as_ref().expect("usa prepared"),
+            )
+        );
+    }
+    let mut t3out = None;
+    if want("table3") || want("table4") || want("ablation") {
+        let out = experiments::table3(&german);
+        if want("table3") {
+            println!("{}", out.table);
+        }
+        t3out = Some(out);
+    }
+    if want("table4") {
+        println!(
+            "{}",
+            experiments::table4(
+                t3out.as_ref().expect("table3 ran"),
+                belgian.as_ref().expect("belgian prepared"),
+                usa.as_ref().expect("usa prepared"),
+            )
+        );
+    }
+    if want("ablation") {
+        println!(
+            "{}",
+            experiments::ablation(t3out.as_ref().expect("table3 ran"), &german)
+        );
+    }
+    if want("fig9") {
+        let t1 = t1out.as_ref().expect("table1 ran");
+        let (table, bn_trace, dbn_trace) =
+            experiments::fig9(&t1.bn_full, &t1.dbn_full, &german);
+        println!("{table}");
+        let json = serde_json::json!({
+            "bn": bn_trace,
+            "dbn": dbn_trace,
+        });
+        if std::fs::write("fig9_traces.json", json.to_string()).is_ok() {
+            println!("(traces written to fig9_traces.json)");
+        }
+    }
+    if want("temporal") {
+        println!("{}", experiments::temporal(&german));
+    }
+    if want("clustering") {
+        let t1 = t1out.as_ref().expect("table1 ran");
+        println!("{}", experiments::clustering(&t1.dbn_full, &german));
+    }
+    if want("keywords") {
+        println!("{}", experiments::keywords(&german));
+    }
+    if want("endpoint") {
+        println!("{}", experiments::endpoint(&german));
+    }
+    if want("shots") {
+        println!("{}", experiments::shots(&german));
+    }
+    if want("hmm") {
+        println!("{}", experiments::hmm_parallel());
+    }
+    if want("queries") {
+        println!("{}", experiments::queries(&german));
+    }
+
+    eprintln!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,76 @@
+//! Race preparation: scenario, keyword spotting, feature extraction.
+
+use f1_keyword::{keyword_feature, spot, AcousticModel, Grammar, PhonemeStream, SpotterConfig};
+use f1_media::features::vector::FeatureExtractor;
+use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig};
+
+/// Default broadcast duration for experiments, in seconds.
+pub const DEFAULT_DURATION_S: usize = 600;
+
+/// A prepared race: ground truth plus the extracted 17-column evidence
+/// matrix (keyword spotting already folded into f1).
+pub struct RaceData {
+    /// Ground-truth timeline.
+    pub scenario: RaceScenario,
+    /// `features[t][k]` = fₖ₊₁ at clip t.
+    pub features: Vec<Vec<f64>>,
+}
+
+impl RaceData {
+    /// Audio-only view (the first ten columns, f1…f10).
+    pub fn audio_features(&self) -> Vec<Vec<f64>> {
+        self.features
+            .iter()
+            .map(|row| row[..10].to_vec())
+            .collect()
+    }
+
+    /// Ground-truth excited-speech spans as metric segments.
+    pub fn excited_truth(&self) -> Vec<f1_bayes::metrics::Segment> {
+        self.scenario
+            .excited
+            .iter()
+            .map(|s| f1_bayes::metrics::Segment::new(s.start, s.end))
+            .collect()
+    }
+
+    /// Ground-truth highlight spans as metric segments.
+    pub fn highlight_truth(&self) -> Vec<f1_bayes::metrics::Segment> {
+        self.scenario
+            .highlights()
+            .iter()
+            .map(|s| f1_bayes::metrics::Segment::new(s.start, s.end))
+            .collect()
+    }
+
+    /// Ground-truth spans of one event kind.
+    pub fn event_truth(
+        &self,
+        kind: f1_media::synth::scenario::EventKind,
+    ) -> Vec<f1_bayes::metrics::Segment> {
+        self.scenario
+            .events_of(kind)
+            .iter()
+            .map(|s| f1_bayes::metrics::Segment::new(s.start, s.end))
+            .collect()
+    }
+}
+
+/// Prepares a race: generates the scenario, runs keyword spotting with
+/// the TV-news acoustic model, extracts the f1…f17 matrix.
+pub fn prepare_race(profile: RaceProfile, duration_s: usize) -> RaceData {
+    let scenario = RaceScenario::generate(ScenarioConfig::new(profile, duration_s));
+    let stream = PhonemeStream::from_scenario(&scenario);
+    let spots = spot(
+        &stream,
+        &Grammar::formula1(),
+        AcousticModel::TvNews,
+        &SpotterConfig::default(),
+    );
+    let kw = keyword_feature(&spots, scenario.n_clips);
+    let fx = FeatureExtractor::new(&scenario).expect("default extractor config is valid");
+    let features = fx
+        .extract(&kw, 0, scenario.n_clips)
+        .expect("extraction over a generated scenario succeeds");
+    RaceData { scenario, features }
+}

@@ -1,0 +1,144 @@
+//! Excited-speech detection: training and evaluation shared by Table 1,
+//! Table 2, Fig. 9, and the temporal/clustering experiments.
+
+use f1_bayes::bk::Clusters;
+use f1_bayes::em::{train, EmConfig};
+use f1_bayes::engine::Engine;
+use f1_bayes::evidence::{EvidenceSeq, Obs};
+use f1_bayes::metrics::{accumulate, precision_recall_strict, threshold_segments, PrecisionRecall};
+use f1_bayes::paper::{audio_bn, audio_dbn, BnStructure, PaperNet, TemporalVariant};
+
+use crate::data::RaceData;
+
+/// The paper's training regime: 300 s of audio evidence, split into
+/// 12 × 25 s segments for DBNs.
+pub const TRAIN_CLIPS: usize = 3000;
+/// DBN training segment length (25 s).
+pub const SEGMENT_CLIPS: usize = 250;
+
+/// Builds clamped training sequences from a race's audio features.
+fn training_sequences(
+    net: &PaperNet,
+    race: &RaceData,
+    split: Option<usize>,
+) -> Vec<EvidenceSeq> {
+    let audio = race.audio_features();
+    let n = TRAIN_CLIPS.min(audio.len());
+    let mut seq = EvidenceSeq::from_matrix(&net.feature_nodes, &audio[..n]);
+    for t in 0..n {
+        seq.set(t, net.query, Obs::Hard(race.scenario.is_excited(t) as usize));
+    }
+    match split {
+        Some(len) => seq.segments(len),
+        None => vec![seq],
+    }
+}
+
+/// Trains a static BN of the given structure on the race (EM with the
+/// query clamped, mid-level nodes hidden).
+pub fn train_bn(structure: BnStructure, race: &RaceData) -> PaperNet {
+    let mut net = audio_bn(structure).expect("paper structures build");
+    let seqs = training_sequences(&net, race, None);
+    train(
+        &mut net.dbn,
+        &seqs,
+        &EmConfig {
+            max_iters: 8,
+            tol: 1e-3,
+            pseudocount: 0.1,
+        },
+    )
+    .expect("EM on generated evidence succeeds");
+    net
+}
+
+/// Trains a DBN of the given structure/wiring on the race (12 × 25 s
+/// segments, per §5.5).
+pub fn train_dbn(structure: BnStructure, variant: TemporalVariant, race: &RaceData) -> PaperNet {
+    let mut net = audio_dbn(structure, variant).expect("paper structures build");
+    let seqs = training_sequences(&net, race, Some(SEGMENT_CLIPS));
+    train(
+        &mut net.dbn,
+        &seqs,
+        &EmConfig {
+            max_iters: 8,
+            tol: 1e-3,
+            pseudocount: 0.1,
+        },
+    )
+    .expect("EM on generated evidence succeeds");
+    net
+}
+
+/// The query-node trace over the whole race (filtering, optional BK
+/// clusters).
+pub fn infer_trace(net: &PaperNet, race: &RaceData, clusters: Option<&Clusters>) -> Vec<f64> {
+    let audio = race.audio_features();
+    let ev = EvidenceSeq::from_matrix(&net.feature_nodes, &audio);
+    let engine = Engine::new(&net.dbn).expect("paper nets compile");
+    let post = engine
+        .filter(&ev, clusters.map(|c| c.as_slices()))
+        .expect("inference over extracted evidence succeeds");
+    post.trace(net.query, 1).expect("query node is hidden")
+}
+
+/// Post-processing parameters for excited-speech segment extraction.
+#[allow(dead_code)]
+const THETA: f64 = 0.5;
+const MIN_LEN: usize = 30; // 3 s
+const MERGE: usize = 10;
+/// Minimum overlap fraction for the strict segment metric.
+const OVERLAP_FRAC: f64 = 0.5;
+/// The accumulation window applied to noisy static-BN traces (§5.5).
+pub const BN_ACCUMULATE_WINDOW: usize = 15;
+
+/// Calibrates a BN decision threshold on the training prefix (the paper
+/// accumulates BN outputs "to make a conclusion" without fixing a
+/// threshold; we grid-search the F1-best level on the training data).
+fn calibrate_threshold(smooth: &[f64], race: &RaceData) -> f64 {
+    let n = TRAIN_CLIPS.min(smooth.len());
+    let truth: Vec<f1_bayes::metrics::Segment> = race
+        .excited_truth()
+        .into_iter()
+        .filter(|s| s.start < n)
+        .collect();
+    let mut best = (0.5, -1.0);
+    for i in 1..20 {
+        let theta = i as f64 / 20.0;
+        let segs = threshold_segments(&smooth[..n], theta, MIN_LEN, MERGE);
+        let f1 = precision_recall_strict(&segs, &truth, OVERLAP_FRAC).f1();
+        if f1 > best.1 {
+            best = (theta, f1);
+        }
+    }
+    best.0
+}
+
+/// Precision/recall of a *BN* trace (accumulated first, per the paper;
+/// threshold calibrated on the training prefix).
+pub fn bn_precision_recall(trace: &[f64], race: &RaceData) -> PrecisionRecall {
+    let smooth = accumulate(trace, BN_ACCUMULATE_WINDOW);
+    let theta = calibrate_threshold(&smooth, race);
+    let segs = threshold_segments(&smooth, theta, MIN_LEN, MERGE);
+    precision_recall_strict(&segs, &race.excited_truth(), OVERLAP_FRAC)
+}
+
+/// Precision/recall of a *DBN* trace (thresholded directly; the decision
+/// level is calibrated on the training prefix like the BN's so the
+/// comparison isolates trace quality).
+pub fn dbn_precision_recall(trace: &[f64], race: &RaceData) -> PrecisionRecall {
+    let theta = calibrate_threshold(trace, race);
+    let segs = threshold_segments(trace, theta, MIN_LEN, MERGE);
+    precision_recall_strict(&segs, &race.excited_truth(), OVERLAP_FRAC)
+}
+
+/// Clip-level classification errors of a thresholded trace against the
+/// excited ground truth — the "misclassified sequences" statistic of the
+/// clustering experiment.
+pub fn clip_errors(trace: &[f64], race: &RaceData) -> usize {
+    trace
+        .iter()
+        .enumerate()
+        .filter(|(t, &p)| (p >= THETA) != race.scenario.is_excited(*t))
+        .count()
+}

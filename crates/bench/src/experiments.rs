@@ -1,0 +1,673 @@
+//! The experiment functions, one per table/figure of the paper.
+
+use std::time::Instant;
+
+use f1_bayes::bk::Clusters;
+use f1_bayes::metrics::{accumulate, roughness};
+use f1_bayes::paper::{BnStructure, PaperNet, TemporalVariant};
+use f1_media::features::audio::AudioAnalyzer;
+use f1_media::features::endpoint::{energy_entropy, zero_crossing_rate, EndpointConfig};
+use f1_media::features::video::{detect_shots, ShotConfig};
+use f1_media::synth::audio::AudioSynth;
+use f1_media::synth::video::VideoSynth;
+use f1_media::time::{clips_per_second, VIDEO_FPS};
+use f1_media::window::Window;
+
+use crate::avnet::{evaluate_av, train_av, AvModel};
+use crate::data::RaceData;
+use crate::excited::{
+    bn_precision_recall, clip_errors, dbn_precision_recall, infer_trace, train_bn, train_dbn,
+    BN_ACCUMULATE_WINDOW,
+};
+use crate::report::{Cell, Table};
+
+fn pr_cells(name: &str, p: f64, r: f64) -> Vec<Cell> {
+    vec![Cell::Text(name.into()), Cell::Percent(p), Cell::Percent(r)]
+}
+
+/// Output of the Table 1 experiment: the table plus the trained networks
+/// that later experiments reuse.
+pub struct Table1Out {
+    /// The rendered table.
+    pub table: Table,
+    /// The trained fully-parameterized static BN.
+    pub bn_full: PaperNet,
+    /// The trained fully-parameterized DBN (Fig. 8 wiring).
+    pub dbn_full: PaperNet,
+}
+
+/// **Table 1** — three BN structures vs the fully parameterized DBN for
+/// emphasized-speech detection on the German GP.
+pub fn table1(german: &RaceData) -> Table1Out {
+    let bn_full = train_bn(BnStructure::FullyParameterized, german);
+    let bn_direct = train_bn(BnStructure::DirectEvidence, german);
+    let bn_io = train_bn(BnStructure::InputOutput, german);
+    let dbn_full = train_dbn(BnStructure::FullyParameterized, TemporalVariant::Full, german);
+
+    let mut table = Table::new(
+        "Table 1 — Comparison of BNs and DBNs for detection of emphasized speech (German GP)",
+        &["Network", "Precision", "Recall"],
+    );
+    for (name, net, is_dbn) in [
+        ("Fully parameterized BN (Fig 7a)", &bn_full, false),
+        ("BN with direct evidence influence (Fig 7b)", &bn_direct, false),
+        ("Input/Output BN (Fig 7c)", &bn_io, false),
+        ("Fully parameterized DBN (Fig 8 + 7a)", &dbn_full, true),
+    ] {
+        let trace = infer_trace(net, german, None);
+        let pr = if is_dbn {
+            dbn_precision_recall(&trace, german)
+        } else {
+            bn_precision_recall(&trace, german)
+        };
+        table.row(pr_cells(name, pr.precision, pr.recall));
+    }
+    Table1Out {
+        table,
+        bn_full,
+        dbn_full,
+    }
+}
+
+/// **Table 2** — the audio DBN trained on the German GP, evaluated on the
+/// Belgian and USA GPs.
+pub fn table2(dbn_full: &PaperNet, belgian: &RaceData, usa: &RaceData) -> Table {
+    let mut table = Table::new(
+        "Table 2 — Evaluation results for the audio DBN (trained on German GP)",
+        &["Race", "Precision", "Recall"],
+    );
+    for (name, race) in [("Belgian Grand Prix", belgian), ("USA Grand Prix", usa)] {
+        let trace = infer_trace(dbn_full, race, None);
+        let pr = dbn_precision_recall(&trace, race);
+        table.row(pr_cells(name, pr.precision, pr.recall));
+    }
+    table
+}
+
+/// Output of Table 3: table plus the trained audio-visual models.
+pub struct Table3Out {
+    /// The rendered table.
+    pub table: Table,
+    /// Audio-visual model *with* the passing sub-network.
+    pub with_passing: AvModel,
+    /// Audio-visual model *without* the passing sub-network.
+    pub without_passing: AvModel,
+}
+
+/// **Table 3** — the audio-visual DBN on the German GP: highlights plus
+/// start / fly-out / passing classification.
+pub fn table3(german: &RaceData) -> Table3Out {
+    let with_passing = train_av(german, true);
+    let without_passing = train_av(german, false);
+    let eval = evaluate_av(&with_passing, german);
+    let mut table = Table::new(
+        "Table 3 — The audio-visual DBN (German GP)",
+        &["Query", "Precision", "Recall"],
+    );
+    table.row(pr_cells("Highlights", eval.highlights.precision, eval.highlights.recall));
+    table.row(pr_cells("Start", eval.start.precision, eval.start.recall));
+    table.row(pr_cells("Fly Out", eval.fly_out.precision, eval.fly_out.recall));
+    if let Some(ps) = eval.passing {
+        table.row(pr_cells("Passing", ps.precision, ps.recall));
+    }
+    Table3Out {
+        table,
+        with_passing,
+        without_passing,
+    }
+}
+
+/// **Table 4** — the audio-visual DBN on the Belgian GP (with the passing
+/// sub-network) and the USA GP (without it; that race has no fly-outs).
+pub fn table4(models: &Table3Out, belgian: &RaceData, usa: &RaceData) -> Table {
+    let mut table = Table::new(
+        "Table 4 — Evaluation results for the audio-visual DBN (Belgian with passing subnet, USA without)",
+        &["Race / Query", "Precision", "Recall"],
+    );
+    let be = evaluate_av(&models.with_passing, belgian);
+    table.row(pr_cells("Belgian: Highlights", be.highlights.precision, be.highlights.recall));
+    table.row(pr_cells("Belgian: Start", be.start.precision, be.start.recall));
+    table.row(pr_cells("Belgian: Fly Out", be.fly_out.precision, be.fly_out.recall));
+    if let Some(ps) = be.passing {
+        table.row(pr_cells("Belgian: Passing", ps.precision, ps.recall));
+    }
+    let us = evaluate_av(&models.without_passing, usa);
+    table.row(pr_cells("USA: Highlights", us.highlights.precision, us.highlights.recall));
+    table.row(pr_cells("USA: Start", us.start.precision, us.start.recall));
+    // The USA race has no fly-outs (paper footnote 3): both metrics 0.
+    table.row(pr_cells("USA: Fly Out", us.fly_out.precision, us.fly_out.recall));
+    table
+}
+
+/// **Fig. 9** — BN vs DBN inference traces over a 300 s window: the BN
+/// output is noisy and needs accumulation, the DBN output is smooth.
+/// Returns the summary table and the two traces for plotting.
+pub fn fig9(
+    bn_full: &PaperNet,
+    dbn_full: &PaperNet,
+    german: &RaceData,
+) -> (Table, Vec<f64>, Vec<f64>) {
+    let bn_trace: Vec<f64> = infer_trace(bn_full, german, None)[..3000.min(german.features.len())]
+        .to_vec();
+    let dbn_trace: Vec<f64> =
+        infer_trace(dbn_full, german, None)[..3000.min(german.features.len())].to_vec();
+    let range = |tr: &[f64]| {
+        let mx = tr.iter().cloned().fold(f64::MIN, f64::max);
+        let mn = tr.iter().cloned().fold(f64::MAX, f64::min);
+        (mx - mn).max(1e-9)
+    };
+    let mut table = Table::new(
+        "Fig. 9 — BN (a) vs DBN (b) inference over a 300 s window (normalized roughness: mean |Δp| / range)",
+        &["Trace", "Roughness", "Normalized", "Post-processing"],
+    );
+    table.row(vec![
+        Cell::Text("Audio BN".into()),
+        Cell::Num(roughness(&bn_trace)),
+        Cell::Num(roughness(&bn_trace) / range(&bn_trace)),
+        Cell::Text(format!("accumulated over {BN_ACCUMULATE_WINDOW} clips before thresholding")),
+    ]);
+    let bn_acc = accumulate(&bn_trace, BN_ACCUMULATE_WINDOW);
+    table.row(vec![
+        Cell::Text("Audio BN (accumulated)".into()),
+        Cell::Num(roughness(&bn_acc)),
+        Cell::Num(roughness(&bn_acc) / range(&bn_acc)),
+        Cell::Empty,
+    ]);
+    table.row(vec![
+        Cell::Text("Audio DBN".into()),
+        Cell::Num(roughness(&dbn_trace)),
+        Cell::Num(roughness(&dbn_trace) / range(&dbn_trace)),
+        Cell::Text("thresholded directly".into()),
+    ]);
+    (table, bn_trace, dbn_trace)
+}
+
+/// **§5.5 temporal-dependency experiment** — three inter-slice wirings of
+/// the fully parameterized DBN.
+pub fn temporal(german: &RaceData) -> Table {
+    let mut table = Table::new(
+        "§5.5 — Influence of temporal dependencies (fully parameterized DBN, German GP)",
+        &["Wiring", "Precision", "Recall"],
+    );
+    for (name, variant) in [
+        ("V1: full inter-slice wiring (Fig 8)", TemporalVariant::Full),
+        ("V2: only the query receives temporal evidence", TemporalVariant::QueryOnly),
+        ("V3: persistence + mids feed the query", TemporalVariant::NoQueryFanOut),
+    ] {
+        let net = train_dbn(BnStructure::FullyParameterized, variant, german);
+        let trace = infer_trace(&net, german, None);
+        let pr = dbn_precision_recall(&trace, german);
+        table.row(pr_cells(name, pr.precision, pr.recall));
+    }
+    table
+}
+
+/// **§5.5 clustering experiment** — Boyen–Koller projection with all
+/// hidden nodes in one cluster ("exact") vs the query node separated vs
+/// fully factored.
+pub fn clustering(dbn_full: &PaperNet, german: &RaceData) -> Table {
+    let mut table = Table::new(
+        "§5.5 — Boyen-Koller clustering (fully parameterized DBN, German GP)",
+        &["Clusters", "Precision", "Recall", "Misclassified clips", "Mean |Δp| vs exact"],
+    );
+    let exact_trace = infer_trace(dbn_full, german, None);
+    let configs: Vec<(&str, Clusters)> = vec![
+        ("one cluster (exact)", Clusters::single(&dbn_full.dbn)),
+        (
+            "query separated from other hidden nodes",
+            Clusters::separate(&dbn_full.dbn, &["EA"]).expect("EA is hidden"),
+        ),
+        ("fully factored (one node per cluster)", Clusters::singletons(&dbn_full.dbn)),
+    ];
+    for (name, clusters) in configs {
+        let trace = infer_trace(dbn_full, german, Some(&clusters));
+        let pr = dbn_precision_recall(&trace, german);
+        let errors = clip_errors(&trace, german);
+        let divergence = trace
+            .iter()
+            .zip(&exact_trace)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / trace.len() as f64;
+        table.row(vec![
+            Cell::Text(name.into()),
+            Cell::Percent(pr.precision),
+            Cell::Percent(pr.recall),
+            Cell::Num(errors as f64),
+            Cell::Num(divergence),
+        ]);
+    }
+    table
+}
+
+/// **§5.2 keyword-spotting experiment** — clean-speech vs TV-news
+/// acoustic models.
+pub fn keywords(german: &RaceData) -> Table {
+    use f1_keyword::{spot, AcousticModel, Grammar, PhonemeStream, SpotterConfig};
+    let stream = PhonemeStream::from_scenario(&german.scenario);
+    let grammar = Grammar::formula1();
+    let mut table = Table::new(
+        "§5.2 — Keyword spotting: clean-speech vs TV-news acoustic models (German GP)",
+        &["Acoustic model", "Precision", "Recall", "Spots"],
+    );
+    for (name, model) in [
+        ("clean speech", AcousticModel::CleanSpeech),
+        ("TV news", AcousticModel::TvNews),
+    ] {
+        let spots = spot(&stream, &grammar, model, &SpotterConfig::default());
+        let (p, r) = f1_keyword::spotter::evaluate(&spots, &german.scenario.keywords, 2);
+        table.row(vec![
+            Cell::Text(name.into()),
+            Cell::Percent(p),
+            Cell::Percent(r),
+            Cell::Num(spots.len() as f64),
+        ]);
+    }
+    table
+}
+
+/// **§5.2 endpoint-detection experiment** — the STE+MFCC detector vs the
+/// entropy and zero-crossing-rate features the paper found "powerless"
+/// in broadcast noise. Every detector's threshold is tuned on the first
+/// minute, then evaluated on the rest.
+pub fn endpoint(german: &RaceData) -> Table {
+    let scenario = &german.scenario;
+    let audio = AudioSynth::new(scenario);
+    let analyzer = AudioAnalyzer::standard();
+    let cfg = EndpointConfig::calibrated();
+    let n = scenario.n_clips;
+
+    // Per-clip statistics for each detector.
+    let mut ste_stat = Vec::with_capacity(n);
+    let mut mfcc_stat = Vec::with_capacity(n);
+    let mut entropy = Vec::with_capacity(n);
+    let mut zcr = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    for clip in 0..n {
+        let samples = audio.clip(clip);
+        let f = analyzer
+            .analyze_clip(&samples)
+            .expect("clips have the right length");
+        ste_stat.push(cfg.ste_statistic(&f));
+        mfcc_stat.push(cfg.mfcc_statistic(&f));
+        // Frame energies for the entropy feature.
+        let energies: Vec<f64> = samples
+            .chunks(f1_media::time::FRAME_SAMPLES)
+            .map(|fr| f1_media::features::audio::short_time_energy(fr, Window::Hamming))
+            .collect();
+        entropy.push(energy_entropy(&energies));
+        zcr.push(zero_crossing_rate(&samples));
+        truth.push(scenario.is_speech(clip));
+    }
+
+    // Tune scalar thresholds (both directions) on the first 600 clips.
+    let tune = |values: &[f64]| -> (f64, bool) {
+        let cal = 600.min(values.len());
+        let mut best = (0.0, true, 0usize);
+        for i in 0..=40 {
+            let lo = values[..cal].iter().cloned().fold(f64::MAX, f64::min);
+            let hi = values[..cal].iter().cloned().fold(f64::MIN, f64::max);
+            let thr = lo + (hi - lo) * i as f64 / 40.0;
+            for &above in &[true, false] {
+                let correct = (0..cal)
+                    .filter(|&t| ((values[t] > thr) == above) == truth[t])
+                    .count();
+                if correct > best.2 {
+                    best = (thr, above, correct);
+                }
+            }
+        }
+        (best.0, best.1)
+    };
+    let accuracy = |detected: &[bool]| -> f64 {
+        let eval: Vec<usize> = (600.min(n)..n).collect();
+        let correct = eval.iter().filter(|&&t| detected[t] == truth[t]).count();
+        correct as f64 / eval.len().max(1) as f64
+    };
+
+    let mut table = Table::new(
+        "§5.2 — Speech endpoint detection: STE+MFCC vs entropy vs zero-crossing rate",
+        &["Detector", "Accuracy (held-out)"],
+    );
+    // Tune the paper's two-threshold detector on the same prefix the
+    // competitors get: a 2-D grid over the conjunction "STE above t1 AND
+    // MFCC above t2" (speech always means *more* band energy).
+    let cal = 600.min(n);
+    let grid = |values: &[f64]| -> Vec<f64> {
+        let lo = values[..cal].iter().cloned().fold(f64::MAX, f64::min);
+        let hi = values[..cal].iter().cloned().fold(f64::MIN, f64::max);
+        (0..20).map(|i| lo + (hi - lo) * i as f64 / 20.0).collect()
+    };
+    let mut best = (0.0, 0.0, 0usize);
+    for &t1 in &grid(&ste_stat) {
+        for &t2 in &grid(&mfcc_stat) {
+            let correct = (0..cal)
+                .filter(|&t| (ste_stat[t] > t1 && mfcc_stat[t] > t2) == truth[t])
+                .count();
+            if correct > best.2 {
+                best = (t1, t2, correct);
+            }
+        }
+    }
+    let (ste_thr, mfcc_thr, _) = best;
+    let ste_mfcc: Vec<bool> = ste_stat
+        .iter()
+        .zip(&mfcc_stat)
+        .map(|(&s, &m)| s > ste_thr && m > mfcc_thr)
+        .collect();
+    table.row(vec![
+        Cell::Text("STE + MFCC (paper's detector, tuned)".into()),
+        Cell::Percent(accuracy(&ste_mfcc)),
+    ]);
+    for (name, values) in [("energy entropy", &entropy), ("zero-crossing rate", &zcr)] {
+        let (thr, above) = tune(values);
+        let detected: Vec<bool> = values.iter().map(|&v| (v > thr) == above).collect();
+        table.row(vec![
+            Cell::Text(format!("{name} (tuned threshold)")),
+            Cell::Percent(accuracy(&detected)),
+        ]);
+    }
+    table
+}
+
+/// **§5.3 shot-detection experiment** — multi-frame histogram differencing
+/// accuracy (the paper reports over 90 %).
+pub fn shots(german: &RaceData) -> Table {
+    let scenario = &german.scenario;
+    let video = VideoSynth::new(scenario);
+    let hi = scenario.n_frames().min(90 * VIDEO_FPS * clips_per_second() / clips_per_second());
+    let detected = detect_shots(&video, 0, hi, &ShotConfig::default());
+    let truth: Vec<usize> = scenario
+        .shot_cuts
+        .iter()
+        .copied()
+        .filter(|&c| {
+            let clip = c * clips_per_second() / VIDEO_FPS;
+            c < hi && !scenario.is_replay(clip) && !scenario.is_replay(clip.saturating_sub(1))
+        })
+        .collect();
+    let found = truth
+        .iter()
+        .filter(|&&t| detected.iter().any(|&d| d.abs_diff(t) <= 2))
+        .count();
+    let hard_fp = detected
+        .iter()
+        .filter(|&&d| {
+            let clip = d * clips_per_second() / VIDEO_FPS;
+            let near_cut = truth.iter().any(|&t| d.abs_diff(t) <= 2);
+            let near_replay = scenario.is_replay(clip)
+                || scenario.is_replay(clip.saturating_sub(1))
+                || scenario.is_replay(clip + 1);
+            !near_cut && !near_replay
+        })
+        .count();
+    let mut table = Table::new(
+        "§5.3 — Shot-boundary detection (histogram difference over consecutive frames)",
+        &["Metric", "Value"],
+    );
+    table.row(vec![
+        Cell::Text("Recall".into()),
+        Cell::Percent(found as f64 / truth.len().max(1) as f64),
+    ]);
+    table.row(vec![
+        Cell::Text("Precision (excl. replay-boundary effects)".into()),
+        Cell::Percent(1.0 - hard_fp as f64 / detected.len().max(1) as f64),
+    ]);
+    table.row(vec![
+        Cell::Text("True cuts in window".into()),
+        Cell::Num(truth.len() as f64),
+    ]);
+    table
+}
+
+/// **Fig. 3/4** — parallel evaluation of six HMMs: the model bank
+/// evaluated serially vs on six threads, through the same MIL path the
+/// paper shows.
+pub fn hmm_parallel() -> Table {
+    use f1_hmm::{train as hmm_train, DiscreteHmm, HmmBank, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(0xF1);
+    let names = [
+        "Service",
+        "Forehand",
+        "Smash",
+        "Backhand",
+        "VolleyBackhand",
+        "VolleyForehand",
+    ];
+    let mut bank = HmmBank::new();
+    let mut probes = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let truth = DiscreteHmm::random(16, 24, &mut rng);
+        let data: Vec<Vec<usize>> = (0..4).map(|_| truth.sample(400, &mut rng).1).collect();
+        let mut model = DiscreteHmm::random(16, 24, &mut rng);
+        hmm_train(&mut model, &data, &TrainConfig { max_iters: 5, ..TrainConfig::default() })
+            .expect("training succeeds");
+        bank.insert(name, model);
+        if i == 0 {
+            probes = truth.sample(50_000, &mut rng).1;
+        }
+    }
+
+    let reps = 3;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        bank.evaluate(&probes).expect("evaluation succeeds");
+    }
+    let serial = t0.elapsed().as_secs_f64() / reps as f64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        bank.evaluate_parallel(&probes, 6).expect("evaluation succeeds");
+    }
+    let parallel = t0.elapsed().as_secs_f64() / reps as f64;
+
+    // Results identical either way.
+    let a = bank.evaluate(&probes).unwrap();
+    let b = bank.evaluate_parallel(&probes, 6).unwrap();
+    let identical = a
+        .iter()
+        .zip(&b)
+        .all(|(x, y)| x.0 == y.0 && (x.1 - y.1).abs() < 1e-9);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(
+        &format!(
+            "Fig. 3/4 — Parallel evaluation of 6 HMMs (16 states, 50 000 symbols; {cores} core(s) available — speedup is bounded by the hardware)"
+        ),
+        &["Configuration", "Seconds/eval", "Speedup", "Identical results"],
+    );
+    table.row(vec![
+        Cell::Text("serial (threadcnt 1)".into()),
+        Cell::Num(serial),
+        Cell::Num(1.0),
+        Cell::Empty,
+    ]);
+    table.row(vec![
+        Cell::Text("parallel (threadcnt 6)".into()),
+        Cell::Num(parallel),
+        Cell::Num(serial / parallel.max(1e-9)),
+        Cell::Text(identical.to_string()),
+    ]);
+    table
+}
+
+/// **§6 ablation** — "the audio DBN was able only to detect 50% of all
+/// interesting segments in the race, while the integrated audio-visual
+/// DBN was able to correct the results and detect about 80%": the same
+/// trained network filtered with audio-only vs full evidence.
+pub fn ablation(models: &Table3Out, german: &RaceData) -> Table {
+    use crate::avnet::{infer_av, infer_av_audio_only};
+    use f1_bayes::metrics::{accumulate, precision_recall, threshold_segments};
+
+    let mut table = Table::new(
+        "§6 ablation — audio-only vs audio-visual highlight detection (German GP)",
+        &["Evidence", "Precision", "Recall"],
+    );
+    let truth = german.highlight_truth();
+    for (name, traces) in [
+        ("audio only (f1–f10)", infer_av_audio_only(&models.with_passing, german)),
+        ("audio-visual (f1–f17)", infer_av(&models.with_passing, german)),
+    ] {
+        let smooth = accumulate(&traces.highlight, 10);
+        // Shared decision level so the comparison isolates the evidence.
+        let segs = threshold_segments(&smooth, 0.35, 60, 30);
+        let pr = precision_recall(&segs, &truth);
+        table.row(pr_cells(name, pr.precision, pr.recall));
+    }
+    table
+}
+
+/// **§5.6 retrieval queries** — the full VDBMS pipeline answering the
+/// paper's query set, each answer checked against ground truth.
+pub fn queries(german: &RaceData) -> Table {
+    use f1_cobra::Vdbms;
+    use f1_media::synth::scenario::{EventKind, Span};
+
+    let scenario = &german.scenario;
+    let vdbms = Vdbms::new();
+    // Reuse the prepared feature matrix instead of re-extracting.
+    vdbms
+        .catalog
+        .register_video(f1_cobra::catalog::VideoInfo {
+            name: "german".into(),
+            n_clips: scenario.n_clips,
+            n_frames: scenario.n_frames(),
+        });
+    vdbms
+        .catalog
+        .store_features("german", &german.features)
+        .expect("catalog accepts the matrix");
+    // Captions still need the text pipeline.
+    let video = VideoSynth::new(scenario);
+    let vocab = f1_text::Vocabulary::formula1();
+    let captions = f1_text::scan_broadcast(
+        &video,
+        0,
+        scenario.n_frames(),
+        &vocab,
+        &f1_text::pipeline::PipelineConfig::default(),
+    );
+    let cps = clips_per_second();
+    let records: Vec<f1_cobra::catalog::EventRecord> = captions
+        .iter()
+        .filter_map(|c| {
+            let parsed = c.parsed.as_ref()?;
+            use f1_media::synth::scenario::CaptionKind as CK;
+            let kind = match parsed.kind {
+                CK::PitStop => "caption:pit_stop",
+                CK::Classification => "caption:classification",
+                CK::FastestLap => "caption:fastest_lap",
+                CK::FinalLap => "caption:final_lap",
+                CK::Winner => "caption:winner",
+            };
+            Some(f1_cobra::catalog::EventRecord {
+                kind: kind.into(),
+                start: c.start_frame * cps / VIDEO_FPS,
+                end: (c.end_frame * cps / VIDEO_FPS).max(c.start_frame * cps / VIDEO_FPS + 1),
+                driver: parsed
+                    .driver
+                    .map(|d| f1_media::synth::scenario::DRIVERS[d].to_string()),
+            })
+        })
+        .collect();
+    vdbms
+        .catalog
+        .store_events("german", &records)
+        .expect("catalog accepts events");
+    let windows: Vec<Span> = crate::avnet::training_windows(scenario.n_clips)
+        .into_iter()
+        .map(|(s, e)| Span::new(s, e))
+        .collect();
+    vdbms
+        .train_highlight_net("german", scenario, &windows, true)
+        .expect("training succeeds");
+    vdbms.annotate("german").expect("annotation succeeds");
+
+    let overlap = |seg: &f1_cobra::RetrievedSegment, spans: &[Span]| -> bool {
+        spans.iter().any(|s| s.start < seg.end && seg.start < s.end)
+    };
+    let winner_driver = scenario.standings_at(scenario.n_clips - 1)[0];
+    let winner_name = f1_media::synth::scenario::DRIVERS[winner_driver];
+
+    let mut table = Table::new(
+        "§5.6 — Retrieval queries over the annotated German GP",
+        &["Query", "Segments", "Grounded"],
+    );
+    let mut run = |query: String, truth: Vec<Span>, require_nonempty: bool| {
+        let results = vdbms.query("german", &query).expect("query parses");
+        // Grounded: results exist (when expected) and at least two thirds
+        // of them overlap ground truth (detection is probabilistic; a few
+        // false alarms are the paper's reality too).
+        let grounded = if truth.is_empty() {
+            !require_nonempty || !results.is_empty()
+        } else if results.is_empty() {
+            false
+        } else {
+            let ok = results.iter().filter(|seg| overlap(seg, &truth)).count();
+            ok * 3 >= results.len() * 2
+        };
+        table.row(vec![
+            Cell::Text(query),
+            Cell::Num(results.len() as f64),
+            Cell::Text(if grounded { "yes".into() } else { "NO".into() }),
+        ]);
+    };
+
+    run(
+        "RETRIEVE HIGHLIGHTS".into(),
+        scenario.highlights().to_vec(),
+        true,
+    );
+    // Sub-event windows live inside detected highlights; replays of an
+    // event legitimately classify as that event, so ground these against
+    // the interesting-segment truth (kind accuracy is Table 3's job).
+    run(
+        "RETRIEVE EVENTS FLY_OUT".into(),
+        scenario.highlights().to_vec(),
+        true,
+    );
+    run(
+        "RETRIEVE EVENTS START".into(),
+        scenario.highlights().to_vec(),
+        true,
+    );
+    // Pit stop of a driver who truly pitted.
+    let pit = scenario
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::PitStop)
+        .expect("scenario has pit stops");
+    let pit_driver = f1_media::synth::scenario::DRIVERS[pit.driver.unwrap()];
+    run(
+        format!("RETRIEVE PITSTOPS WITH DRIVER \"{pit_driver}\""),
+        scenario
+            .events
+            .iter()
+            .filter(|e| {
+                e.kind == EventKind::PitStop
+                    && e.driver.map(|d| f1_media::synth::scenario::DRIVERS[d])
+                        == Some(pit_driver)
+            })
+            .map(|e| e.span)
+            .collect(),
+        true,
+    );
+    run(
+        format!("RETRIEVE SEGMENTS WITH DRIVER \"{winner_name}\""),
+        Vec::new(),
+        true,
+    );
+    run(format!("RETRIEVE LEADER WITH DRIVER \"{winner_name}\""), Vec::new(), false);
+    run("RETRIEVE WINNER".into(), Vec::new(), true);
+    run("RETRIEVE EXCITED".into(), scenario.excited.to_vec(), true);
+    run(
+        format!("RETRIEVE HIGHLIGHTS AT PITLANE WITH DRIVER \"{pit_driver}\""),
+        Vec::new(),
+        false,
+    );
+    table
+}

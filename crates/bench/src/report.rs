@@ -1,0 +1,100 @@
+//! Paper-style table rendering for the experiments binary.
+
+use std::fmt;
+
+/// A table cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Text cell.
+    Text(String),
+    /// Percentage (rendered `NN %`).
+    Percent(f64),
+    /// Raw number.
+    Num(f64),
+    /// Empty cell.
+    Empty,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Percent(p) => write!(f, "{:.0} %", p * 100.0),
+            Cell::Num(v) => write!(f, "{v:.3}"),
+            Cell::Empty => Ok(()),
+        }
+    }
+}
+
+/// A rendered experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (e.g. "Table 1 — BNs vs DBNs for emphasized speech").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths.
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.to_string().len());
+            }
+        }
+        writeln!(f, "\n## {}\n", self.title)?;
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", c, width = widths.get(i).copied().unwrap_or(4))?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(f, &sep)?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Cell::to_string).collect();
+            render_row(f, &cells)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdownish_table() {
+        let mut t = Table::new("Test", &["Metric", "Value"]);
+        t.row(vec![Cell::Text("Precision".into()), Cell::Percent(0.85)]);
+        t.row(vec![Cell::Text("Recall".into()), Cell::Empty]);
+        let s = t.to_string();
+        assert!(s.contains("## Test"));
+        assert!(s.contains("85 %"));
+        assert!(s.contains("| Precision"));
+    }
+}

@@ -1,0 +1,317 @@
+//! The metadata catalog: Cobra's four content layers on Monet BATs.
+//!
+//! "The content abstractions, which are stored as metadata, are used to
+//! organize, index and retrieve the video source" (§2). The catalog keeps,
+//! per registered video:
+//!
+//! * **raw layer** — a descriptor (clip and frame counts),
+//! * **feature layer** — one `[void,dbl]` BAT per feature column
+//!   (`<video>.f1` … `<video>.f17`), the 0.1 s evidence values,
+//! * **event layer** — detected events in four parallel BATs
+//!   (`<video>.ev.kind/start/end/driver`),
+//! * **object layer** — drivers referenced by events and captions.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use f1_monet::prelude::*;
+
+use crate::{CobraError, Result};
+
+/// Raw-layer descriptor of a registered video.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VideoInfo {
+    /// Catalog name.
+    pub name: String,
+    /// Clips in the broadcast (0.1 s grid).
+    pub n_clips: usize,
+    /// Video frames (25 fps).
+    pub n_frames: usize,
+}
+
+/// An event-layer entry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EventRecord {
+    /// Event kind ("highlight", "start", "fly_out", "passing",
+    /// "pit_stop", "caption:…", "excited", …).
+    pub kind: String,
+    /// First clip.
+    pub start: usize,
+    /// One past the last clip.
+    pub end: usize,
+    /// Driver name, when known.
+    pub driver: Option<String>,
+}
+
+/// The catalog, backed by a shared Monet kernel.
+pub struct Catalog {
+    kernel: std::sync::Arc<Kernel>,
+    videos: RwLock<HashMap<String, VideoInfo>>,
+}
+
+impl Catalog {
+    /// Creates a catalog over a kernel.
+    pub fn new(kernel: std::sync::Arc<Kernel>) -> Self {
+        Catalog {
+            kernel,
+            videos: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Registers a video's raw-layer descriptor.
+    pub fn register_video(&self, info: VideoInfo) {
+        self.videos.write().insert(info.name.clone(), info);
+    }
+
+    /// Raw-layer info for a video.
+    pub fn video(&self, name: &str) -> Result<VideoInfo> {
+        self.videos
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CobraError::UnknownVideo(name.to_string()))
+    }
+
+    /// Registered video names, sorted.
+    pub fn videos(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.videos.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn feature_bat_name(video: &str, feature: usize) -> String {
+        format!("{video}.f{}", feature + 1)
+    }
+
+    /// Stores the feature layer: `matrix[t][k]` is feature k at clip t.
+    pub fn store_features(&self, video: &str, matrix: &[Vec<f64>]) -> Result<()> {
+        self.video(video)?;
+        let n_features = matrix.first().map(Vec::len).unwrap_or(0);
+        for k in 0..n_features {
+            let bat = Bat::from_tail(
+                AtomType::Dbl,
+                matrix.iter().map(|row| Atom::Dbl(row[k])),
+            )?;
+            self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
+        }
+        Ok(())
+    }
+
+    /// True when the feature layer is present — the availability check the
+    /// query pre-processor performs before invoking dynamic extraction.
+    pub fn has_features(&self, video: &str) -> bool {
+        self.kernel.has_bat(&Self::feature_bat_name(video, 0))
+    }
+
+    /// Loads the feature layer back as a clip-major matrix.
+    pub fn load_features(&self, video: &str, n_features: usize) -> Result<Vec<Vec<f64>>> {
+        let info = self.video(video)?;
+        let mut matrix = vec![vec![0.0; n_features]; info.n_clips];
+        for k in 0..n_features {
+            let name = Self::feature_bat_name(video, k);
+            let handle = self.kernel.bat(&name).map_err(|_| CobraError::MissingMetadata {
+                video: video.to_string(),
+                what: format!("feature column {}", k + 1),
+            })?;
+            let bat = handle.read();
+            for (t, row) in matrix.iter_mut().enumerate() {
+                row[k] = bat.tail_at(t)?.as_dbl()?;
+            }
+        }
+        Ok(matrix)
+    }
+
+    /// Appends event-layer records (creating the BATs on first use).
+    pub fn store_events(&self, video: &str, events: &[EventRecord]) -> Result<()> {
+        self.video(video)?;
+        let names = [
+            format!("{video}.ev.kind"),
+            format!("{video}.ev.start"),
+            format!("{video}.ev.end"),
+            format!("{video}.ev.driver"),
+        ];
+        let types = [AtomType::Str, AtomType::Int, AtomType::Int, AtomType::Str];
+        for (name, ty) in names.iter().zip(types) {
+            if !self.kernel.has_bat(name) {
+                self.kernel.set_bat(name, Bat::new(AtomType::Void, ty));
+            }
+        }
+        for e in events {
+            self.kernel
+                .bat(&names[0])?
+                .write()
+                .append_void(Atom::str(&e.kind))?;
+            self.kernel
+                .bat(&names[1])?
+                .write()
+                .append_void(Atom::Int(e.start as i64))?;
+            self.kernel
+                .bat(&names[2])?
+                .write()
+                .append_void(Atom::Int(e.end as i64))?;
+            self.kernel
+                .bat(&names[3])?
+                .write()
+                .append_void(Atom::str(e.driver.as_deref().unwrap_or("")))?;
+        }
+        Ok(())
+    }
+
+    /// Removes all stored events of a video (e.g. before re-annotation).
+    pub fn clear_events(&self, video: &str) {
+        for suffix in ["kind", "start", "end", "driver"] {
+            let _ = self.kernel.drop_bat(&format!("{video}.ev.{suffix}"));
+        }
+    }
+
+    /// Loads the event layer, optionally filtered by kind.
+    pub fn events(&self, video: &str, kind: Option<&str>) -> Result<Vec<EventRecord>> {
+        self.video(video)?;
+        let name = format!("{video}.ev.kind");
+        if !self.kernel.has_bat(&name) {
+            return Ok(Vec::new());
+        }
+        let kinds = self.kernel.bat(&name)?;
+        let starts = self.kernel.bat(&format!("{video}.ev.start"))?;
+        let ends = self.kernel.bat(&format!("{video}.ev.end"))?;
+        let drivers = self.kernel.bat(&format!("{video}.ev.driver"))?;
+        let kinds = kinds.read();
+        let starts = starts.read();
+        let ends = ends.read();
+        let drivers = drivers.read();
+        let mut out = Vec::new();
+        for i in 0..kinds.len() {
+            let k = kinds.tail_at(i)?.as_str()?.to_string();
+            if let Some(filter) = kind {
+                if k != filter {
+                    continue;
+                }
+            }
+            let d = drivers.tail_at(i)?.as_str()?.to_string();
+            out.push(EventRecord {
+                kind: k,
+                start: starts.tail_at(i)?.as_int()? as usize,
+                end: ends.tail_at(i)?.as_int()? as usize,
+                driver: if d.is_empty() { None } else { Some(d) },
+            });
+        }
+        Ok(out)
+    }
+
+    /// True when the event layer holds any records of `kind`.
+    pub fn has_events(&self, video: &str, kind: &str) -> bool {
+        self.events(video, Some(kind))
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new(Arc::new(Kernel::new()));
+        c.register_video(VideoInfo {
+            name: "german".into(),
+            n_clips: 4,
+            n_frames: 10,
+        });
+        c
+    }
+
+    #[test]
+    fn video_registration_round_trips() {
+        let c = catalog();
+        assert_eq!(c.video("german").unwrap().n_clips, 4);
+        assert!(matches!(
+            c.video("monza"),
+            Err(CobraError::UnknownVideo(_))
+        ));
+        assert_eq!(c.videos(), vec!["german".to_string()]);
+    }
+
+    #[test]
+    fn feature_layer_round_trips_through_bats() {
+        let c = catalog();
+        let matrix = vec![
+            vec![0.1, 0.9],
+            vec![0.2, 0.8],
+            vec![0.3, 0.7],
+            vec![0.4, 0.6],
+        ];
+        assert!(!c.has_features("german"));
+        c.store_features("german", &matrix).unwrap();
+        assert!(c.has_features("german"));
+        // Stored as real kernel BATs with the naming scheme.
+        assert!(c.kernel().has_bat("german.f1"));
+        assert!(c.kernel().has_bat("german.f2"));
+        let loaded = c.load_features("german", 2).unwrap();
+        assert_eq!(loaded, matrix);
+    }
+
+    #[test]
+    fn missing_feature_column_is_reported() {
+        let c = catalog();
+        c.store_features("german", &vec![vec![0.5]; 4]).unwrap();
+        assert!(matches!(
+            c.load_features("german", 3),
+            Err(CobraError::MissingMetadata { .. })
+        ));
+    }
+
+    #[test]
+    fn event_layer_stores_and_filters() {
+        let c = catalog();
+        c.store_events(
+            "german",
+            &[
+                EventRecord {
+                    kind: "highlight".into(),
+                    start: 10,
+                    end: 80,
+                    driver: None,
+                },
+                EventRecord {
+                    kind: "pit_stop".into(),
+                    start: 100,
+                    end: 150,
+                    driver: Some("HAKKINEN".into()),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.events("german", None).unwrap().len(), 2);
+        let pits = c.events("german", Some("pit_stop")).unwrap();
+        assert_eq!(pits.len(), 1);
+        assert_eq!(pits[0].driver.as_deref(), Some("HAKKINEN"));
+        assert!(c.has_events("german", "highlight"));
+        assert!(!c.has_events("german", "fly_out"));
+        c.clear_events("german");
+        assert!(c.events("german", None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn events_for_unregistered_video_error() {
+        let c = catalog();
+        assert!(c.events("usa", None).is_err());
+        assert!(c
+            .store_events(
+                "usa",
+                &[EventRecord {
+                    kind: "x".into(),
+                    start: 0,
+                    end: 1,
+                    driver: None
+                }]
+            )
+            .is_err());
+    }
+}

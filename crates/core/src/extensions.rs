@@ -1,0 +1,331 @@
+//! The VDBMS extensions and the pre-processor's cost/quality model.
+//!
+//! The paper integrates its knowledge-based techniques "in all three
+//! layers of the DBMS architecture (not only in one place)". At the
+//! physical level that means MEL modules: [`DbnModule`] exposes DBN
+//! inference as kernel procedures operating directly on catalog feature
+//! BATs (the role the paper's Matlab server played, Fig. 5), alongside
+//! `f1_hmm::mel::HmmModule`.
+//!
+//! [`MethodRegistry`] is the query pre-processor's decision table: "
+//! depending on the (un)availability of metadata … as well as the cost
+//! and quality models of the method, it makes a decision which method and
+//! feature set to use to fulfil the query" (§2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use f1_bayes::engine::Engine;
+use f1_bayes::evidence::EvidenceSeq;
+use f1_bayes::paper::PaperNet;
+use f1_bayes::slice::NodeId;
+use f1_monet::prelude::*;
+use f1_monet::MilValue;
+
+/// A stored, trained network with its query nodes.
+#[derive(Clone)]
+pub struct StoredNet {
+    /// The network and its evidence wiring.
+    pub net: PaperNet,
+    /// Named query nodes (e.g. "HL", "ST", "FO", "PS", "EA").
+    pub queries: Vec<(String, NodeId)>,
+    /// Decision thresholds calibrated on the training windows, per query
+    /// node name (annotation falls back to 0.5 when absent).
+    pub thresholds: HashMap<String, f64>,
+}
+
+/// Shared store of trained networks.
+pub type NetStore = Arc<RwLock<HashMap<String, StoredNet>>>;
+
+/// The DBN extension module: MEL procedures over catalog feature BATs.
+pub struct DbnModule {
+    nets: NetStore,
+}
+
+impl DbnModule {
+    /// Creates the module over a shared network store.
+    pub fn new(nets: NetStore) -> Self {
+        DbnModule { nets }
+    }
+}
+
+fn module_err(e: impl ToString) -> MonetError {
+    MonetError::Module {
+        module: "dbn".into(),
+        message: e.to_string(),
+    }
+}
+
+impl MelModule for DbnModule {
+    fn name(&self) -> &str {
+        "dbn"
+    }
+
+    fn procedures(&self) -> Vec<String> {
+        vec!["dbnInfer".into(), "dbnList".into()]
+    }
+
+    fn call(
+        &self,
+        kernel: &Kernel,
+        proc: &str,
+        args: &[MilValue],
+    ) -> std::result::Result<MilValue, MonetError> {
+        match proc {
+            "dbnList" => {
+                let mut out = Bat::new(AtomType::Void, AtomType::Str);
+                let nets = self.nets.read();
+                let mut names: Vec<&String> = nets.keys().collect();
+                names.sort();
+                for n in names {
+                    out.append_void(Atom::str(n))?;
+                }
+                Ok(MilValue::new_bat(out))
+            }
+            "dbnInfer" => {
+                // dbnInfer(video, netName, queryNode) -> [void,dbl] trace
+                let video = args
+                    .first()
+                    .ok_or_else(|| module_err("dbnInfer(video, net, query)"))?
+                    .as_atom()
+                    .map_err(module_err)?;
+                let net_name = args
+                    .get(1)
+                    .ok_or_else(|| module_err("dbnInfer(video, net, query)"))?
+                    .as_atom()
+                    .map_err(module_err)?;
+                let query = args
+                    .get(2)
+                    .ok_or_else(|| module_err("dbnInfer(video, net, query)"))?
+                    .as_atom()
+                    .map_err(module_err)?;
+                let video = video.as_str()?.to_string();
+                let nets = self.nets.read();
+                let stored = nets
+                    .get(net_name.as_str()?)
+                    .ok_or_else(|| module_err(format!("no network '{}'", net_name)))?;
+                let query_id = stored
+                    .queries
+                    .iter()
+                    .find(|(n, _)| n == query.as_str().unwrap_or(""))
+                    .map(|(_, id)| *id)
+                    .ok_or_else(|| module_err(format!("no query node '{query}'")))?;
+
+                // Load the evidence columns straight from catalog BATs.
+                let n_features = stored.net.feature_nodes.len();
+                let mut columns: Vec<Vec<f64>> = Vec::with_capacity(n_features);
+                for k in 0..n_features {
+                    let bat = kernel.bat(&format!("{video}.f{}", k + 1))?;
+                    let bat = bat.read();
+                    let col: std::result::Result<Vec<f64>, MonetError> = bat
+                        .tail()
+                        .iter()
+                        .map(|a| a.as_dbl())
+                        .collect();
+                    columns.push(col?);
+                }
+                let n_clips = columns.first().map(Vec::len).unwrap_or(0);
+                let mut matrix = vec![vec![0.0; n_features]; n_clips];
+                for (k, col) in columns.iter().enumerate() {
+                    for (t, &v) in col.iter().enumerate() {
+                        matrix[t][k] = v;
+                    }
+                }
+                let ev = EvidenceSeq::from_matrix(&stored.net.feature_nodes, &matrix);
+                let engine = Engine::new(&stored.net.dbn).map_err(module_err)?;
+                let post = engine.filter(&ev, None).map_err(module_err)?;
+                let trace = post.trace(query_id, 1).map_err(module_err)?;
+                let mut out = Bat::new(AtomType::Void, AtomType::Dbl);
+                for p in trace {
+                    out.append_void(Atom::Dbl(p))?;
+                }
+                // Cache the trace in the catalog, as the paper's dynamic
+                // extraction would.
+                kernel.set_bat(
+                    &format!("{video}.trace.{}", query.as_str()?),
+                    out.clone(),
+                );
+                Ok(MilValue::new_bat(out))
+            }
+            other => Err(MonetError::NotFound(format!("dbn.{other}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cost/quality model
+// ---------------------------------------------------------------------------
+
+/// A method's cost/quality profile.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MethodProfile {
+    /// Method name.
+    pub name: String,
+    /// Abstract cost per clip (the pre-processor's currency).
+    pub cost_per_clip: f64,
+    /// Expected quality in `[0, 1]`.
+    pub quality: f64,
+}
+
+/// The pre-processor's method table, per extraction task.
+#[derive(Debug, Clone, Default)]
+pub struct MethodRegistry {
+    methods: HashMap<String, Vec<MethodProfile>>,
+}
+
+impl MethodRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MethodRegistry::default()
+    }
+
+    /// The default table of the Formula 1 system: two feature-extraction
+    /// configurations and two inference algorithms.
+    pub fn formula1() -> Self {
+        let mut r = MethodRegistry::new();
+        r.add(
+            "feature_extraction",
+            MethodProfile {
+                name: "full".into(),
+                cost_per_clip: 10.0,
+                quality: 0.95,
+            },
+        );
+        r.add(
+            "feature_extraction",
+            MethodProfile {
+                name: "fast".into(),
+                cost_per_clip: 4.0,
+                quality: 0.8,
+            },
+        );
+        r.add(
+            "inference",
+            MethodProfile {
+                name: "exact".into(),
+                cost_per_clip: 2.0,
+                quality: 0.95,
+            },
+        );
+        r.add(
+            "inference",
+            MethodProfile {
+                name: "boyen-koller".into(),
+                cost_per_clip: 0.8,
+                quality: 0.85,
+            },
+        );
+        r
+    }
+
+    /// Registers a method for a task.
+    pub fn add(&mut self, task: &str, profile: MethodProfile) {
+        self.methods.entry(task.to_string()).or_default().push(profile);
+    }
+
+    /// The cheapest method meeting `min_quality`, or — when none does —
+    /// the highest-quality one available.
+    pub fn choose(&self, task: &str, min_quality: f64) -> Option<&MethodProfile> {
+        let candidates = self.methods.get(task)?;
+        candidates
+            .iter()
+            .filter(|m| m.quality >= min_quality)
+            .min_by(|a, b| a.cost_per_clip.total_cmp(&b.cost_per_clip))
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .max_by(|a, b| a.quality.total_cmp(&b.quality))
+            })
+    }
+
+    /// Estimated cost of running `task` over `n_clips`.
+    pub fn estimate(&self, task: &str, min_quality: f64, n_clips: usize) -> Option<f64> {
+        self.choose(task, min_quality)
+            .map(|m| m.cost_per_clip * n_clips as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_bayes::paper::{audio_bn, BnStructure};
+
+    #[test]
+    fn method_choice_balances_cost_and_quality() {
+        let r = MethodRegistry::formula1();
+        // Low quality requirement: the cheap method wins.
+        assert_eq!(r.choose("feature_extraction", 0.7).unwrap().name, "fast");
+        // High requirement: the expensive one.
+        assert_eq!(r.choose("feature_extraction", 0.9).unwrap().name, "full");
+        // Impossible requirement: fall back to the best available.
+        assert_eq!(r.choose("feature_extraction", 0.99).unwrap().name, "full");
+        assert_eq!(r.choose("nonexistent", 0.5), None);
+        assert_eq!(
+            r.estimate("inference", 0.9, 100),
+            Some(200.0) // exact at 2.0/clip
+        );
+    }
+
+    #[test]
+    fn dbn_module_infers_over_catalog_bats() {
+        use std::sync::Arc;
+        let kernel = Kernel::new();
+        let nets: NetStore = Arc::new(RwLock::new(HashMap::new()));
+        let bn = audio_bn(BnStructure::FullyParameterized).unwrap();
+        let query = bn.query;
+        nets.write().insert(
+            "audio".into(),
+            StoredNet {
+                net: bn,
+                queries: vec![("EA".into(), query)],
+                thresholds: HashMap::new(),
+            },
+        );
+        kernel
+            .load_module(Arc::new(DbnModule::new(Arc::clone(&nets))))
+            .unwrap();
+
+        // Store a 3-clip feature layer: quiet, excited, quiet.
+        for k in 0..10 {
+            let vals = if (2..10).contains(&k) {
+                [0.1, 0.9, 0.1]
+            } else if k == 1 {
+                [0.9, 0.1, 0.9] // pause rate inverts
+            } else {
+                [0.05, 0.9, 0.05] // keywords
+            };
+            let bat = Bat::from_tail(AtomType::Dbl, vals.map(Atom::Dbl)).unwrap();
+            kernel.set_bat(&format!("german.f{}", k + 1), bat);
+        }
+        let out = kernel
+            .eval_mil(r#"RETURN dbnInfer("german", "audio", "EA");"#)
+            .unwrap();
+        let bat = out.as_bat().unwrap();
+        let bat = bat.read();
+        assert_eq!(bat.len(), 3);
+        let p0 = bat.tail_at(0).unwrap().as_dbl().unwrap();
+        let p1 = bat.tail_at(1).unwrap().as_dbl().unwrap();
+        assert!(p1 > p0 + 0.2, "excited clip {p1} vs quiet {p0}");
+        // The trace was cached in the catalog.
+        assert!(kernel.has_bat("german.trace.EA"));
+        // dbnList exposes the store.
+        let names = kernel.eval_mil("RETURN dbnList();").unwrap();
+        assert_eq!(names.as_bat().unwrap().read().len(), 1);
+    }
+
+    #[test]
+    fn dbn_module_rejects_unknown_nets_and_nodes() {
+        use std::sync::Arc;
+        let kernel = Kernel::new();
+        let nets: NetStore = Arc::new(RwLock::new(HashMap::new()));
+        kernel
+            .load_module(Arc::new(DbnModule::new(nets)))
+            .unwrap();
+        assert!(kernel
+            .eval_mil(r#"RETURN dbnInfer("v", "ghost", "EA");"#)
+            .is_err());
+        assert!(kernel.eval_mil("RETURN dbnInfer();").is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! # f1-cobra — the Cobra video database management system
+//!
+//! The integration layer of the reproduction: everything the paper's
+//! Fig. 1/Fig. 2 describe, assembled from the substrate crates.
+//!
+//! * **Cobra video data model** — four content layers (raw data, feature,
+//!   object, event), stored as metadata in the Monet kernel's BATs
+//!   ([`catalog`]).
+//! * **Extensions at all levels** — the DBN extension is a MEL module
+//!   whose procedures run inference against catalog feature BATs
+//!   ([`extensions::DbnModule`]); the HMM extension comes from
+//!   `f1_hmm::mel`; the rule extension derives compound events.
+//! * **Query pre-processor** — checks metadata availability, invokes
+//!   feature/semantic extraction dynamically, and chooses extraction
+//!   methods by cost and quality models ([`extensions::MethodRegistry`],
+//!   [`session::Vdbms::ensure_features`]).
+//! * **Content-based retrieval** — the §5.6 query set over a small
+//!   retrieval language ([`query`]), combining DBN event detection with
+//!   recognized superimposed text ([`session`]).
+
+pub mod catalog;
+pub mod extensions;
+pub mod query;
+pub mod session;
+
+pub use catalog::Catalog;
+pub use query::{parse_query, Query, RetrievedSegment};
+pub use session::{IngestReport, Vdbms};
+
+/// Errors raised by the VDBMS layer.
+#[derive(Debug)]
+pub enum CobraError {
+    /// The named video is not in the catalog.
+    UnknownVideo(String),
+    /// Required metadata is missing and cannot be derived.
+    MissingMetadata {
+        /// The video.
+        video: String,
+        /// What was needed.
+        what: String,
+    },
+    /// The retrieval query failed to parse.
+    Parse(String),
+    /// An underlying layer failed.
+    Kernel(f1_monet::MonetError),
+    /// The probabilistic layer failed.
+    Bayes(f1_bayes::BayesError),
+    /// The media layer failed.
+    Media(f1_media::MediaError),
+    /// The rule layer failed.
+    Rules(f1_rules::RuleError),
+}
+
+impl std::fmt::Display for CobraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CobraError::UnknownVideo(v) => write!(f, "unknown video '{v}'"),
+            CobraError::MissingMetadata { video, what } => {
+                write!(f, "video '{video}' is missing metadata: {what}")
+            }
+            CobraError::Parse(msg) => write!(f, "query parse error: {msg}"),
+            CobraError::Kernel(e) => write!(f, "kernel: {e}"),
+            CobraError::Bayes(e) => write!(f, "bayes: {e}"),
+            CobraError::Media(e) => write!(f, "media: {e}"),
+            CobraError::Rules(e) => write!(f, "rules: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CobraError {}
+
+impl From<f1_monet::MonetError> for CobraError {
+    fn from(e: f1_monet::MonetError) -> Self {
+        CobraError::Kernel(e)
+    }
+}
+impl From<f1_bayes::BayesError> for CobraError {
+    fn from(e: f1_bayes::BayesError) -> Self {
+        CobraError::Bayes(e)
+    }
+}
+impl From<f1_media::MediaError> for CobraError {
+    fn from(e: f1_media::MediaError) -> Self {
+        CobraError::Media(e)
+    }
+}
+impl From<f1_rules::RuleError> for CobraError {
+    fn from(e: f1_rules::RuleError) -> Self {
+        CobraError::Rules(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CobraError>;

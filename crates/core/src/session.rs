@@ -1,0 +1,796 @@
+//! The VDBMS session: ingest → extract → train → annotate → retrieve.
+//!
+//! This is the workflow of the paper's Fig. 1: raw video enters, the
+//! feature/semantic extraction engines populate the metadata, the DBN
+//! extension turns features into events, and the query layer combines
+//! Bayesian fusion with recognized text.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use f1_bayes::em::{train, EmConfig};
+use f1_bayes::evidence::{EvidenceSeq, Obs};
+use f1_bayes::metrics::threshold_segments;
+use f1_bayes::paper::{audio_visual_dbn, AvNodes};
+use f1_keyword::{keyword_feature, spot, AcousticModel, Grammar, PhonemeStream, SpotterConfig};
+use f1_media::features::vector::{FeatureExtractor, N_FEATURES};
+use f1_media::synth::scenario::{CaptionKind, EventKind, RaceScenario, Span};
+use f1_media::synth::video::VideoSynth;
+use f1_monet::Kernel;
+use f1_rules::{
+    AllenRelation, Condition, Engine as RuleEngine, Fact, Interval, IntervalSpec, Rule,
+    TemporalConstraint, Term, Value,
+};
+use f1_text::{scan_broadcast, Vocabulary};
+
+use crate::catalog::{Catalog, EventRecord, VideoInfo};
+use crate::extensions::{DbnModule, MethodRegistry, NetStore, StoredNet};
+use crate::query::{parse_query, Query, RetrievedSegment, Target};
+use crate::Result;
+
+/// What ingestion extracted.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IngestReport {
+    /// Clips processed.
+    pub n_clips: usize,
+    /// Keyword spots found.
+    pub n_keyword_spots: usize,
+    /// Captions recognized.
+    pub n_captions: usize,
+    /// Feature-extraction method chosen by the pre-processor.
+    pub extraction_method: String,
+}
+
+/// What annotation derived.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnnotateReport {
+    /// Highlight segments stored.
+    pub n_highlights: usize,
+    /// Sub-events classified (start/fly-out/passing).
+    pub n_sub_events: usize,
+    /// Excited-speech segments stored.
+    pub n_excited: usize,
+}
+
+/// The Cobra VDBMS facade.
+pub struct Vdbms {
+    kernel: Arc<Kernel>,
+    /// The metadata catalog.
+    pub catalog: Catalog,
+    nets: NetStore,
+    methods: MethodRegistry,
+}
+
+impl Default for Vdbms {
+    fn default() -> Self {
+        Vdbms::new()
+    }
+}
+
+impl Vdbms {
+    /// Boots the system: a fresh kernel with the HMM and DBN extension
+    /// modules loaded.
+    pub fn new() -> Self {
+        let kernel = Arc::new(Kernel::new());
+        let nets: NetStore = Arc::new(RwLock::new(HashMap::new()));
+        kernel
+            .load_module(Arc::new(DbnModule::new(Arc::clone(&nets))))
+            .expect("fresh kernel accepts the dbn module");
+        kernel
+            .load_module(Arc::new(f1_hmm::mel::HmmModule::new(
+                f1_hmm::HmmBank::new(),
+                4,
+            )))
+            .expect("fresh kernel accepts the hmm module");
+        Vdbms {
+            catalog: Catalog::new(Arc::clone(&kernel)),
+            kernel,
+            nets,
+            methods: MethodRegistry::formula1(),
+        }
+    }
+
+    /// The shared kernel (for MIL access).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Ingests a broadcast: registers the raw layer, runs keyword
+    /// spotting, feature extraction and text recognition, and stores the
+    /// feature and caption metadata.
+    pub fn ingest(&self, name: &str, scenario: &RaceScenario) -> Result<IngestReport> {
+        self.catalog.register_video(VideoInfo {
+            name: name.to_string(),
+            n_clips: scenario.n_clips,
+            n_frames: scenario.n_frames(),
+        });
+
+        // Keyword spotting feeds the f1 evidence column.
+        let stream = PhonemeStream::from_scenario(scenario);
+        let grammar = Grammar::formula1();
+        let spots = spot(
+            &stream,
+            &grammar,
+            AcousticModel::TvNews,
+            &SpotterConfig::default(),
+        );
+        let kw = keyword_feature(&spots, scenario.n_clips);
+
+        // Audio-visual feature extraction; the pre-processor picks the
+        // method by cost/quality (the "full" profile for annotation use).
+        let method = self
+            .methods
+            .choose("feature_extraction", 0.9)
+            .expect("builtin registry has extraction methods")
+            .clone();
+        let fx = FeatureExtractor::new(scenario)?;
+        let matrix = fx.extract(&kw, 0, scenario.n_clips)?;
+        self.catalog.store_features(name, &matrix)?;
+
+        // Superimposed text: recognize captions, store as events.
+        let video = VideoSynth::new(scenario);
+        let vocab = Vocabulary::formula1();
+        let captions = scan_broadcast(
+            &video,
+            0,
+            scenario.n_frames(),
+            &vocab,
+            &f1_text::pipeline::PipelineConfig::default(),
+        );
+        let cps = f1_media::time::clips_per_second();
+        let fps = f1_media::time::VIDEO_FPS;
+        let records: Vec<EventRecord> = captions
+            .iter()
+            .filter_map(|c| {
+                let parsed = c.parsed.as_ref()?;
+                let kind = match parsed.kind {
+                    CaptionKind::PitStop => "caption:pit_stop",
+                    CaptionKind::Classification => "caption:classification",
+                    CaptionKind::FastestLap => "caption:fastest_lap",
+                    CaptionKind::FinalLap => "caption:final_lap",
+                    CaptionKind::Winner => "caption:winner",
+                };
+                Some(EventRecord {
+                    kind: kind.to_string(),
+                    start: c.start_frame * cps / fps,
+                    end: (c.end_frame * cps / fps).max(c.start_frame * cps / fps + 1),
+                    driver: parsed
+                        .driver
+                        .map(|d| f1_media::synth::scenario::DRIVERS[d].to_string()),
+                })
+            })
+            .collect();
+        self.catalog.store_events(name, &records)?;
+
+        Ok(IngestReport {
+            n_clips: scenario.n_clips,
+            n_keyword_spots: spots.len(),
+            n_captions: records.len(),
+            extraction_method: method.name,
+        })
+    }
+
+    /// Trains the audio-visual highlight DBN on labelled windows of an
+    /// ingested video (EM with the query nodes clamped to ground truth,
+    /// mid-level semantics hidden), and stores it for annotation.
+    pub fn train_highlight_net(
+        &self,
+        video: &str,
+        scenario: &RaceScenario,
+        windows: &[Span],
+        with_passing: bool,
+    ) -> Result<()> {
+        let (net, nodes) = audio_visual_dbn(with_passing)?;
+        let matrix = self.catalog.load_features(video, N_FEATURES)?;
+        let mut dbn = net.dbn.clone();
+        let sequences: Vec<EvidenceSeq> = windows
+            .iter()
+            .map(|w| {
+                let rows = &matrix[w.start..w.end.min(matrix.len())];
+                let mut seq = EvidenceSeq::from_matrix(&net.feature_nodes, rows);
+                for (t, clip) in (w.start..w.end.min(matrix.len())).enumerate() {
+                    clamp_av_truth(&mut seq, t, clip, scenario, &nodes);
+                }
+                seq
+            })
+            .collect();
+        train(
+            &mut dbn,
+            &sequences,
+            &EmConfig {
+                max_iters: 4,
+                tol: 1e-3,
+                pseudocount: 0.2,
+            },
+        )?;
+        let mut queries = vec![
+            ("HL".to_string(), nodes.highlight),
+            ("EA".to_string(), nodes.excited),
+            ("ST".to_string(), nodes.start),
+            ("FO".to_string(), nodes.fly_out),
+        ];
+        if let Some(ps) = nodes.passing {
+            queries.push(("PS".to_string(), ps));
+        }
+        // Calibrate decision thresholds on the training windows: run the
+        // trained net over each window (unclamped) and grid-search the
+        // clip-level F1-best level per query node.
+        let trained = f1_bayes::paper::PaperNet { dbn, ..net };
+        let engine = f1_bayes::engine::Engine::new(&trained.dbn)?;
+        let mut hl_trace = Vec::new();
+        let mut ea_trace = Vec::new();
+        let mut hl_truth = Vec::new();
+        let mut ea_truth = Vec::new();
+        let hl_spans = scenario.highlights();
+        for w in windows {
+            let hi = w.end.min(matrix.len());
+            let seq = EvidenceSeq::from_matrix(&trained.feature_nodes, &matrix[w.start..hi]);
+            let post = engine.filter(&seq, None)?;
+            hl_trace.extend(post.trace(nodes.highlight, 1)?);
+            ea_trace.extend(post.trace(nodes.excited, 1)?);
+            for clip in w.start..hi {
+                hl_truth.push(hl_spans.iter().any(|h| h.contains(clip)));
+                ea_truth.push(scenario.is_excited(clip));
+            }
+        }
+        let mut thresholds = HashMap::new();
+        thresholds.insert("HL".to_string(), calibrate_clip_threshold(&hl_trace, &hl_truth));
+        thresholds.insert("EA".to_string(), calibrate_clip_threshold(&ea_trace, &ea_truth));
+        self.nets.write().insert(
+            "av".to_string(),
+            StoredNet {
+                net: trained,
+                queries,
+                thresholds,
+            },
+        );
+        Ok(())
+    }
+
+    /// Installs an externally trained network under a name.
+    pub fn install_net(&self, name: &str, stored: StoredNet) {
+        self.nets.write().insert(name.to_string(), stored);
+    }
+
+    fn trace(&self, video: &str, net: &str, query: &str) -> Result<Vec<f64>> {
+        let out = self.kernel.eval_mil(&format!(
+            "RETURN dbnInfer(\"{video}\", \"{net}\", \"{query}\");"
+        ))?;
+        let bat = out.as_bat()?;
+        let bat = bat.read();
+        let mut trace = Vec::with_capacity(bat.len());
+        for i in 0..bat.len() {
+            trace.push(bat.tail_at(i)?.as_dbl()?);
+        }
+        Ok(trace)
+    }
+
+    /// Runs DBN annotation: highlight segments (threshold 0.5, minimum
+    /// duration 6 s as in Table 3), sub-event classification per segment
+    /// (most probable candidate, re-evaluated every 5 s for segments over
+    /// 15 s), and excited-speech segments.
+    pub fn annotate(&self, video: &str) -> Result<AnnotateReport> {
+        let (has_passing, hl_theta, ea_theta) = {
+            let nets = self.nets.read();
+            let stored = nets.get("av");
+            (
+                stored
+                    .map(|s| s.queries.iter().any(|(n, _)| n == "PS"))
+                    .unwrap_or(false),
+                stored
+                    .and_then(|s| s.thresholds.get("HL").copied())
+                    .unwrap_or(0.5),
+                stored
+                    .and_then(|s| s.thresholds.get("EA").copied())
+                    .unwrap_or(0.5),
+            )
+        };
+        let hl = self.trace(video, "av", "HL")?;
+        let ea = self.trace(video, "av", "EA")?;
+        let st = self.trace(video, "av", "ST")?;
+        let fo = self.trace(video, "av", "FO")?;
+        let ps = if has_passing {
+            Some(self.trace(video, "av", "PS")?)
+        } else {
+            None
+        };
+
+        // Replace previously derived events, keeping caption metadata.
+        const DERIVED: [&str; 5] = ["highlight", "start", "fly_out", "passing", "excited"];
+        let kept: Vec<EventRecord> = self
+            .catalog
+            .events(video, None)?
+            .into_iter()
+            .filter(|e| !DERIVED.contains(&e.kind.as_str()))
+            .collect();
+        self.catalog.clear_events(video);
+        self.catalog.store_events(video, &kept)?;
+        let mut records = Vec::new();
+
+        // Bridge sub-second posterior dips before thresholding (6 s
+        // minimum duration as in Table 3).
+        let hl_smooth = f1_bayes::metrics::accumulate(&hl, 10);
+        let highlights = threshold_segments(&hl_smooth, hl_theta, 60, 30);
+        for seg in &highlights {
+            records.push(EventRecord {
+                kind: "highlight".into(),
+                start: seg.start,
+                end: seg.end,
+                driver: None,
+            });
+        }
+        // Sub-event classification: every 5 s window for long segments.
+        let mut n_sub = 0usize;
+        for seg in &highlights {
+            let mut windows = Vec::new();
+            if seg.len() > 150 {
+                let mut s = seg.start;
+                while s + 50 <= seg.end {
+                    windows.push((s, s + 50));
+                    s += 50;
+                }
+            } else {
+                windows.push((seg.start, seg.end));
+            }
+            for (s, e) in windows {
+                // Most probable candidate by peak posterior (§5.5).
+                let peak = |tr: &[f64]| -> f64 {
+                    tr[s..e].iter().cloned().fold(f64::MIN, f64::max)
+                };
+                let mut candidates: Vec<(&str, f64)> =
+                    vec![("start", peak(&st)), ("fly_out", peak(&fo))];
+                if let Some(ps) = &ps {
+                    candidates.push(("passing", peak(ps)));
+                }
+                if let Some((kind, score)) = candidates
+                    .iter()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .copied()
+                {
+                    if score > 0.3 {
+                        records.push(EventRecord {
+                            kind: kind.to_string(),
+                            start: s,
+                            end: e,
+                            driver: None,
+                        });
+                        n_sub += 1;
+                    }
+                }
+            }
+        }
+        // Excited speech from the EA node.
+        // Excited speech: precision-weighted threshold, 4 s minimum (the
+        // retrieval layer prefers clean answers over exhaustive ones).
+        let excited = threshold_segments(&ea, (ea_theta + 0.15).min(0.9), 40, 20);
+        for seg in &excited {
+            records.push(EventRecord {
+                kind: "excited".into(),
+                start: seg.start,
+                end: seg.end,
+                driver: None,
+            });
+        }
+        self.catalog.store_events(video, &records)?;
+        Ok(AnnotateReport {
+            n_highlights: highlights.len(),
+            n_sub_events: n_sub,
+            n_excited: excited.len(),
+        })
+    }
+
+    /// §5.6: "a user can define new compound events by specifying
+    /// different temporal relationships among already defined events. He
+    /// can also update meta-data through the interface by adding a newly
+    /// defined event, which will speed up the future retrieval of this
+    /// event." Runs `rule` over the video's event layer; derived facts
+    /// are stored back as events under the rule's head predicate (query
+    /// them with `RETRIEVE EVENTS <head>`). Returns how many events were
+    /// added.
+    ///
+    /// Rule conditions match event kinds as predicates with one variable
+    /// or constant argument: the driver (events without a driver bind the
+    /// empty string).
+    pub fn define_compound_event(&self, video: &str, rule: Rule) -> Result<usize> {
+        let head = rule.head.clone();
+        let mut engine = RuleEngine::new();
+        engine.add_rule(rule)?;
+        let facts: Vec<Fact> = self
+            .catalog
+            .events(video, None)?
+            .into_iter()
+            .map(|e| {
+                Fact::new(
+                    e.kind.trim_start_matches("caption:"),
+                    vec![Value::str(e.driver.unwrap_or_default())],
+                    Interval::new(e.start, e.end),
+                )
+            })
+            .collect();
+        let derived = engine.run(facts)?;
+        let records: Vec<EventRecord> = derived
+            .iter()
+            .filter(|f| f.predicate == head)
+            .map(|f| {
+                let driver = f.args.first().and_then(|v| match v {
+                    Value::Str(s) if !s.is_empty() => Some(s.clone()),
+                    _ => None,
+                });
+                EventRecord {
+                    kind: head.clone(),
+                    start: f.interval.start,
+                    end: f.interval.end,
+                    driver,
+                }
+            })
+            .collect();
+        self.catalog.store_events(video, &records)?;
+        Ok(records.len())
+    }
+
+    /// Spans where a driver is visibly involved: captions naming the
+    /// driver, padded by five seconds on each side.
+    fn driver_visible(&self, video: &str, driver: &str) -> Result<Vec<(usize, usize)>> {
+        let pad = 50usize;
+        Ok(self
+            .catalog
+            .events(video, None)?
+            .into_iter()
+            .filter(|e| e.driver.as_deref() == Some(driver))
+            .map(|e| (e.start.saturating_sub(pad), e.end + pad))
+            .collect())
+    }
+
+    /// Answers a §5.6 retrieval query over an annotated video.
+    pub fn query(&self, video: &str, text: &str) -> Result<Vec<RetrievedSegment>> {
+        let q = parse_query(text)?;
+        self.execute(video, &q)
+    }
+
+    fn execute(&self, video: &str, q: &Query) -> Result<Vec<RetrievedSegment>> {
+        let mut out: Vec<RetrievedSegment> = match &q.target {
+            Target::Highlights => self.events_as_segments(video, "highlight")?,
+            Target::Events(kind) => self.events_as_segments(video, kind)?,
+            Target::Excited => self.events_as_segments(video, "excited")?,
+            Target::PitStops => self.events_as_segments(video, "caption:pit_stop")?,
+            Target::Winner => self.events_as_segments(video, "caption:winner")?,
+            Target::FinalLap => self.events_as_segments(video, "caption:final_lap")?,
+            Target::Leader => self.leader_segments(video)?,
+            Target::Segments => {
+                let driver = q.driver.as_deref().ok_or_else(|| {
+                    crate::CobraError::Parse(
+                        "RETRIEVE SEGMENTS requires WITH DRIVER".into(),
+                    )
+                })?;
+                return Ok(self
+                    .driver_visible(video, driver)?
+                    .into_iter()
+                    .map(|(start, end)| RetrievedSegment {
+                        start,
+                        end,
+                        label: "segment".into(),
+                        driver: Some(driver.to_string()),
+                    })
+                    .collect());
+            }
+        };
+
+        // Pit-lane restriction via the rule extension: join the target
+        // with overlapping pit-stop captions.
+        if q.at_pitlane {
+            out = self.join_with_pitlane(video, out)?;
+        }
+
+        // Driver restriction: direct attribute when present, otherwise
+        // overlap with the driver's visibility spans (the combination of
+        // Bayesian fusion and text recognition the paper advertises).
+        if let Some(driver) = &q.driver {
+            let visible = self.driver_visible(video, driver)?;
+            out.retain(|seg| {
+                seg.driver.as_deref() == Some(driver.as_str())
+                    || (seg.driver.is_none()
+                        && visible.iter().any(|&(s, e)| s < seg.end && seg.start < e))
+            });
+            for seg in &mut out {
+                seg.driver.get_or_insert_with(|| driver.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn events_as_segments(&self, video: &str, kind: &str) -> Result<Vec<RetrievedSegment>> {
+        Ok(self
+            .catalog
+            .events(video, Some(kind))?
+            .into_iter()
+            .map(|e| RetrievedSegment {
+                start: e.start,
+                end: e.end,
+                label: kind.trim_start_matches("caption:").to_string(),
+                driver: e.driver,
+            })
+            .collect())
+    }
+
+    /// Leading spans from classification captions: the shown leader holds
+    /// the lead until the next classification caption.
+    fn leader_segments(&self, video: &str) -> Result<Vec<RetrievedSegment>> {
+        let mut caps = self.catalog.events(video, Some("caption:classification"))?;
+        caps.sort_by_key(|e| e.start);
+        let info = self.catalog.video(video)?;
+        let mut out = Vec::new();
+        for (i, c) in caps.iter().enumerate() {
+            let end = caps
+                .get(i + 1)
+                .map(|n| n.start)
+                .unwrap_or(info.n_clips);
+            out.push(RetrievedSegment {
+                start: c.start,
+                end,
+                label: "leading".into(),
+                driver: c.driver.clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// The rule-extension join: keep segments overlapping a pit-stop
+    /// caption, carrying over the pit driver.
+    fn join_with_pitlane(
+        &self,
+        video: &str,
+        segments: Vec<RetrievedSegment>,
+    ) -> Result<Vec<RetrievedSegment>> {
+        let mut engine = RuleEngine::new();
+        engine.add_rule(Rule {
+            name: "at_pitlane".into(),
+            conditions: vec![
+                Condition::new("candidate", vec![Term::var("i")]),
+                Condition::new("pit_stop", vec![Term::var("d")]),
+            ],
+            temporal: vec![TemporalConstraint {
+                a: 0,
+                b: 1,
+                relations: vec![
+                    AllenRelation::Overlaps,
+                    AllenRelation::OverlappedBy,
+                    AllenRelation::During,
+                    AllenRelation::Contains,
+                    AllenRelation::Starts,
+                    AllenRelation::StartedBy,
+                    AllenRelation::Finishes,
+                    AllenRelation::FinishedBy,
+                    AllenRelation::Equal,
+                ],
+            }],
+            head: "at_pitlane".into(),
+            head_args: vec![Term::var("i"), Term::var("d")],
+            interval: IntervalSpec::Of(0),
+        })?;
+        let mut facts = Vec::new();
+        for (i, seg) in segments.iter().enumerate() {
+            facts.push(Fact::new(
+                "candidate",
+                vec![Value::Int(i as i64)],
+                Interval::new(seg.start, seg.end),
+            ));
+        }
+        for pit in self.catalog.events(video, Some("caption:pit_stop"))? {
+            facts.push(Fact::new(
+                "pit_stop",
+                vec![Value::str(pit.driver.unwrap_or_default())],
+                Interval::new(pit.start, pit.end),
+            ));
+        }
+        let derived = engine.run(facts)?;
+        let mut out = Vec::new();
+        for f in derived.iter().filter(|f| f.predicate == "at_pitlane") {
+            let Value::Int(i) = &f.args[0] else { continue };
+            let mut seg = segments[*i as usize].clone();
+            if let Value::Str(d) = &f.args[1] {
+                if !d.is_empty() && seg.driver.is_none() {
+                    seg.driver = Some(d.clone());
+                }
+            }
+            if !out.contains(&seg) {
+                out.push(seg);
+            }
+        }
+        out.sort_by_key(|s: &RetrievedSegment| s.start);
+        Ok(out)
+    }
+}
+
+/// Grid-searches the clip-level F1-best threshold of a posterior trace.
+fn calibrate_clip_threshold(trace: &[f64], truth: &[bool]) -> f64 {
+    let mut best = (0.5, -1.0);
+    for i in 1..20 {
+        let theta = i as f64 / 20.0;
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for (p, &t) in trace.iter().zip(truth) {
+            match (*p >= theta, t) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                _ => {}
+            }
+        }
+        let f1 = if tp == 0 {
+            0.0
+        } else {
+            2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fn_ as f64)
+        };
+        if f1 > best.1 {
+            best = (theta, f1);
+        }
+    }
+    best.0
+}
+
+/// Clamps the audio-visual net's query nodes to scenario ground truth at
+/// one slice (partially supervised EM).
+fn clamp_av_truth(
+    seq: &mut EvidenceSeq,
+    t: usize,
+    clip: usize,
+    scenario: &RaceScenario,
+    nodes: &AvNodes,
+) {
+    let highlight = scenario
+        .highlights()
+        .iter()
+        .any(|h| h.contains(clip));
+    seq.set(t, nodes.highlight, Obs::Hard(highlight as usize));
+    seq.set(t, nodes.excited, Obs::Hard(scenario.is_excited(clip) as usize));
+    let kind = scenario.event_at(clip).map(|e| e.kind);
+    seq.set(
+        t,
+        nodes.start,
+        Obs::Hard(matches!(kind, Some(EventKind::Start)) as usize),
+    );
+    seq.set(
+        t,
+        nodes.fly_out,
+        Obs::Hard(matches!(kind, Some(EventKind::FlyOut)) as usize),
+    );
+    if let Some(ps) = nodes.passing {
+        seq.set(
+            t,
+            ps,
+            Obs::Hard(matches!(kind, Some(EventKind::Passing)) as usize),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_media::synth::scenario::{RaceProfile, ScenarioConfig};
+
+    /// End-to-end harness on a short German-profile race. Shared by the
+    /// tests below; kept small so the suite stays fast.
+    fn system() -> (Vdbms, RaceScenario) {
+        let scenario = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 180));
+        let vdbms = Vdbms::new();
+        vdbms.ingest("german", &scenario).unwrap();
+        (vdbms, scenario)
+    }
+
+    fn training_windows(scenario: &RaceScenario) -> Vec<Span> {
+        // 6 windows of 50 s as in §5.5, clipped to the broadcast.
+        let cps = f1_media::time::clips_per_second();
+        (0..6)
+            .map(|k| {
+                let start = k * 25 * cps;
+                Span::new(start, (start + 50 * cps).min(scenario.n_clips))
+            })
+            .filter(|w| w.len() > 0)
+            .collect()
+    }
+
+    #[test]
+    fn full_pipeline_ingest_train_annotate_query() {
+        let (vdbms, scenario) = system();
+        let report = vdbms.ingest("german2", &scenario).unwrap();
+        assert_eq!(report.n_clips, scenario.n_clips);
+        assert!(report.n_captions > 0, "captions should be recognized");
+        assert!(report.n_keyword_spots > 0);
+        assert_eq!(report.extraction_method, "full");
+
+        vdbms
+            .train_highlight_net("german", &scenario, &training_windows(&scenario), true)
+            .unwrap();
+        let ann = vdbms.annotate("german").unwrap();
+        assert!(ann.n_highlights > 0, "no highlights detected");
+        assert!(ann.n_excited > 0, "no excited speech detected");
+
+        // Detected highlights overlap ground truth far better than chance.
+        let truth = scenario.highlights();
+        let hits = vdbms
+            .query("german", "RETRIEVE HIGHLIGHTS")
+            .unwrap()
+            .into_iter()
+            .filter(|seg| truth.iter().any(|t| t.start < seg.end && seg.start < t.end))
+            .count();
+        let total = vdbms.query("german", "RETRIEVE HIGHLIGHTS").unwrap().len();
+        assert!(
+            hits * 2 > total,
+            "only {hits}/{total} highlight detections overlap truth"
+        );
+
+        // Caption-backed queries answer from recognized text.
+        let pits = vdbms.query("german", "RETRIEVE PITSTOPS").unwrap();
+        assert!(!pits.is_empty());
+        assert!(pits.iter().all(|p| p.driver.is_some()));
+
+        // Driver filter narrows pit stops to the right driver.
+        let driver = pits[0].driver.clone().unwrap();
+        let filtered = vdbms
+            .query(
+                "german",
+                &format!("RETRIEVE PITSTOPS WITH DRIVER \"{driver}\""),
+            )
+            .unwrap();
+        assert!(!filtered.is_empty());
+        assert!(filtered.iter().all(|p| p.driver.as_deref() == Some(driver.as_str())));
+
+        // Leader segments exist and carry drivers.
+        let leaders = vdbms.query("german", "RETRIEVE LEADER").unwrap();
+        assert!(!leaders.is_empty());
+        assert!(leaders.iter().all(|l| l.driver.is_some()));
+
+        // Winner query returns the winner caption span.
+        let winner = vdbms.query("german", "RETRIEVE WINNER").unwrap();
+        assert_eq!(winner.len(), 1);
+    }
+
+    #[test]
+    fn pitlane_join_uses_the_rule_extension() {
+        let (vdbms, scenario) = system();
+        vdbms
+            .train_highlight_net("german", &scenario, &training_windows(&scenario), false)
+            .unwrap();
+        vdbms.annotate("german").unwrap();
+        let all = vdbms.query("german", "RETRIEVE EXCITED").unwrap();
+        let at_pit = vdbms
+            .query("german", "RETRIEVE EXCITED AT PITLANE")
+            .unwrap();
+        assert!(at_pit.len() <= all.len());
+        // Every pit-lane-restricted segment overlaps a pit caption.
+        let pits = vdbms.catalog.events("german", Some("caption:pit_stop")).unwrap();
+        for seg in &at_pit {
+            assert!(pits.iter().any(|p| p.start < seg.end && seg.start < p.end));
+        }
+    }
+
+    #[test]
+    fn segments_query_requires_driver() {
+        let (vdbms, _) = system();
+        assert!(vdbms.query("german", "RETRIEVE SEGMENTS").is_err());
+        let segs = vdbms
+            .query("german", "RETRIEVE SEGMENTS WITH DRIVER \"SCHUMACHER\"")
+            .unwrap();
+        // Driver visibility derives from captions; may be empty only if
+        // no caption mentions the driver.
+        for s in &segs {
+            assert_eq!(s.driver.as_deref(), Some("SCHUMACHER"));
+            assert!(s.end > s.start);
+        }
+    }
+
+    #[test]
+    fn annotation_requires_a_trained_net() {
+        let (vdbms, _) = system();
+        assert!(vdbms.annotate("german").is_err());
+    }
+
+    #[test]
+    fn queries_against_unknown_videos_fail() {
+        let vdbms = Vdbms::new();
+        assert!(vdbms.query("ghost", "RETRIEVE HIGHLIGHTS").is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! The HMM model bank: parallel evaluation of many models.
+//!
+//! Fig. 3 of the paper shows the database server fanning one observation
+//! sequence out to six HMM servers (Service, Forehand, Smash, Backhand,
+//! two volleys) and picking the best-scoring model. [`HmmBank`] is that
+//! component: a named collection of models with serial and parallel
+//! evaluation, backed by the kernel's fork/join executor.
+
+use std::collections::BTreeMap;
+
+use crate::model::DiscreteHmm;
+use crate::{HmmError, Result};
+
+/// A named collection of HMMs evaluated against a common sequence.
+#[derive(Debug, Clone, Default)]
+pub struct HmmBank {
+    models: BTreeMap<String, DiscreteHmm>,
+}
+
+impl HmmBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        HmmBank::default()
+    }
+
+    /// Adds (or replaces) a model.
+    pub fn insert(&mut self, name: &str, model: DiscreteHmm) {
+        self.models.insert(name.to_string(), model);
+    }
+
+    /// Fetches a model.
+    pub fn get(&self, name: &str) -> Result<&DiscreteHmm> {
+        self.models
+            .get(name)
+            .ok_or_else(|| HmmError::UnknownModel(name.to_string()))
+    }
+
+    /// Mutable access to a model (for training through the bank).
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut DiscreteHmm> {
+        self.models
+            .get_mut(name)
+            .ok_or_else(|| HmmError::UnknownModel(name.to_string()))
+    }
+
+    /// Model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when the bank holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Evaluates every model serially: `(name, ln P(obs | λ))`, in name
+    /// order. Models that assign zero probability score `-inf`.
+    pub fn evaluate(&self, obs: &[usize]) -> Result<Vec<(String, f64)>> {
+        if obs.is_empty() {
+            return Err(HmmError::EmptySequence);
+        }
+        self.models
+            .iter()
+            .map(|(name, model)| {
+                let ll = match model.log_likelihood(obs) {
+                    Ok(ll) => ll,
+                    Err(HmmError::Numerical(_)) => f64::NEG_INFINITY,
+                    Err(e) => return Err(e),
+                };
+                Ok((name.clone(), ll))
+            })
+            .collect()
+    }
+
+    /// Evaluates every model on `threads` worker threads — the paper's
+    /// parallel HMM inference (Fig. 3/4). Results match [`Self::evaluate`]
+    /// exactly; only wall-clock time differs. Jobs borrow the models and
+    /// the observation sequence (no cloning), so the parallel path has no
+    /// memory overhead over the serial one.
+    pub fn evaluate_parallel(&self, obs: &[usize], threads: usize) -> Result<Vec<(String, f64)>> {
+        if obs.is_empty() {
+            return Err(HmmError::EmptySequence);
+        }
+        let jobs: Vec<_> = self
+            .models
+            .iter()
+            .map(|(name, model)| {
+                move || -> Result<(String, f64)> {
+                    let ll = match model.log_likelihood(obs) {
+                        Ok(ll) => ll,
+                        Err(HmmError::Numerical(_)) => f64::NEG_INFINITY,
+                        Err(e) => return Err(e),
+                    };
+                    Ok((name.clone(), ll))
+                }
+            })
+            .collect();
+        f1_monet::parallel::run_jobs(threads, jobs).into_iter().collect()
+    }
+
+    /// The best-scoring model for a sequence — Fig. 4's
+    /// `(parEval.reverse).find(parEval.max)`.
+    pub fn classify(&self, obs: &[usize], threads: usize) -> Result<(String, f64)> {
+        let scores = if threads > 1 {
+            self.evaluate_parallel(obs, threads)?
+        } else {
+            self.evaluate(obs)?
+        };
+        scores
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .ok_or_else(|| HmmError::UnknownModel("<empty bank>".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased(p: f64) -> DiscreteHmm {
+        DiscreteHmm::new(1, 2, vec![1.0], vec![1.0 - p, p], vec![1.0]).unwrap()
+    }
+
+    fn bank() -> HmmBank {
+        let mut b = HmmBank::new();
+        b.insert("Service", biased(0.9));
+        b.insert("Forehand", biased(0.5));
+        b.insert("Smash", biased(0.1));
+        b
+    }
+
+    #[test]
+    fn insert_get_names() {
+        let mut b = bank();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.names(), vec!["Forehand", "Service", "Smash"]);
+        assert!(b.get("Service").is_ok());
+        assert!(b.get("Volley").is_err());
+        assert!(b.get_mut("Smash").is_ok());
+    }
+
+    #[test]
+    fn evaluate_orders_by_name_and_scores_correctly() {
+        let b = bank();
+        let scores = b.evaluate(&[1, 1, 1]).unwrap();
+        assert_eq!(scores[1].0, "Service");
+        assert!((scores[1].1 - 3.0 * 0.9f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let b = bank();
+        let obs = vec![1, 0, 1, 1, 0, 1, 1, 1];
+        let serial = b.evaluate(&obs).unwrap();
+        for threads in [2, 4, 8] {
+            let par = b.evaluate_parallel(&obs, threads).unwrap();
+            assert_eq!(serial.len(), par.len());
+            for (s, p) in serial.iter().zip(&par) {
+                assert_eq!(s.0, p.0);
+                assert!((s.1 - p.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn classify_picks_the_best_model() {
+        let b = bank();
+        let (name, _) = b.classify(&[1, 1, 1, 1], 4).unwrap();
+        assert_eq!(name, "Service");
+        let (name, _) = b.classify(&[0, 0, 0, 0], 1).unwrap();
+        assert_eq!(name, "Smash");
+    }
+
+    #[test]
+    fn zero_probability_model_scores_neg_infinity() {
+        let mut b = HmmBank::new();
+        b.insert("never", DiscreteHmm::new(1, 2, vec![1.0], vec![1.0, 0.0], vec![1.0]).unwrap());
+        b.insert("always", biased(0.5));
+        let scores = b.evaluate(&[1]).unwrap();
+        let never = scores.iter().find(|(n, _)| n == "never").unwrap();
+        assert_eq!(never.1, f64::NEG_INFINITY);
+        let (best, _) = b.classify(&[1], 2).unwrap();
+        assert_eq!(best, "always");
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let b = bank();
+        assert_eq!(b.evaluate(&[]), Err(HmmError::EmptySequence));
+        assert_eq!(b.evaluate_parallel(&[], 4), Err(HmmError::EmptySequence));
+        assert!(HmmBank::new().classify(&[0], 1).is_err());
+    }
+}

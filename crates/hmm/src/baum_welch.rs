@@ -1,0 +1,216 @@
+//! Baum–Welch (EM) training for discrete HMMs.
+
+use crate::model::DiscreteHmm;
+use crate::{HmmError, Result};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Relative log-likelihood improvement below which training stops.
+    pub tol: f64,
+    /// Pseudocount added to every expected count (keeps rows positive).
+    pub pseudocount: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_iters: 30,
+            tol: 1e-5,
+            pseudocount: 1e-3,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Completed iterations.
+    pub iterations: usize,
+    /// Total log-likelihood after each E-step.
+    pub logliks: Vec<f64>,
+    /// Whether the tolerance stopped training early.
+    pub converged: bool,
+}
+
+/// Trains `model` on multiple observation sequences in place.
+pub fn train(model: &mut DiscreteHmm, sequences: &[Vec<usize>], cfg: &TrainConfig) -> Result<TrainReport> {
+    if sequences.is_empty() || sequences.iter().all(|s| s.is_empty()) {
+        return Err(HmmError::EmptySequence);
+    }
+    let n = model.n_states();
+    let m = model.n_symbols();
+    let mut logliks = Vec::new();
+    let mut converged = false;
+
+    for _ in 0..cfg.max_iters {
+        let mut a_num = vec![cfg.pseudocount; n * n];
+        let mut b_num = vec![cfg.pseudocount; n * m];
+        let mut pi_num = vec![cfg.pseudocount; n];
+        let mut total_ll = 0.0;
+
+        for obs in sequences.iter().filter(|s| !s.is_empty()) {
+            let (alphas, scales) = model.forward(obs)?;
+            let betas = model.backward(obs, &scales)?;
+            total_ll += scales.iter().map(|c| c.ln()).sum::<f64>();
+            let tlen = obs.len();
+
+            // gamma_t(i) = alpha_t(i) * beta_t(i) (scaled passes make the
+            // product already normalized per t).
+            for t in 0..tlen {
+                for i in 0..n {
+                    let g = alphas[t][i] * betas[t][i];
+                    b_num[i * m + obs[t]] += g;
+                    if t == 0 {
+                        pi_num[i] += g;
+                    }
+                }
+            }
+            // xi_t(i,j) ∝ alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j).
+            for t in 0..tlen - 1 {
+                let o = obs[t + 1];
+                for i in 0..n {
+                    let ai = alphas[t][i];
+                    if ai == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        let x = ai * model.a(i, j) * model.b(j, o) * betas[t + 1][j]
+                            / scales[t + 1];
+                        a_num[i * n + j] += x;
+                    }
+                }
+            }
+        }
+        logliks.push(total_ll);
+
+        // M-step: write raw counts, then renormalize rows.
+        {
+            let (a, b, pi) = model.tables_mut();
+            a.copy_from_slice(&a_num);
+            b.copy_from_slice(&b_num);
+            pi.copy_from_slice(&pi_num);
+        }
+        model.renormalize();
+
+        let k = logliks.len();
+        if k >= 2 {
+            let (prev, cur) = (logliks[k - 2], logliks[k - 1]);
+            if (cur - prev).abs() <= cfg.tol * (1.0 + prev.abs()) {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    Ok(TrainReport {
+        iterations: logliks.len(),
+        logliks,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth() -> DiscreteHmm {
+        DiscreteHmm::new(
+            2,
+            3,
+            vec![0.85, 0.15, 0.2, 0.8],
+            vec![0.7, 0.25, 0.05, 0.05, 0.25, 0.7],
+            vec![0.6, 0.4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn loglik_is_monotone() {
+        let t = truth();
+        let mut rng = StdRng::seed_from_u64(42);
+        let seqs: Vec<Vec<usize>> = (0..5).map(|_| t.sample(60, &mut rng).1).collect();
+        let mut model = DiscreteHmm::random(2, 3, &mut rng);
+        let report = train(
+            &mut model,
+            &seqs,
+            &TrainConfig {
+                max_iters: 20,
+                tol: 0.0,
+                pseudocount: 0.0,
+            },
+        )
+        .unwrap();
+        for w in report.logliks.windows(2) {
+            assert!(w[1] >= w[0] - 1e-7, "loglik dropped {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn training_improves_fit_over_random_init() {
+        let t = truth();
+        let mut rng = StdRng::seed_from_u64(7);
+        let train_seqs: Vec<Vec<usize>> = (0..8).map(|_| t.sample(80, &mut rng).1).collect();
+        let test_seq = t.sample(200, &mut rng).1;
+        let mut model = DiscreteHmm::random(2, 3, &mut rng);
+        let before = model.log_likelihood(&test_seq).unwrap();
+        train(&mut model, &train_seqs, &TrainConfig::default()).unwrap();
+        let after = model.log_likelihood(&test_seq).unwrap();
+        assert!(after > before, "test loglik {before} -> {after}");
+    }
+
+    #[test]
+    fn trained_bank_discriminates_generators() {
+        // Train one model per generator; each should prefer its own data —
+        // the core of the paper's per-stroke HMM classification.
+        let gen_a = truth();
+        let gen_b = DiscreteHmm::new(
+            2,
+            3,
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.05, 0.25, 0.7, 0.7, 0.25, 0.05],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let data_a: Vec<Vec<usize>> = (0..6).map(|_| gen_a.sample(60, &mut rng).1).collect();
+        let data_b: Vec<Vec<usize>> = (0..6).map(|_| gen_b.sample(60, &mut rng).1).collect();
+        let mut ma = DiscreteHmm::random(2, 3, &mut rng);
+        let mut mb = DiscreteHmm::random(2, 3, &mut rng);
+        train(&mut ma, &data_a, &TrainConfig::default()).unwrap();
+        train(&mut mb, &data_b, &TrainConfig::default()).unwrap();
+        let probe_a = gen_a.sample(100, &mut rng).1;
+        let probe_b = gen_b.sample(100, &mut rng).1;
+        assert!(ma.log_likelihood(&probe_a).unwrap() > mb.log_likelihood(&probe_a).unwrap());
+        assert!(mb.log_likelihood(&probe_b).unwrap() > ma.log_likelihood(&probe_b).unwrap());
+    }
+
+    #[test]
+    fn empty_training_input_is_rejected() {
+        let mut model = DiscreteHmm::uniform(2, 2);
+        assert!(matches!(
+            train(&mut model, &[], &TrainConfig::default()),
+            Err(HmmError::EmptySequence)
+        ));
+        assert!(matches!(
+            train(&mut model, &[vec![]], &TrainConfig::default()),
+            Err(HmmError::EmptySequence)
+        ));
+    }
+
+    #[test]
+    fn pseudocounts_keep_rows_valid_on_degenerate_data() {
+        let mut model = DiscreteHmm::uniform(2, 3);
+        // Only symbol 0 ever appears.
+        train(&mut model, &[vec![0, 0, 0, 0]], &TrainConfig::default()).unwrap();
+        for i in 0..2 {
+            let s: f64 = (0..3).map(|k| model.b(i, k)).sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!((0..3).all(|k| model.b(i, k) > 0.0));
+        }
+    }
+}

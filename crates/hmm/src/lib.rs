@@ -1,0 +1,69 @@
+//! # f1-hmm — discrete hidden Markov models for the Cobra HMM extension
+//!
+//! The paper's HMM extension "implements two basic HMM operations: training
+//! and evaluation" and exploits the kernel's parallelism to evaluate six
+//! models concurrently (Fig. 3/4). This crate provides:
+//!
+//! * a discrete-observation HMM λ = (A, B, π) ([`model::DiscreteHmm`]),
+//! * scaled **forward/backward** evaluation ([`model::DiscreteHmm::log_likelihood`]),
+//! * **Viterbi** decoding ([`model::DiscreteHmm::viterbi`]),
+//! * **Baum–Welch** training over multiple sequences ([`train`]),
+//! * feature **quantization** into observation symbols — the `quant1` of
+//!   the paper's Fig. 4 MIL listing ([`quantize`]),
+//! * a **model bank** evaluated serially or in parallel ([`bank::HmmBank`]),
+//! * a MEL extension module exposing `hmmOneCall`, `hmmTrain` and `quant1`
+//!   to MIL programs, reproducing the paper's integration at the physical
+//!   level ([`mel::HmmModule`]).
+
+pub mod bank;
+pub mod baum_welch;
+pub mod mel;
+pub mod model;
+pub mod quantize;
+
+pub use bank::HmmBank;
+pub use baum_welch::{train, TrainConfig, TrainReport};
+pub use model::DiscreteHmm;
+pub use quantize::Quantizer;
+
+/// Errors raised by HMM construction, evaluation and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmmError {
+    /// A probability table has the wrong dimensions.
+    Shape(String),
+    /// A row does not sum to a positive mass.
+    BadDistribution(String),
+    /// An observation symbol is out of range.
+    BadSymbol {
+        /// The offending symbol.
+        symbol: usize,
+        /// Alphabet size.
+        alphabet: usize,
+    },
+    /// An empty observation sequence.
+    EmptySequence,
+    /// The model bank has no model under the requested name.
+    UnknownModel(String),
+    /// Numerical failure (zero-probability sequence).
+    Numerical(String),
+}
+
+impl std::fmt::Display for HmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HmmError::Shape(msg) => write!(f, "shape error: {msg}"),
+            HmmError::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
+            HmmError::BadSymbol { symbol, alphabet } => {
+                write!(f, "symbol {symbol} out of range for alphabet {alphabet}")
+            }
+            HmmError::EmptySequence => write!(f, "empty observation sequence"),
+            HmmError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            HmmError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HmmError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, HmmError>;

@@ -1,0 +1,94 @@
+//! Property tests for the HMM crate.
+
+use f1_hmm::{train, DiscreteHmm, Quantizer, TrainConfig};
+use proptest::prelude::*;
+
+fn arb_hmm(n: usize, m: usize) -> impl Strategy<Value = DiscreteHmm> {
+    (0u64..10_000).prop_map(move |seed| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        DiscreteHmm::random(n, m, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn loglik_matches_brute_force(model in arb_hmm(3, 3), obs in proptest::collection::vec(0usize..3, 1..6)) {
+        // Brute-force sum over all state paths.
+        let n = model.n_states();
+        let t = obs.len();
+        let mut total = 0.0f64;
+        let paths = n.pow(t as u32);
+        for code in 0..paths {
+            let mut states = Vec::with_capacity(t);
+            let mut rest = code;
+            for _ in 0..t {
+                states.push(rest % n);
+                rest /= n;
+            }
+            let mut p = model.pi(states[0]) * model.b(states[0], obs[0]);
+            for k in 1..t {
+                p *= model.a(states[k - 1], states[k]) * model.b(states[k], obs[k]);
+            }
+            total += p;
+        }
+        prop_assume!(total > 1e-12);
+        let ll = model.log_likelihood(&obs).unwrap();
+        prop_assert!((ll - total.ln()).abs() < 1e-8, "{ll} vs {}", total.ln());
+    }
+
+    #[test]
+    fn viterbi_path_probability_never_exceeds_total(model in arb_hmm(4, 5), obs in proptest::collection::vec(0usize..5, 1..12)) {
+        let ll = model.log_likelihood(&obs).unwrap();
+        let (path, lp) = model.viterbi(&obs).unwrap();
+        prop_assert_eq!(path.len(), obs.len());
+        prop_assert!(path.iter().all(|&s| s < 4));
+        prop_assert!(lp <= ll + 1e-9);
+    }
+
+    #[test]
+    fn parallel_bank_matches_serial(seed in 0u64..500, threads in 1usize..8) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bank = f1_hmm::HmmBank::new();
+        for name in ["a", "b", "c", "d"] {
+            bank.insert(name, DiscreteHmm::random(3, 4, &mut rng));
+        }
+        let obs = DiscreteHmm::random(3, 4, &mut rng).sample(64, &mut rng).1;
+        let serial = bank.evaluate(&obs).unwrap();
+        let parallel = bank.evaluate_parallel(&obs, threads).unwrap();
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(&s.0, &p.0);
+            prop_assert!((s.1 - p.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn baum_welch_never_decreases_loglik(seed in 0u64..200) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth = DiscreteHmm::random(2, 3, &mut rng);
+        let seqs: Vec<Vec<usize>> = (0..3).map(|_| truth.sample(30, &mut rng).1).collect();
+        let mut model = DiscreteHmm::random(2, 3, &mut rng);
+        let report = train(&mut model, &seqs, &TrainConfig { max_iters: 6, tol: 0.0, pseudocount: 0.0 }).unwrap();
+        for w in report.logliks.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantizer_symbols_stay_in_alphabet(
+        bins in 1usize..5,
+        frame in proptest::collection::vec(-0.5f64..1.5, 1..4),
+    ) {
+        let q = Quantizer::new(frame.len(), bins).unwrap();
+        let s = q.symbol(&frame).unwrap();
+        prop_assert!(s < q.alphabet());
+    }
+}

@@ -1,0 +1,55 @@
+//! # f1-keyword — keyword spotting for the commentary track
+//!
+//! §5.2: "For the recognition of specific keywords we used a
+//! keyword-spotting tool, which is based on a finite state grammar. […]
+//! Two different acoustic models have been tried for this purpose. One was
+//! trained for clean speech, and the other was aimed at word recognition
+//! in TV news. The latter showed better results. […] The keyword spotting
+//! system calculates the non-normalized probability for each word that is
+//! specified, the starting time when the word is recognized, as well as
+//! the duration of the recognized word. After the normalization step …
+//! these parameters are used as inputs of a probabilistic network."
+//!
+//! The TNO-Abbot recognizer is not available, so the substrate is
+//! simulated at the *phoneme* level: the commentary ground truth emits a
+//! phoneme stream ([`phoneme`]), an [`acoustic::AcousticModel`] corrupts
+//! its observation with a model- and noise-dependent error rate (the
+//! clean-speech model degrades badly in broadcast noise; the TV-news
+//! model is robust), and a finite-state-grammar spotter ([`spotter`])
+//! Viterbi-aligns each keyword's FSA against the observed stream. Scores,
+//! start times and durations come out exactly as the paper describes, and
+//! [`spotter::keyword_feature`] normalizes them into the f1 evidence
+//! column of the DBN.
+
+pub mod acoustic;
+pub mod grammar;
+pub mod phoneme;
+pub mod spotter;
+
+pub use acoustic::AcousticModel;
+pub use grammar::Grammar;
+pub use phoneme::PhonemeStream;
+pub use spotter::{keyword_feature, spot, Spot, SpotterConfig};
+
+/// Errors raised by the keyword-spotting substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeywordError {
+    /// A keyword contained characters outside A–Z.
+    BadWord(String),
+    /// The grammar has no keywords.
+    EmptyGrammar,
+}
+
+impl std::fmt::Display for KeywordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeywordError::BadWord(w) => write!(f, "keyword '{w}' is not spellable"),
+            KeywordError::EmptyGrammar => write!(f, "grammar has no keywords"),
+        }
+    }
+}
+
+impl std::error::Error for KeywordError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, KeywordError>;

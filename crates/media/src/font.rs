@@ -1,0 +1,202 @@
+//! A 5×7 bitmap font for superimposed captions.
+//!
+//! The TV producer's caption generator is part of the broadcast signal the
+//! paper analyses, so the font lives here in the media crate: the
+//! synthetic video renderer draws captions with it, and the text
+//! recognition crate uses the same glyphs as its *reference patterns*
+//! (§5.4 matches recognized characters against reference patterns).
+
+/// Glyph width in pixels.
+pub const GLYPH_W: usize = 5;
+/// Glyph height in pixels.
+pub const GLYPH_H: usize = 7;
+/// Horizontal spacing between glyphs, in pixels (before scaling).
+pub const GLYPH_SPACING: usize = 1;
+
+/// 7 rows of 5 bits (MSB = leftmost pixel) per glyph.
+type Glyph = [u8; GLYPH_H];
+
+const fn g(rows: [u8; GLYPH_H]) -> Glyph {
+    rows
+}
+
+/// Returns the glyph bitmap for a character, if the font covers it.
+/// Lowercase letters map onto uppercase.
+pub fn glyph(c: char) -> Option<Glyph> {
+    let c = c.to_ascii_uppercase();
+    Some(match c {
+        'A' => g([0x0E, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11]),
+        'B' => g([0x1E, 0x11, 0x11, 0x1E, 0x11, 0x11, 0x1E]),
+        'C' => g([0x0E, 0x11, 0x10, 0x10, 0x10, 0x11, 0x0E]),
+        'D' => g([0x1E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x1E]),
+        'E' => g([0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x1F]),
+        'F' => g([0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x10]),
+        'G' => g([0x0E, 0x11, 0x10, 0x17, 0x11, 0x11, 0x0F]),
+        'H' => g([0x11, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11]),
+        'I' => g([0x0E, 0x04, 0x04, 0x04, 0x04, 0x04, 0x0E]),
+        'J' => g([0x07, 0x02, 0x02, 0x02, 0x02, 0x12, 0x0C]),
+        'K' => g([0x11, 0x12, 0x14, 0x18, 0x14, 0x12, 0x11]),
+        'L' => g([0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x1F]),
+        'M' => g([0x11, 0x1B, 0x15, 0x15, 0x11, 0x11, 0x11]),
+        'N' => g([0x11, 0x19, 0x15, 0x13, 0x11, 0x11, 0x11]),
+        'O' => g([0x0E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E]),
+        'P' => g([0x1E, 0x11, 0x11, 0x1E, 0x10, 0x10, 0x10]),
+        'Q' => g([0x0E, 0x11, 0x11, 0x11, 0x15, 0x12, 0x0D]),
+        'R' => g([0x1E, 0x11, 0x11, 0x1E, 0x14, 0x12, 0x11]),
+        'S' => g([0x0F, 0x10, 0x10, 0x0E, 0x01, 0x01, 0x1E]),
+        'T' => g([0x1F, 0x04, 0x04, 0x04, 0x04, 0x04, 0x04]),
+        'U' => g([0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E]),
+        'V' => g([0x11, 0x11, 0x11, 0x11, 0x11, 0x0A, 0x04]),
+        'W' => g([0x11, 0x11, 0x11, 0x15, 0x15, 0x15, 0x0A]),
+        'X' => g([0x11, 0x11, 0x0A, 0x04, 0x0A, 0x11, 0x11]),
+        'Y' => g([0x11, 0x11, 0x0A, 0x04, 0x04, 0x04, 0x04]),
+        'Z' => g([0x1F, 0x01, 0x02, 0x04, 0x08, 0x10, 0x1F]),
+        '0' => g([0x0E, 0x11, 0x13, 0x15, 0x19, 0x11, 0x0E]),
+        '1' => g([0x04, 0x0C, 0x04, 0x04, 0x04, 0x04, 0x0E]),
+        '2' => g([0x0E, 0x11, 0x01, 0x02, 0x04, 0x08, 0x1F]),
+        '3' => g([0x1F, 0x02, 0x04, 0x02, 0x01, 0x11, 0x0E]),
+        '4' => g([0x02, 0x06, 0x0A, 0x12, 0x1F, 0x02, 0x02]),
+        '5' => g([0x1F, 0x10, 0x1E, 0x01, 0x01, 0x11, 0x0E]),
+        '6' => g([0x06, 0x08, 0x10, 0x1E, 0x11, 0x11, 0x0E]),
+        '7' => g([0x1F, 0x01, 0x02, 0x04, 0x08, 0x08, 0x08]),
+        '8' => g([0x0E, 0x11, 0x11, 0x0E, 0x11, 0x11, 0x0E]),
+        '9' => g([0x0E, 0x11, 0x11, 0x0F, 0x01, 0x02, 0x0C]),
+        ' ' => g([0, 0, 0, 0, 0, 0, 0]),
+        '.' => g([0, 0, 0, 0, 0, 0x0C, 0x0C]),
+        '-' => g([0, 0, 0, 0x1F, 0, 0, 0]),
+        ':' => g([0, 0x0C, 0x0C, 0, 0x0C, 0x0C, 0]),
+        _ => return None,
+    })
+}
+
+/// True when the glyph has the pixel at (col, row) set.
+pub fn glyph_pixel(glyph: &Glyph, col: usize, row: usize) -> bool {
+    row < GLYPH_H && col < GLYPH_W && (glyph[row] >> (GLYPH_W - 1 - col)) & 1 == 1
+}
+
+/// Pixel width of a rendered string at scale 1 (including spacing).
+pub fn text_width(text: &str) -> usize {
+    if text.is_empty() {
+        return 0;
+    }
+    text.chars().count() * (GLYPH_W + GLYPH_SPACING) - GLYPH_SPACING
+}
+
+/// Draws `text` onto a frame buffer at (x, y), scaled by `scale`,
+/// in `color`. Characters outside the font are skipped (advancing).
+pub fn draw_text(
+    fb: &mut crate::frame::FrameBuf,
+    x: usize,
+    y: usize,
+    scale: usize,
+    color: [u8; 3],
+    text: &str,
+) {
+    let mut cx = x;
+    for c in text.chars() {
+        if let Some(gl) = glyph(c) {
+            for row in 0..GLYPH_H {
+                for col in 0..GLYPH_W {
+                    if glyph_pixel(&gl, col, row) {
+                        fb.fill_rect(cx + col * scale, y + row * scale, scale, scale, color);
+                    }
+                }
+            }
+        }
+        cx += (GLYPH_W + GLYPH_SPACING) * scale;
+    }
+}
+
+/// Renders a string into a boolean bitmap (true = ink) at scale 1 —
+/// the reference-pattern form used by the text recognizer.
+pub fn render_pattern(text: &str) -> Vec<Vec<bool>> {
+    let w = text_width(text);
+    let mut out = vec![vec![false; w]; GLYPH_H];
+    let mut cx = 0usize;
+    for c in text.chars() {
+        if let Some(gl) = glyph(c) {
+            for (row, out_row) in out.iter_mut().enumerate() {
+                for col in 0..GLYPH_W {
+                    if glyph_pixel(&gl, col, row) {
+                        out_row[cx + col] = true;
+                    }
+                }
+            }
+        }
+        cx += GLYPH_W + GLYPH_SPACING;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBuf;
+
+    #[test]
+    fn font_covers_the_caption_alphabet() {
+        for c in ('A'..='Z').chain('0'..='9').chain([' ', '.', '-', ':']) {
+            assert!(glyph(c).is_some(), "missing glyph '{c}'");
+        }
+        assert!(glyph('€').is_none());
+        assert_eq!(glyph('a'), glyph('A'));
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        let chars: Vec<char> = ('A'..='Z').chain('0'..='9').collect();
+        for (i, &a) in chars.iter().enumerate() {
+            for &b in &chars[i + 1..] {
+                assert_ne!(glyph(a), glyph(b), "glyphs '{a}' and '{b}' collide");
+            }
+        }
+    }
+
+    #[test]
+    fn glyph_pixel_reads_msb_left() {
+        let t = glyph('T').unwrap();
+        // Top row of T is full.
+        for col in 0..GLYPH_W {
+            assert!(glyph_pixel(&t, col, 0));
+        }
+        // Stem is centered.
+        assert!(glyph_pixel(&t, 2, 3));
+        assert!(!glyph_pixel(&t, 0, 3));
+        assert!(!glyph_pixel(&t, 9, 0)); // out of bounds
+    }
+
+    #[test]
+    fn text_width_accounts_for_spacing() {
+        assert_eq!(text_width(""), 0);
+        assert_eq!(text_width("A"), 5);
+        assert_eq!(text_width("AB"), 11);
+    }
+
+    #[test]
+    fn draw_text_puts_ink_on_the_frame() {
+        let mut fb = FrameBuf::filled(64, 16, [0, 0, 0]);
+        draw_text(&mut fb, 2, 2, 1, [255, 255, 0], "PIT");
+        let f = fb.freeze();
+        let ink = f.fraction_matching(0, 0, 64, 16, |[r, g, _]| r > 200 && g > 200);
+        assert!(ink > 0.0);
+        // Scale 2 covers 4x the area.
+        let mut fb2 = FrameBuf::filled(64, 32, [0, 0, 0]);
+        draw_text(&mut fb2, 2, 2, 2, [255, 255, 0], "PIT");
+        let f2 = fb2.freeze();
+        let ink2 = f2.fraction_matching(0, 0, 64, 32, |[r, g, _]| r > 200 && g > 200);
+        assert!(ink2 > ink * 1.5);
+    }
+
+    #[test]
+    fn render_pattern_round_trips_glyph_pixels() {
+        let p = render_pattern("HI");
+        assert_eq!(p.len(), GLYPH_H);
+        assert_eq!(p[0].len(), text_width("HI"));
+        // H has its verticals in columns 0 and 4.
+        assert!(p[0][0] && p[0][4]);
+        assert!(!p[0][2]);
+        // I starts at column 6: top row 0x0E → columns 7,8,9.
+        assert!(p[0][7] && p[0][8] && p[0][9]);
+        assert!(!p[0][6]);
+    }
+}

@@ -1,0 +1,13 @@
+//! Synthetic Formula 1 broadcast generation.
+//!
+//! The three digitized 2001 Grands Prix the paper analyses are not
+//! available; this module substitutes a seeded generator that produces a
+//! ground-truth race timeline ([`scenario`]) and renders actual raw
+//! signals from it: 22 kHz PCM audio ([`audio`]) and 384×288 RGB video
+//! frames ([`video`]). The feature extractors consume only the raw
+//! signals, so every signal-processing code path of §5.2–§5.4 runs for
+//! real; the timeline doubles as evaluation ground truth.
+
+pub mod audio;
+pub mod scenario;
+pub mod video;

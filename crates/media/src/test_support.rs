@@ -1,0 +1,11 @@
+//! Shared helpers for the crate's unit tests.
+
+use crate::synth::audio::AudioSynth;
+use crate::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig};
+
+/// A short German-profile broadcast with its audio renderer.
+pub fn german_broadcast(seconds: usize) -> (RaceScenario, AudioSynth) {
+    let sc = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, seconds));
+    let audio = AudioSynth::new(&sc);
+    (sc, audio)
+}

@@ -1,0 +1,88 @@
+//! The temporal grid: samples, frames, clips, video frames.
+//!
+//! The paper samples audio at 22 kHz, analyses it in 10 ms *frames* and
+//! aggregates features over 0.1 s *clips* (§5.2, §5.5). We use exactly
+//! 22 000 Hz (the paper's "22kHz"), which makes the grid exact:
+//! 220 samples per frame, 10 frames (2 200 samples) per clip, 10 clips
+//! per second. Video runs at 25 fps (PAL), i.e. 2.5 video frames per clip.
+
+/// Audio sample rate in Hz.
+pub const SAMPLE_RATE: usize = 22_000;
+
+/// Samples per 10 ms analysis frame.
+pub const FRAME_SAMPLES: usize = SAMPLE_RATE / 100;
+
+/// Samples per 0.1 s clip.
+pub const CLIP_SAMPLES: usize = SAMPLE_RATE / 10;
+
+/// Video frames per second (PAL).
+pub const VIDEO_FPS: usize = 25;
+
+/// Analysis frames per clip.
+pub const fn frames_per_clip() -> usize {
+    CLIP_SAMPLES / FRAME_SAMPLES
+}
+
+/// Clips per second of media.
+pub const fn clips_per_second() -> usize {
+    SAMPLE_RATE / CLIP_SAMPLES
+}
+
+/// Clip index covering a given audio sample.
+pub fn clip_of_sample(sample: usize) -> usize {
+    sample / CLIP_SAMPLES
+}
+
+/// First audio sample of a clip.
+pub fn clip_start_sample(clip: usize) -> usize {
+    clip * CLIP_SAMPLES
+}
+
+/// Clip index covering a given video frame (25 fps → 2.5 frames/clip).
+pub fn clip_of_video_frame(frame: usize) -> usize {
+    frame * clips_per_second() / VIDEO_FPS
+}
+
+/// Video frame index at the start of a clip.
+pub fn video_frame_of_clip(clip: usize) -> usize {
+    clip * VIDEO_FPS / clips_per_second()
+}
+
+/// Number of clips covering `seconds` of media.
+pub fn clips_in_seconds(seconds: usize) -> usize {
+    seconds * clips_per_second()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_exact() {
+        assert_eq!(FRAME_SAMPLES, 220);
+        assert_eq!(CLIP_SAMPLES, 2200);
+        assert_eq!(frames_per_clip(), 10);
+        assert_eq!(clips_per_second(), 10);
+    }
+
+    #[test]
+    fn sample_to_clip_mapping() {
+        assert_eq!(clip_of_sample(0), 0);
+        assert_eq!(clip_of_sample(2199), 0);
+        assert_eq!(clip_of_sample(2200), 1);
+        assert_eq!(clip_start_sample(3), 6600);
+    }
+
+    #[test]
+    fn video_frame_of_clip_mapping() {
+        assert_eq!(video_frame_of_clip(0), 0);
+        assert_eq!(video_frame_of_clip(1), 2); // 2.5 fps/clip floored
+        assert_eq!(video_frame_of_clip(2), 5);
+        assert_eq!(video_frame_of_clip(10), 25);
+    }
+
+    #[test]
+    fn clips_in_seconds_matches_rate() {
+        assert_eq!(clips_in_seconds(300), 3000); // the paper's 300 s = 3000 evidences
+    }
+}

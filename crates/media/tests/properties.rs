@@ -1,0 +1,95 @@
+//! Property tests for the media substrate.
+
+use f1_media::features::audio::{pitch_autocorrelation, short_time_energy, ClipStats};
+use f1_media::signal::{rms, sine, FirFilter};
+use f1_media::synth::scenario::{merge_spans, RaceProfile, RaceScenario, ScenarioConfig, Span};
+use f1_media::time::SAMPLE_RATE;
+use f1_media::window::Window;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ste_is_nonnegative_and_scales(amp in 0.01f64..1.0, freq in 80.0f64..2000.0) {
+        let frame = sine(freq, amp, 220, SAMPLE_RATE);
+        for w in Window::ALL {
+            let e = short_time_energy(&frame, w);
+            prop_assert!(e >= 0.0);
+            let double = sine(freq, amp * 2.0, 220, SAMPLE_RATE);
+            let e2 = short_time_energy(&double, w);
+            prop_assert!((e2 / e - 4.0).abs() < 0.2, "window {w:?}: ratio {}", e2 / e);
+        }
+    }
+
+    #[test]
+    fn pitch_estimate_tracks_any_speechband_tone(f0 in 95.0f64..380.0) {
+        let tone = sine(f0, 0.5, 440, SAMPLE_RATE);
+        let p = pitch_autocorrelation(&tone, 90.0, 400.0, 0.3);
+        prop_assert!(p.is_some(), "no pitch at {f0}");
+        let p = p.unwrap();
+        prop_assert!((p - f0).abs() / f0 < 0.08, "estimated {p} for {f0}");
+    }
+
+    #[test]
+    fn band_pass_attenuates_out_of_band(freq in 100.0f64..10_000.0) {
+        let bp = FirFilter::band_pass(882.0, 2205.0, 101, SAMPLE_RATE).unwrap();
+        let tone = sine(freq, 1.0, 4400, SAMPLE_RATE);
+        let out = rms(&bp.apply(&tone)[200..4200]);
+        if (1100.0..=1900.0).contains(&freq) {
+            prop_assert!(out > 0.4, "in-band {freq} attenuated to {out}");
+        } else if !(700.0..=2600.0).contains(&freq) {
+            prop_assert!(out < 0.2, "out-of-band {freq} leaked {out}");
+        }
+    }
+
+    #[test]
+    fn clip_stats_bound_their_inputs(values in proptest::collection::vec(-5.0f64..5.0, 1..32)) {
+        let s = ClipStats::from_frames(&values);
+        let mx = values.iter().cloned().fold(f64::MIN, f64::max);
+        let mn = values.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!((s.max - mx).abs() < 1e-12);
+        prop_assert!((s.dyn_range - (mx - mn)).abs() < 1e-12);
+        prop_assert!(s.avg >= mn - 1e-12 && s.avg <= mx + 1e-12);
+    }
+
+    #[test]
+    fn merge_spans_covers_and_disjoint(spans in proptest::collection::vec((0usize..100, 1usize..20), 0..12)) {
+        let mut input: Vec<Span> = spans.iter().map(|&(s, l)| Span::new(s, s + l)).collect();
+        input.sort_by_key(|s| s.start);
+        let merged = merge_spans(&input);
+        // Disjoint and ordered.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+        // Every input clip is covered.
+        for s in &input {
+            for c in s.start..s.end {
+                prop_assert!(merged.iter().any(|m| m.contains(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_generation_is_sane_for_any_seed(seed in 0u64..500) {
+        let mut cfg = ScenarioConfig::new(RaceProfile::German, 120);
+        cfg.seed = seed;
+        let sc = RaceScenario::generate(cfg);
+        prop_assert_eq!(sc.n_clips, 1200);
+        // Spans in range and ordered.
+        for e in &sc.events {
+            prop_assert!(e.span.end <= sc.n_clips);
+        }
+        for r in &sc.replays {
+            prop_assert!(r.span.end <= sc.n_clips);
+            prop_assert_eq!(r.span.len(), r.source.len());
+        }
+        for s in &sc.excited {
+            prop_assert!(sc.is_excited(s.start));
+        }
+        // Standings always a permutation.
+        let mut last = sc.standings_at(sc.n_clips - 1).to_vec();
+        last.sort_unstable();
+        prop_assert_eq!(last, (0..f1_media::synth::scenario::DRIVERS.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,57 @@
+//! # f1-moa — the Moa object algebra (logical level)
+//!
+//! The Cobra VDBMS uses "the Moa object algebra, enriched with the Cobra
+//! video data model and several extensions … at the logical level. The
+//! algebra accepts all base types of the underlying physical storage
+//! system and allows their orthogonal combination using the structure
+//! primitives: set, tuple, and object" (§3). Every Moa operation is
+//! rewritten into MIL for the Monet kernel.
+//!
+//! This crate implements that layer:
+//!
+//! * [`types::MoaType`] — the structure primitives over Monet atoms,
+//! * [`expr::MoaExpr`] — logical operators (selection, map, join,
+//!   semijoin, aggregation) plus *extension calls*, the hook through
+//!   which the HMM/DBN/video extensions surface in the algebra,
+//! * [`compile`] — Moa → MIL code generation with a selection-pushdown
+//!   rewrite, and execution against a [`f1_monet::Kernel`].
+
+pub mod compile;
+pub mod expr;
+pub mod types;
+
+pub use compile::{compile, execute, optimize};
+pub use expr::{Aggregate, MoaExpr, Predicate};
+pub use types::MoaType;
+
+/// Errors raised at the logical level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MoaError {
+    /// The expression references an unknown collection.
+    UnknownCollection(String),
+    /// A type error in the algebra.
+    Type(String),
+    /// The physical layer failed.
+    Physical(f1_monet::MonetError),
+}
+
+impl std::fmt::Display for MoaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MoaError::UnknownCollection(name) => write!(f, "unknown collection '{name}'"),
+            MoaError::Type(msg) => write!(f, "type error: {msg}"),
+            MoaError::Physical(e) => write!(f, "physical layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MoaError {}
+
+impl From<f1_monet::MonetError> for MoaError {
+    fn from(e: f1_monet::MonetError) -> Self {
+        MoaError::Physical(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MoaError>;

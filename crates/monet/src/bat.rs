@@ -1,0 +1,516 @@
+//! Binary Association Tables.
+//!
+//! A [`Bat`] is a two-column table of (head, tail) atom pairs — Monet's only
+//! collection type. Either column may be *void*: a dense run of object
+//! identifiers `seqbase, seqbase+1, …` that is never materialized, which is
+//! how Monet stores positional columns for free.
+
+use crate::error::{MonetError, Result};
+use crate::value::{Atom, AtomType};
+
+/// One column of a BAT: either a dense void run or materialized atoms.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Column {
+    /// Dense object identifiers `seqbase .. seqbase + len`, not stored.
+    Void {
+        /// First oid of the dense run.
+        seqbase: u64,
+        /// Number of (virtual) entries.
+        len: usize,
+    },
+    /// Materialized atoms, all of one declared type.
+    Atoms {
+        /// Declared element type.
+        ty: AtomType,
+        /// The values.
+        data: Vec<Atom>,
+    },
+}
+
+impl Column {
+    /// An empty column of the given type (`Void` columns start at seqbase 0).
+    pub fn empty(ty: AtomType) -> Self {
+        match ty {
+            AtomType::Void => Column::Void { seqbase: 0, len: 0 },
+            other => Column::Atoms {
+                ty: other,
+                data: Vec::new(),
+            },
+        }
+    }
+
+    /// Number of entries (virtual for void columns).
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Void { len, .. } => *len,
+            Column::Atoms { data, .. } => data.len(),
+        }
+    }
+
+    /// True when the column holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Declared element type.
+    pub fn atom_type(&self) -> AtomType {
+        match self {
+            Column::Void { .. } => AtomType::Void,
+            Column::Atoms { ty, .. } => *ty,
+        }
+    }
+
+    /// Value at position `i`; void columns materialize `Oid(seqbase + i)`.
+    pub fn at(&self, i: usize) -> Result<Atom> {
+        match self {
+            Column::Void { seqbase, len } => {
+                if i < *len {
+                    Ok(Atom::Oid(seqbase + i as u64))
+                } else {
+                    Err(MonetError::OutOfRange { index: i, len: *len })
+                }
+            }
+            Column::Atoms { data, .. } => data.get(i).cloned().ok_or(MonetError::OutOfRange {
+                index: i,
+                len: data.len(),
+            }),
+        }
+    }
+
+    /// Appends a value. On a void column only the *next* dense oid (or no
+    /// value at all, see [`Bat::append_void`]) is accepted.
+    pub fn push(&mut self, value: Atom) -> Result<()> {
+        match self {
+            Column::Void { seqbase, len } => {
+                let expected = *seqbase + *len as u64;
+                match value {
+                    Atom::Oid(o) if o == expected => {
+                        *len += 1;
+                        Ok(())
+                    }
+                    other => Err(MonetError::TypeMismatch {
+                        expected: format!("dense oid {expected}@0"),
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            Column::Atoms { ty, data } => {
+                if value.atom_type() == *ty
+                    || (value.is_numeric() && matches!(ty, AtomType::Dbl | AtomType::Int))
+                {
+                    // Numeric widening: an int appended to a dbl column is
+                    // stored as dbl so the column stays homogeneous.
+                    let coerced = match (*ty, &value) {
+                        (AtomType::Dbl, Atom::Int(v)) => Atom::Dbl(*v as f64),
+                        (AtomType::Int, Atom::Dbl(_)) => {
+                            return Err(MonetError::TypeMismatch {
+                                expected: "int".into(),
+                                found: value.to_string(),
+                            })
+                        }
+                        _ => value,
+                    };
+                    data.push(coerced);
+                    Ok(())
+                } else {
+                    Err(MonetError::TypeMismatch {
+                        expected: ty.name().into(),
+                        found: format!("{} ({value})", value.atom_type()),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Extends a void column by one virtual entry.
+    fn push_void(&mut self) -> Result<()> {
+        match self {
+            Column::Void { len, .. } => {
+                *len += 1;
+                Ok(())
+            }
+            Column::Atoms { ty, .. } => Err(MonetError::TypeMismatch {
+                expected: "void".into(),
+                found: ty.name().into(),
+            }),
+        }
+    }
+
+    /// Iterates the column's (possibly virtual) values.
+    pub fn iter(&self) -> ColumnIter<'_> {
+        ColumnIter { col: self, pos: 0 }
+    }
+
+    /// Materializes the column into a plain atom vector.
+    pub fn to_vec(&self) -> Vec<Atom> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over a [`Column`]'s values.
+pub struct ColumnIter<'a> {
+    col: &'a Column,
+    pos: usize,
+}
+
+impl Iterator for ColumnIter<'_> {
+    type Item = Atom;
+
+    fn next(&mut self) -> Option<Atom> {
+        if self.pos < self.col.len() {
+            let v = self.col.at(self.pos).expect("in-range access");
+            self.pos += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.col.len() - self.pos;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for ColumnIter<'_> {}
+
+/// A Binary Association Table: the pair of a head and a tail column of
+/// equal length.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Bat {
+    head: Column,
+    tail: Column,
+}
+
+impl Bat {
+    /// Creates an empty BAT with the given column types.
+    pub fn new(head: AtomType, tail: AtomType) -> Self {
+        Bat {
+            head: Column::empty(head),
+            tail: Column::empty(tail),
+        }
+    }
+
+    /// Builds a void-headed BAT from tail values (the common Monet layout).
+    pub fn from_tail(ty: AtomType, values: impl IntoIterator<Item = Atom>) -> Result<Self> {
+        let mut bat = Bat::new(AtomType::Void, ty);
+        for v in values {
+            bat.append_void(v)?;
+        }
+        Ok(bat)
+    }
+
+    /// Builds a BAT from (head, tail) pairs, inferring nothing: the declared
+    /// types are explicit.
+    pub fn from_pairs(
+        head_ty: AtomType,
+        tail_ty: AtomType,
+        pairs: impl IntoIterator<Item = (Atom, Atom)>,
+    ) -> Result<Self> {
+        let mut bat = Bat::new(head_ty, tail_ty);
+        for (h, t) in pairs {
+            bat.append(h, t)?;
+        }
+        Ok(bat)
+    }
+
+    /// Head column.
+    pub fn head(&self) -> &Column {
+        &self.head
+    }
+
+    /// Tail column.
+    pub fn tail(&self) -> &Column {
+        &self.tail
+    }
+
+    /// Number of pairs (`count` in MIL).
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// True when the BAT holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Declared (head, tail) types.
+    pub fn types(&self) -> (AtomType, AtomType) {
+        (self.head.atom_type(), self.tail.atom_type())
+    }
+
+    /// Appends an explicit (head, tail) pair (`insert` in MIL).
+    pub fn append(&mut self, head: Atom, tail: Atom) -> Result<()> {
+        self.head.push(head)?;
+        // Keep columns equal length even if the tail push fails.
+        if let Err(e) = self.tail.push(tail) {
+            self.pop_head();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Appends a tail value under a dense void head.
+    pub fn append_void(&mut self, tail: Atom) -> Result<()> {
+        self.head.push_void()?;
+        if let Err(e) = self.tail.push(tail) {
+            self.pop_head();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn pop_head(&mut self) {
+        match &mut self.head {
+            Column::Void { len, .. } => *len -= 1,
+            Column::Atoms { data, .. } => {
+                data.pop();
+            }
+        }
+    }
+
+    /// Head value at position `i`.
+    pub fn head_at(&self, i: usize) -> Result<Atom> {
+        self.head.at(i)
+    }
+
+    /// Tail value at position `i`.
+    pub fn tail_at(&self, i: usize) -> Result<Atom> {
+        self.tail.at(i)
+    }
+
+    /// Iterates (head, tail) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Atom, Atom)> + '_ {
+        self.head.iter().zip(self.tail.iter())
+    }
+
+    /// `reverse`: swaps head and tail columns in O(1) (columns are moved,
+    /// not copied, when called on an owned BAT; here we clone).
+    pub fn reverse(&self) -> Bat {
+        Bat {
+            head: self.tail.clone(),
+            tail: self.head.clone(),
+        }
+    }
+
+    /// `mirror`: pairs every head value with itself.
+    pub fn mirror(&self) -> Bat {
+        Bat {
+            head: self.head.clone(),
+            tail: self.head.clone(),
+        }
+    }
+
+    /// `mark`: pairs every head value with a dense oid run starting at
+    /// `seqbase` — Monet's way of (re)numbering rows.
+    pub fn mark(&self, seqbase: u64) -> Bat {
+        Bat {
+            head: self.head.clone(),
+            tail: Column::Void {
+                seqbase,
+                len: self.len(),
+            },
+        }
+    }
+
+    /// `find`: tail value of the first pair whose head equals `key`.
+    pub fn find(&self, key: &Atom) -> Option<Atom> {
+        // Void heads permit O(1) positional lookup.
+        if let Column::Void { seqbase, len } = &self.head {
+            if let Atom::Oid(o) = key {
+                if *o >= *seqbase && ((*o - *seqbase) as usize) < *len {
+                    return self.tail.at((*o - *seqbase) as usize).ok();
+                }
+            }
+            return None;
+        }
+        self.iter().find(|(h, _)| h == key).map(|(_, t)| t)
+    }
+
+    /// `slice`: pairs at positions `lo..hi` (clamped).
+    pub fn slice(&self, lo: usize, hi: usize) -> Bat {
+        let hi = hi.min(self.len());
+        let lo = lo.min(hi);
+        let mut out = Bat::new(
+            match self.head.atom_type() {
+                AtomType::Void => AtomType::Oid, // slicing breaks density
+                t => t,
+            },
+            match self.tail.atom_type() {
+                AtomType::Void => AtomType::Oid,
+                t => t,
+            },
+        );
+        for i in lo..hi {
+            out.append(self.head.at(i).unwrap(), self.tail.at(i).unwrap())
+                .expect("types preserved by slice");
+        }
+        out
+    }
+
+    /// Replaces the tail of the first pair whose head equals `key`, or
+    /// appends the pair when absent (`replace` in MIL).
+    pub fn replace(&mut self, key: Atom, tail: Atom) -> Result<()> {
+        let pos = self.iter().position(|(h, _)| h == key);
+        match pos {
+            Some(i) => match &mut self.tail {
+                Column::Atoms { ty, data } => {
+                    if tail.atom_type() != *ty && !(tail.is_numeric() && *ty == AtomType::Dbl) {
+                        return Err(MonetError::TypeMismatch {
+                            expected: ty.name().into(),
+                            found: tail.to_string(),
+                        });
+                    }
+                    data[i] = match (*ty, tail) {
+                        (AtomType::Dbl, Atom::Int(v)) => Atom::Dbl(v as f64),
+                        (_, t) => t,
+                    };
+                    Ok(())
+                }
+                Column::Void { .. } => Err(MonetError::TypeMismatch {
+                    expected: "materialized tail".into(),
+                    found: "void".into(),
+                }),
+            },
+            None => self.append(key, tail),
+        }
+    }
+}
+
+impl Default for Bat {
+    /// A void-headed oid-tailed BAT (an empty pairing).
+    fn default() -> Self {
+        Bat::new(AtomType::Void, AtomType::Oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dbl_bat(values: &[f64]) -> Bat {
+        Bat::from_tail(AtomType::Dbl, values.iter().map(|v| Atom::Dbl(*v))).unwrap()
+    }
+
+    #[test]
+    fn void_head_is_dense_and_virtual() {
+        let b = dbl_bat(&[1.0, 2.0, 3.0]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.head_at(0).unwrap(), Atom::Oid(0));
+        assert_eq!(b.head_at(2).unwrap(), Atom::Oid(2));
+        assert!(b.head_at(3).is_err());
+    }
+
+    #[test]
+    fn append_rejects_wrong_tail_type_and_keeps_columns_aligned() {
+        let mut b = Bat::new(AtomType::Void, AtomType::Dbl);
+        b.append_void(Atom::Dbl(1.0)).unwrap();
+        assert!(b.append_void(Atom::str("oops")).is_err());
+        assert_eq!(b.len(), 1);
+        b.append_void(Atom::Dbl(2.0)).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn int_widens_into_dbl_column() {
+        let mut b = Bat::new(AtomType::Void, AtomType::Dbl);
+        b.append_void(Atom::Int(4)).unwrap();
+        assert_eq!(b.tail_at(0).unwrap(), Atom::Dbl(4.0));
+    }
+
+    #[test]
+    fn dbl_into_int_column_is_rejected() {
+        let mut b = Bat::new(AtomType::Void, AtomType::Int);
+        assert!(b.append_void(Atom::Dbl(1.5)).is_err());
+    }
+
+    #[test]
+    fn reverse_swaps_columns() {
+        let b = dbl_bat(&[5.0, 6.0]);
+        let r = b.reverse();
+        assert_eq!(r.head_at(0).unwrap(), Atom::Dbl(5.0));
+        assert_eq!(r.tail_at(0).unwrap(), Atom::Oid(0));
+        assert_eq!(r.reverse(), b);
+    }
+
+    #[test]
+    fn mirror_pairs_head_with_itself() {
+        let b = Bat::from_pairs(
+            AtomType::Str,
+            AtomType::Int,
+            [(Atom::str("a"), Atom::Int(1))],
+        )
+        .unwrap();
+        let m = b.mirror();
+        assert_eq!(m.tail_at(0).unwrap(), Atom::str("a"));
+    }
+
+    #[test]
+    fn mark_renumbers_with_dense_oids() {
+        let b = dbl_bat(&[1.0, 2.0]);
+        let m = b.reverse().mark(100);
+        assert_eq!(m.tail_at(0).unwrap(), Atom::Oid(100));
+        assert_eq!(m.tail_at(1).unwrap(), Atom::Oid(101));
+    }
+
+    #[test]
+    fn find_on_void_head_is_positional() {
+        let b = dbl_bat(&[9.0, 8.0, 7.0]);
+        assert_eq!(b.find(&Atom::Oid(1)), Some(Atom::Dbl(8.0)));
+        assert_eq!(b.find(&Atom::Oid(5)), None);
+        assert_eq!(b.find(&Atom::Int(1)), None);
+    }
+
+    #[test]
+    fn find_on_materialized_head_scans() {
+        let b = Bat::from_pairs(
+            AtomType::Str,
+            AtomType::Int,
+            [
+                (Atom::str("schumacher"), Atom::Int(1)),
+                (Atom::str("hakkinen"), Atom::Int(2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(b.find(&Atom::str("hakkinen")), Some(Atom::Int(2)));
+        assert_eq!(b.find(&Atom::str("montoya")), None);
+    }
+
+    #[test]
+    fn slice_clamps_and_materializes_voids() {
+        let b = dbl_bat(&[1.0, 2.0, 3.0, 4.0]);
+        let s = b.slice(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.head_at(0).unwrap(), Atom::Oid(1));
+        assert_eq!(s.tail_at(1).unwrap(), Atom::Dbl(3.0));
+        assert_eq!(b.slice(3, 100).len(), 1);
+        assert_eq!(b.slice(10, 2).len(), 0);
+    }
+
+    #[test]
+    fn replace_updates_or_appends() {
+        let mut b = Bat::from_pairs(
+            AtomType::Str,
+            AtomType::Dbl,
+            [(Atom::str("Service"), Atom::Dbl(0.1))],
+        )
+        .unwrap();
+        b.replace(Atom::str("Service"), Atom::Dbl(0.9)).unwrap();
+        assert_eq!(b.find(&Atom::str("Service")), Some(Atom::Dbl(0.9)));
+        b.replace(Atom::str("Smash"), Atom::Dbl(0.3)).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn iterator_yields_pairs_in_order() {
+        let b = dbl_bat(&[1.0, 2.0]);
+        let pairs: Vec<_> = b.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (Atom::Oid(0), Atom::Dbl(1.0)),
+                (Atom::Oid(1), Atom::Dbl(2.0)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type shared by every kernel component.
+
+use std::fmt;
+
+/// Result alias used throughout the kernel.
+pub type Result<T> = std::result::Result<T, MonetError>;
+
+/// Errors raised by the BAT kernel, the relational operators and the MIL
+/// interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonetError {
+    /// An operation received an atom of the wrong type.
+    TypeMismatch {
+        /// What the operation required.
+        expected: String,
+        /// What it actually got.
+        found: String,
+    },
+    /// A named BAT, variable, procedure or module does not exist.
+    NotFound(String),
+    /// A name is already taken in the catalog.
+    AlreadyExists(String),
+    /// A positional access was out of range.
+    OutOfRange {
+        /// Requested position.
+        index: usize,
+        /// Length of the addressed container.
+        len: usize,
+    },
+    /// The MIL source failed to lex or parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A MIL runtime error (wrong arity, bad operand, division by zero...).
+    Eval(String),
+    /// An extension-module procedure failed.
+    Module {
+        /// Module that raised the error.
+        module: String,
+        /// Underlying description.
+        message: String,
+    },
+    /// An operation that requires a non-empty BAT was applied to an empty one.
+    EmptyBat(String),
+}
+
+impl fmt::Display for MonetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonetError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            MonetError::NotFound(name) => write!(f, "not found: {name}"),
+            MonetError::AlreadyExists(name) => write!(f, "already exists: {name}"),
+            MonetError::OutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            MonetError::Parse { line, message } => {
+                write!(f, "MIL parse error at line {line}: {message}")
+            }
+            MonetError::Eval(msg) => write!(f, "MIL evaluation error: {msg}"),
+            MonetError::Module { module, message } => {
+                write!(f, "extension module '{module}' failed: {message}")
+            }
+            MonetError::EmptyBat(op) => write!(f, "operation '{op}' requires a non-empty BAT"),
+        }
+    }
+}
+
+impl std::error::Error for MonetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_every_variant() {
+        let cases: Vec<(MonetError, &str)> = vec![
+            (
+                MonetError::TypeMismatch {
+                    expected: "int".into(),
+                    found: "str".into(),
+                },
+                "type mismatch: expected int, found str",
+            ),
+            (MonetError::NotFound("x".into()), "not found: x"),
+            (MonetError::AlreadyExists("x".into()), "already exists: x"),
+            (
+                MonetError::OutOfRange { index: 5, len: 3 },
+                "index 5 out of range for length 3",
+            ),
+            (
+                MonetError::Parse {
+                    line: 2,
+                    message: "bad token".into(),
+                },
+                "MIL parse error at line 2: bad token",
+            ),
+            (MonetError::Eval("boom".into()), "MIL evaluation error: boom"),
+            (
+                MonetError::Module {
+                    module: "hmm".into(),
+                    message: "no model".into(),
+                },
+                "extension module 'hmm' failed: no model",
+            ),
+            (
+                MonetError::EmptyBat("max".into()),
+                "operation 'max' requires a non-empty BAT",
+            ),
+        ];
+        for (err, expect) in cases {
+            assert_eq!(err.to_string(), expect);
+        }
+    }
+}

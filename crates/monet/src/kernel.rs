@@ -1,0 +1,254 @@
+//! The kernel: a catalog of named BATs plus MEL-style extension modules.
+//!
+//! Monet is "an extensible parallel database kernel […] extensible with
+//! Abstract Data Types and new index structures". The Cobra paper extends
+//! it with HMM, DBN, video-processing and rule modules written in MEL
+//! (Monet Extension Language). [`MelModule`] is the Rust equivalent: an
+//! extension registers named procedures which become callable from MIL
+//! programs, exactly like `hmmOneCall` in the paper's Fig. 4.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::bat::Bat;
+use crate::error::{MonetError, Result};
+use crate::mil::{self, MilValue};
+
+/// A shareable handle to a catalog-resident (or MIL-local) BAT.
+pub type BatHandle = Arc<RwLock<Bat>>;
+
+/// An extension module in the spirit of MEL.
+///
+/// Modules expose procedures that MIL programs call by bare name (e.g.
+/// `hmmOneCall(...)`). Procedures receive evaluated [`MilValue`] arguments
+/// and the kernel itself, so they can read catalog BATs or spawn parallel
+/// work.
+pub trait MelModule: Send + Sync {
+    /// Module name (used for error reporting and qualified calls).
+    fn name(&self) -> &str;
+
+    /// The procedure names this module exports.
+    fn procedures(&self) -> Vec<String>;
+
+    /// Invokes an exported procedure.
+    fn call(&self, kernel: &Kernel, proc: &str, args: &[MilValue]) -> Result<MilValue>;
+}
+
+/// The Monet kernel: named BATs, extension modules, and a MIL entry point.
+///
+/// The kernel is `Send + Sync`; all catalog state sits behind locks so MIL
+/// `PARALLEL` blocks and extension modules can touch it concurrently.
+pub struct Kernel {
+    bats: RwLock<HashMap<String, BatHandle>>,
+    modules: RwLock<HashMap<String, Arc<dyn MelModule>>>,
+    /// proc name -> module name, for bare-name resolution from MIL.
+    procs: RwLock<HashMap<String, String>>,
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new() -> Self {
+        Kernel {
+            bats: RwLock::new(HashMap::new()),
+            modules: RwLock::new(HashMap::new()),
+            procs: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registers `bat` in the catalog under `name`. Fails when taken.
+    pub fn register_bat(&self, name: &str, bat: Bat) -> Result<BatHandle> {
+        let mut bats = self.bats.write();
+        if bats.contains_key(name) {
+            return Err(MonetError::AlreadyExists(name.to_string()));
+        }
+        let handle = Arc::new(RwLock::new(bat));
+        bats.insert(name.to_string(), Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Registers or replaces `bat` under `name`.
+    pub fn set_bat(&self, name: &str, bat: Bat) -> BatHandle {
+        let handle = Arc::new(RwLock::new(bat));
+        self.bats
+            .write()
+            .insert(name.to_string(), Arc::clone(&handle));
+        handle
+    }
+
+    /// Fetches a catalog BAT by name.
+    pub fn bat(&self, name: &str) -> Result<BatHandle> {
+        self.bats
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MonetError::NotFound(format!("BAT '{name}'")))
+    }
+
+    /// Removes a catalog BAT, returning it.
+    pub fn drop_bat(&self, name: &str) -> Result<BatHandle> {
+        self.bats
+            .write()
+            .remove(name)
+            .ok_or_else(|| MonetError::NotFound(format!("BAT '{name}'")))
+    }
+
+    /// Names of every catalog BAT, sorted.
+    pub fn bat_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.bats.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// True when `name` exists in the catalog.
+    pub fn has_bat(&self, name: &str) -> bool {
+        self.bats.read().contains_key(name)
+    }
+
+    /// Installs an extension module; its procedures become callable from
+    /// MIL by bare name. Procedure-name collisions across modules fail.
+    pub fn load_module(&self, module: Arc<dyn MelModule>) -> Result<()> {
+        let mname = module.name().to_string();
+        {
+            let mut modules = self.modules.write();
+            if modules.contains_key(&mname) {
+                return Err(MonetError::AlreadyExists(format!("module '{mname}'")));
+            }
+            modules.insert(mname.clone(), Arc::clone(&module));
+        }
+        let mut procs = self.procs.write();
+        for p in module.procedures() {
+            if let Some(owner) = procs.get(&p) {
+                return Err(MonetError::AlreadyExists(format!(
+                    "procedure '{p}' (owned by module '{owner}')"
+                )));
+            }
+            procs.insert(p, mname.clone());
+        }
+        Ok(())
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Result<Arc<dyn MelModule>> {
+        self.modules
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MonetError::NotFound(format!("module '{name}'")))
+    }
+
+    /// Resolves a bare procedure name to its owning module.
+    pub fn resolve_proc(&self, proc: &str) -> Option<Arc<dyn MelModule>> {
+        let owner = self.procs.read().get(proc).cloned()?;
+        self.modules.read().get(&owner).cloned()
+    }
+
+    /// Calls an extension procedure by bare name.
+    pub fn call_proc(&self, proc: &str, args: &[MilValue]) -> Result<MilValue> {
+        let module = self
+            .resolve_proc(proc)
+            .ok_or_else(|| MonetError::NotFound(format!("procedure '{proc}'")))?;
+        module.call(self, proc, args)
+    }
+
+    /// Parses and evaluates a MIL program against this kernel, returning
+    /// the value of its final `RETURN` (or [`MilValue::Nil`]).
+    pub fn eval_mil(&self, source: &str) -> Result<MilValue> {
+        mil::eval_program(self, source)
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Atom, AtomType};
+
+    struct EchoModule;
+
+    impl MelModule for EchoModule {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn procedures(&self) -> Vec<String> {
+            vec!["echoInt".into(), "echoFail".into()]
+        }
+        fn call(&self, _k: &Kernel, proc: &str, args: &[MilValue]) -> Result<MilValue> {
+            match proc {
+                "echoInt" => Ok(args[0].clone()),
+                "echoFail" => Err(MonetError::Module {
+                    module: "echo".into(),
+                    message: "boom".into(),
+                }),
+                other => Err(MonetError::NotFound(other.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_register_get_drop() {
+        let k = Kernel::new();
+        k.register_bat("x", Bat::new(AtomType::Void, AtomType::Int))
+            .unwrap();
+        assert!(k.has_bat("x"));
+        assert!(k.register_bat("x", Bat::default()).is_err());
+        assert_eq!(k.bat_names(), vec!["x".to_string()]);
+        k.drop_bat("x").unwrap();
+        assert!(k.bat("x").is_err());
+    }
+
+    #[test]
+    fn set_bat_replaces() {
+        let k = Kernel::new();
+        k.set_bat("x", Bat::new(AtomType::Void, AtomType::Int));
+        k.set_bat(
+            "x",
+            Bat::from_tail(AtomType::Dbl, [Atom::Dbl(1.0)]).unwrap(),
+        );
+        assert_eq!(k.bat("x").unwrap().read().len(), 1);
+    }
+
+    #[test]
+    fn module_procs_resolve_by_bare_name() {
+        let k = Kernel::new();
+        k.load_module(Arc::new(EchoModule)).unwrap();
+        let out = k
+            .call_proc("echoInt", &[MilValue::Atom(Atom::Int(7))])
+            .unwrap();
+        assert_eq!(out, MilValue::Atom(Atom::Int(7)));
+        assert!(k.call_proc("missing", &[]).is_err());
+        assert!(k.call_proc("echoFail", &[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_module_load_fails() {
+        let k = Kernel::new();
+        k.load_module(Arc::new(EchoModule)).unwrap();
+        assert!(k.load_module(Arc::new(EchoModule)).is_err());
+    }
+
+    #[test]
+    fn kernel_is_shareable_across_threads() {
+        let k = Arc::new(Kernel::new());
+        k.set_bat("shared", Bat::new(AtomType::Void, AtomType::Int));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let k = Arc::clone(&k);
+                std::thread::spawn(move || {
+                    let bat = k.bat("shared").unwrap();
+                    bat.write().append_void(Atom::Int(i)).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(k.bat("shared").unwrap().read().len(), 4);
+    }
+}

@@ -1,0 +1,455 @@
+//! Relational operators over BATs.
+//!
+//! These are the algebra primitives that MIL programs (and therefore the
+//! Moa logical layer) are compiled into: selections, hash joins, semijoins,
+//! grouping, aggregation and sorting. All operators are pure — they return
+//! fresh BATs and never mutate their inputs, which keeps the kernel easy to
+//! parallelize.
+
+use std::collections::HashMap;
+
+use crate::bat::Bat;
+use crate::error::{MonetError, Result};
+use crate::index::HashIndex;
+use crate::value::{Atom, AtomType};
+
+fn out_type(t: AtomType) -> AtomType {
+    // Operators that re-arrange rows lose void density.
+    if t == AtomType::Void {
+        AtomType::Oid
+    } else {
+        t
+    }
+}
+
+/// `select(b, v)`: pairs whose tail equals `v`.
+pub fn select_eq(b: &Bat, v: &Atom) -> Bat {
+    let (ht, tt) = b.types();
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in b.iter().filter(|(_, t)| t == v) {
+        out.append(h, t).expect("type preserved");
+    }
+    out
+}
+
+/// `select(b, lo, hi)`: pairs whose tail lies in the inclusive range.
+pub fn select_range(b: &Bat, lo: &Atom, hi: &Atom) -> Bat {
+    let (ht, tt) = b.types();
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in b.iter().filter(|(_, t)| t >= lo && t <= hi) {
+        out.append(h, t).expect("type preserved");
+    }
+    out
+}
+
+/// Generic filter on (head, tail) pairs.
+pub fn select_where(b: &Bat, mut pred: impl FnMut(&Atom, &Atom) -> bool) -> Bat {
+    let (ht, tt) = b.types();
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in b.iter().filter(|(h, t)| pred(h, t)) {
+        out.append(h, t).expect("type preserved");
+    }
+    out
+}
+
+/// `join(l, r)`: Monet's positional join — matches `l.tail` against
+/// `r.head` and yields `(l.head, r.tail)` for every match.
+pub fn join(l: &Bat, r: &Bat) -> Bat {
+    let (lh, _) = l.types();
+    let (_, rt) = r.types();
+    let mut out = Bat::new(out_type(lh), out_type(rt));
+    let idx = HashIndex::build(r.head());
+    for (h, t) in l.iter() {
+        for &pos in idx.lookup(&t) {
+            out.append(h.clone(), r.tail_at(pos).expect("indexed position"))
+                .expect("type preserved");
+        }
+    }
+    out
+}
+
+/// `semijoin(l, r)`: pairs of `l` whose head occurs among `r`'s heads.
+pub fn semijoin(l: &Bat, r: &Bat) -> Bat {
+    let (lh, lt) = l.types();
+    let mut out = Bat::new(out_type(lh), out_type(lt));
+    let idx = HashIndex::build(r.head());
+    for (h, t) in l.iter() {
+        if idx.contains(&h) {
+            out.append(h, t).expect("type preserved");
+        }
+    }
+    out
+}
+
+/// `diff(l, r)`: pairs of `l` whose head does **not** occur among `r`'s heads.
+pub fn antijoin(l: &Bat, r: &Bat) -> Bat {
+    let (lh, lt) = l.types();
+    let mut out = Bat::new(out_type(lh), out_type(lt));
+    let idx = HashIndex::build(r.head());
+    for (h, t) in l.iter() {
+        if !idx.contains(&h) {
+            out.append(h, t).expect("type preserved");
+        }
+    }
+    out
+}
+
+/// Applies `f` to every tail value, keeping heads (`[f]()` map in MIL).
+pub fn map_tail(b: &Bat, out_ty: AtomType, mut f: impl FnMut(&Atom) -> Result<Atom>) -> Result<Bat> {
+    let (ht, _) = b.types();
+    let mut out = Bat::new(ht, out_ty);
+    for (h, t) in b.iter() {
+        let v = f(&t)?;
+        // Void heads stay dense because we re-append in order.
+        match ht {
+            AtomType::Void => out.append_void(v)?,
+            _ => out.append(h, v)?,
+        }
+    }
+    Ok(out)
+}
+
+/// `unique(b)`: first occurrence of every distinct tail value.
+pub fn unique_tail(b: &Bat) -> Bat {
+    let (ht, tt) = b.types();
+    let mut seen: HashMap<Atom, ()> = HashMap::new();
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in b.iter() {
+        if seen.insert(t.clone(), ()).is_none() {
+            out.append(h, t).expect("type preserved");
+        }
+    }
+    out
+}
+
+/// `histogram(b)`: (tail value, occurrence count) pairs.
+pub fn histogram(b: &Bat) -> Bat {
+    let (_, tt) = b.types();
+    let mut counts: HashMap<Atom, i64> = HashMap::new();
+    let mut order: Vec<Atom> = Vec::new();
+    for (_, t) in b.iter() {
+        let e = counts.entry(t.clone()).or_insert(0);
+        if *e == 0 {
+            order.push(t);
+        }
+        *e += 1;
+    }
+    let mut out = Bat::new(out_type(tt), AtomType::Int);
+    for key in order {
+        let n = counts[&key];
+        out.append(key, Atom::Int(n)).expect("type preserved");
+    }
+    out
+}
+
+/// `group(b)`: maps every head to a group id shared by equal tail values.
+pub fn group(b: &Bat) -> Bat {
+    let (ht, _) = b.types();
+    let mut ids: HashMap<Atom, u64> = HashMap::new();
+    let mut next = 0u64;
+    let mut out = Bat::new(out_type(ht), AtomType::Oid);
+    for (h, t) in b.iter() {
+        let id = *ids.entry(t).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        out.append(h, Atom::Oid(id)).expect("type preserved");
+    }
+    out
+}
+
+/// `sort(b)`: pairs ordered by tail value (stable).
+pub fn sort_by_tail(b: &Bat) -> Bat {
+    let (ht, tt) = b.types();
+    let mut pairs: Vec<(Atom, Atom)> = b.iter().collect();
+    pairs.sort_by(|a, c| a.1.cmp(&c.1));
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in pairs {
+        out.append(h, t).expect("type preserved");
+    }
+    out
+}
+
+/// Numeric aggregate kinds supported by [`aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Sum of tail values.
+    Sum,
+    /// Arithmetic mean of tail values.
+    Avg,
+    /// Minimum tail value.
+    Min,
+    /// Maximum tail value.
+    Max,
+    /// Number of pairs.
+    Count,
+}
+
+/// Computes a numeric aggregate over the tail column.
+pub fn aggregate(b: &Bat, kind: Aggregate) -> Result<Atom> {
+    if kind == Aggregate::Count {
+        return Ok(Atom::Int(b.len() as i64));
+    }
+    if b.is_empty() {
+        return Err(MonetError::EmptyBat(format!("{kind:?}").to_lowercase()));
+    }
+    match kind {
+        Aggregate::Min => Ok(b.tail().iter().min().expect("non-empty")),
+        Aggregate::Max => Ok(b.tail().iter().max().expect("non-empty")),
+        Aggregate::Sum | Aggregate::Avg => {
+            let mut sum = 0.0f64;
+            let mut all_int = true;
+            let mut isum = 0i64;
+            for t in b.tail().iter() {
+                match &t {
+                    Atom::Int(v) => {
+                        isum = isum.wrapping_add(*v);
+                        sum += *v as f64;
+                    }
+                    Atom::Dbl(v) => {
+                        all_int = false;
+                        sum += v;
+                    }
+                    other => {
+                        return Err(MonetError::TypeMismatch {
+                            expected: "numeric tail".into(),
+                            found: other.to_string(),
+                        })
+                    }
+                }
+            }
+            if kind == Aggregate::Sum {
+                Ok(if all_int { Atom::Int(isum) } else { Atom::Dbl(sum) })
+            } else {
+                Ok(Atom::Dbl(sum / b.len() as f64))
+            }
+        }
+        Aggregate::Count => unreachable!("handled above"),
+    }
+}
+
+/// Grouped aggregation: `grouped(values, groups, kind)` where `groups`
+/// assigns a group id to every head of `values`. Returns (group id, agg).
+pub fn grouped_aggregate(values: &Bat, groups: &Bat, kind: Aggregate) -> Result<Bat> {
+    let gidx = HashIndex::build(groups.head());
+    let mut buckets: HashMap<Atom, Vec<Atom>> = HashMap::new();
+    let mut order: Vec<Atom> = Vec::new();
+    for (h, t) in values.iter() {
+        let positions = gidx.lookup(&h);
+        let gid = match positions.first() {
+            Some(&p) => groups.tail_at(p)?,
+            None => continue, // head absent from grouping — dropped
+        };
+        let bucket = buckets.entry(gid.clone()).or_insert_with(|| {
+            order.push(gid.clone());
+            Vec::new()
+        });
+        bucket.push(t);
+    }
+    let out_ty = if kind == Aggregate::Count {
+        AtomType::Int
+    } else {
+        AtomType::Dbl
+    };
+    let mut out = Bat::new(out_type(groups.tail().atom_type()), out_ty);
+    for gid in order {
+        let vals = &buckets[&gid];
+        let tmp = Bat::from_tail(
+            vals.first()
+                .map(|a| a.atom_type())
+                .unwrap_or(AtomType::Dbl),
+            vals.iter().cloned(),
+        )?;
+        let mut agg = aggregate(&tmp, kind)?;
+        if out_ty == AtomType::Dbl {
+            agg = Atom::Dbl(agg.as_dbl()?);
+        }
+        out.append(gid, agg)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named_points() -> Bat {
+        Bat::from_pairs(
+            AtomType::Str,
+            AtomType::Int,
+            [
+                (Atom::str("schumacher"), Atom::Int(10)),
+                (Atom::str("hakkinen"), Atom::Int(8)),
+                (Atom::str("schumacher"), Atom::Int(6)),
+                (Atom::str("montoya"), Atom::Int(8)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_eq_filters_by_tail() {
+        let b = named_points();
+        let s = select_eq(&b, &Atom::Int(8));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.head_at(0).unwrap(), Atom::str("hakkinen"));
+    }
+
+    #[test]
+    fn select_range_is_inclusive() {
+        let b = named_points();
+        let s = select_range(&b, &Atom::Int(7), &Atom::Int(10));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn join_matches_tail_to_head() {
+        // l: oid -> driver, r: driver -> team
+        let l = Bat::from_tail(
+            AtomType::Str,
+            ["schumacher", "hakkinen"].into_iter().map(Atom::str),
+        )
+        .unwrap();
+        let r = Bat::from_pairs(
+            AtomType::Str,
+            AtomType::Str,
+            [
+                (Atom::str("schumacher"), Atom::str("ferrari")),
+                (Atom::str("hakkinen"), Atom::str("mclaren")),
+            ],
+        )
+        .unwrap();
+        let j = join(&l, &r);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.find(&Atom::Oid(0)), Some(Atom::str("ferrari")));
+        assert_eq!(j.find(&Atom::Oid(1)), Some(Atom::str("mclaren")));
+    }
+
+    #[test]
+    fn join_multiplies_duplicate_matches() {
+        let l = Bat::from_tail(AtomType::Int, [Atom::Int(1)]).unwrap();
+        let r = Bat::from_pairs(
+            AtomType::Int,
+            AtomType::Str,
+            [
+                (Atom::Int(1), Atom::str("a")),
+                (Atom::Int(1), Atom::str("b")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(join(&l, &r).len(), 2);
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition() {
+        let l = named_points();
+        let r = Bat::from_pairs(
+            AtomType::Str,
+            AtomType::Int,
+            [(Atom::str("schumacher"), Atom::Int(0))],
+        )
+        .unwrap();
+        let semi = semijoin(&l, &r);
+        let anti = antijoin(&l, &r);
+        assert_eq!(semi.len(), 2);
+        assert_eq!(anti.len(), 2);
+        assert_eq!(semi.len() + anti.len(), l.len());
+    }
+
+    #[test]
+    fn map_tail_preserves_void_head() {
+        let b = Bat::from_tail(AtomType::Int, (1..=3).map(Atom::Int)).unwrap();
+        let doubled = map_tail(&b, AtomType::Int, |a| Ok(Atom::Int(a.as_int()? * 2))).unwrap();
+        assert_eq!(doubled.head().atom_type(), AtomType::Void);
+        assert_eq!(doubled.tail_at(2).unwrap(), Atom::Int(6));
+    }
+
+    #[test]
+    fn unique_keeps_first_occurrence() {
+        let b = named_points();
+        let u = unique_tail(&b);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.tail_at(1).unwrap(), Atom::Int(8));
+        assert_eq!(u.head_at(1).unwrap(), Atom::str("hakkinen"));
+    }
+
+    #[test]
+    fn histogram_counts_tail_values() {
+        let b = named_points();
+        let h = histogram(&b);
+        assert_eq!(h.find(&Atom::Int(8)), Some(Atom::Int(2)));
+        assert_eq!(h.find(&Atom::Int(10)), Some(Atom::Int(1)));
+    }
+
+    #[test]
+    fn group_assigns_shared_ids() {
+        let b = named_points();
+        let g = group(&b);
+        // rows 1 and 3 share tail value 8 → same group id.
+        assert_eq!(g.tail_at(1).unwrap(), g.tail_at(3).unwrap());
+        assert_ne!(g.tail_at(0).unwrap(), g.tail_at(1).unwrap());
+    }
+
+    #[test]
+    fn sort_by_tail_is_stable() {
+        let b = named_points();
+        let s = sort_by_tail(&b);
+        let tails: Vec<_> = s.tail().iter().collect();
+        assert_eq!(
+            tails,
+            vec![Atom::Int(6), Atom::Int(8), Atom::Int(8), Atom::Int(10)]
+        );
+        // stability: hakkinen (earlier) precedes montoya among the 8s.
+        assert_eq!(s.head_at(1).unwrap(), Atom::str("hakkinen"));
+        assert_eq!(s.head_at(2).unwrap(), Atom::str("montoya"));
+    }
+
+    #[test]
+    fn aggregates_over_ints_and_doubles() {
+        let b = named_points();
+        assert_eq!(aggregate(&b, Aggregate::Sum).unwrap(), Atom::Int(32));
+        assert_eq!(aggregate(&b, Aggregate::Avg).unwrap(), Atom::Dbl(8.0));
+        assert_eq!(aggregate(&b, Aggregate::Min).unwrap(), Atom::Int(6));
+        assert_eq!(aggregate(&b, Aggregate::Max).unwrap(), Atom::Int(10));
+        assert_eq!(aggregate(&b, Aggregate::Count).unwrap(), Atom::Int(4));
+
+        let d = Bat::from_tail(AtomType::Dbl, [Atom::Dbl(0.5), Atom::Dbl(1.5)]).unwrap();
+        assert_eq!(aggregate(&d, Aggregate::Sum).unwrap(), Atom::Dbl(2.0));
+    }
+
+    #[test]
+    fn aggregate_on_empty_bat_errors_except_count() {
+        let b = Bat::new(AtomType::Void, AtomType::Dbl);
+        assert!(aggregate(&b, Aggregate::Max).is_err());
+        assert_eq!(aggregate(&b, Aggregate::Count).unwrap(), Atom::Int(0));
+    }
+
+    #[test]
+    fn aggregate_rejects_non_numeric() {
+        let b = Bat::from_tail(AtomType::Str, [Atom::str("x")]).unwrap();
+        assert!(aggregate(&b, Aggregate::Sum).is_err());
+    }
+
+    #[test]
+    fn grouped_aggregate_sums_per_group() {
+        // values: oid -> points ; groups: oid -> group id (by driver)
+        let values = Bat::from_tail(AtomType::Int, [10, 8, 6, 8].map(Atom::Int)).unwrap();
+        let groups = Bat::from_pairs(
+            AtomType::Oid,
+            AtomType::Oid,
+            [
+                (Atom::Oid(0), Atom::Oid(0)),
+                (Atom::Oid(1), Atom::Oid(1)),
+                (Atom::Oid(2), Atom::Oid(0)),
+                (Atom::Oid(3), Atom::Oid(2)),
+            ],
+        )
+        .unwrap();
+        let agg = grouped_aggregate(&values, &groups, Aggregate::Sum).unwrap();
+        assert_eq!(agg.find(&Atom::Oid(0)), Some(Atom::Dbl(16.0)));
+        assert_eq!(agg.find(&Atom::Oid(1)), Some(Atom::Dbl(8.0)));
+        let counts = grouped_aggregate(&values, &groups, Aggregate::Count).unwrap();
+        assert_eq!(counts.find(&Atom::Oid(0)), Some(Atom::Int(2)));
+    }
+}

@@ -1,0 +1,136 @@
+//! `threadcnt`-style fork/join execution.
+//!
+//! Monet exposes intra-query parallelism through a thread-count setting and
+//! a parallel block construct; the paper leans on it to evaluate six HMMs
+//! concurrently (Fig. 3/4) and to fan out DBN inference calls. This module
+//! provides the equivalent: a bounded fork/join executor built on crossbeam
+//! scoped threads, so jobs may borrow from the caller's stack.
+
+use crossbeam::thread;
+
+/// Runs `jobs` with at most `threads` of them in flight at once and returns
+/// their results in submission order.
+///
+/// `threads == 0` or `threads == 1` degrade to sequential execution, which
+/// is what `threadcnt(1)` means in MIL. Panics in jobs are propagated.
+pub fn run_jobs<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let n = jobs.len();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    // Work-stealing-lite: a shared index counter; each worker claims the
+    // next job. Jobs are FnOnce so we move them into per-index cells.
+    let cells: Vec<parking_lot::Mutex<Option<F>>> = jobs
+        .into_iter()
+        .map(|j| parking_lot::Mutex::new(Some(j)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<&mut Option<T>>> = slots
+        .iter_mut()
+        .map(parking_lot::Mutex::new)
+        .collect();
+
+    thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = cells[i].lock().take().expect("job claimed once");
+                let out = job();
+                **results[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    drop(results);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job ran"))
+        .collect()
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+pub fn par_map<I, T, F>(threads: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<_> = items
+        .into_iter()
+        .map(|item| {
+            let f = &f;
+            move || f(item)
+        })
+        .collect();
+    run_jobs(threads, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_submission_order() {
+        let jobs: Vec<_> = (0..16)
+            .map(|i| move || i * i)
+            .collect();
+        let out = run_jobs(4, jobs);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_for_one_thread() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..5)
+            .map(|_| {
+                let c = &counter;
+                move || c.fetch_add(1, Ordering::SeqCst)
+            })
+            .collect();
+        let out = run_jobs(1, jobs);
+        // Sequential execution yields strictly increasing claim order.
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let c = &counter;
+                move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        run_jobs(8, jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<i64> = (0..50).collect();
+        let par = par_map(6, items.clone(), |v| v * 3 - 1);
+        let ser: Vec<i64> = items.into_iter().map(|v| v * 3 - 1).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = run_jobs(32, vec![|| 1, || 2]);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the Allen interval algebra and the rule engine.
+
+use f1_rules::{relation, AllenRelation, Interval};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0usize..50, 1usize..20).prop_map(|(s, l)| Interval::new(s, s + l))
+}
+
+proptest! {
+    #[test]
+    fn relation_inverse_round_trips(a in arb_interval(), b in arb_interval()) {
+        let r = relation(&a, &b);
+        prop_assert_eq!(relation(&b, &a), r.inverse());
+        prop_assert_eq!(r.inverse().inverse(), r);
+    }
+
+    #[test]
+    fn equal_iff_identical(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(relation(&a, &b) == AllenRelation::Equal, a == b);
+    }
+
+    #[test]
+    fn overlap_implication_matches_intersection(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(relation(&a, &b).implies_overlap(), a.intersects(&b));
+    }
+
+    #[test]
+    fn hull_contains_both(a in arb_interval(), b in arb_interval()) {
+        let h = a.hull(&b);
+        prop_assert!(h.start <= a.start && h.end >= a.end);
+        prop_assert!(h.start <= b.start && h.end >= b.end);
+        prop_assert!(h.len() <= a.len() + b.len() + a.start.abs_diff(b.start).max(a.end.abs_diff(b.end)));
+    }
+
+    #[test]
+    fn engine_output_is_monotone_in_facts(
+        spans in proptest::collection::vec(arb_interval(), 1..8),
+    ) {
+        use f1_rules::{Condition, Engine, Fact, IntervalSpec, Rule, Term};
+        // join rule: a(x) && b() overlapping -> c(x)
+        let mut engine = Engine::new();
+        engine.add_rule(Rule {
+            name: "join".into(),
+            conditions: vec![
+                Condition::new("a", vec![Term::var("x")]),
+                Condition::new("b", vec![]),
+            ],
+            temporal: vec![],
+            head: "c".into(),
+            head_args: vec![Term::var("x")],
+            interval: IntervalSpec::Hull,
+        }).unwrap();
+        let mut facts: Vec<Fact> = spans.iter().enumerate().map(|(i, iv)| {
+            Fact::new("a", vec![f1_rules::Value::Int(i as i64)], *iv)
+        }).collect();
+        let small = engine.run(facts.clone()).unwrap();
+        facts.push(Fact::new("b", vec![], Interval::new(0, 100)));
+        let big = engine.run(facts).unwrap();
+        // With the extra b fact, at least as many facts derive.
+        prop_assert!(big.len() >= small.len());
+        // Derived c facts equal the number of a facts (b spans everything).
+        let c = big.iter().filter(|f| f.predicate == "c").count();
+        prop_assert_eq!(c, spans.len());
+    }
+}

@@ -1,0 +1,59 @@
+//! # f1-text — superimposed text detection and recognition
+//!
+//! Implements §5.4 of the paper, step by step:
+//!
+//! 1. **Text detection** ([`detect`]): find frames whose bottom band shows
+//!    the producer's shaded caption box, enforce a minimum duration over
+//!    consecutive frames, then verify the count and variance of bright
+//!    pixels inside the shaded region.
+//! 2. **Refinement** ([`refine`]): minimize pixel intensities over several
+//!    consecutive frames (static text survives, moving background
+//!    darkens), then magnify the text region four times in both
+//!    directions.
+//! 3. **Recognition** ([`segment`], [`recognize`]): binarize, split
+//!    characters with horizontal and (double) vertical projections, group
+//!    characters into words by pixel distance, and match each word region
+//!    against reference patterns bucketed by length, with a pixel
+//!    difference metric and an acceptance threshold.
+//!
+//! [`semantics`] maps recognized strings onto the caption classes the
+//! retrieval layer queries (pit stop, classification, fastest lap, final
+//! lap, winner) and the driver names; [`pipeline`] runs the whole §5.4
+//! chain over a broadcast.
+
+pub mod detect;
+pub mod pipeline;
+pub mod recognize;
+pub mod refine;
+pub mod segment;
+pub mod semantics;
+
+pub use pipeline::{scan_broadcast, TextDetection};
+pub use recognize::Vocabulary;
+pub use semantics::{parse_caption, ParsedCaption};
+
+/// A binary ink bitmap (true = character ink), row-major.
+pub type Bitmap = Vec<Vec<bool>>;
+
+/// Errors raised by the text pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextError {
+    /// A parameter was outside its valid range.
+    BadParameter(String),
+    /// An empty region or bitmap where content was required.
+    Empty(String),
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            TextError::Empty(msg) => write!(f, "empty input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, TextError>;

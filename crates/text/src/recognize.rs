@@ -1,0 +1,234 @@
+//! Step 3b — word recognition by pattern matching (§5.4).
+//!
+//! "To speed up the matching algorithm, we separate words into several
+//! categories based on their length, and perform the matching procedure
+//! only for reference patterns with a similar length. A simple metric of
+//! pixel difference is used … a reference pattern with the largest metric
+//! above this threshold is selected as a matched word."
+
+use std::collections::BTreeMap;
+
+use f1_media::font;
+
+use crate::Bitmap;
+use crate::{Result, TextError};
+
+/// A vocabulary of reference word patterns, bucketed by character count.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    by_len: BTreeMap<usize, Vec<(String, Bitmap)>>,
+}
+
+impl Vocabulary {
+    /// Builds reference patterns for `words` with the caption font.
+    pub fn new(words: &[&str]) -> Result<Self> {
+        let mut by_len: BTreeMap<usize, Vec<(String, Bitmap)>> = BTreeMap::new();
+        for &w in words {
+            if w.is_empty() {
+                return Err(TextError::BadParameter("empty vocabulary word".into()));
+            }
+            for c in w.chars() {
+                if font::glyph(c).is_none() {
+                    return Err(TextError::BadParameter(format!(
+                        "word '{w}' contains unrenderable '{c}'"
+                    )));
+                }
+            }
+            // Tight-crop the reference to its ink bounding box: the
+            // segmentation stage produces tight candidate crops, so both
+            // sides must share the same framing for the pixel metric.
+            let pattern = tight_crop(&font::render_pattern(w));
+            by_len
+                .entry(w.chars().count())
+                .or_default()
+                .push((w.to_uppercase(), pattern));
+        }
+        Ok(Vocabulary { by_len })
+    }
+
+    /// The standard Formula 1 caption vocabulary: driver names plus the
+    /// informative words of §5.4 ("pit stop, final lap, classification,
+    /// winner, etc.").
+    pub fn formula1() -> Self {
+        let mut words: Vec<&str> = f1_media::synth::scenario::DRIVERS.to_vec();
+        words.extend_from_slice(&[
+            "PIT", "STOP", "FINAL", "LAP", "CLASSIFICATION", "WINNER", "FASTEST", "1", "2", "3",
+            "4", "5", "6", "7", "8",
+        ]);
+        Vocabulary::new(&words).expect("builtin vocabulary renders")
+    }
+
+    /// Number of reference words.
+    pub fn len(&self) -> usize {
+        self.by_len.values().map(Vec::len).sum()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_len.is_empty()
+    }
+
+    /// Matches a cropped word bitmap against the vocabulary.
+    ///
+    /// `n_chars` buckets the search (§5.4's length categories, ±1 char).
+    /// Returns the best word and its similarity when above `threshold`
+    /// (fraction of agreeing pixels, in `[0, 1]`).
+    pub fn recognize(
+        &self,
+        word: &Bitmap,
+        n_chars: usize,
+        threshold: f64,
+    ) -> Option<(String, f64)> {
+        let mut best: Option<(String, f64)> = None;
+        for len in n_chars.saturating_sub(1)..=n_chars + 1 {
+            for (text, pattern) in self.by_len.get(&len).into_iter().flatten() {
+                let score = similarity(word, pattern);
+                if score >= threshold && best.as_ref().map_or(true, |(_, s)| score > *s) {
+                    best = Some((text.clone(), score));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Crops a bitmap to its ink bounding box (identity for empty bitmaps).
+pub fn tight_crop(bitmap: &crate::Bitmap) -> crate::Bitmap {
+    let rows: Vec<usize> = bitmap
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| row.iter().any(|&b| b))
+        .map(|(y, _)| y)
+        .collect();
+    let (Some(&y0), Some(&y1)) = (rows.first(), rows.last()) else {
+        return bitmap.clone();
+    };
+    let w = bitmap[0].len();
+    let x0 = (0..w)
+        .find(|&x| bitmap[y0..=y1].iter().any(|row| row[x]))
+        .unwrap_or(0);
+    let x1 = (0..w)
+        .rev()
+        .find(|&x| bitmap[y0..=y1].iter().any(|row| row[x]))
+        .unwrap_or(w - 1);
+    bitmap[y0..=y1]
+        .iter()
+        .map(|row| row[x0..=x1].to_vec())
+        .collect()
+}
+
+/// Pixel-difference similarity after resampling `word` onto the
+/// reference's grid: 1 − mean absolute difference.
+pub fn similarity(word: &Bitmap, reference: &Bitmap) -> f64 {
+    let (rh, rw) = (reference.len(), reference[0].len());
+    if word.is_empty() || word[0].is_empty() || rh == 0 || rw == 0 {
+        return 0.0;
+    }
+    let (wh, ww) = (word.len(), word[0].len());
+    let mut agree = 0usize;
+    for y in 0..rh {
+        for x in 0..rw {
+            // Nearest-neighbour resample of the candidate.
+            let sy = y * wh / rh;
+            let sx = x * ww / rw;
+            if word[sy][sx] == reference[y][x] {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / (rh * rw) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::{magnify, GrayRegion};
+    use crate::segment;
+
+    fn rendered(word: &str) -> Bitmap {
+        font::render_pattern(word)
+    }
+
+    #[test]
+    fn vocabulary_validates_words() {
+        assert!(Vocabulary::new(&["PIT", "STOP"]).is_ok());
+        assert!(Vocabulary::new(&[""]).is_err());
+        assert!(Vocabulary::new(&["müller"]).is_err());
+        let v = Vocabulary::formula1();
+        assert!(v.len() > 15);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn exact_pattern_scores_one() {
+        let v = Vocabulary::new(&["WINNER", "PIT"]).unwrap();
+        let (word, score) = v.recognize(&rendered("WINNER"), 6, 0.8).unwrap();
+        assert_eq!(word, "WINNER");
+        assert!((score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_buckets_limit_the_search() {
+        let v = Vocabulary::new(&["PIT", "CLASSIFICATION"]).unwrap();
+        // A 3-char word never matches the 14-char reference bucket well.
+        assert!(v.recognize(&rendered("PIT"), 14, 0.9).is_none());
+        assert!(v.recognize(&rendered("PIT"), 3, 0.9).is_some());
+        // Off-by-one char counts still search the right bucket.
+        assert!(v.recognize(&rendered("PIT"), 4, 0.5).is_some());
+    }
+
+    #[test]
+    fn threshold_rejects_poor_matches() {
+        let v = Vocabulary::new(&["WINNER"]).unwrap();
+        // A different 6-char word shares some pixels but not enough.
+        let other = rendered("HALLOW");
+        let loose = v.recognize(&other, 6, 0.5);
+        let strict = v.recognize(&other, 6, 0.97);
+        assert!(loose.is_some()); // fonts share background pixels
+        assert!(strict.is_none());
+    }
+
+    #[test]
+    fn similar_drivers_disambiguate() {
+        let v = Vocabulary::formula1();
+        for name in f1_media::synth::scenario::DRIVERS {
+            let (word, score) = v
+                .recognize(&rendered(name), name.chars().count(), 0.9)
+                .unwrap_or_else(|| panic!("no match for {name}"));
+            assert_eq!(word, name, "misrecognized {name} (score {score})");
+        }
+    }
+
+    #[test]
+    fn recognizes_after_magnification_round_trip() {
+        // Render, magnify 4x (as the refinement step does), re-binarize,
+        // segment, and recognize — the full §5.4 path in miniature.
+        let pattern = rendered("HAKKINEN");
+        let gray = GrayRegion {
+            width: pattern[0].len(),
+            height: pattern.len(),
+            data: pattern
+                .iter()
+                .flat_map(|r| r.iter().map(|&b| if b { 250 } else { 15 }))
+                .collect(),
+        };
+        let big = magnify(&gray);
+        let bm = segment::binarize(&big, 128);
+        let chars = segment::extract_characters(&bm);
+        let words = segment::group_words(&chars, 4 * crate::refine::MAGNIFY);
+        assert_eq!(words.len(), 1);
+        let cropped = segment::crop(&bm, &words[0]);
+        let v = Vocabulary::formula1();
+        let (word, score) = v
+            .recognize(&cropped, words[0].n_chars, 0.8)
+            .expect("recognized");
+        assert_eq!(word, "HAKKINEN");
+        assert!(score > 0.9);
+    }
+
+    #[test]
+    fn similarity_handles_degenerate_inputs() {
+        assert_eq!(similarity(&vec![], &rendered("A")), 0.0);
+        assert_eq!(similarity(&vec![vec![]], &rendered("A")), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Step 2 — refinement of text regions (§5.4).
+//!
+//! "The filtering is done through minimizing pixel intensities over
+//! several consecutive frames" — static caption pixels keep their value,
+//! moving background behind semi-transparent shading darkens. Then "the
+//! text area is magnified four times in both directions".
+
+use f1_media::frame::Frame;
+
+/// The magnification factor of §5.4.
+pub const MAGNIFY: usize = 4;
+
+/// A small grayscale image (luma plane) of the caption band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayRegion {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major luma values.
+    pub data: Vec<u8>,
+}
+
+impl GrayRegion {
+    /// Luma at (x, y); out of bounds reads 0.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        if x >= self.width || y >= self.height {
+            0
+        } else {
+            self.data[y * self.width + x]
+        }
+    }
+}
+
+/// Pixel-wise minimum of the caption band over several consecutive
+/// frames.
+pub fn min_filter(frames: &[Frame], band_y: usize, band_h: usize) -> GrayRegion {
+    assert!(!frames.is_empty(), "min_filter needs at least one frame");
+    let width = frames[0].width();
+    let height = band_h.min(frames[0].height().saturating_sub(band_y));
+    let mut data = vec![255u8; width * height];
+    for f in frames {
+        for y in 0..height {
+            for x in 0..width {
+                let l = f.luma(x, band_y + y);
+                let cell = &mut data[y * width + x];
+                *cell = (*cell).min(l);
+            }
+        }
+    }
+    GrayRegion {
+        width,
+        height,
+        data,
+    }
+}
+
+/// Nearest-neighbour magnification by [`MAGNIFY`] in both directions.
+pub fn magnify(region: &GrayRegion) -> GrayRegion {
+    let width = region.width * MAGNIFY;
+    let height = region.height * MAGNIFY;
+    let mut data = vec![0u8; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            data[y * width + x] = region.get(x / MAGNIFY, y / MAGNIFY);
+        }
+    }
+    GrayRegion {
+        width,
+        height,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_media::frame::FrameBuf;
+
+    #[test]
+    fn min_filter_keeps_static_brightness_and_darkens_motion() {
+        // Static bright pixel at (1,0); flickering pixel at (3,0).
+        let mut a = FrameBuf::filled(6, 4, [50, 50, 50]);
+        a.set(1, 0, [255, 255, 255]);
+        a.set(3, 0, [255, 255, 255]);
+        let mut b = FrameBuf::filled(6, 4, [50, 50, 50]);
+        b.set(1, 0, [255, 255, 255]);
+        // (3,0) dark in frame b.
+        let region = min_filter(&[a.freeze(), b.freeze()], 0, 4);
+        assert_eq!(region.get(1, 0), 255);
+        assert_eq!(region.get(3, 0), 50);
+        assert_eq!(region.get(0, 0), 50);
+    }
+
+    #[test]
+    fn min_filter_respects_band_offset() {
+        let mut fb = FrameBuf::filled(4, 8, [10, 10, 10]);
+        fb.set(0, 6, [200, 200, 200]);
+        let region = min_filter(&[fb.freeze()], 5, 3);
+        assert_eq!(region.height, 3);
+        assert_eq!(region.get(0, 1), 200); // y=6 maps to row 1
+    }
+
+    #[test]
+    fn magnify_scales_four_times() {
+        let region = GrayRegion {
+            width: 2,
+            height: 1,
+            data: vec![10, 200],
+        };
+        let big = magnify(&region);
+        assert_eq!(big.width, 8);
+        assert_eq!(big.height, 4);
+        assert_eq!(big.get(0, 0), 10);
+        assert_eq!(big.get(3, 3), 10);
+        assert_eq!(big.get(4, 0), 200);
+        assert_eq!(big.get(7, 3), 200);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_zero() {
+        let region = GrayRegion {
+            width: 1,
+            height: 1,
+            data: vec![9],
+        };
+        assert_eq!(region.get(5, 0), 0);
+        assert_eq!(region.get(0, 5), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Step 3a — character extraction and word grouping (§5.4).
+//!
+//! The refined region is binarized ("we marked characters as a white space
+//! on the black background"), characters are extracted with the
+//! horizontal and the (double) vertical projection of white pixels, and
+//! characters are connected into word regions by pixel distance.
+
+use crate::refine::GrayRegion;
+use crate::Bitmap;
+
+/// Binarizes a gray region: ink = luma above `threshold`.
+pub fn binarize(region: &GrayRegion, threshold: u8) -> Bitmap {
+    (0..region.height)
+        .map(|y| (0..region.width).map(|x| region.get(x, y) > threshold).collect())
+        .collect()
+}
+
+/// Horizontal projection: ink count per row.
+pub fn horizontal_projection(bitmap: &Bitmap) -> Vec<usize> {
+    bitmap
+        .iter()
+        .map(|row| row.iter().filter(|&&b| b).count())
+        .collect()
+}
+
+/// Vertical projection: ink count per column.
+pub fn vertical_projection(bitmap: &Bitmap) -> Vec<usize> {
+    if bitmap.is_empty() {
+        return Vec::new();
+    }
+    let w = bitmap[0].len();
+    (0..w)
+        .map(|x| bitmap.iter().filter(|row| row[x]).count())
+        .collect()
+}
+
+/// The text line (row range) holding the ink, from the horizontal
+/// projection. Returns `None` when the bitmap is empty of ink.
+pub fn text_line(bitmap: &Bitmap) -> Option<(usize, usize)> {
+    let proj = horizontal_projection(bitmap);
+    let top = proj.iter().position(|&c| c > 0)?;
+    let bottom = proj.iter().rposition(|&c| c > 0)? + 1;
+    Some((top, bottom))
+}
+
+/// A character's column range within the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharBox {
+    /// First ink column.
+    pub x0: usize,
+    /// One past the last ink column.
+    pub x1: usize,
+    /// First ink row (refined per character — the "double vertical
+    /// projection" for characters of different heights).
+    pub y0: usize,
+    /// One past the last ink row.
+    pub y1: usize,
+}
+
+/// Extracts character boxes: columns are split at empty vertical-
+/// projection gaps; each character's rows are then refined with a second
+/// (per-character) projection.
+pub fn extract_characters(bitmap: &Bitmap) -> Vec<CharBox> {
+    let Some((line_top, line_bottom)) = text_line(bitmap) else {
+        return Vec::new();
+    };
+    let vproj = vertical_projection(bitmap);
+    let mut chars = Vec::new();
+    let mut start: Option<usize> = None;
+    for (x, &c) in vproj.iter().enumerate() {
+        match (c > 0, start) {
+            (true, None) => start = Some(x),
+            (false, Some(s)) => {
+                chars.push((s, x));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        chars.push((s, vproj.len()));
+    }
+    chars
+        .into_iter()
+        .map(|(x0, x1)| {
+            // Double projection: per-character row range.
+            let mut y0 = line_bottom;
+            let mut y1 = line_top;
+            for (y, row) in bitmap.iter().enumerate().take(line_bottom).skip(line_top) {
+                if row[x0..x1].iter().any(|&b| b) {
+                    y0 = y0.min(y);
+                    y1 = y1.max(y + 1);
+                }
+            }
+            CharBox { x0, x1, y0, y1 }
+        })
+        .collect()
+}
+
+/// A word region: characters grouped by pixel distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordBox {
+    /// Bounding box over the member characters.
+    pub x0: usize,
+    /// One past the last column.
+    pub x1: usize,
+    /// First row.
+    pub y0: usize,
+    /// One past the last row.
+    pub y1: usize,
+    /// Number of characters in the word.
+    pub n_chars: usize,
+}
+
+/// Groups characters into words: gaps smaller than `max_gap` columns
+/// join; larger gaps split ("regions that are closed to each other are
+/// considered as characters that belong to the same word").
+pub fn group_words(chars: &[CharBox], max_gap: usize) -> Vec<WordBox> {
+    let mut words: Vec<WordBox> = Vec::new();
+    for c in chars {
+        match words.last_mut() {
+            Some(w) if c.x0 <= w.x1 + max_gap => {
+                w.x1 = w.x1.max(c.x1);
+                w.y0 = w.y0.min(c.y0);
+                w.y1 = w.y1.max(c.y1);
+                w.n_chars += 1;
+            }
+            _ => words.push(WordBox {
+                x0: c.x0,
+                x1: c.x1,
+                y0: c.y0,
+                y1: c.y1,
+                n_chars: 1,
+            }),
+        }
+    }
+    words
+}
+
+/// Crops a word's sub-bitmap.
+pub fn crop(bitmap: &Bitmap, word: &WordBox) -> Bitmap {
+    bitmap[word.y0..word.y1]
+        .iter()
+        .map(|row| row[word.x0..word.x1].to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::{magnify, GrayRegion};
+    use f1_media::font;
+
+    /// Renders text into a bitmap via the font, as the pipeline would see
+    /// it after binarization.
+    fn text_bitmap(text: &str) -> Bitmap {
+        let pattern = font::render_pattern(text);
+        // Pad with a margin of empty pixels.
+        let w = pattern[0].len() + 4;
+        let mut out = vec![vec![false; w]; pattern.len() + 4];
+        for (y, row) in pattern.iter().enumerate() {
+            for (x, &b) in row.iter().enumerate() {
+                out[y + 2][x + 2] = b;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn binarize_thresholds_luma() {
+        let region = GrayRegion {
+            width: 3,
+            height: 1,
+            data: vec![10, 150, 250],
+        };
+        let b = binarize(&region, 128);
+        assert_eq!(b, vec![vec![false, true, true]]);
+    }
+
+    #[test]
+    fn projections_count_ink() {
+        let bm = vec![
+            vec![true, false, true],
+            vec![false, false, true],
+        ];
+        assert_eq!(horizontal_projection(&bm), vec![2, 1]);
+        assert_eq!(vertical_projection(&bm), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn text_line_finds_ink_rows() {
+        let bm = text_bitmap("HI");
+        let (top, bottom) = text_line(&bm).unwrap();
+        assert_eq!(top, 2);
+        assert_eq!(bottom, 2 + font::GLYPH_H);
+        assert_eq!(text_line(&vec![vec![false; 4]; 4]), None);
+    }
+
+    #[test]
+    fn characters_split_at_gaps() {
+        let bm = text_bitmap("HI");
+        let chars = extract_characters(&bm);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].x0, 2);
+        assert_eq!(chars[0].x1, 2 + font::GLYPH_W);
+        // 'I' is narrower than its cell (columns 1..4 of the glyph).
+        assert!(chars[1].x1 - chars[1].x0 <= font::GLYPH_W);
+    }
+
+    #[test]
+    fn double_projection_tightens_character_rows() {
+        // '.' only has ink in the bottom rows.
+        let bm = text_bitmap("A.");
+        let chars = extract_characters(&bm);
+        assert_eq!(chars.len(), 2);
+        let dot = chars[1];
+        assert!(dot.y0 > chars[0].y0, "dot rows {}..{}", dot.y0, dot.y1);
+    }
+
+    #[test]
+    fn words_group_by_gap() {
+        let bm = text_bitmap("PIT STOP");
+        let chars = extract_characters(&bm);
+        assert_eq!(chars.len(), 7); // space contributes no characters
+        // Inter-character gap is 1 px; the space gap is 7 px.
+        let words = group_words(&chars, 4);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].n_chars, 3);
+        assert_eq!(words[1].n_chars, 4);
+        assert!(words[0].x1 < words[1].x0);
+    }
+
+    #[test]
+    fn grouping_respects_magnified_gaps() {
+        // After 4x magnification gaps scale too: use a scaled max_gap.
+        let pattern = font::render_pattern("NO GO");
+        let region = GrayRegion {
+            width: pattern[0].len(),
+            height: pattern.len(),
+            data: pattern
+                .iter()
+                .flat_map(|row| row.iter().map(|&b| if b { 255 } else { 0 }))
+                .collect(),
+        };
+        let big = magnify(&region);
+        let bm = binarize(&big, 128);
+        let chars = extract_characters(&bm);
+        let words = group_words(&chars, 4 * crate::refine::MAGNIFY);
+        assert_eq!(words.len(), 2);
+    }
+
+    #[test]
+    fn crop_extracts_word_bitmap() {
+        let bm = text_bitmap("AB");
+        let chars = extract_characters(&bm);
+        let words = group_words(&chars, 4);
+        let cropped = crop(&bm, &words[0]);
+        assert_eq!(cropped.len(), words[0].y1 - words[0].y0);
+        assert_eq!(cropped[0].len(), words[0].x1 - words[0].x0);
+        assert!(cropped.iter().flatten().any(|&b| b));
+    }
+}

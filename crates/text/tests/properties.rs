@@ -1,0 +1,73 @@
+//! Property tests for the text pipeline: render→recognize round trips.
+
+use f1_media::font;
+use f1_text::recognize::{similarity, tight_crop, Vocabulary};
+use f1_text::refine::{magnify, GrayRegion};
+use f1_text::segment;
+use proptest::prelude::*;
+
+/// Words over the renderable alphabet.
+fn arb_word() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::char::range('A', 'Z'), 2..9)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_rendered_word_recognizes_exactly(word in arb_word()) {
+        let vocab = Vocabulary::new(&[word.as_str()]).unwrap();
+        // The pipeline hands the recognizer tight ink crops, so crop here
+        // too (glyphs like 'I' have empty cell edges).
+        let pattern = tight_crop(&font::render_pattern(&word));
+        let (hit, score) = vocab
+            .recognize(&pattern, word.chars().count(), 0.9)
+            .expect("self-recognition");
+        prop_assert_eq!(hit, word);
+        prop_assert!(score > 0.99);
+    }
+
+    #[test]
+    fn magnification_preserves_recognition(word in arb_word()) {
+        let pattern = font::render_pattern(&word);
+        let gray = GrayRegion {
+            width: pattern[0].len(),
+            height: pattern.len(),
+            data: pattern.iter().flat_map(|r| r.iter().map(|&b| if b { 250 } else { 10 })).collect(),
+        };
+        let big = magnify(&gray);
+        let bitmap = segment::binarize(&big, 128);
+        let chars = segment::extract_characters(&bitmap);
+        prop_assert!(!chars.is_empty());
+        let words = segment::group_words(&chars, 4 * f1_text::refine::MAGNIFY);
+        prop_assert_eq!(words.len(), 1, "word split apart: {:?}", words);
+        let cropped = segment::crop(&bitmap, &words[0]);
+        let vocab = Vocabulary::new(&[word.as_str()]).unwrap();
+        let hit = vocab.recognize(&cropped, words[0].n_chars, 0.85);
+        prop_assert!(hit.is_some(), "lost '{}' after magnification", word);
+    }
+
+    #[test]
+    fn similarity_is_reflexive_and_bounded(word in arb_word()) {
+        let p = tight_crop(&font::render_pattern(&word));
+        let s = similarity(&p, &p);
+        prop_assert!((s - 1.0).abs() < 1e-12);
+        let other = tight_crop(&font::render_pattern("X"));
+        let cross = similarity(&p, &other);
+        prop_assert!((0.0..=1.0).contains(&cross));
+    }
+
+    #[test]
+    fn tight_crop_is_idempotent_and_keeps_ink(word in arb_word()) {
+        let p = font::render_pattern(&word);
+        let c1 = tight_crop(&p);
+        let c2 = tight_crop(&c1);
+        prop_assert_eq!(&c1, &c2);
+        let ink_before: usize = p.iter().flatten().filter(|&&b| b).count();
+        let ink_after: usize = c1.iter().flatten().filter(|&&b| b).count();
+        prop_assert_eq!(ink_before, ink_after);
+        // Crop borders touch ink.
+        prop_assert!(c1[0].iter().any(|&b| b) || c1.len() == 1);
+    }
+}

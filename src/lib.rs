@@ -1,0 +1,35 @@
+//! # cobra-f1 — a reproduction of the Cobra video DBMS (EDBT-MDDE 2002)
+//!
+//! *"Extending a DBMS to Support Content-Based Video Retrieval: A Formula 1
+//! Case Study"* — Petković, Mihajlović & Jonker — rebuilt as a Rust
+//! workspace. This facade crate re-exports every subsystem:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`monet`] | physical level: BAT kernel, MIL interpreter, parallelism |
+//! | [`moa`] | logical level: object algebra compiled to MIL |
+//! | [`bayes`] | BN/DBN, EM learning, Boyen–Koller inference |
+//! | [`hmm`] | discrete HMMs and the parallel model bank |
+//! | [`media`] | synthetic broadcast + audio/visual feature extraction |
+//! | [`text`] | superimposed text detection and recognition |
+//! | [`keyword`] | finite-state-grammar keyword spotting |
+//! | [`rules`] | Allen-interval rule engine for compound events |
+//! | [`cobra`] | the VDBMS: catalog, extensions, query pre-processor, retrieval |
+//!
+//! See the workspace `README.md` for the architecture tour, `DESIGN.md`
+//! for the system inventory and experiment index, and `EXPERIMENTS.md`
+//! for paper-vs-measured results. Start with the `quickstart` example:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+pub use f1_bayes as bayes;
+pub use f1_cobra as cobra;
+pub use f1_hmm as hmm;
+pub use f1_keyword as keyword;
+pub use f1_media as media;
+pub use f1_moa as moa;
+pub use f1_monet as monet;
+pub use f1_rules as rules;
+pub use f1_text as text;

@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the full ingest → train → annotate →
+//! retrieve pipeline and its determinism.
+
+use cobra_f1::cobra::Vdbms;
+use cobra_f1::media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig, Span};
+use cobra_f1::media::time::clips_per_second;
+
+fn scenario() -> RaceScenario {
+    RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 150))
+}
+
+fn windows(sc: &RaceScenario) -> Vec<Span> {
+    let cps = clips_per_second();
+    (0..5)
+        .map(|k| {
+            let start = k * sc.n_clips / 6;
+            Span::new(start, (start + 30 * cps).min(sc.n_clips))
+        })
+        .collect()
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let sc = scenario();
+    let run = || {
+        let vdbms = Vdbms::new();
+        let report = vdbms.ingest("race", &sc).unwrap();
+        vdbms
+            .train_highlight_net("race", &sc, &windows(&sc), false)
+            .unwrap();
+        let ann = vdbms.annotate("race").unwrap();
+        let highlights = vdbms.query("race", "RETRIEVE HIGHLIGHTS").unwrap();
+        (report, ann, highlights)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "ingest reports differ");
+    assert_eq!(a.1, b.1, "annotation reports differ");
+    assert_eq!(a.2, b.2, "retrieved highlights differ");
+}
+
+#[test]
+fn retrieval_grounds_in_scenario_truth() {
+    let sc = scenario();
+    let vdbms = Vdbms::new();
+    vdbms.ingest("race", &sc).unwrap();
+    vdbms
+        .train_highlight_net("race", &sc, &windows(&sc), false)
+        .unwrap();
+    vdbms.annotate("race").unwrap();
+
+    // Recognized pit stops name real pit drivers.
+    let pits = vdbms.query("race", "RETRIEVE PITSTOPS").unwrap();
+    for p in &pits {
+        let driver = p.driver.as_deref().expect("pit caption names a driver");
+        let truth = sc.events.iter().any(|e| {
+            e.kind == cobra_f1::media::synth::scenario::EventKind::PitStop
+                && e.driver
+                    .map(|d| cobra_f1::media::synth::scenario::DRIVERS[d])
+                    == Some(driver)
+        });
+        assert!(truth, "query returned pit stop for {driver}, not in truth");
+    }
+
+    // The winner query returns the caption of the true winner.
+    let winner = vdbms.query("race", "RETRIEVE WINNER").unwrap();
+    if let Some(w) = winner.first() {
+        let true_winner =
+            cobra_f1::media::synth::scenario::DRIVERS[sc.standings_at(sc.n_clips - 1)[0]];
+        assert_eq!(w.driver.as_deref(), Some(true_winner));
+    }
+}
+
+#[test]
+fn catalog_metadata_lives_in_kernel_bats() {
+    let sc = scenario();
+    let vdbms = Vdbms::new();
+    vdbms.ingest("race", &sc).unwrap();
+    // The feature layer is stored as real BATs queryable through MIL.
+    let count = vdbms
+        .kernel()
+        .eval_mil(r#"RETURN bat("race.f1").count;"#)
+        .unwrap();
+    assert_eq!(
+        count,
+        cobra_f1::monet::MilValue::Atom(cobra_f1::monet::Atom::Int(sc.n_clips as i64))
+    );
+    // And Moa expressions compile down onto them.
+    let expr = cobra_f1::moa::MoaExpr::collection("race.f3")
+        .aggregate(cobra_f1::moa::Aggregate::Max);
+    let max = cobra_f1::moa::execute(vdbms.kernel(), expr).unwrap();
+    let cobra_f1::monet::MilValue::Atom(cobra_f1::monet::Atom::Dbl(v)) = max else {
+        panic!("expected a dbl");
+    };
+    assert!((0.0..=1.0).contains(&v));
+}
+
+#[test]
+fn user_defined_compound_events_extend_the_event_layer() {
+    use cobra_f1::rules::{
+        AllenRelation, Condition, Interval, IntervalSpec, Rule, TemporalConstraint, Term,
+    };
+    let sc = scenario();
+    let vdbms = Vdbms::new();
+    vdbms.ingest("race", &sc).unwrap();
+    vdbms
+        .train_highlight_net("race", &sc, &windows(&sc), false)
+        .unwrap();
+    vdbms.annotate("race").unwrap();
+
+    // "Excited commentary during a highlight" as a user-defined compound
+    // event, exactly the §5.6 UI workflow.
+    let rule = Rule {
+        name: "hot_highlight".into(),
+        conditions: vec![
+            Condition::new("highlight", vec![Term::var("d")]),
+            Condition::new("excited", vec![Term::var("e")]),
+        ],
+        temporal: vec![TemporalConstraint {
+            a: 0,
+            b: 1,
+            relations: vec![
+                AllenRelation::Overlaps,
+                AllenRelation::OverlappedBy,
+                AllenRelation::During,
+                AllenRelation::Contains,
+                AllenRelation::Starts,
+                AllenRelation::StartedBy,
+                AllenRelation::Finishes,
+                AllenRelation::FinishedBy,
+                AllenRelation::Equal,
+            ],
+        }],
+        head: "hot_highlight".into(),
+        head_args: vec![Term::var("d")],
+        interval: IntervalSpec::Of(0),
+    };
+    let added = vdbms.define_compound_event("race", rule).unwrap();
+    // The derived events are retrievable like any built-in kind.
+    let results = vdbms.query("race", "RETRIEVE EVENTS HOT_HIGHLIGHT").unwrap();
+    assert_eq!(results.len(), added);
+    // Every compound event coincides with a stored highlight.
+    let highlights = vdbms.query("race", "RETRIEVE HIGHLIGHTS").unwrap();
+    for r in &results {
+        assert!(
+            highlights.iter().any(|h| h.start == r.start && h.end == r.end),
+            "compound event {:?} not aligned with a highlight",
+            (r.start, r.end)
+        );
+    }
+    let _ = Interval::new(0, 1);
+}
