@@ -31,7 +31,13 @@ impl Clusters {
 
     /// Every hidden node in its own cluster (fully factored).
     pub fn singletons(dbn: &Dbn) -> Self {
-        Clusters(dbn.slice().hidden_ids().into_iter().map(|id| vec![id]).collect())
+        Clusters(
+            dbn.slice()
+                .hidden_ids()
+                .into_iter()
+                .map(|id| vec![id])
+                .collect(),
+        )
     }
 
     /// Separates the named nodes into their own cluster, the remaining

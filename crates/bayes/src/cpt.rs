@@ -53,7 +53,10 @@ impl Cpt {
         if rows.len() != configs {
             return Err(BayesError::CptShape {
                 node: usize::MAX,
-                message: format!("{} rows provided, {configs} parent configurations", rows.len()),
+                message: format!(
+                    "{} rows provided, {configs} parent configurations",
+                    rows.len()
+                ),
             });
         }
         let mut cpt = Cpt::uniform(card, parent_cards);
@@ -117,7 +120,7 @@ impl Cpt {
             });
         }
         let sum: f64 = row.iter().sum();
-        if !(sum > 0.0) {
+        if sum.is_nan() || sum <= 0.0 {
             return Err(BayesError::Numerical(format!(
                 "CPT row sums to {sum}, cannot normalize"
             )));
@@ -143,8 +146,8 @@ impl Cpt {
                 continue;
             }
             let denom = total + pseudocount * self.card as f64;
-            for s in 0..self.card {
-                self.data[cfg * self.card + s] = (slice[s] + pseudocount) / denom;
+            for (s, &c) in slice.iter().enumerate() {
+                self.data[cfg * self.card + s] = (c + pseudocount) / denom;
             }
         }
     }

@@ -235,14 +235,20 @@ mod tests {
     fn cpt_setters_check_shape() {
         let mut d = Dbn::new(slice(), vec![(0, 0)]).unwrap();
         // EA prior has no parents.
-        assert!(d.set_prior_cpt(0, Cpt::binary(vec![], &[0.2]).unwrap()).is_ok());
+        assert!(d
+            .set_prior_cpt(0, Cpt::binary(vec![], &[0.2]).unwrap())
+            .is_ok());
         // EA transition has one binary temporal parent.
         assert!(d
             .set_trans_cpt(0, Cpt::binary(vec![2], &[0.1, 0.9]).unwrap())
             .is_ok());
         // Wrong shapes rejected.
-        assert!(d.set_prior_cpt(0, Cpt::binary(vec![2], &[0.1, 0.9]).unwrap()).is_err());
-        assert!(d.set_trans_cpt(0, Cpt::binary(vec![], &[0.2]).unwrap()).is_err());
+        assert!(d
+            .set_prior_cpt(0, Cpt::binary(vec![2], &[0.1, 0.9]).unwrap())
+            .is_err());
+        assert!(d
+            .set_trans_cpt(0, Cpt::binary(vec![], &[0.2]).unwrap())
+            .is_err());
         assert!(d.set_prior_cpt(0, Cpt::uniform(3, vec![])).is_err());
     }
 

@@ -65,7 +65,18 @@ pub fn train(dbn: &mut Dbn, sequences: &[EvidenceSeq], cfg: &EmConfig) -> Result
     let mut logliks = Vec::new();
     let mut converged = false;
 
-    for _iter in 0..cfg.max_iters {
+    for iter in 0..cfg.max_iters {
+        // Fault site `em.iteration`: tests can abort training at a
+        // scripted iteration. An injected or numerical failure leaves
+        // the CPTs at their last completed iteration.
+        if cobra_faults::is_armed() {
+            if let Err(e) = cobra_faults::fire("em.iteration") {
+                return Err(BayesError::EmDiverged {
+                    iteration: iter,
+                    message: e.to_string(),
+                });
+            }
+        }
         // E-step.
         let mut prior_counts: Vec<CptCounts> = (0..n_nodes)
             .map(|id| dbn.prior_cpt(id).zero_counts())
@@ -77,14 +88,17 @@ pub fn train(dbn: &mut Dbn, sequences: &[EvidenceSeq], cfg: &EmConfig) -> Result
         {
             let engine = Engine::new(dbn)?;
             for seq in sequences.iter().filter(|s| !s.is_empty()) {
-                total_ll += accumulate(
-                    dbn,
-                    &engine,
-                    seq,
-                    &mut prior_counts,
-                    &mut trans_counts,
-                )?;
+                total_ll += accumulate(dbn, &engine, seq, &mut prior_counts, &mut trans_counts)?;
             }
+        }
+        if !total_ll.is_finite() {
+            // A NaN/-inf log-likelihood means the parameters (or the
+            // evidence) broke the model; iterating further only smears
+            // NaNs through every CPT.
+            return Err(BayesError::EmDiverged {
+                iteration: iter,
+                message: format!("log-likelihood became non-finite ({total_ll})"),
+            });
         }
         logliks.push(total_ll);
 
@@ -125,6 +139,23 @@ pub fn train(dbn: &mut Dbn, sequences: &[EvidenceSeq], cfg: &EmConfig) -> Result
     })
 }
 
+/// Like [`train`], but strict about convergence: failing to reach
+/// `cfg.tol` within `cfg.max_iters` iterations is an
+/// [`BayesError::EmNotConverged`] error instead of a report flag.
+pub fn train_converged(
+    dbn: &mut Dbn,
+    sequences: &[EvidenceSeq],
+    cfg: &EmConfig,
+) -> Result<EmReport> {
+    let report = train(dbn, sequences, cfg)?;
+    if !report.converged {
+        return Err(BayesError::EmNotConverged {
+            iterations: report.iterations,
+        });
+    }
+    Ok(report)
+}
+
 /// Accumulates one sequence's expected counts; returns its log-likelihood.
 fn accumulate(
     dbn: &Dbn,
@@ -139,8 +170,7 @@ fn accumulate(
     let is_static = dbn.is_static();
     let hidden = engine.hidden().to_vec();
     let observed = dbn.slice().observed_ids();
-    let core: std::collections::HashSet<usize> =
-        dbn.slice().core_observed().into_iter().collect();
+    let core: std::collections::HashSet<usize> = dbn.slice().core_observed().into_iter().collect();
 
     for t in 0..tlen {
         let hard = engine.hard_map(seq, t)?;
@@ -176,9 +206,8 @@ fn accumulate(
                     prior_counts[e].add(cfg, v, w);
                 } else if let Some(obs) = obs {
                     // Posterior over the evidence node's own state.
-                    let mut q: Vec<f64> = (0..card)
-                        .map(|s| cpt.prob(cfg, s) * lik(obs, s))
-                        .collect();
+                    let mut q: Vec<f64> =
+                        (0..card).map(|s| cpt.prob(cfg, s) * lik(obs, s)).collect();
                     let qs: f64 = q.iter().sum();
                     if qs > 0.0 {
                         for x in &mut q {
@@ -205,8 +234,7 @@ fn accumulate(
                         if w == 0.0 {
                             continue;
                         }
-                        let cfg =
-                            engine.parent_config(h, cur, Some(prev), &hard_next, true)?;
+                        let cfg = engine.parent_config(h, cur, Some(prev), &hard_next, true)?;
                         trans_counts[h].add(cfg, engine.state_value(cur, h), w);
                     }
                 }
@@ -248,13 +276,7 @@ mod tests {
     }
 
     /// Samples sequences from a ground-truth model.
-    fn sample(
-        truth: &Dbn,
-        ea: usize,
-        kw: usize,
-        rng: &mut StdRng,
-        t_len: usize,
-    ) -> EvidenceSeq {
+    fn sample(truth: &Dbn, ea: usize, kw: usize, rng: &mut StdRng, t_len: usize) -> EvidenceSeq {
         let mut seq = EvidenceSeq::new(t_len);
         let mut state = (rng.gen::<f64>() < truth.prior_cpt(ea).prob(0, 1)) as usize;
         for t in 0..t_len {
@@ -270,16 +292,104 @@ mod tests {
     }
 
     #[test]
+    fn injected_iteration_fault_aborts_training() {
+        let (mut model, ea, kw) = hmm_dbn();
+        let mut rng = StdRng::seed_from_u64(3);
+        let seqs = vec![sample(&model.clone(), ea, kw, &mut rng, 10)];
+        let (result, report) = cobra_faults::with_faults(
+            cobra_faults::FaultPlan::new(1).fail(
+                "em.iteration",
+                cobra_faults::Trigger::Nth { skip: 2, times: 1 },
+            ),
+            || {
+                train(
+                    &mut model,
+                    &seqs,
+                    &EmConfig {
+                        max_iters: 8,
+                        // Negative tolerance: the convergence check can
+                        // never pass, so the loop provably reaches the
+                        // scripted fault iteration.
+                        tol: -1.0,
+                        pseudocount: 0.1,
+                    },
+                )
+            },
+        );
+        assert_eq!(report.count("em.iteration"), 1);
+        match result {
+            Err(BayesError::EmDiverged { iteration: 2, .. }) => {}
+            other => panic!("expected EmDiverged at iteration 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_evidence_is_a_typed_error_not_a_nan_model() {
+        let (mut model, _ea, kw) = hmm_dbn();
+        let mut seq = EvidenceSeq::new(4);
+        // Soft evidence with NaN mass poisons the log-likelihood.
+        for t in 0..4 {
+            seq.set(t, kw, Obs::Soft(vec![f64::NAN, 1.0]));
+        }
+        let err = train(&mut model, &[seq], &EmConfig::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BayesError::EmDiverged { .. } | BayesError::Numerical(_)
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn train_converged_is_strict_about_tolerance() {
+        let (mut model, ea, kw) = hmm_dbn();
+        let mut rng = StdRng::seed_from_u64(5);
+        model.randomize(&mut rng, 0.6);
+        let seqs = vec![sample(&model.clone(), ea, kw, &mut rng, 30)];
+        // One iteration with zero tolerance cannot satisfy the check.
+        let err = train_converged(
+            &mut model,
+            &seqs,
+            &EmConfig {
+                max_iters: 1,
+                tol: 0.0,
+                pseudocount: 0.1,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, BayesError::EmNotConverged { iterations: 1 });
+        // A loose tolerance converges and reports how.
+        let report = train_converged(
+            &mut model,
+            &seqs,
+            &EmConfig {
+                max_iters: 20,
+                tol: 1e3,
+                pseudocount: 0.1,
+            },
+        )
+        .unwrap();
+        assert!(report.converged);
+    }
+
+    #[test]
     fn loglik_is_monotone_nondecreasing() {
         let (mut model, ea, kw) = hmm_dbn();
         let (mut truth, _, _) = hmm_dbn();
-        truth.set_prior_cpt(ea, Cpt::binary(vec![], &[0.2]).unwrap()).unwrap();
+        truth
+            .set_prior_cpt(ea, Cpt::binary(vec![], &[0.2]).unwrap())
+            .unwrap();
         truth
             .set_trans_cpt(ea, Cpt::binary(vec![2], &[0.1, 0.9]).unwrap())
             .unwrap();
-        truth.set_cpt(kw, Cpt::binary(vec![2], &[0.15, 0.8]).unwrap()).unwrap();
+        truth
+            .set_cpt(kw, Cpt::binary(vec![2], &[0.15, 0.8]).unwrap())
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(11);
-        let seqs: Vec<EvidenceSeq> = (0..6).map(|_| sample(&truth, ea, kw, &mut rng, 40)).collect();
+        let seqs: Vec<EvidenceSeq> = (0..6)
+            .map(|_| sample(&truth, ea, kw, &mut rng, 40))
+            .collect();
 
         model.randomize(&mut rng, 0.6);
         let report = train(
@@ -307,21 +417,30 @@ mod tests {
         // Ground truth: keyword much likelier when EA=1. EM from an
         // informative start should keep/strengthen the asymmetry.
         let (mut truth, ea, kw) = hmm_dbn();
-        truth.set_prior_cpt(ea, Cpt::binary(vec![], &[0.3]).unwrap()).unwrap();
+        truth
+            .set_prior_cpt(ea, Cpt::binary(vec![], &[0.3]).unwrap())
+            .unwrap();
         truth
             .set_trans_cpt(ea, Cpt::binary(vec![2], &[0.15, 0.85]).unwrap())
             .unwrap();
-        truth.set_cpt(kw, Cpt::binary(vec![2], &[0.1, 0.9]).unwrap()).unwrap();
+        truth
+            .set_cpt(kw, Cpt::binary(vec![2], &[0.1, 0.9]).unwrap())
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let seqs: Vec<EvidenceSeq> =
-            (0..10).map(|_| sample(&truth, ea, kw, &mut rng, 60)).collect();
+        let seqs: Vec<EvidenceSeq> = (0..10)
+            .map(|_| sample(&truth, ea, kw, &mut rng, 60))
+            .collect();
 
         let (mut model, _, _) = hmm_dbn();
-        model.set_prior_cpt(ea, Cpt::binary(vec![], &[0.4]).unwrap()).unwrap();
+        model
+            .set_prior_cpt(ea, Cpt::binary(vec![], &[0.4]).unwrap())
+            .unwrap();
         model
             .set_trans_cpt(ea, Cpt::binary(vec![2], &[0.3, 0.7]).unwrap())
             .unwrap();
-        model.set_cpt(kw, Cpt::binary(vec![2], &[0.3, 0.7]).unwrap()).unwrap();
+        model
+            .set_cpt(kw, Cpt::binary(vec![2], &[0.3, 0.7]).unwrap())
+            .unwrap();
         train(&mut model, &seqs, &EmConfig::default()).unwrap();
         let p_low = model.prior_cpt(kw).prob(0, 1);
         let p_high = model.prior_cpt(kw).prob(1, 1);
@@ -336,11 +455,15 @@ mod tests {
         // Clamp EA to ground truth during training: emission CPT converges
         // near the true conditional frequencies.
         let (mut truth, ea, kw) = hmm_dbn();
-        truth.set_prior_cpt(ea, Cpt::binary(vec![], &[0.5]).unwrap()).unwrap();
+        truth
+            .set_prior_cpt(ea, Cpt::binary(vec![], &[0.5]).unwrap())
+            .unwrap();
         truth
             .set_trans_cpt(ea, Cpt::binary(vec![2], &[0.2, 0.8]).unwrap())
             .unwrap();
-        truth.set_cpt(kw, Cpt::binary(vec![2], &[0.05, 0.75]).unwrap()).unwrap();
+        truth
+            .set_cpt(kw, Cpt::binary(vec![2], &[0.05, 0.75]).unwrap())
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(23);
         // Sample with hidden-state bookkeeping so we can clamp.
         let mut seqs = Vec::new();

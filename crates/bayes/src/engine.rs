@@ -208,10 +208,15 @@ impl<'a> Engine<'a> {
     /// Observation factor over hidden states for slice `t`: the product of
     /// every observed node's expected likelihood and of soft/hard clamps
     /// on hidden nodes.
-    fn obs_factor(&self, ev: &EvidenceSeq, t: usize, hard: &HashMap<NodeId, usize>) -> Result<Vec<f64>> {
+    fn obs_factor(
+        &self,
+        ev: &EvidenceSeq,
+        t: usize,
+        hard: &HashMap<NodeId, usize>,
+    ) -> Result<Vec<f64>> {
         let slice = self.dbn.slice();
         let mut out = vec![1.0; self.n_states];
-        for state in 0..self.n_states {
+        for (state, o) in out.iter_mut().enumerate() {
             let mut f = 1.0;
             // Observed nodes.
             for &e in &slice.observed_ids() {
@@ -243,7 +248,7 @@ impl<'a> Engine<'a> {
                     f *= obs.likelihood(self.value_of(state, h), card);
                 }
             }
-            out[state] = f;
+            *o = f;
         }
         Ok(out)
     }
@@ -251,13 +256,13 @@ impl<'a> Engine<'a> {
     /// Prior joint vector at slice 0.
     fn prior_vec(&self, hard: &HashMap<NodeId, usize>) -> Result<Vec<f64>> {
         let mut out = vec![1.0; self.n_states];
-        for state in 0..self.n_states {
+        for (state, o) in out.iter_mut().enumerate() {
             let mut p = 1.0;
             for &h in &self.hidden {
                 let cfg = self.config(h, state, None, hard, false)?;
                 p *= self.dbn.prior_cpt(h).prob(cfg, self.value_of(state, h));
             }
-            out[state] = p;
+            *o = p;
         }
         Ok(out)
     }
@@ -282,7 +287,7 @@ impl<'a> Engine<'a> {
 
     fn normalize(v: &mut [f64]) -> Result<f64> {
         let s: f64 = v.iter().sum();
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return Err(BayesError::Numerical(
                 "message vanished (impossible evidence)".into(),
             ));
@@ -295,7 +300,7 @@ impl<'a> Engine<'a> {
 
     /// Boyen–Koller projection: replaces a joint belief by the product of
     /// its marginals over `clusters` (a partition of the hidden nodes).
-    pub fn project(&self, belief: &mut Vec<f64>, clusters: &[Vec<NodeId>]) -> Result<()> {
+    pub fn project(&self, belief: &mut [f64], clusters: &[Vec<NodeId>]) -> Result<()> {
         self.validate_clusters(clusters)?;
         if clusters.len() <= 1 {
             return Ok(()); // single cluster: projection is the identity
@@ -597,7 +602,8 @@ mod tests {
         let ea = s.hidden("EA", 2, &[]);
         let kw = s.observed("Kw", 2, &[ea]);
         let mut d = Dbn::new(s, vec![(ea, ea)]).unwrap();
-        d.set_prior_cpt(ea, Cpt::binary(vec![], &[0.2]).unwrap()).unwrap();
+        d.set_prior_cpt(ea, Cpt::binary(vec![], &[0.2]).unwrap())
+            .unwrap();
         d.set_trans_cpt(ea, Cpt::binary(vec![2], &[0.1, 0.8]).unwrap())
             .unwrap();
         d.set_cpt(kw, Cpt::binary(vec![2], &[0.1, 0.7]).unwrap())
@@ -669,14 +675,12 @@ mod tests {
         let mut s = SliceNet::new();
         let a = s.hidden("A", 2, &[]);
         let mut d = Dbn::bn(s).unwrap();
-        d.set_prior_cpt(a, Cpt::binary(vec![], &[0.0]).unwrap()).unwrap();
+        d.set_prior_cpt(a, Cpt::binary(vec![], &[0.0]).unwrap())
+            .unwrap();
         let e = Engine::new(&d).unwrap();
         let mut ev = EvidenceSeq::new(1);
         ev.set(0, a, Obs::Hard(1)); // P(A=1)=0 yet clamped to 1
-        assert!(matches!(
-            e.filter(&ev, None),
-            Err(BayesError::Numerical(_))
-        ));
+        assert!(matches!(e.filter(&ev, None), Err(BayesError::Numerical(_))));
     }
 
     #[test]
@@ -805,7 +809,8 @@ mod tests {
         let a = s.hidden("A", 2, &[]);
         let b = s.hidden("B", 2, &[a]);
         let mut d = Dbn::bn(s).unwrap();
-        d.set_prior_cpt(a, Cpt::binary(vec![], &[0.3]).unwrap()).unwrap();
+        d.set_prior_cpt(a, Cpt::binary(vec![], &[0.3]).unwrap())
+            .unwrap();
         d.set_prior_cpt(b, Cpt::binary(vec![2], &[0.2, 0.9]).unwrap())
             .unwrap();
         let e = Engine::new(&d).unwrap();
@@ -817,10 +822,10 @@ mod tests {
         e.project(&mut belief, &[vec![a], vec![b]]).unwrap();
         // After projection: belief(a_v, b_v) = ma[a_v] * mb[b_v].
         // Engine encoding: state = a_v * 1 + b_v * 2.
-        for av in 0..2 {
-            for bv in 0..2 {
+        for (av, &mav) in ma.iter().enumerate() {
+            for (bv, &mbv) in mb.iter().enumerate() {
                 let idx = av + bv * 2;
-                assert!((belief[idx] - ma[av] * mb[bv]).abs() < 1e-12);
+                assert!((belief[idx] - mav * mbv).abs() < 1e-12);
             }
         }
     }

@@ -11,21 +11,21 @@ use crate::evidence::{EvidenceSeq, Obs};
 use crate::slice::NodeId;
 use crate::{BayesError, Result};
 
+/// One joint configuration: `cfg[t][n]` is node `n`'s state at slice `t`.
+type JointConfig = Vec<Vec<usize>>;
+
 /// Enumerates all joint configurations and their unnormalized weights.
 ///
 /// Returns `(configs, weights)` where `configs[i][t][n]` is the state of
 /// node `n` at slice `t` in configuration `i`.
-fn enumerate(dbn: &Dbn, ev: &EvidenceSeq) -> Result<(Vec<Vec<Vec<usize>>>, Vec<f64>)> {
+fn enumerate(dbn: &Dbn, ev: &EvidenceSeq) -> Result<(Vec<JointConfig>, Vec<f64>)> {
     if ev.is_empty() {
         return Err(BayesError::EmptySequence);
     }
     let tlen = ev.len();
     let n = dbn.slice().len();
     let cards: Vec<usize> = dbn.slice().nodes().iter().map(|nd| nd.card).collect();
-    let total: usize = cards
-        .iter()
-        .map(|c| c.pow(tlen as u32))
-        .product::<usize>();
+    let total: usize = cards.iter().map(|c| c.pow(tlen as u32)).product::<usize>();
     assert!(
         total <= 1 << 22,
         "exact enumeration limited to small problems (got {total} configs)"
@@ -41,14 +41,14 @@ fn enumerate(dbn: &Dbn, ev: &EvidenceSeq) -> Result<(Vec<Vec<Vec<usize>>>, Vec<f
         weights.push(w);
         // Increment.
         let mut done = true;
-        'inc: for t in 0..tlen {
+        'inc: for row in counter.iter_mut().take(tlen) {
             for i in 0..n {
-                counter[t][i] += 1;
-                if counter[t][i] < cards[i] {
+                row[i] += 1;
+                if row[i] < cards[i] {
                     done = false;
                     break 'inc;
                 }
-                counter[t][i] = 0;
+                row[i] = 0;
             }
         }
         if done {
@@ -103,7 +103,7 @@ pub fn posterior(dbn: &Dbn, ev: &EvidenceSeq, t: usize, node: NodeId) -> Result<
         out[cfg[t][node]] += w;
         total += w;
     }
-    if !(total > 0.0) {
+    if total.is_nan() || total <= 0.0 {
         return Err(BayesError::Numerical("zero total probability".into()));
     }
     for v in &mut out {
@@ -116,7 +116,7 @@ pub fn posterior(dbn: &Dbn, ev: &EvidenceSeq, t: usize, node: NodeId) -> Result<
 pub fn loglik(dbn: &Dbn, ev: &EvidenceSeq) -> Result<f64> {
     let (_, weights) = enumerate(dbn, ev)?;
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) {
+    if total.is_nan() || total <= 0.0 {
         return Err(BayesError::Numerical("zero total probability".into()));
     }
     Ok(total.ln())
@@ -134,7 +134,8 @@ mod tests {
         let ea = s.hidden("EA", 2, &[]);
         let kw = s.observed("Kw", 2, &[ea]);
         let mut d = Dbn::new(s, vec![(ea, ea)]).unwrap();
-        d.set_prior_cpt(ea, Cpt::binary(vec![], &[0.3]).unwrap()).unwrap();
+        d.set_prior_cpt(ea, Cpt::binary(vec![], &[0.3]).unwrap())
+            .unwrap();
         d.set_trans_cpt(ea, Cpt::binary(vec![2], &[0.15, 0.75]).unwrap())
             .unwrap();
         d.set_cpt(kw, Cpt::binary(vec![2], &[0.2, 0.6]).unwrap())
@@ -151,7 +152,8 @@ mod tests {
         let e1 = s.observed("E1", 2, &[a]);
         let e2 = s.observed("E2", 2, &[b]);
         let mut d = Dbn::new(s, vec![(a, a), (a, b), (b, b)]).unwrap();
-        d.set_prior_cpt(a, Cpt::binary(vec![], &[0.4]).unwrap()).unwrap();
+        d.set_prior_cpt(a, Cpt::binary(vec![], &[0.4]).unwrap())
+            .unwrap();
         d.set_prior_cpt(b, Cpt::binary(vec![2], &[0.2, 0.7]).unwrap())
             .unwrap();
         // A_t | A_t-1 ; B_t | A_t, A_t-1, B_t-1
@@ -159,15 +161,13 @@ mod tests {
             .unwrap();
         d.set_trans_cpt(
             b,
-            Cpt::binary(
-                vec![2, 2, 2],
-                &[0.05, 0.3, 0.4, 0.6, 0.2, 0.5, 0.7, 0.95],
-            )
-            .unwrap(),
+            Cpt::binary(vec![2, 2, 2], &[0.05, 0.3, 0.4, 0.6, 0.2, 0.5, 0.7, 0.95]).unwrap(),
         )
         .unwrap();
-        d.set_cpt(e1, Cpt::binary(vec![2], &[0.25, 0.8]).unwrap()).unwrap();
-        d.set_cpt(e2, Cpt::binary(vec![2], &[0.1, 0.65]).unwrap()).unwrap();
+        d.set_cpt(e1, Cpt::binary(vec![2], &[0.25, 0.8]).unwrap())
+            .unwrap();
+        d.set_cpt(e2, Cpt::binary(vec![2], &[0.1, 0.65]).unwrap())
+            .unwrap();
         d
     }
 

@@ -89,6 +89,21 @@ pub enum BayesError {
     BadClusters(String),
     /// Numerical failure (all-zero message, impossible evidence).
     Numerical(String),
+    /// EM produced a non-finite log-likelihood: the parameters diverged
+    /// (or an injected fault aborted the iteration).
+    EmDiverged {
+        /// Zero-based iteration at which the failure was detected.
+        iteration: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// EM failed to reach its tolerance within `max_iters` (only raised
+    /// by [`em::train_converged`]; plain [`em::train`] reports this
+    /// through [`EmReport::converged`](em::EmReport)).
+    EmNotConverged {
+        /// Iterations actually run.
+        iterations: usize,
+    },
 }
 
 impl std::fmt::Display for BayesError {
@@ -116,6 +131,12 @@ impl std::fmt::Display for BayesError {
             BayesError::EmptySequence => write!(f, "empty evidence sequence"),
             BayesError::BadClusters(msg) => write!(f, "bad cluster partition: {msg}"),
             BayesError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            BayesError::EmDiverged { iteration, message } => {
+                write!(f, "EM diverged at iteration {iteration}: {message}")
+            }
+            BayesError::EmNotConverged { iterations } => {
+                write!(f, "EM did not converge within {iterations} iterations")
+            }
         }
     }
 }

@@ -109,11 +109,7 @@ pub fn roughness(trace: &[f64]) -> f64 {
     if trace.len() < 2 {
         return 0.0;
     }
-    trace
-        .windows(2)
-        .map(|w| (w[1] - w[0]).abs())
-        .sum::<f64>()
-        / (trace.len() - 1) as f64
+    trace.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (trace.len() - 1) as f64
 }
 
 /// Precision and recall of detected segments against ground truth.
@@ -188,11 +184,7 @@ pub fn precision_recall_strict(
     let tp = detected
         .iter()
         .filter(|d| {
-            let best = truth
-                .iter()
-                .map(|t| d.overlap_len(t))
-                .max()
-                .unwrap_or(0);
+            let best = truth.iter().map(|t| d.overlap_len(t)).max().unwrap_or(0);
             !d.is_empty() && best as f64 / d.len() as f64 >= min_frac
         })
         .count();
@@ -322,11 +314,15 @@ mod tests {
 
     #[test]
     fn precision_recall_counts_overlaps() {
-        let truth = [Segment::new(0, 10), Segment::new(50, 60), Segment::new(90, 95)];
+        let truth = [
+            Segment::new(0, 10),
+            Segment::new(50, 60),
+            Segment::new(90, 95),
+        ];
         let detected = [
-            Segment::new(5, 12),   // hits truth 0
-            Segment::new(20, 30),  // false positive
-            Segment::new(52, 58),  // hits truth 1
+            Segment::new(5, 12),  // hits truth 0
+            Segment::new(20, 30), // false positive
+            Segment::new(52, 58), // hits truth 1
         ];
         let pr = precision_recall(&detected, &truth);
         assert!((pr.precision - 2.0 / 3.0).abs() < 1e-12);

@@ -24,8 +24,23 @@ pub const AUDIO_FEATURES: [&str; 10] = [
 
 /// Audio-visual evidence node names in f1…f17 order.
 pub const AV_FEATURES: [&str; 17] = [
-    "Kw", "Pause", "SteAvg", "SteDyn", "SteMax", "PitchAvg", "PitchDyn", "PitchMax", "MfccAvg",
-    "MfccMax", "PartOfRace", "Replay", "ColorDiff", "Semaphore", "Dust", "Sand", "Motion",
+    "Kw",
+    "Pause",
+    "SteAvg",
+    "SteDyn",
+    "SteMax",
+    "PitchAvg",
+    "PitchDyn",
+    "PitchMax",
+    "MfccAvg",
+    "MfccMax",
+    "PartOfRace",
+    "Replay",
+    "ColorDiff",
+    "Semaphore",
+    "Dust",
+    "Sand",
+    "Motion",
 ];
 
 /// The three static slice structures of Fig. 7.
@@ -252,13 +267,18 @@ fn audio_input_output(variant: Option<TemporalVariant>) -> Result<PaperNet> {
     let temporal = temporal_edges(variant, ea, &[en, pi, sp]);
     let mut dbn = Dbn::new(s, temporal)?;
 
-    for &e in &[kw, pause, ste_avg, ste_dyn, ste_max, p_avg, p_dyn, p_max, m_avg, m_max] {
+    for &e in &[
+        kw, pause, ste_avg, ste_dyn, ste_max, p_avg, p_dyn, p_max, m_avg, m_max,
+    ] {
         dbn.set_cpt(e, Cpt::binary(vec![], &[0.25])?)?;
     }
     dbn.set_prior_cpt(en, binary_logistic(vec![2, 2, 2], &[1.4, 1.2, 1.4], -2.6))?;
     dbn.set_prior_cpt(pi, binary_logistic(vec![2, 2, 2], &[1.4, 1.2, 1.4], -2.6))?;
     dbn.set_prior_cpt(sp, binary_logistic(vec![2, 2, 2], &[-1.2, 1.3, 1.3], -0.6))?;
-    dbn.set_prior_cpt(ea, binary_logistic(vec![2, 2, 2, 2], &[1.5, 1.5, 1.0, 1.8], -3.2))?;
+    dbn.set_prior_cpt(
+        ea,
+        binary_logistic(vec![2, 2, 2, 2], &[1.5, 1.5, 1.0, 1.8], -3.2),
+    )?;
     set_transition_cpts(&mut dbn, ea, &[en, pi, sp], variant)?;
 
     Ok(PaperNet {
@@ -482,10 +502,7 @@ pub fn audio_visual_dbn(with_passing: bool) -> Result<(PaperNet, AvNodes)> {
     dbn.set_cpt(sand, Cpt::binary(vec![2], &[0.05, 0.75])?)?;
     match ps {
         // Config order: ST + 2*PS.
-        Some(_) => dbn.set_cpt(
-            motion,
-            Cpt::binary(vec![2, 2], &[0.20, 0.85, 0.75, 0.95])?,
-        )?,
+        Some(_) => dbn.set_cpt(motion, Cpt::binary(vec![2, 2], &[0.20, 0.85, 0.75, 0.95])?)?,
         None => dbn.set_cpt(motion, Cpt::binary(vec![2], &[0.25, 0.85])?)?,
     }
 

@@ -45,7 +45,13 @@ impl SliceNet {
         self.push(name, card, intra_parents, true)
     }
 
-    fn push(&mut self, name: &str, card: usize, intra_parents: &[NodeId], observed: bool) -> NodeId {
+    fn push(
+        &mut self,
+        name: &str,
+        card: usize,
+        intra_parents: &[NodeId],
+        observed: bool,
+    ) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(SliceNode {
             name: name.to_string(),

@@ -19,10 +19,12 @@ fn hmm_dbn(p0: f64, stay0: f64, stay1: f64, e0: f64, e1: f64) -> Dbn {
     let ea = s.hidden("EA", 2, &[]);
     let kw = s.observed("Kw", 2, &[ea]);
     let mut d = Dbn::new(s, vec![(ea, ea)]).unwrap();
-    d.set_prior_cpt(ea, Cpt::binary(vec![], &[p0]).unwrap()).unwrap();
+    d.set_prior_cpt(ea, Cpt::binary(vec![], &[p0]).unwrap())
+        .unwrap();
     d.set_trans_cpt(ea, Cpt::binary(vec![2], &[1.0 - stay0, stay1]).unwrap())
         .unwrap();
-    d.set_cpt(kw, Cpt::binary(vec![2], &[e0, e1]).unwrap()).unwrap();
+    d.set_cpt(kw, Cpt::binary(vec![2], &[e0, e1]).unwrap())
+        .unwrap();
     d
 }
 
@@ -170,8 +172,8 @@ proptest! {
         let segs = f1_bayes::metrics::threshold_segments(&trace, theta, min_len, 0);
         for s in &segs {
             prop_assert!(s.len() >= min_len);
-            for i in s.start..s.end {
-                prop_assert!(trace[i] >= theta);
+            for &v in &trace[s.start..s.end] {
+                prop_assert!(v >= theta);
             }
         }
         // Segments are disjoint and ordered.

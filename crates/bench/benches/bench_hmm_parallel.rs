@@ -22,7 +22,9 @@ fn bank_and_obs() -> (HmmBank, Vec<usize>) {
     for name in names {
         bank.insert(name, DiscreteHmm::random(6, 12, &mut rng));
     }
-    let obs = DiscreteHmm::random(6, 12, &mut rng).sample(10_000, &mut rng).1;
+    let obs = DiscreteHmm::random(6, 12, &mut rng)
+        .sample(10_000, &mut rng)
+        .1;
     (bank, obs)
 }
 

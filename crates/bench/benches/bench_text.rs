@@ -18,7 +18,9 @@ fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("caption_detection_per_frame", |b| {
         b.iter(|| has_shaded_region(&frame, &cfg));
     });
-    let frames: Vec<_> = (0..3).map(|k| video.frame(cap.start_frame + 3 + k)).collect();
+    let frames: Vec<_> = (0..3)
+        .map(|k| video.frame(cap.start_frame + 3 + k))
+        .collect();
     c.bench_function("caption_min_filter_3_frames", |b| {
         b.iter(|| min_filter(&frames, cfg.band_y, cfg.band_h));
     });

@@ -112,11 +112,7 @@ pub struct AvTraces {
 /// which the engine marginalizes exactly.
 pub fn infer_av_audio_only(model: &AvModel, race: &RaceData) -> AvTraces {
     let audio_nodes = &model.net.feature_nodes[..10];
-    let audio_rows: Vec<Vec<f64>> = race
-        .features
-        .iter()
-        .map(|r| r[..10].to_vec())
-        .collect();
+    let audio_rows: Vec<Vec<f64>> = race.features.iter().map(|r| r[..10].to_vec()).collect();
     let ev = EvidenceSeq::from_matrix(audio_nodes, &audio_rows);
     run_filter(model, ev)
 }
@@ -212,9 +208,7 @@ pub fn evaluate_av(model: &AvModel, race: &RaceData) -> AvEvaluation {
             // "Most probable candidate" by the peak of each sub-query
             // node inside the window; pronounced when the peak clears the
             // evidence bar.
-            let peak = |tr: &[f64]| {
-                tr[w.start..w.end].iter().cloned().fold(f64::MIN, f64::max)
-            };
+            let peak = |tr: &[f64]| tr[w.start..w.end].iter().cloned().fold(f64::MIN, f64::max);
             let mut candidates = vec![
                 (EventKind::Start, peak(&traces.start)),
                 (EventKind::FlyOut, peak(&traces.fly_out)),
@@ -222,10 +216,7 @@ pub fn evaluate_av(model: &AvModel, race: &RaceData) -> AvEvaluation {
             if let Some(ps) = &traces.passing {
                 candidates.push((EventKind::Passing, peak(ps)));
             }
-            if let Some((kind, score)) = candidates
-                .into_iter()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-            {
+            if let Some((kind, score)) = candidates.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)) {
                 if score > 0.3 {
                     detected.push((kind, w));
                 }
@@ -241,7 +232,10 @@ pub fn evaluate_av(model: &AvModel, race: &RaceData) -> AvEvaluation {
     };
     AvEvaluation {
         highlights,
-        start: precision_recall(&by_kind(EventKind::Start), &race.event_truth(EventKind::Start)),
+        start: precision_recall(
+            &by_kind(EventKind::Start),
+            &race.event_truth(EventKind::Start),
+        ),
         fly_out: precision_recall(
             &by_kind(EventKind::FlyOut),
             &race.event_truth(EventKind::FlyOut),

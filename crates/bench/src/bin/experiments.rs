@@ -102,8 +102,7 @@ fn main() {
     }
     if want("fig9") {
         let t1 = t1out.as_ref().expect("table1 ran");
-        let (table, bn_trace, dbn_trace) =
-            experiments::fig9(&t1.bn_full, &t1.dbn_full, &german);
+        let (table, bn_trace, dbn_trace) = experiments::fig9(&t1.bn_full, &t1.dbn_full, &german);
         println!("{table}");
         let json = serde_json::json!({
             "bn": bn_trace,

@@ -19,10 +19,7 @@ pub struct RaceData {
 impl RaceData {
     /// Audio-only view (the first ten columns, f1…f10).
     pub fn audio_features(&self) -> Vec<Vec<f64>> {
-        self.features
-            .iter()
-            .map(|row| row[..10].to_vec())
-            .collect()
+        self.features.iter().map(|row| row[..10].to_vec()).collect()
     }
 
     /// Ground-truth excited-speech spans as metric segments.

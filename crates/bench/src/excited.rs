@@ -17,16 +17,16 @@ pub const TRAIN_CLIPS: usize = 3000;
 pub const SEGMENT_CLIPS: usize = 250;
 
 /// Builds clamped training sequences from a race's audio features.
-fn training_sequences(
-    net: &PaperNet,
-    race: &RaceData,
-    split: Option<usize>,
-) -> Vec<EvidenceSeq> {
+fn training_sequences(net: &PaperNet, race: &RaceData, split: Option<usize>) -> Vec<EvidenceSeq> {
     let audio = race.audio_features();
     let n = TRAIN_CLIPS.min(audio.len());
     let mut seq = EvidenceSeq::from_matrix(&net.feature_nodes, &audio[..n]);
     for t in 0..n {
-        seq.set(t, net.query, Obs::Hard(race.scenario.is_excited(t) as usize));
+        seq.set(
+            t,
+            net.query,
+            Obs::Hard(race.scenario.is_excited(t) as usize),
+        );
     }
     match split {
         Some(len) => seq.segments(len),

@@ -42,7 +42,11 @@ pub fn table1(german: &RaceData) -> Table1Out {
     let bn_full = train_bn(BnStructure::FullyParameterized, german);
     let bn_direct = train_bn(BnStructure::DirectEvidence, german);
     let bn_io = train_bn(BnStructure::InputOutput, german);
-    let dbn_full = train_dbn(BnStructure::FullyParameterized, TemporalVariant::Full, german);
+    let dbn_full = train_dbn(
+        BnStructure::FullyParameterized,
+        TemporalVariant::Full,
+        german,
+    );
 
     let mut table = Table::new(
         "Table 1 — Comparison of BNs and DBNs for detection of emphasized speech (German GP)",
@@ -50,7 +54,11 @@ pub fn table1(german: &RaceData) -> Table1Out {
     );
     for (name, net, is_dbn) in [
         ("Fully parameterized BN (Fig 7a)", &bn_full, false),
-        ("BN with direct evidence influence (Fig 7b)", &bn_direct, false),
+        (
+            "BN with direct evidence influence (Fig 7b)",
+            &bn_direct,
+            false,
+        ),
         ("Input/Output BN (Fig 7c)", &bn_io, false),
         ("Fully parameterized DBN (Fig 8 + 7a)", &dbn_full, true),
     ] {
@@ -104,9 +112,17 @@ pub fn table3(german: &RaceData) -> Table3Out {
         "Table 3 — The audio-visual DBN (German GP)",
         &["Query", "Precision", "Recall"],
     );
-    table.row(pr_cells("Highlights", eval.highlights.precision, eval.highlights.recall));
+    table.row(pr_cells(
+        "Highlights",
+        eval.highlights.precision,
+        eval.highlights.recall,
+    ));
     table.row(pr_cells("Start", eval.start.precision, eval.start.recall));
-    table.row(pr_cells("Fly Out", eval.fly_out.precision, eval.fly_out.recall));
+    table.row(pr_cells(
+        "Fly Out",
+        eval.fly_out.precision,
+        eval.fly_out.recall,
+    ));
     if let Some(ps) = eval.passing {
         table.row(pr_cells("Passing", ps.precision, ps.recall));
     }
@@ -125,17 +141,37 @@ pub fn table4(models: &Table3Out, belgian: &RaceData, usa: &RaceData) -> Table {
         &["Race / Query", "Precision", "Recall"],
     );
     let be = evaluate_av(&models.with_passing, belgian);
-    table.row(pr_cells("Belgian: Highlights", be.highlights.precision, be.highlights.recall));
-    table.row(pr_cells("Belgian: Start", be.start.precision, be.start.recall));
-    table.row(pr_cells("Belgian: Fly Out", be.fly_out.precision, be.fly_out.recall));
+    table.row(pr_cells(
+        "Belgian: Highlights",
+        be.highlights.precision,
+        be.highlights.recall,
+    ));
+    table.row(pr_cells(
+        "Belgian: Start",
+        be.start.precision,
+        be.start.recall,
+    ));
+    table.row(pr_cells(
+        "Belgian: Fly Out",
+        be.fly_out.precision,
+        be.fly_out.recall,
+    ));
     if let Some(ps) = be.passing {
         table.row(pr_cells("Belgian: Passing", ps.precision, ps.recall));
     }
     let us = evaluate_av(&models.without_passing, usa);
-    table.row(pr_cells("USA: Highlights", us.highlights.precision, us.highlights.recall));
+    table.row(pr_cells(
+        "USA: Highlights",
+        us.highlights.precision,
+        us.highlights.recall,
+    ));
     table.row(pr_cells("USA: Start", us.start.precision, us.start.recall));
     // The USA race has no fly-outs (paper footnote 3): both metrics 0.
-    table.row(pr_cells("USA: Fly Out", us.fly_out.precision, us.fly_out.recall));
+    table.row(pr_cells(
+        "USA: Fly Out",
+        us.fly_out.precision,
+        us.fly_out.recall,
+    ));
     table
 }
 
@@ -147,8 +183,8 @@ pub fn fig9(
     dbn_full: &PaperNet,
     german: &RaceData,
 ) -> (Table, Vec<f64>, Vec<f64>) {
-    let bn_trace: Vec<f64> = infer_trace(bn_full, german, None)[..3000.min(german.features.len())]
-        .to_vec();
+    let bn_trace: Vec<f64> =
+        infer_trace(bn_full, german, None)[..3000.min(german.features.len())].to_vec();
     let dbn_trace: Vec<f64> =
         infer_trace(dbn_full, german, None)[..3000.min(german.features.len())].to_vec();
     let range = |tr: &[f64]| {
@@ -164,7 +200,9 @@ pub fn fig9(
         Cell::Text("Audio BN".into()),
         Cell::Num(roughness(&bn_trace)),
         Cell::Num(roughness(&bn_trace) / range(&bn_trace)),
-        Cell::Text(format!("accumulated over {BN_ACCUMULATE_WINDOW} clips before thresholding")),
+        Cell::Text(format!(
+            "accumulated over {BN_ACCUMULATE_WINDOW} clips before thresholding"
+        )),
     ]);
     let bn_acc = accumulate(&bn_trace, BN_ACCUMULATE_WINDOW);
     table.row(vec![
@@ -191,8 +229,14 @@ pub fn temporal(german: &RaceData) -> Table {
     );
     for (name, variant) in [
         ("V1: full inter-slice wiring (Fig 8)", TemporalVariant::Full),
-        ("V2: only the query receives temporal evidence", TemporalVariant::QueryOnly),
-        ("V3: persistence + mids feed the query", TemporalVariant::NoQueryFanOut),
+        (
+            "V2: only the query receives temporal evidence",
+            TemporalVariant::QueryOnly,
+        ),
+        (
+            "V3: persistence + mids feed the query",
+            TemporalVariant::NoQueryFanOut,
+        ),
     ] {
         let net = train_dbn(BnStructure::FullyParameterized, variant, german);
         let trace = infer_trace(&net, german, None);
@@ -208,7 +252,13 @@ pub fn temporal(german: &RaceData) -> Table {
 pub fn clustering(dbn_full: &PaperNet, german: &RaceData) -> Table {
     let mut table = Table::new(
         "§5.5 — Boyen-Koller clustering (fully parameterized DBN, German GP)",
-        &["Clusters", "Precision", "Recall", "Misclassified clips", "Mean |Δp| vs exact"],
+        &[
+            "Clusters",
+            "Precision",
+            "Recall",
+            "Misclassified clips",
+            "Mean |Δp| vs exact",
+        ],
     );
     let exact_trace = infer_trace(dbn_full, german, None);
     let configs: Vec<(&str, Clusters)> = vec![
@@ -217,7 +267,10 @@ pub fn clustering(dbn_full: &PaperNet, german: &RaceData) -> Table {
             "query separated from other hidden nodes",
             Clusters::separate(&dbn_full.dbn, &["EA"]).expect("EA is hidden"),
         ),
-        ("fully factored (one node per cluster)", Clusters::singletons(&dbn_full.dbn)),
+        (
+            "fully factored (one node per cluster)",
+            Clusters::singletons(&dbn_full.dbn),
+        ),
     ];
     for (name, clusters) in configs {
         let trace = infer_trace(dbn_full, german, Some(&clusters));
@@ -375,7 +428,9 @@ pub fn endpoint(german: &RaceData) -> Table {
 pub fn shots(german: &RaceData) -> Table {
     let scenario = &german.scenario;
     let video = VideoSynth::new(scenario);
-    let hi = scenario.n_frames().min(90 * VIDEO_FPS * clips_per_second() / clips_per_second());
+    let hi = scenario
+        .n_frames()
+        .min(90 * VIDEO_FPS * clips_per_second() / clips_per_second());
     let detected = detect_shots(&video, 0, hi, &ShotConfig::default());
     let truth: Vec<usize> = scenario
         .shot_cuts
@@ -443,8 +498,15 @@ pub fn hmm_parallel() -> Table {
         let truth = DiscreteHmm::random(16, 24, &mut rng);
         let data: Vec<Vec<usize>> = (0..4).map(|_| truth.sample(400, &mut rng).1).collect();
         let mut model = DiscreteHmm::random(16, 24, &mut rng);
-        hmm_train(&mut model, &data, &TrainConfig { max_iters: 5, ..TrainConfig::default() })
-            .expect("training succeeds");
+        hmm_train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                max_iters: 5,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("training succeeds");
         bank.insert(name, model);
         if i == 0 {
             probes = truth.sample(50_000, &mut rng).1;
@@ -459,7 +521,8 @@ pub fn hmm_parallel() -> Table {
     let serial = t0.elapsed().as_secs_f64() / reps as f64;
     let t0 = Instant::now();
     for _ in 0..reps {
-        bank.evaluate_parallel(&probes, 6).expect("evaluation succeeds");
+        bank.evaluate_parallel(&probes, 6)
+            .expect("evaluation succeeds");
     }
     let parallel = t0.elapsed().as_secs_f64() / reps as f64;
 
@@ -509,8 +572,14 @@ pub fn ablation(models: &Table3Out, german: &RaceData) -> Table {
     );
     let truth = german.highlight_truth();
     for (name, traces) in [
-        ("audio only (f1–f10)", infer_av_audio_only(&models.with_passing, german)),
-        ("audio-visual (f1–f17)", infer_av(&models.with_passing, german)),
+        (
+            "audio only (f1–f10)",
+            infer_av_audio_only(&models.with_passing, german),
+        ),
+        (
+            "audio-visual (f1–f17)",
+            infer_av(&models.with_passing, german),
+        ),
     ] {
         let smooth = accumulate(&traces.highlight, 10);
         // Shared decision level so the comparison isolates the evidence.
@@ -530,13 +599,11 @@ pub fn queries(german: &RaceData) -> Table {
     let scenario = &german.scenario;
     let vdbms = Vdbms::new();
     // Reuse the prepared feature matrix instead of re-extracting.
-    vdbms
-        .catalog
-        .register_video(f1_cobra::catalog::VideoInfo {
-            name: "german".into(),
-            n_clips: scenario.n_clips,
-            n_frames: scenario.n_frames(),
-        });
+    vdbms.catalog.register_video(f1_cobra::catalog::VideoInfo {
+        name: "german".into(),
+        n_clips: scenario.n_clips,
+        n_frames: scenario.n_frames(),
+    });
     vdbms
         .catalog
         .store_features("german", &german.features)
@@ -649,8 +716,7 @@ pub fn queries(german: &RaceData) -> Table {
             .iter()
             .filter(|e| {
                 e.kind == EventKind::PitStop
-                    && e.driver.map(|d| f1_media::synth::scenario::DRIVERS[d])
-                        == Some(pit_driver)
+                    && e.driver.map(|d| f1_media::synth::scenario::DRIVERS[d]) == Some(pit_driver)
             })
             .map(|e| e.span)
             .collect(),
@@ -661,7 +727,11 @@ pub fn queries(german: &RaceData) -> Table {
         Vec::new(),
         true,
     );
-    run(format!("RETRIEVE LEADER WITH DRIVER \"{winner_name}\""), Vec::new(), false);
+    run(
+        format!("RETRIEVE LEADER WITH DRIVER \"{winner_name}\""),
+        Vec::new(),
+        false,
+    );
     run("RETRIEVE WINNER".into(), Vec::new(), true);
     run("RETRIEVE EXCITED".into(), scenario.excited.to_vec(), true);
     run(

@@ -68,7 +68,12 @@ impl fmt::Display for Table {
         let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             write!(f, "|")?;
             for (i, c) in cells.iter().enumerate() {
-                write!(f, " {:<width$} |", c, width = widths.get(i).copied().unwrap_or(4))?;
+                write!(
+                    f,
+                    " {:<width$} |",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(4)
+                )?;
             }
             writeln!(f)
         };

@@ -94,10 +94,7 @@ impl Catalog {
         self.video(video)?;
         let n_features = matrix.first().map(Vec::len).unwrap_or(0);
         for k in 0..n_features {
-            let bat = Bat::from_tail(
-                AtomType::Dbl,
-                matrix.iter().map(|row| Atom::Dbl(row[k])),
-            )?;
+            let bat = Bat::from_tail(AtomType::Dbl, matrix.iter().map(|row| Atom::Dbl(row[k])))?;
             self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
         }
         Ok(())
@@ -115,10 +112,13 @@ impl Catalog {
         let mut matrix = vec![vec![0.0; n_features]; info.n_clips];
         for k in 0..n_features {
             let name = Self::feature_bat_name(video, k);
-            let handle = self.kernel.bat(&name).map_err(|_| CobraError::MissingMetadata {
-                video: video.to_string(),
-                what: format!("feature column {}", k + 1),
-            })?;
+            let handle = self
+                .kernel
+                .bat(&name)
+                .map_err(|_| CobraError::MissingMetadata {
+                    video: video.to_string(),
+                    what: format!("feature column {}", k + 1),
+                })?;
             let bat = handle.read();
             for (t, row) in matrix.iter_mut().enumerate() {
                 row[k] = bat.tail_at(t)?.as_dbl()?;
@@ -231,10 +231,7 @@ mod tests {
     fn video_registration_round_trips() {
         let c = catalog();
         assert_eq!(c.video("german").unwrap().n_clips, 4);
-        assert!(matches!(
-            c.video("monza"),
-            Err(CobraError::UnknownVideo(_))
-        ));
+        assert!(matches!(c.video("monza"), Err(CobraError::UnknownVideo(_))));
         assert_eq!(c.videos(), vec!["german".to_string()]);
     }
 

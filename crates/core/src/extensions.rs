@@ -119,11 +119,8 @@ impl MelModule for DbnModule {
                 for k in 0..n_features {
                     let bat = kernel.bat(&format!("{video}.f{}", k + 1))?;
                     let bat = bat.read();
-                    let col: std::result::Result<Vec<f64>, MonetError> = bat
-                        .tail()
-                        .iter()
-                        .map(|a| a.as_dbl())
-                        .collect();
+                    let col: std::result::Result<Vec<f64>, MonetError> =
+                        bat.tail().iter().map(|a| a.as_dbl()).collect();
                     columns.push(col?);
                 }
                 let n_clips = columns.first().map(Vec::len).unwrap_or(0);
@@ -143,10 +140,7 @@ impl MelModule for DbnModule {
                 }
                 // Cache the trace in the catalog, as the paper's dynamic
                 // extraction would.
-                kernel.set_bat(
-                    &format!("{video}.trace.{}", query.as_str()?),
-                    out.clone(),
-                );
+                kernel.set_bat(&format!("{video}.trace.{}", query.as_str()?), out.clone());
                 Ok(MilValue::new_bat(out))
             }
             other => Err(MonetError::NotFound(format!("dbn.{other}"))),
@@ -158,6 +152,21 @@ impl MelModule for DbnModule {
 // Cost/quality model
 // ---------------------------------------------------------------------------
 
+/// How the pre-processor retries a method before falling back to the
+/// next one in the ranking.
+///
+/// Only *transient* failures (fault sites injected with
+/// `fail_transient`, i.e. errors a re-run can plausibly clear) are
+/// retried; permanent errors fall through to the next method at once.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 = never retry).
+    pub max_retries: u32,
+    /// Pause between attempts. The default of 0 keeps ingestion (and
+    /// the fault-injection tests) deterministic and wall-clock free.
+    pub backoff_ms: u64,
+}
+
 /// A method's cost/quality profile.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MethodProfile {
@@ -167,6 +176,9 @@ pub struct MethodProfile {
     pub cost_per_clip: f64,
     /// Expected quality in `[0, 1]`.
     pub quality: f64,
+    /// Retry behaviour on transient failure.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 /// The pre-processor's method table, per extraction task.
@@ -182,7 +194,9 @@ impl MethodRegistry {
     }
 
     /// The default table of the Formula 1 system: two feature-extraction
-    /// configurations and two inference algorithms.
+    /// configurations and two inference algorithms. The full extractor
+    /// is worth one retry on a transient failure before ingestion
+    /// degrades to the fast profile; everything else fails over at once.
     pub fn formula1() -> Self {
         let mut r = MethodRegistry::new();
         r.add(
@@ -191,6 +205,10 @@ impl MethodRegistry {
                 name: "full".into(),
                 cost_per_clip: 10.0,
                 quality: 0.95,
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    backoff_ms: 0,
+                },
             },
         );
         r.add(
@@ -199,6 +217,7 @@ impl MethodRegistry {
                 name: "fast".into(),
                 cost_per_clip: 4.0,
                 quality: 0.8,
+                retry: RetryPolicy::default(),
             },
         );
         r.add(
@@ -207,6 +226,7 @@ impl MethodRegistry {
                 name: "exact".into(),
                 cost_per_clip: 2.0,
                 quality: 0.95,
+                retry: RetryPolicy::default(),
             },
         );
         r.add(
@@ -215,6 +235,7 @@ impl MethodRegistry {
                 name: "boyen-koller".into(),
                 cost_per_clip: 0.8,
                 quality: 0.85,
+                retry: RetryPolicy::default(),
             },
         );
         r
@@ -222,7 +243,10 @@ impl MethodRegistry {
 
     /// Registers a method for a task.
     pub fn add(&mut self, task: &str, profile: MethodProfile) {
-        self.methods.entry(task.to_string()).or_default().push(profile);
+        self.methods
+            .entry(task.to_string())
+            .or_default()
+            .push(profile);
     }
 
     /// The cheapest method meeting `min_quality`, or — when none does —
@@ -238,6 +262,23 @@ impl MethodRegistry {
                     .iter()
                     .max_by(|a, b| a.quality.total_cmp(&b.quality))
             })
+    }
+
+    /// The fallback order for `task`: every method meeting `min_quality`
+    /// cheapest-first (the same preference [`choose`](Self::choose)
+    /// expresses), then the rest best-quality-first, so a degraded
+    /// answer is still the best degraded answer available. Empty only
+    /// when the task itself is unknown.
+    pub fn ranked(&self, task: &str, min_quality: f64) -> Vec<&MethodProfile> {
+        let Some(candidates) = self.methods.get(task) else {
+            return Vec::new();
+        };
+        let (mut meeting, mut below): (Vec<&MethodProfile>, Vec<&MethodProfile>) =
+            candidates.iter().partition(|m| m.quality >= min_quality);
+        meeting.sort_by(|a, b| a.cost_per_clip.total_cmp(&b.cost_per_clip));
+        below.sort_by(|a, b| b.quality.total_cmp(&a.quality));
+        meeting.extend(below);
+        meeting
     }
 
     /// Estimated cost of running `task` over `n_clips`.
@@ -266,6 +307,34 @@ mod tests {
             r.estimate("inference", 0.9, 100),
             Some(200.0) // exact at 2.0/clip
         );
+    }
+
+    #[test]
+    fn ranking_orders_fallbacks_by_cost_then_quality() {
+        let r = MethodRegistry::formula1();
+        // Both extraction methods are always in the order, primary first.
+        let names: Vec<&str> = r
+            .ranked("feature_extraction", 0.9)
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(names, ["full", "fast"]);
+        // With a lax requirement the cheap method becomes primary and
+        // the expensive one the fallback.
+        let names: Vec<&str> = r
+            .ranked("feature_extraction", 0.7)
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(names, ["fast", "full"]);
+        // The head of the ranking always agrees with `choose`.
+        for min_q in [0.7, 0.9, 0.99] {
+            assert_eq!(
+                r.ranked("inference", min_q).first().map(|m| m.name.clone()),
+                r.choose("inference", min_q).map(|m| m.name.clone()),
+            );
+        }
+        assert!(r.ranked("nonexistent", 0.5).is_empty());
     }
 
     #[test]
@@ -320,9 +389,7 @@ mod tests {
         use std::sync::Arc;
         let kernel = Kernel::new();
         let nets: NetStore = Arc::new(RwLock::new(HashMap::new()));
-        kernel
-            .load_module(Arc::new(DbnModule::new(nets)))
-            .unwrap();
+        kernel.load_module(Arc::new(DbnModule::new(nets))).unwrap();
         assert!(kernel
             .eval_mil(r#"RETURN dbnInfer("v", "ghost", "EA");"#)
             .is_err());

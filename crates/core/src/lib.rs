@@ -12,8 +12,9 @@
 //!   `f1_hmm::mel`; the rule extension derives compound events.
 //! * **Query pre-processor** — checks metadata availability, invokes
 //!   feature/semantic extraction dynamically, and chooses extraction
-//!   methods by cost and quality models ([`extensions::MethodRegistry`],
-//!   [`session::Vdbms::ensure_features`]).
+//!   methods by cost and quality models ([`extensions::MethodRegistry`]);
+//!   when the chosen method fails, ingestion retries and falls back down
+//!   the cost/quality ranking ([`session::Vdbms::ingest`]).
 //! * **Content-based retrieval** — the §5.6 query set over a small
 //!   retrieval language ([`query`]), combining DBN event detection with
 //!   recognized superimposed text ([`session`]).
@@ -49,6 +50,20 @@ pub enum CobraError {
     Media(f1_media::MediaError),
     /// The rule layer failed.
     Rules(f1_rules::RuleError),
+    /// The logical (Moa) layer failed.
+    Moa(f1_moa::MoaError),
+    /// The caption/text pipeline failed.
+    Text(f1_text::TextError),
+    /// The keyword-spotting layer failed.
+    Keyword(f1_keyword::KeywordError),
+    /// Every extraction method in the pre-processor's ranking failed;
+    /// `source` is the last method's error.
+    ExtractionFailed {
+        /// The video being ingested.
+        video: String,
+        /// The final method's failure.
+        source: Box<CobraError>,
+    },
 }
 
 impl std::fmt::Display for CobraError {
@@ -63,11 +78,33 @@ impl std::fmt::Display for CobraError {
             CobraError::Bayes(e) => write!(f, "bayes: {e}"),
             CobraError::Media(e) => write!(f, "media: {e}"),
             CobraError::Rules(e) => write!(f, "rules: {e}"),
+            CobraError::Moa(e) => write!(f, "moa: {e}"),
+            CobraError::Text(e) => write!(f, "text: {e}"),
+            CobraError::Keyword(e) => write!(f, "keyword: {e}"),
+            CobraError::ExtractionFailed { video, .. } => {
+                write!(f, "every extraction method failed for video '{video}'")
+            }
         }
     }
 }
 
-impl std::error::Error for CobraError {}
+impl std::error::Error for CobraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CobraError::Kernel(e) => Some(e),
+            CobraError::Bayes(e) => Some(e),
+            CobraError::Media(e) => Some(e),
+            CobraError::Rules(e) => Some(e),
+            CobraError::Moa(e) => Some(e),
+            CobraError::Text(e) => Some(e),
+            CobraError::Keyword(e) => Some(e),
+            CobraError::ExtractionFailed { source, .. } => Some(source.as_ref()),
+            CobraError::UnknownVideo(_)
+            | CobraError::MissingMetadata { .. }
+            | CobraError::Parse(_) => None,
+        }
+    }
+}
 
 impl From<f1_monet::MonetError> for CobraError {
     fn from(e: f1_monet::MonetError) -> Self {
@@ -87,6 +124,21 @@ impl From<f1_media::MediaError> for CobraError {
 impl From<f1_rules::RuleError> for CobraError {
     fn from(e: f1_rules::RuleError) -> Self {
         CobraError::Rules(e)
+    }
+}
+impl From<f1_moa::MoaError> for CobraError {
+    fn from(e: f1_moa::MoaError) -> Self {
+        CobraError::Moa(e)
+    }
+}
+impl From<f1_text::TextError> for CobraError {
+    fn from(e: f1_text::TextError) -> Self {
+        CobraError::Text(e)
+    }
+}
+impl From<f1_keyword::KeywordError> for CobraError {
+    fn from(e: f1_keyword::KeywordError) -> Self {
+        CobraError::Keyword(e)
     }
 }
 

@@ -133,9 +133,7 @@ pub fn parse_query(text: &str) -> Result<Query> {
             })?;
             Target::Events(kind.to_lowercase())
         }
-        other => {
-            return Err(CobraError::Parse(format!("unknown target {other:?}")))
-        }
+        other => return Err(CobraError::Parse(format!("unknown target {other:?}"))),
     };
     let mut query = Query {
         target,
@@ -150,9 +148,9 @@ pub fn parse_query(text: &str) -> Result<Query> {
                     return Err(CobraError::Parse("WITH must be followed by DRIVER".into()));
                 }
                 pos += 1;
-                let name = tokens.get(pos).ok_or_else(|| {
-                    CobraError::Parse("DRIVER requires a quoted name".into())
-                })?;
+                let name = tokens
+                    .get(pos)
+                    .ok_or_else(|| CobraError::Parse("DRIVER requires a quoted name".into()))?;
                 let name = name
                     .strip_prefix('"')
                     .ok_or_else(|| CobraError::Parse("driver name must be quoted".into()))?;
@@ -167,9 +165,7 @@ pub fn parse_query(text: &str) -> Result<Query> {
                 query.at_pitlane = true;
                 pos += 1;
             }
-            other => {
-                return Err(CobraError::Parse(format!("unexpected token '{other}'")))
-            }
+            other => return Err(CobraError::Parse(format!("unexpected token '{other}'"))),
         }
     }
     Ok(query)
@@ -193,8 +189,7 @@ mod tests {
         assert_eq!(q.target, Target::PitStops);
         assert_eq!(q.driver.as_deref(), Some("BARRICHELLO"));
 
-        let q =
-            parse_query(r#"RETRIEVE HIGHLIGHTS AT PITLANE WITH DRIVER "Montoya""#).unwrap();
+        let q = parse_query(r#"RETRIEVE HIGHLIGHTS AT PITLANE WITH DRIVER "Montoya""#).unwrap();
         assert_eq!(q.target, Target::Highlights);
         assert!(q.at_pitlane);
         assert_eq!(q.driver.as_deref(), Some("MONTOYA"));

@@ -1,0 +1,475 @@
+//! # cobra-faults — deterministic fault injection and cancellation
+//!
+//! Robustness support for the Cobra VDBMS reproduction. Two facilities:
+//!
+//! * **Fault injection**: production code marks *named sites* with
+//!   [`fire`]`("site.name")`. Normally that is a single relaxed atomic
+//!   load. Inside [`with_faults`], a seed-driven [`FaultPlan`] decides —
+//!   deterministically, with no wall clock and no OS entropy — which
+//!   invocations of which sites fail, so tests can script failures of
+//!   BAT operations, extension-module procedures, feature extractors, or
+//!   EM iterations and assert how the system degrades.
+//! * **Cancellation**: [`CancellationToken`], a cheaply clonable flag
+//!   shared between an execution and its controller, checked
+//!   cooperatively by the MIL interpreter's execution guard.
+//!
+//! Site naming convention used across the workspace:
+//! `bat.{method}` (kernel BAT methods), `proc.{name}` (extension-module
+//! dispatch), `extract.{method}` (media feature extractors),
+//! `em.iteration` (Bayes EM steps).
+//!
+//! The whole injection machinery sits behind the `fault-injection`
+//! feature (on by default so the test suite exercises it); building with
+//! `--no-default-features` turns [`fire`] into a constant `Ok(())`.
+//!
+//! ```
+//! use cobra_faults::{with_faults, fire, FaultPlan, Trigger};
+//!
+//! let (result, report) = with_faults(
+//!     FaultPlan::new(7).fail("demo.step", Trigger::Times(1)),
+//!     || (fire("demo.step").is_err(), fire("demo.step").is_err()),
+//! );
+//! assert_eq!(result, (true, false)); // first invocation fails, second runs
+//! assert_eq!(report.fired.len(), 1);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// A cooperative cancellation flag.
+///
+/// Clones share the same flag; any clone may [`cancel`](Self::cancel),
+/// and workers poll [`is_cancelled`](Self::is_cancelled) at safe points.
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; visible to every clone of the token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has called [`cancel`](Self::cancel).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault model
+// ---------------------------------------------------------------------------
+
+/// The error an armed fault site raises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The site that failed (e.g. `"extract.full"`).
+    pub site: String,
+    /// Zero-based invocation index at which the site failed.
+    pub invocation: u64,
+    /// Whether the failure models a transient condition: retry policies
+    /// may retry transient faults but must not retry permanent ones.
+    pub transient: bool,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} fault at site '{}' (invocation {})",
+            if self.transient {
+                "transient"
+            } else {
+                "permanent"
+            },
+            self.site,
+            self.invocation
+        )
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// When a rule fires, relative to the per-site invocation counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every invocation fails.
+    Always,
+    /// The first `n` invocations fail, later ones succeed.
+    Times(u32),
+    /// Invocations in `[skip, skip + times)` fail.
+    Nth {
+        /// Invocations to let through first.
+        skip: u32,
+        /// How many subsequent invocations fail.
+        times: u32,
+    },
+    /// Each invocation fails with this probability, decided by a hash of
+    /// (plan seed, site, invocation index) — deterministic across runs.
+    Probability(f64),
+}
+
+/// One injection rule: which site(s), when, and how the failure presents.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Exact site name, or a prefix followed by `*` (e.g. `"bat.*"`).
+    pub site: String,
+    /// When the rule fires.
+    pub trigger: Trigger,
+    /// Whether raised faults are transient (retryable).
+    pub transient: bool,
+}
+
+impl FaultRule {
+    fn matches(&self, site: &str) -> bool {
+        match self.site.strip_suffix('*') {
+            Some(prefix) => site.starts_with(prefix),
+            None => self.site == site,
+        }
+    }
+}
+
+/// A deterministic script of failures for one [`with_faults`] scope.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed feeding [`Trigger::Probability`] decisions.
+    pub seed: u64,
+    /// Rules checked in order; the first matching rule decides.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no sites fail) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a permanent-failure rule for `site`.
+    pub fn fail(mut self, site: impl Into<String>, trigger: Trigger) -> Self {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            trigger,
+            transient: false,
+        });
+        self
+    }
+
+    /// Adds a transient-failure (retryable) rule for `site`.
+    pub fn fail_transient(mut self, site: impl Into<String>, trigger: Trigger) -> Self {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            trigger,
+            transient: true,
+        });
+        self
+    }
+}
+
+/// A fault that actually fired during a [`with_faults`] scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Site that failed.
+    pub site: String,
+    /// Zero-based invocation index at which it failed.
+    pub invocation: u64,
+}
+
+/// Everything that fired during one [`with_faults`] scope.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Faults in firing order.
+    pub fired: Vec<FiredFault>,
+}
+
+impl FaultReport {
+    /// How many times `site` failed during the scope.
+    pub fn count(&self, site: &str) -> usize {
+        self.fired.iter().filter(|f| f.site == site).count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Armed injector (feature-gated)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "fault-injection")]
+mod armed {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    pub(super) struct Injector {
+        pub(super) plan: FaultPlan,
+        pub(super) counters: Mutex<HashMap<String, u64>>,
+        pub(super) fired: Mutex<Vec<FiredFault>>,
+    }
+
+    /// Fast-path flag: `fire()` is a single relaxed load when disarmed.
+    pub(super) static ARMED: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn injector_slot() -> &'static Mutex<Option<Arc<Injector>>> {
+        static SLOT: Mutex<Option<Arc<Injector>>> = Mutex::new(None);
+        &SLOT
+    }
+
+    /// Serializes concurrent `with_faults` scopes (the injector is
+    /// process-global; cargo runs tests on many threads).
+    pub(super) fn scope_lock() -> &'static Mutex<()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        &LOCK
+    }
+
+    /// SplitMix64 over (seed, site, invocation): deterministic verdicts
+    /// for `Trigger::Probability` with no global RNG state.
+    pub(super) fn decision_hash(seed: u64, site: &str, invocation: u64) -> u64 {
+        let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in site.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= invocation.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Marks a named fault site. Returns `Err` when an armed [`FaultPlan`]
+/// scripts a failure for this invocation; otherwise `Ok(())`.
+///
+/// Disarmed (the overwhelmingly common case) this is one relaxed atomic
+/// load. With the `fault-injection` feature disabled it is a constant.
+#[cfg(feature = "fault-injection")]
+pub fn fire(site: &str) -> Result<(), FaultError> {
+    use armed::*;
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    let injector = {
+        let slot = injector_slot().lock().unwrap_or_else(|p| p.into_inner());
+        match slot.as_ref() {
+            Some(i) => Arc::clone(i),
+            None => return Ok(()),
+        }
+    };
+    let invocation = {
+        let mut counters = injector.counters.lock().unwrap_or_else(|p| p.into_inner());
+        let c = counters.entry(site.to_string()).or_insert(0);
+        let inv = *c;
+        *c += 1;
+        inv
+    };
+    let rule = injector.plan.rules.iter().find(|r| r.matches(site));
+    let Some(rule) = rule else { return Ok(()) };
+    let fails = match rule.trigger {
+        Trigger::Always => true,
+        Trigger::Times(n) => invocation < n as u64,
+        Trigger::Nth { skip, times } => {
+            invocation >= skip as u64 && invocation < (skip + times) as u64
+        }
+        Trigger::Probability(p) => {
+            let h = armed::decision_hash(injector.plan.seed, site, invocation);
+            (h as f64 / u64::MAX as f64) < p
+        }
+    };
+    if !fails {
+        return Ok(());
+    }
+    injector
+        .fired
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(FiredFault {
+            site: site.to_string(),
+            invocation,
+        });
+    Err(FaultError {
+        site: site.to_string(),
+        invocation,
+        transient: rule.transient,
+    })
+}
+
+/// No-op: the `fault-injection` feature is disabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fire(_site: &str) -> Result<(), FaultError> {
+    Ok(())
+}
+
+/// Runs `f` with `plan` armed, returning `f`'s result plus a report of
+/// every fault that fired. Scopes are serialized process-wide (tests on
+/// other threads wait rather than observe each other's faults), and the
+/// plan is disarmed even if `f` panics.
+#[cfg(feature = "fault-injection")]
+pub fn with_faults<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> (R, FaultReport) {
+    use armed::*;
+    let _scope = scope_lock().lock().unwrap_or_else(|p| p.into_inner());
+    let injector = Arc::new(Injector {
+        plan,
+        counters: std::sync::Mutex::new(Default::default()),
+        fired: std::sync::Mutex::new(Vec::new()),
+    });
+    *injector_slot().lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&injector));
+    ARMED.store(true, Ordering::SeqCst);
+
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            armed::ARMED.store(false, Ordering::SeqCst);
+            *armed::injector_slot()
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()) = None;
+        }
+    }
+    let disarm = Disarm;
+
+    let result = f();
+
+    drop(disarm);
+    let fired = injector
+        .fired
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone();
+    (result, FaultReport { fired })
+}
+
+/// Runs `f` unmodified: the `fault-injection` feature is disabled, so no
+/// plan ever arms.
+#[cfg(not(feature = "fault-injection"))]
+pub fn with_faults<R>(_plan: FaultPlan, f: impl FnOnce() -> R) -> (R, FaultReport) {
+    (f(), FaultReport::default())
+}
+
+/// True while a [`with_faults`] scope is armed on this process.
+#[cfg(feature = "fault-injection")]
+pub fn is_armed() -> bool {
+    armed::ARMED.load(Ordering::Relaxed)
+}
+
+/// Always false: the `fault-injection` feature is disabled.
+#[cfg(not(feature = "fault-injection"))]
+pub fn is_armed() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_sites_never_fail() {
+        assert!(!is_armed());
+        for _ in 0..100 {
+            assert!(fire("any.site").is_ok());
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn times_trigger_fails_then_recovers() {
+        let ((), report) = with_faults(
+            FaultPlan::new(1).fail_transient("io.read", Trigger::Times(2)),
+            || {
+                assert_eq!(
+                    fire("io.read"),
+                    Err(FaultError {
+                        site: "io.read".into(),
+                        invocation: 0,
+                        transient: true
+                    })
+                );
+                assert!(fire("io.read").is_err());
+                assert!(fire("io.read").is_ok());
+                assert!(fire("other.site").is_ok());
+            },
+        );
+        assert_eq!(report.count("io.read"), 2);
+        assert_eq!(report.count("other.site"), 0);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn nth_trigger_skips_then_fails() {
+        let ((), report) = with_faults(
+            FaultPlan::new(1).fail("x", Trigger::Nth { skip: 1, times: 1 }),
+            || {
+                assert!(fire("x").is_ok());
+                assert!(fire("x").is_err());
+                assert!(fire("x").is_ok());
+            },
+        );
+        assert_eq!(
+            report.fired,
+            vec![FiredFault {
+                site: "x".into(),
+                invocation: 1
+            }]
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn prefix_wildcard_matches_site_family() {
+        let ((), report) = with_faults(FaultPlan::new(1).fail("bat.*", Trigger::Always), || {
+            assert!(fire("bat.insert").is_err());
+            assert!(fire("bat.join").is_err());
+            assert!(fire("proc.dbnInfer").is_ok());
+        });
+        assert_eq!(report.fired.len(), 2);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn probability_trigger_is_deterministic() {
+        let run = || {
+            with_faults(
+                FaultPlan::new(42).fail("p.site", Trigger::Probability(0.5)),
+                || (0..64).map(|_| fire("p.site").is_err()).collect::<Vec<_>>(),
+            )
+            .0
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // With p = 0.5 over 64 draws, both outcomes must occur.
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn disarms_even_when_scope_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            with_faults(FaultPlan::new(0).fail("x", Trigger::Always), || {
+                panic!("scope panics");
+            })
+        });
+        assert!(caught.is_err());
+        assert!(!is_armed());
+        assert!(fire("x").is_ok());
+    }
+
+    #[test]
+    fn cancellation_token_is_shared_between_clones() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+}

@@ -99,7 +99,9 @@ impl HmmBank {
                 }
             })
             .collect();
-        f1_monet::parallel::run_jobs(threads, jobs).into_iter().collect()
+        f1_monet::parallel::run_jobs(threads, jobs)
+            .into_iter()
+            .collect()
     }
 
     /// The best-scoring model for a sequence — Fig. 4's
@@ -178,7 +180,10 @@ mod tests {
     #[test]
     fn zero_probability_model_scores_neg_infinity() {
         let mut b = HmmBank::new();
-        b.insert("never", DiscreteHmm::new(1, 2, vec![1.0], vec![1.0, 0.0], vec![1.0]).unwrap());
+        b.insert(
+            "never",
+            DiscreteHmm::new(1, 2, vec![1.0], vec![1.0, 0.0], vec![1.0]).unwrap(),
+        );
         b.insert("always", biased(0.5));
         let scores = b.evaluate(&[1]).unwrap();
         let never = scores.iter().find(|(n, _)| n == "never").unwrap();

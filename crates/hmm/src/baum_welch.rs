@@ -36,7 +36,11 @@ pub struct TrainReport {
 }
 
 /// Trains `model` on multiple observation sequences in place.
-pub fn train(model: &mut DiscreteHmm, sequences: &[Vec<usize>], cfg: &TrainConfig) -> Result<TrainReport> {
+pub fn train(
+    model: &mut DiscreteHmm,
+    sequences: &[Vec<usize>],
+    cfg: &TrainConfig,
+) -> Result<TrainReport> {
     if sequences.is_empty() || sequences.iter().all(|s| s.is_empty()) {
         return Err(HmmError::EmptySequence);
     }
@@ -77,8 +81,8 @@ pub fn train(model: &mut DiscreteHmm, sequences: &[Vec<usize>], cfg: &TrainConfi
                         continue;
                     }
                     for j in 0..n {
-                        let x = ai * model.a(i, j) * model.b(j, o) * betas[t + 1][j]
-                            / scales[t + 1];
+                        let x =
+                            ai * model.a(i, j) * model.b(j, o) * betas[t + 1][j] / scales[t + 1];
                         a_num[i * n + j] += x;
                     }
                 }

@@ -79,7 +79,12 @@ impl MelModule for HmmModule {
             .collect()
     }
 
-    fn call(&self, _kernel: &Kernel, proc: &str, args: &[MilValue]) -> std::result::Result<MilValue, MonetError> {
+    fn call(
+        &self,
+        _kernel: &Kernel,
+        proc: &str,
+        args: &[MilValue],
+    ) -> std::result::Result<MilValue, MonetError> {
         match proc {
             "quant1" => {
                 if args.is_empty() {
@@ -116,7 +121,8 @@ impl MelModule for HmmModule {
                     .as_atom()
                     .map_err(module_err)?;
                 let obs = Self::obs_from_bat(
-                    args.get(1).ok_or_else(|| module_err("hmmOneCall(model, obs)"))?,
+                    args.get(1)
+                        .ok_or_else(|| module_err("hmmOneCall(model, obs)"))?,
                 )?;
                 let bank = self.bank.read();
                 let model = bank.get(name.as_str()?).map_err(module_err)?;
@@ -125,10 +131,15 @@ impl MelModule for HmmModule {
             }
             "hmmEval" | "hmmClassify" => {
                 let obs = Self::obs_from_bat(
-                    args.first().ok_or_else(|| module_err(format!("{proc}(obs[, threads])")))?,
+                    args.first()
+                        .ok_or_else(|| module_err(format!("{proc}(obs[, threads])")))?,
                 )?;
                 let threads = match args.get(1) {
-                    Some(v) => v.as_atom().map_err(module_err)?.as_int().map_err(module_err)? as usize,
+                    Some(v) => v
+                        .as_atom()
+                        .map_err(module_err)?
+                        .as_int()
+                        .map_err(module_err)? as usize,
                     None => 1,
                 };
                 let bank = self.bank.read();
@@ -136,7 +147,9 @@ impl MelModule for HmmModule {
                     let (name, _) = bank.classify(&obs, threads).map_err(module_err)?;
                     return Ok(MilValue::Atom(Atom::str(name)));
                 }
-                let scores = bank.evaluate_parallel(&obs, threads.max(1)).map_err(module_err)?;
+                let scores = bank
+                    .evaluate_parallel(&obs, threads.max(1))
+                    .map_err(module_err)?;
                 let mut out = Bat::new(AtomType::Str, AtomType::Dbl);
                 for (name, ll) in scores {
                     out.append(Atom::str(name), Atom::Dbl(ll))?;
@@ -150,10 +163,15 @@ impl MelModule for HmmModule {
                     .as_atom()
                     .map_err(module_err)?;
                 let obs = Self::obs_from_bat(
-                    args.get(1).ok_or_else(|| module_err("hmmTrain(model, obs[, iters])"))?,
+                    args.get(1)
+                        .ok_or_else(|| module_err("hmmTrain(model, obs[, iters])"))?,
                 )?;
                 let iters = match args.get(2) {
-                    Some(v) => v.as_atom().map_err(module_err)?.as_int().map_err(module_err)? as usize,
+                    Some(v) => v
+                        .as_atom()
+                        .map_err(module_err)?
+                        .as_int()
+                        .map_err(module_err)? as usize,
                     None => TrainConfig::default().max_iters,
                 };
                 let mut bank = self.bank.write();

@@ -21,7 +21,7 @@ pub struct DiscreteHmm {
 fn check_rows(rows: &[f64], cols: usize, what: &str) -> Result<()> {
     for (r, row) in rows.chunks(cols).enumerate() {
         let s: f64 = row.iter().sum();
-        if !(s > 0.0) || row.iter().any(|&v| v < 0.0) {
+        if s.is_nan() || s <= 0.0 || row.iter().any(|&v| v < 0.0) {
             return Err(HmmError::BadDistribution(format!(
                 "{what} row {r} is not a distribution (sum {s})"
             )));
@@ -45,13 +45,24 @@ impl DiscreteHmm {
     /// Builds a model from explicit tables (rows are normalized).
     pub fn new(n: usize, m: usize, a: Vec<f64>, b: Vec<f64>, pi: Vec<f64>) -> Result<Self> {
         if a.len() != n * n {
-            return Err(HmmError::Shape(format!("A has {} entries, need {}", a.len(), n * n)));
+            return Err(HmmError::Shape(format!(
+                "A has {} entries, need {}",
+                a.len(),
+                n * n
+            )));
         }
         if b.len() != n * m {
-            return Err(HmmError::Shape(format!("B has {} entries, need {}", b.len(), n * m)));
+            return Err(HmmError::Shape(format!(
+                "B has {} entries, need {}",
+                b.len(),
+                n * m
+            )));
         }
         if pi.len() != n {
-            return Err(HmmError::Shape(format!("pi has {} entries, need {n}", pi.len())));
+            return Err(HmmError::Shape(format!(
+                "pi has {} entries, need {n}",
+                pi.len()
+            )));
         }
         check_rows(&a, n, "A")?;
         check_rows(&b, m, "B")?;
@@ -78,7 +89,12 @@ impl DiscreteHmm {
     /// Baum–Welch starting point.
     pub fn random(n: usize, m: usize, rng: &mut impl Rng) -> Self {
         let mut model = DiscreteHmm::uniform(n, m);
-        for v in model.a.iter_mut().chain(model.b.iter_mut()).chain(model.pi.iter_mut()) {
+        for v in model
+            .a
+            .iter_mut()
+            .chain(model.b.iter_mut())
+            .chain(model.pi.iter_mut())
+        {
             *v = 0.2 + rng.gen::<f64>();
         }
         normalize_rows(&mut model.a, n);
@@ -146,7 +162,7 @@ impl DiscreteHmm {
         let mut scales = Vec::with_capacity(obs.len());
         let mut alpha: Vec<f64> = (0..n).map(|i| self.pi(i) * self.b(i, obs[0])).collect();
         let c: f64 = alpha.iter().sum();
-        if !(c > 0.0) {
+        if c.is_nan() || c <= 0.0 {
             return Err(HmmError::Numerical("zero-probability prefix at t=0".into()));
         }
         for v in &mut alpha {
@@ -160,15 +176,15 @@ impl DiscreteHmm {
                 if ai == 0.0 {
                     continue;
                 }
-                for j in 0..n {
-                    next[j] += ai * self.a(i, j);
+                for (j, nj) in next.iter_mut().enumerate() {
+                    *nj += ai * self.a(i, j);
                 }
             }
             for (j, v) in next.iter_mut().enumerate() {
                 *v *= self.b(j, o);
             }
             let c: f64 = next.iter().sum();
-            if !(c > 0.0) {
+            if c.is_nan() || c <= 0.0 {
                 return Err(HmmError::Numerical("zero-probability prefix".into()));
             }
             for v in &mut next {
@@ -192,8 +208,8 @@ impl DiscreteHmm {
             let mut b = vec![0.0; n];
             for (i, bi) in b.iter_mut().enumerate() {
                 let mut s = 0.0;
-                for j in 0..n {
-                    s += self.a(i, j) * self.b(j, o) * betas[t + 1][j];
+                for (j, &bj) in betas[t + 1].iter().enumerate() {
+                    s += self.a(i, j) * self.b(j, o) * bj;
                 }
                 *bi = s / scales[t + 1];
             }
@@ -230,8 +246,8 @@ impl DiscreteHmm {
                 if emit == neg {
                     continue;
                 }
-                for i in 0..n {
-                    let cand = delta[i] + logp(self.a(i, j)) + emit;
+                for (i, &di) in delta.iter().enumerate() {
+                    let cand = di + logp(self.a(i, j)) + emit;
                     if cand > next[j] {
                         next[j] = cand;
                         ptr[j] = i;
@@ -305,7 +321,9 @@ mod tests {
         assert!(DiscreteHmm::new(2, 2, vec![1.0; 3], vec![1.0; 4], vec![0.5, 0.5]).is_err());
         assert!(DiscreteHmm::new(2, 2, vec![1.0; 4], vec![1.0; 3], vec![0.5, 0.5]).is_err());
         assert!(DiscreteHmm::new(2, 2, vec![1.0; 4], vec![1.0; 4], vec![0.5]).is_err());
-        assert!(DiscreteHmm::new(2, 2, vec![0.0, 0.0, 1.0, 1.0], vec![1.0; 4], vec![0.5, 0.5]).is_err());
+        assert!(
+            DiscreteHmm::new(2, 2, vec![0.0, 0.0, 1.0, 1.0], vec![1.0; 4], vec![0.5, 0.5]).is_err()
+        );
     }
 
     #[test]
@@ -383,7 +401,10 @@ mod tests {
         assert_eq!(m.log_likelihood(&[]), Err(HmmError::EmptySequence));
         assert_eq!(
             m.log_likelihood(&[0, 5]),
-            Err(HmmError::BadSymbol { symbol: 5, alphabet: 2 })
+            Err(HmmError::BadSymbol {
+                symbol: 5,
+                alphabet: 2
+            })
         );
     }
 

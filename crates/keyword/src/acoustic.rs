@@ -75,12 +75,11 @@ mod tests {
     #[test]
     fn error_rates_order_as_the_paper_reports() {
         // In quiet, clean-speech is the better model…
-        assert!(
-            AcousticModel::CleanSpeech.error_rate(0.0) < AcousticModel::TvNews.error_rate(0.0)
-        );
+        assert!(AcousticModel::CleanSpeech.error_rate(0.0) < AcousticModel::TvNews.error_rate(0.0));
         // …in broadcast noise the TV-news model wins decisively.
         assert!(
-            AcousticModel::TvNews.error_rate(0.7) < AcousticModel::CleanSpeech.error_rate(0.7) / 2.0
+            AcousticModel::TvNews.error_rate(0.7)
+                < AcousticModel::CleanSpeech.error_rate(0.7) / 2.0
         );
         assert!(AcousticModel::CleanSpeech.error_rate(5.0) <= 0.95);
     }
@@ -112,7 +111,9 @@ mod tests {
         assert_eq!(a, b);
         let errors = a.iter().filter(|&&c| c != Some('Q')).count();
         assert!(errors > 150, "expected many substitutions, got {errors}");
-        assert!(a.iter().all(|c| c.map_or(false, |ch| ch.is_ascii_uppercase())));
+        assert!(a
+            .iter()
+            .all(|c| c.is_some_and(|ch| ch.is_ascii_uppercase())));
     }
 
     #[test]

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert_eq!(Grammar::new(&[]), Err(KeywordError::EmptyGrammar));
-        assert!(matches!(Grammar::new(&["PIT STOP"]), Err(KeywordError::BadWord(_))));
+        assert!(matches!(
+            Grammar::new(&["PIT STOP"]),
+            Err(KeywordError::BadWord(_))
+        ));
         assert!(matches!(Grammar::new(&[""]), Err(KeywordError::BadWord(_))));
     }
 

@@ -117,9 +117,11 @@ mod tests {
         let mut spelled = 0usize;
         for hit in &sc.keywords {
             let start = hit.clip * SLOTS_PER_CLIP;
-            let ok = hit.word.chars().enumerate().all(|(i, c)| {
-                start + i >= ps.len() || ps.slots[start + i] == Some(c)
-            });
+            let ok = hit
+                .word
+                .chars()
+                .enumerate()
+                .all(|(i, c)| start + i >= ps.len() || ps.slots[start + i] == Some(c));
             if ok {
                 spelled += 1;
             }

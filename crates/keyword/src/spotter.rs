@@ -169,7 +169,12 @@ mod tests {
             slots,
         };
         let g = Grammar::new(&["CRASH", "LEADER"]).unwrap();
-        let spots = spot(&stream, &g, AcousticModel::TvNews, &SpotterConfig::default());
+        let spots = spot(
+            &stream,
+            &g,
+            AcousticModel::TvNews,
+            &SpotterConfig::default(),
+        );
         assert_eq!(spots.len(), 1);
         assert_eq!(spots[0].word, "CRASH");
         assert_eq!(spots[0].clip, 8); // slot 40 / 5
@@ -208,7 +213,12 @@ mod tests {
             slots,
         };
         let g = Grammar::new(&["ATTACK"]).unwrap();
-        let spots = spot(&stream, &g, AcousticModel::TvNews, &SpotterConfig::default());
+        let spots = spot(
+            &stream,
+            &g,
+            AcousticModel::TvNews,
+            &SpotterConfig::default(),
+        );
         assert_eq!(spots.len(), 1);
     }
 

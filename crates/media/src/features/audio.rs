@@ -216,7 +216,7 @@ pub struct AudioAnalyzer {
 impl AudioAnalyzer {
     /// Designs the paper's three sub-band filters.
     pub fn new(cfg: AudioConfig) -> Result<Self> {
-        if cfg.taps < 3 || cfg.taps % 2 == 0 {
+        if cfg.taps < 3 || cfg.taps.is_multiple_of(2) {
             return Err(MediaError::BadParameter("taps must be odd ≥ 3".into()));
         }
         Ok(AudioAnalyzer {
@@ -341,10 +341,7 @@ mod tests {
             let tone = sine(f0, 0.5, 2 * FRAME_SAMPLES, SAMPLE_RATE);
             let p = pitch_autocorrelation(&tone, 90.0, 400.0, 0.3)
                 .unwrap_or_else(|| panic!("no pitch at {f0}"));
-            assert!(
-                (p - f0).abs() / f0 < 0.06,
-                "estimated {p} for true {f0}"
-            );
+            assert!((p - f0).abs() / f0 < 0.06, "estimated {p} for true {f0}");
         }
     }
 
@@ -425,10 +422,7 @@ mod tests {
         // Pitch rises (excited f0 ≈ 250 Hz vs ≈ 120 Hz).
         let e_pitch = mean(&excited, |f| f.pitch.avg);
         let c_pitch = mean(&calm, |f| f.pitch.avg);
-        assert!(
-            e_pitch > c_pitch + 40.0,
-            "pitch {e_pitch} vs {c_pitch}"
-        );
+        assert!(e_pitch > c_pitch + 40.0, "pitch {e_pitch} vs {c_pitch}");
         // Pause rate falls.
         let e_pause = mean(&excited, |f| f.pause_rate);
         let c_pause = mean(&calm, |f| f.pause_rate);

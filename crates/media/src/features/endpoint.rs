@@ -59,8 +59,7 @@ impl EndpointConfig {
 
     /// True when the clip is classified as speech.
     pub fn is_speech(&self, f: &AudioClipFeatures) -> bool {
-        self.ste_statistic(f) > self.ste_threshold
-            && self.mfcc_statistic(f) > self.mfcc_threshold
+        self.ste_statistic(f) > self.ste_threshold && self.mfcc_statistic(f) > self.mfcc_threshold
     }
 }
 
@@ -114,7 +113,9 @@ mod tests {
 
     #[test]
     fn zcr_of_alternating_signal_is_one() {
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!((zero_crossing_rate(&alt) - 1.0).abs() < 1e-12);
         assert_eq!(zero_crossing_rate(&[1.0]), 0.0);
         let dc = vec![0.5; 100];
@@ -146,16 +147,32 @@ mod tests {
         use crate::features::audio::ClipStats;
         let cfg = EndpointConfig::default();
         let quiet = AudioClipFeatures {
-            ste_low: ClipStats { avg: 1e-4, max: 2e-4, dyn_range: 1e-4 },
+            ste_low: ClipStats {
+                avg: 1e-4,
+                max: 2e-4,
+                dyn_range: 1e-4,
+            },
             ste_mid: ClipStats::default(),
             pitch: ClipStats::default(),
-            mfcc3: ClipStats { avg: 0.1, max: 0.1, dyn_range: 0.05 },
+            mfcc3: ClipStats {
+                avg: 0.1,
+                max: 0.1,
+                dyn_range: 0.05,
+            },
             pause_rate: 1.0,
             voiced_rate: 0.0,
         };
         let loud = AudioClipFeatures {
-            ste_low: ClipStats { avg: 5e-3, max: 9e-3, dyn_range: 6e-3 },
-            mfcc3: ClipStats { avg: 1.0, max: 1.5, dyn_range: 0.8 },
+            ste_low: ClipStats {
+                avg: 5e-3,
+                max: 9e-3,
+                dyn_range: 6e-3,
+            },
+            mfcc3: ClipStats {
+                avg: 1.0,
+                max: 1.5,
+                dyn_range: 0.8,
+            },
             ..quiet.clone()
         };
         assert!(cfg.ste_statistic(&loud) > cfg.ste_statistic(&quiet));

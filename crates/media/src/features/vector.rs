@@ -149,6 +149,11 @@ impl<'a> FeatureExtractor<'a> {
         hi_clip: usize,
     ) -> Result<Vec<Vec<f64>>> {
         let hi_clip = hi_clip.min(self.scenario.n_clips);
+        // Fault site `media.vector.extract`: lets tests fail extraction
+        // below the pre-processor, where a real decoder would die.
+        if cobra_faults::is_armed() {
+            cobra_faults::fire("media.vector.extract")?;
+        }
         let cps = clips_per_second();
         let replay = self.replay_flags(lo_clip, hi_clip);
         let mut rows = Vec::with_capacity(hi_clip - lo_clip);
@@ -168,7 +173,9 @@ impl<'a> FeatureExtractor<'a> {
             let field = motion_field(&cur, &far);
             // A second motion sample half a clip later makes the passing
             // cue robust to cuts and momentary occlusion.
-            let mid = self.video.frame((f_idx + MOTION_BASELINE / 2 + 1).min(last));
+            let mid = self
+                .video
+                .frame((f_idx + MOTION_BASELINE / 2 + 1).min(last));
             let far2 = self
                 .video
                 .frame((f_idx + MOTION_BASELINE / 2 + 1 + MOTION_BASELINE).min(last));
@@ -185,7 +192,11 @@ impl<'a> FeatureExtractor<'a> {
             row[7] = gate * norm_range(a.pitch.max, plo, phi);
             row[8] = gate * squash(a.mfcc3.avg, self.cfg.mfcc_scale);
             row[9] = gate * squash(a.mfcc3.max, self.cfg.mfcc_scale * 1.5);
-            row[10] = if self.scenario.is_live(clip) { 0.95 } else { 0.05 };
+            row[10] = if self.scenario.is_live(clip) {
+                0.95
+            } else {
+                0.05
+            };
             row[11] = if replay[clip - lo_clip] { 0.9 } else { 0.1 };
             row[12] = (cur.mean_abs_diff(&next) * self.cfg.color_diff_scale).min(1.0);
             row[13] = semaphore_score(&cur);
@@ -214,6 +225,7 @@ impl<'a> FeatureExtractor<'a> {
 mod tests {
     use super::*;
     use crate::synth::scenario::{EventKind, RaceProfile, ScenarioConfig};
+    use crate::MediaError;
 
     fn matrix(profile: RaceProfile, secs: usize) -> (RaceScenario, Vec<Vec<f64>>) {
         let sc = RaceScenario::generate(ScenarioConfig::new(profile, secs));
@@ -223,16 +235,34 @@ mod tests {
     }
 
     #[test]
+    fn injected_extract_fault_is_a_typed_error() {
+        let sc = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 10));
+        let fx = FeatureExtractor::new(&sc).unwrap();
+        let (result, report) = cobra_faults::with_faults(
+            cobra_faults::FaultPlan::new(5)
+                .fail_transient("media.vector.extract", cobra_faults::Trigger::Times(1)),
+            || fx.extract(&[], 0, sc.n_clips),
+        );
+        assert_eq!(
+            result.unwrap_err(),
+            MediaError::Fault {
+                site: "media.vector.extract".into(),
+                transient: true,
+            }
+        );
+        assert_eq!(report.count("media.vector.extract"), 1);
+        // Disarmed, the same extractor works.
+        assert_eq!(fx.extract(&[], 0, sc.n_clips).unwrap().len(), sc.n_clips);
+    }
+
+    #[test]
     fn matrix_shape_and_range() {
         let (sc, m) = matrix(RaceProfile::German, 30);
         assert_eq!(m.len(), sc.n_clips);
         for row in &m {
             assert_eq!(row.len(), N_FEATURES);
             for (k, &v) in row.iter().enumerate() {
-                assert!(
-                    (0.0..=1.0).contains(&v),
-                    "feature {k} out of range: {v}"
-                );
+                assert!((0.0..=1.0).contains(&v), "feature {k} out of range: {v}");
             }
         }
     }
@@ -296,7 +326,9 @@ mod tests {
         let (sc, m) = matrix(RaceProfile::German, 240);
         let r = sc.replays.first().unwrap();
         // At least part of the replay is flagged.
-        let flagged = (r.span.start..r.span.end).filter(|&c| m[c][11] > 0.5).count();
+        let flagged = (r.span.start..r.span.end)
+            .filter(|&c| m[c][11] > 0.5)
+            .count();
         assert!(
             flagged * 2 > r.span.len(),
             "only {flagged}/{} replay clips flagged",
@@ -332,14 +364,13 @@ mod tests {
         let (g_sc, g_m) = matrix(RaceProfile::German, 240);
         let mean_spread = |sc: &RaceScenario, m: &[Vec<f64>]| -> (f64, f64) {
             let passing: Vec<usize> = (0..sc.n_clips)
-                .filter(|&c| {
-                    matches!(sc.event_at(c).map(|e| e.kind), Some(EventKind::Passing))
-                })
+                .filter(|&c| matches!(sc.event_at(c).map(|e| e.kind), Some(EventKind::Passing)))
                 .collect();
             let calm: Vec<usize> = (0..sc.n_clips)
                 .filter(|&c| sc.is_live(c) && sc.event_at(c).is_none() && !sc.is_replay(c))
                 .collect();
-            let avg = |v: &[usize]| v.iter().map(|&c| m[c][16]).sum::<f64>() / v.len().max(1) as f64;
+            let avg =
+                |v: &[usize]| v.iter().map(|&c| m[c][16]).sum::<f64>() / v.len().max(1) as f64;
             (avg(&passing), avg(&calm))
         };
         let (g_pass, g_calm) = mean_spread(&g_sc, &g_m);

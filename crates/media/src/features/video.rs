@@ -67,7 +67,12 @@ impl Default for ShotConfig {
 /// calculate the histogram difference among several consecutive frames":
 /// a boundary must stand out against the local pan/jitter level, not just
 /// exceed a global threshold.
-pub fn detect_shots(source: &dyn FrameSource, lo: usize, hi: usize, cfg: &ShotConfig) -> Vec<usize> {
+pub fn detect_shots(
+    source: &dyn FrameSource,
+    lo: usize,
+    hi: usize,
+    cfg: &ShotConfig,
+) -> Vec<usize> {
     let hi = hi.min(source.n_frames());
     if hi <= lo + 1 {
         return Vec::new();
@@ -102,7 +107,7 @@ pub fn detect_shots(source: &dyn FrameSource, lo: usize, hi: usize, cfg: &ShotCo
         let local = neighbours.iter().sum::<f64>() / neighbours.len().max(1) as f64;
         if d > cfg.ratio * local.max(1e-6) {
             // Suppress double detections on adjacent pairs.
-            if cuts.last().map_or(true, |&c: &usize| idxs[k] > c + stride) {
+            if cuts.last().is_none_or(|&c: &usize| idxs[k] > c + stride) {
                 cuts.push(idxs[k]);
             }
         }
@@ -157,8 +162,7 @@ pub fn motion_field(prev: &Frame, cur: &Frame) -> MotionField {
                 })
                 .collect();
             let mean = cols.iter().sum::<f64>() / cols.len() as f64;
-            let var = cols.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
-                / cols.len() as f64;
+            let var = cols.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / cols.len() as f64;
             if var < MIN_TEXTURE {
                 continue;
             }
@@ -217,8 +221,7 @@ impl MotionField {
         if self.dx.is_empty() {
             return 0.0;
         }
-        let mean: f64 =
-            self.dx.iter().map(|&d| d.abs() as f64).sum::<f64>() / self.dx.len() as f64;
+        let mean: f64 = self.dx.iter().map(|&d| d.abs() as f64).sum::<f64>() / self.dx.len() as f64;
         (mean / 8.0).min(1.0)
     }
 
@@ -271,8 +274,7 @@ impl MotionField {
                 j += 1;
             }
             let count = j - i;
-            let mean =
-                objects[i..j].iter().map(|&v| v as f64).sum::<f64>() / count as f64;
+            let mean = objects[i..j].iter().map(|&v| v as f64).sum::<f64>() / count as f64;
             if count >= 2 {
                 clusters.push((mean, count));
             }
@@ -352,10 +354,7 @@ pub fn wipe_score(frame: &Frame) -> f64 {
     let mut white = vec![0f64; w];
     let rows: Vec<usize> = (0..h).step_by(4).collect();
     for (x, wf) in white.iter_mut().enumerate() {
-        let hits = rows
-            .iter()
-            .filter(|&&y| frame.luma(x, y) > 245)
-            .count();
+        let hits = rows.iter().filter(|&&y| frame.luma(x, y) > 245).count();
         *wf = hits as f64 / rows.len() as f64;
     }
     // Longest contiguous run of full-height white columns.

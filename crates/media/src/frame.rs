@@ -32,7 +32,11 @@ impl FrameBuf {
         for _ in 0..width * height {
             data.extend_from_slice(&rgb);
         }
-        FrameBuf { width, height, data }
+        FrameBuf {
+            width,
+            height,
+            data,
+        }
     }
 
     /// A black frame at the paper's 384×288 resolution.

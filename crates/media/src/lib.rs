@@ -34,11 +34,11 @@
 
 pub mod features;
 pub mod font;
-#[cfg(test)]
-pub(crate) mod test_support;
 pub mod frame;
 pub mod signal;
 pub mod synth;
+#[cfg(test)]
+pub(crate) mod test_support;
 pub mod time;
 pub mod window;
 
@@ -53,6 +53,14 @@ pub enum MediaError {
     BadParameter(String),
     /// A buffer had an unexpected length.
     Shape(String),
+    /// A `cobra-faults` injection fired at a media fault site (tests
+    /// only; never constructed in production runs).
+    Fault {
+        /// The fault site name.
+        site: String,
+        /// Whether a retry could plausibly clear it.
+        transient: bool,
+    },
 }
 
 impl std::fmt::Display for MediaError {
@@ -60,6 +68,19 @@ impl std::fmt::Display for MediaError {
         match self {
             MediaError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
             MediaError::Shape(msg) => write!(f, "shape error: {msg}"),
+            MediaError::Fault { site, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "injected {kind} fault at site '{site}'")
+            }
+        }
+    }
+}
+
+impl From<cobra_faults::FaultError> for MediaError {
+    fn from(e: cobra_faults::FaultError) -> Self {
+        MediaError::Fault {
+            site: e.site,
+            transient: e.transient,
         }
     }
 }

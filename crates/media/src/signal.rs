@@ -20,7 +20,7 @@ impl FirFilter {
     /// Designs a band-pass filter for `lo_hz..hi_hz` (pass `lo_hz = 0` for
     /// a low-pass). `taps` must be odd and ≥ 3.
     pub fn band_pass(lo_hz: f64, hi_hz: f64, taps: usize, sample_rate: usize) -> Result<Self> {
-        if taps < 3 || taps % 2 == 0 {
+        if taps < 3 || taps.is_multiple_of(2) {
             return Err(MediaError::BadParameter(format!(
                 "taps must be odd and >= 3, got {taps}"
             )));
@@ -46,9 +46,7 @@ impl FirFilter {
                 let n = i - mid;
                 let ideal = sinc(fh, n) - sinc(fl, n);
                 // Hamming window on the impulse response.
-                let w = 0.54
-                    - 0.46
-                        * (std::f64::consts::TAU * i as f64 / (taps - 1) as f64).cos();
+                let w = 0.54 - 0.46 * (std::f64::consts::TAU * i as f64 / (taps - 1) as f64).cos();
                 ideal * w
             })
             .collect();
@@ -116,7 +114,9 @@ pub fn goertzel_power(signal: &[f64], freq_hz: f64, sample_rate: usize) -> f64 {
 /// Generates a pure sine tone (for tests and calibration).
 pub fn sine(freq_hz: f64, amplitude: f64, len: usize, sample_rate: usize) -> Vec<f64> {
     (0..len)
-        .map(|n| amplitude * (std::f64::consts::TAU * freq_hz * n as f64 / sample_rate as f64).sin())
+        .map(|n| {
+            amplitude * (std::f64::consts::TAU * freq_hz * n as f64 / sample_rate as f64).sin()
+        })
         .collect()
 }
 

@@ -202,13 +202,10 @@ impl AudioSynth {
         // Broadband noise like this is what defeats zero-crossing-rate and
         // entropy speech detectors while the band-limited STE survives.
         let clip = n / CLIP_SAMPLES;
-        let busy = self
-            .event_clips
-            .iter()
-            .any(|&(s, e)| clip >= s && clip < e);
+        let busy = self.event_clips.iter().any(|&(s, e)| clip >= s && clip < e);
         let mut crowd_amp: f64 = if busy { 0.12 } else { 0.02 };
         let wave = n / (45 * SAMPLE_RATE);
-        let wave_on = hash64(self.noise_seed ^ 0xC0DD ^ wave as u64) % 3 == 0;
+        let wave_on = hash64(self.noise_seed ^ 0xC0DD ^ wave as u64).is_multiple_of(3);
         if wave_on {
             let off = (n % (45 * SAMPLE_RATE)) as f64 / (8 * SAMPLE_RATE) as f64;
             if off < 1.0 {
@@ -239,10 +236,7 @@ impl AudioSynth {
                 continue;
             }
             // Hann envelope over the syllable.
-            let env = 0.5
-                - 0.5
-                    * (std::f64::consts::TAU * off as f64 / sy.len.max(2) as f64)
-                        .cos();
+            let env = 0.5 - 0.5 * (std::f64::consts::TAU * off as f64 / sy.len.max(2) as f64).cos();
             let tt = off as f64 / SAMPLE_RATE as f64;
             let mut v = 0.0;
             for k in 1..=6u32 {
@@ -310,9 +304,8 @@ mod tests {
             .find(|&c| !sc.is_speech(c) && !sc.is_live(c))
             .unwrap();
         // Average several clips to smooth syllable gaps.
-        let avg = |start: usize| -> f64 {
-            (0..5).map(|k| rms(&a.clip(start + k))).sum::<f64>() / 5.0
-        };
+        let avg =
+            |start: usize| -> f64 { (0..5).map(|k| rms(&a.clip(start + k))).sum::<f64>() / 5.0 };
         assert!(
             avg(speech_clip) > avg(silent_clip) * 1.2,
             "speech {} vs silence {}",

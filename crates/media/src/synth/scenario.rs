@@ -103,6 +103,8 @@ pub struct ScenarioConfig {
 impl ScenarioConfig {
     /// A scenario config with the conventional seed for a profile.
     pub fn new(profile: RaceProfile, duration_s: usize) -> Self {
+        // Grouped as 0xF1_YYYY_MM: the 2001 race dates, not byte boundaries.
+        #[allow(clippy::unusual_byte_groupings)]
         let seed = match profile {
             RaceProfile::German => 0xF1_2001_07,
             RaceProfile::Belgian => 0xF1_2001_09,
@@ -286,7 +288,10 @@ impl RaceScenario {
                 span: Span::new(t, t + len),
                 driver: Some(rng.gen_range(0..DRIVERS.len())),
             });
-            t += len + rng.gen_range(params.passing_every_s * cps / 2..params.passing_every_s * cps * 3 / 2);
+            t += len
+                + rng.gen_range(
+                    params.passing_every_s * cps / 2..params.passing_every_s * cps * 3 / 2,
+                );
         }
 
         // Fly-outs: spread over the live race, avoiding other events.
@@ -378,7 +383,14 @@ impl RaceScenario {
 
         // Keywords: clustered inside excited spans, occasional elsewhere.
         const WORDS: [&str; 8] = [
-            "INCREDIBLE", "OVERTAKE", "CRASH", "GRAVEL", "LEADER", "PITSTOP", "FASTEST", "ATTACK",
+            "INCREDIBLE",
+            "OVERTAKE",
+            "CRASH",
+            "GRAVEL",
+            "LEADER",
+            "PITSTOP",
+            "FASTEST",
+            "ATTACK",
         ];
         let mut keywords = Vec::new();
         for s in &excited {
@@ -460,7 +472,12 @@ impl RaceScenario {
             let d = order[rng.gen_range(0..3)];
             captions.push(Caption {
                 kind: CaptionKind::FastestLap,
-                text: format!("FASTEST LAP {} 1:1{}.{}", DRIVERS[d], rng.gen_range(0..9), rng.gen_range(0..9)),
+                text: format!(
+                    "FASTEST LAP {} 1:1{}.{}",
+                    DRIVERS[d],
+                    rng.gen_range(0..9),
+                    rng.gen_range(0..9)
+                ),
                 start_frame: clip_to_frame(at),
                 end_frame: clip_to_frame(at + 4 * cps),
                 driver: Some(d),
@@ -492,7 +509,7 @@ impl RaceScenario {
         for c in captions {
             if kept
                 .last()
-                .map_or(true, |prev: &Caption| c.start_frame >= prev.end_frame)
+                .is_none_or(|prev: &Caption| c.start_frame >= prev.end_frame)
             {
                 kept.push(c);
             }
@@ -700,9 +717,18 @@ mod tests {
 
     #[test]
     fn usa_has_no_fly_outs_german_and_belgian_do() {
-        assert!(scenario(RaceProfile::German).events_of(EventKind::FlyOut).len() >= 2);
-        assert!(!scenario(RaceProfile::Belgian).events_of(EventKind::FlyOut).is_empty());
-        assert!(scenario(RaceProfile::Usa).events_of(EventKind::FlyOut).is_empty());
+        assert!(
+            scenario(RaceProfile::German)
+                .events_of(EventKind::FlyOut)
+                .len()
+                >= 2
+        );
+        assert!(!scenario(RaceProfile::Belgian)
+            .events_of(EventKind::FlyOut)
+            .is_empty());
+        assert!(scenario(RaceProfile::Usa)
+            .events_of(EventKind::FlyOut)
+            .is_empty());
     }
 
     #[test]
@@ -780,7 +806,10 @@ mod tests {
         let s = scenario(RaceProfile::German);
         assert!(s.captions.iter().any(|c| c.kind == CaptionKind::PitStop));
         assert!(s.captions.iter().any(|c| c.kind == CaptionKind::Winner));
-        assert!(s.captions.iter().any(|c| c.kind == CaptionKind::Classification));
+        assert!(s
+            .captions
+            .iter()
+            .any(|c| c.kind == CaptionKind::Classification));
         for c in &s.captions {
             assert!(c.start_frame < c.end_frame);
             assert!(c.end_frame <= s.n_frames());

@@ -82,12 +82,7 @@ impl<'a> VideoSynth<'a> {
     /// Renders frame `idx`, replays and captions included.
     pub fn frame(&self, idx: usize) -> Frame {
         let clip = self.clip_of(idx);
-        let mut fb = if let Some(r) = self
-            .scenario
-            .replays
-            .iter()
-            .find(|r| r.span.contains(clip))
-        {
+        let mut fb = if let Some(r) = self.scenario.replays.iter().find(|r| r.span.contains(clip)) {
             // Replay: re-show the source footage, wrapped in DVE wipes.
             let replay_start = r.span.start * VIDEO_FPS / clips_per_second();
             let replay_end = r.span.end * VIDEO_FPS / clips_per_second();
@@ -195,7 +190,7 @@ impl<'a> VideoSynth<'a> {
                 let world = x as isize + sheared;
                 let cell_x = world.div_euclid(8) as u64;
                 let cell_y = (y / 8) as u64;
-                let h = hash64(self.seed ^ 0x7AC4 ^ cell_x.wrapping_mul(0x1_0000_01) ^ cell_y);
+                let h = hash64(self.seed ^ 0x7AC4 ^ cell_x.wrapping_mul(0x0100_0001) ^ cell_y);
                 if h % 5 < 2 {
                     let shade = 112 + ((h >> 16) % 5) as u8 * 9;
                     fb.set(x, y, [shade, shade, shade + 8]);
@@ -251,8 +246,10 @@ impl<'a> VideoSynth<'a> {
                 let coverage = 0.3 + 0.6 * (1.0 - (2.0 * progress - 1.0).abs());
                 for y in curb_end..track_end + 30 {
                     for x in WIDTH / 2..WIDTH {
-                        if hunit(self.seed ^ 0x5A4D, (idx / 3 * 1_000_000 + y * 1000 + x) as u64)
-                            < coverage
+                        if hunit(
+                            self.seed ^ 0x5A4D,
+                            (idx / 3 * 1_000_000 + y * 1000 + x) as u64,
+                        ) < coverage
                         {
                             let dust = y < curb_end + 40;
                             let c = if dust {
@@ -407,9 +404,13 @@ mod tests {
             .expect("german race has fly-outs");
         let mid = (fly.span.start + fly.span.len() / 2) * VIDEO_FPS / clips_per_second();
         let sandy = |f: &Frame| {
-            f.fraction_matching(WIDTH / 2, CURB_END, WIDTH / 2, TRACK_END - CURB_END, |[r, g, b]| {
-                r > 180 && g > 140 && b < 160
-            })
+            f.fraction_matching(
+                WIDTH / 2,
+                CURB_END,
+                WIDTH / 2,
+                TRACK_END - CURB_END,
+                |[r, g, b]| r > 180 && g > 140 && b < 160,
+            )
         };
         let during = sandy(&v.frame(mid));
         let calm_clip = (2..sc.n_clips.saturating_sub(2))
@@ -431,8 +432,7 @@ mod tests {
         let v = VideoSynth::new(&sc);
         let r = sc.replays.first().expect("german race has replays");
         let cps = clips_per_second();
-        let replay_mid_frame =
-            (r.span.start * VIDEO_FPS / cps) + WIPE_FRAMES + 5;
+        let replay_mid_frame = (r.span.start * VIDEO_FPS / cps) + WIPE_FRAMES + 5;
         let src_frame = (r.source.start * VIDEO_FPS / cps)
             + (replay_mid_frame - r.span.start * VIDEO_FPS / cps);
         // Compare a caption-free region (top half): the replayed frame

@@ -7,6 +7,7 @@
 //! attributes to the extra level of data independence (selection
 //! pushdown through joins).
 
+use f1_monet::guard::ExecBudget;
 use f1_monet::{Atom, Kernel, MilValue};
 
 use crate::expr::{Aggregate, MoaExpr, Predicate};
@@ -47,10 +48,7 @@ pub fn optimize(expr: MoaExpr) -> MoaExpr {
             match input {
                 MoaExpr::Join { left, right } => MoaExpr::Join {
                     left,
-                    right: Box::new(optimize(MoaExpr::Select {
-                        input: right,
-                        pred,
-                    })),
+                    right: Box::new(optimize(MoaExpr::Select { input: right, pred })),
                 },
                 MoaExpr::Semijoin { left, right } => MoaExpr::Semijoin {
                     left: Box::new(optimize(MoaExpr::Select { input: left, pred })),
@@ -119,11 +117,19 @@ pub fn compile(expr: &MoaExpr) -> String {
     }
 }
 
-/// Optimizes, compiles, and evaluates an expression on the kernel.
+/// Optimizes, compiles, and evaluates an expression on the kernel with
+/// no execution limits.
 pub fn execute(kernel: &Kernel, expr: MoaExpr) -> Result<MilValue> {
+    execute_with(kernel, expr, &ExecBudget::unlimited())
+}
+
+/// Like [`execute`], but the compiled MIL program runs under `budget`,
+/// so a misbehaving plan (or a wedged extension procedure loop) comes
+/// back as a budget error instead of hanging the session.
+pub fn execute_with(kernel: &Kernel, expr: MoaExpr, budget: &ExecBudget) -> Result<MilValue> {
     let optimized = optimize(expr);
     let program = format!("RETURN {};", compile(&optimized));
-    Ok(kernel.eval_mil(&program)?)
+    Ok(kernel.eval_mil_guarded(&program, budget)?)
 }
 
 #[cfg(test)]
@@ -167,10 +173,7 @@ mod tests {
         let e = MoaExpr::collection("points")
             .select(Predicate::Range(Atom::Int(7), Atom::Int(10)))
             .aggregate(Aggregate::Count);
-        assert_eq!(
-            compile(&e),
-            "((bat(\"points\")).select(7, 10)).count"
-        );
+        assert_eq!(compile(&e), "((bat(\"points\")).select(7, 10)).count");
     }
 
     #[test]
@@ -179,10 +182,7 @@ mod tests {
         let e = MoaExpr::collection("points")
             .select(Predicate::Eq(Atom::Int(8)))
             .aggregate(Aggregate::Count);
-        assert_eq!(
-            execute(&k, e).unwrap(),
-            MilValue::Atom(Atom::Int(2))
-        );
+        assert_eq!(execute(&k, e).unwrap(), MilValue::Atom(Atom::Int(2)));
         let e = MoaExpr::collection("points").aggregate(Aggregate::Avg);
         assert_eq!(execute(&k, e).unwrap(), MilValue::Atom(Atom::Dbl(8.0)));
     }
@@ -228,6 +228,26 @@ mod tests {
         let k = Kernel::new();
         let e = MoaExpr::collection("ghost").aggregate(Aggregate::Count);
         assert!(matches!(execute(&k, e), Err(crate::MoaError::Physical(_))));
+    }
+
+    #[test]
+    fn execute_with_budget_bounds_plan_evaluation() {
+        let k = kernel();
+        let e = MoaExpr::collection("points").aggregate(Aggregate::Count);
+        // A generous budget leaves results unchanged…
+        let budget = f1_monet::guard::ExecBudget::unlimited().with_fuel(1_000);
+        assert_eq!(
+            execute_with(&k, e.clone(), &budget).unwrap(),
+            MilValue::Atom(Atom::Int(4))
+        );
+        // …while a starved one surfaces as a physical-layer error.
+        let starved = f1_monet::guard::ExecBudget::unlimited().with_fuel(1);
+        assert!(matches!(
+            execute_with(&k, e, &starved),
+            Err(crate::MoaError::Physical(
+                MonetError::BudgetExhausted { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod compile;
 pub mod expr;
 pub mod types;
 
-pub use compile::{compile, execute, optimize};
+pub use compile::{compile, execute, execute_with, optimize};
 pub use expr::{Aggregate, MoaExpr, Predicate};
 pub use types::MoaType;
 
@@ -45,7 +45,14 @@ impl std::fmt::Display for MoaError {
     }
 }
 
-impl std::error::Error for MoaError {}
+impl std::error::Error for MoaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MoaError::Physical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<f1_monet::MonetError> for MoaError {
     fn from(e: f1_monet::MonetError) -> Self {

@@ -42,10 +42,9 @@ impl MoaType {
     /// Field lookup on tuples/objects.
     pub fn field(&self, name: &str) -> Option<&MoaType> {
         match self {
-            MoaType::Tuple(fields) | MoaType::Object { fields, .. } => fields
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, t)| t),
+            MoaType::Tuple(fields) | MoaType::Object { fields, .. } => {
+                fields.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+            }
             _ => None,
         }
     }

@@ -67,7 +67,10 @@ impl Column {
                 if i < *len {
                     Ok(Atom::Oid(seqbase + i as u64))
                 } else {
-                    Err(MonetError::OutOfRange { index: i, len: *len })
+                    Err(MonetError::OutOfRange {
+                        index: i,
+                        len: *len,
+                    })
                 }
             }
             Column::Atoms { data, .. } => data.get(i).cloned().ok_or(MonetError::OutOfRange {

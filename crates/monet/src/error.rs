@@ -45,6 +45,27 @@ pub enum MonetError {
     },
     /// An operation that requires a non-empty BAT was applied to an empty one.
     EmptyBat(String),
+    /// The evaluation was cancelled through its [`CancellationToken`]
+    /// (see [`crate::guard`]).
+    ///
+    /// [`CancellationToken`]: crate::guard::CancellationToken
+    Interrupted,
+    /// The evaluation ran out of its step budget (see
+    /// [`crate::guard::ExecBudget::with_fuel`]).
+    BudgetExhausted {
+        /// The fuel budget the evaluation started with.
+        fuel: u64,
+    },
+    /// The evaluation exceeded its wall-clock deadline (see
+    /// [`crate::guard::ExecBudget::with_deadline`]).
+    Deadline,
+    /// A fault-injection site fired (testing only; see `cobra-faults`).
+    Fault {
+        /// The injection site that failed (e.g. `"bat.insert"`).
+        site: String,
+        /// Whether the injected fault models a transient condition.
+        transient: bool,
+    },
 }
 
 impl fmt::Display for MonetError {
@@ -66,6 +87,27 @@ impl fmt::Display for MonetError {
                 write!(f, "extension module '{module}' failed: {message}")
             }
             MonetError::EmptyBat(op) => write!(f, "operation '{op}' requires a non-empty BAT"),
+            MonetError::Interrupted => write!(f, "evaluation interrupted by cancellation"),
+            MonetError::BudgetExhausted { fuel } => {
+                write!(f, "evaluation exhausted its step budget of {fuel}")
+            }
+            MonetError::Deadline => write!(f, "evaluation exceeded its deadline"),
+            MonetError::Fault { site, transient } => {
+                write!(
+                    f,
+                    "injected {} fault at site '{site}'",
+                    if *transient { "transient" } else { "permanent" }
+                )
+            }
+        }
+    }
+}
+
+impl From<cobra_faults::FaultError> for MonetError {
+    fn from(e: cobra_faults::FaultError) -> Self {
+        MonetError::Fault {
+            site: e.site,
+            transient: e.transient,
         }
     }
 }
@@ -99,7 +141,10 @@ mod tests {
                 },
                 "MIL parse error at line 2: bad token",
             ),
-            (MonetError::Eval("boom".into()), "MIL evaluation error: boom"),
+            (
+                MonetError::Eval("boom".into()),
+                "MIL evaluation error: boom",
+            ),
             (
                 MonetError::Module {
                     module: "hmm".into(),
@@ -110,6 +155,22 @@ mod tests {
             (
                 MonetError::EmptyBat("max".into()),
                 "operation 'max' requires a non-empty BAT",
+            ),
+            (
+                MonetError::Interrupted,
+                "evaluation interrupted by cancellation",
+            ),
+            (
+                MonetError::BudgetExhausted { fuel: 100 },
+                "evaluation exhausted its step budget of 100",
+            ),
+            (MonetError::Deadline, "evaluation exceeded its deadline"),
+            (
+                MonetError::Fault {
+                    site: "bat.insert".into(),
+                    transient: true,
+                },
+                "injected transient fault at site 'bat.insert'",
             ),
         ];
         for (err, expect) in cases {

@@ -1,0 +1,216 @@
+//! Execution guards for MIL evaluation.
+//!
+//! The seed interpreter assumed every MIL program terminates; once the
+//! language has `WHILE` loops and recursive `PROC`s that assumption is
+//! gone, and a Moa plan compiled into a bad MIL program could wedge a
+//! kernel thread forever. An [`ExecBudget`] bounds an evaluation three
+//! ways, all cooperative and all optional:
+//!
+//! * **fuel** — a step budget decremented at loop back-edges, statement
+//!   boundaries, procedure calls, and module dispatches. Exhaustion
+//!   raises [`MonetError::BudgetExhausted`]. Deterministic, so tests use
+//!   it to prove termination without touching the clock.
+//! * **deadline** — a wall-clock bound checked every
+//!   [`DEADLINE_CHECK_INTERVAL`] ticks (an `Instant::now()` call per tick
+//!   would dominate tight loops). Expiry raises [`MonetError::Deadline`].
+//! * **cancellation** — a shared [`CancellationToken`] polled every
+//!   tick, so an outside thread can abort a running query; the
+//!   evaluation raises [`MonetError::Interrupted`].
+//!
+//! One [`ExecGuard`] is shared (via `Arc`) by every thread of a
+//! `PARALLEL` block and every procedure frame of an evaluation, so the
+//! budget bounds the *whole program*, not each thread separately.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+pub use cobra_faults::CancellationToken;
+
+use crate::error::{MonetError, Result};
+
+/// How many ticks pass between wall-clock deadline checks.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 64;
+
+/// Limits for one MIL evaluation. Build with the fluent methods:
+///
+/// ```
+/// use f1_monet::guard::ExecBudget;
+/// use std::time::Duration;
+/// let budget = ExecBudget::unlimited()
+///     .with_fuel(10_000)
+///     .with_deadline(Duration::from_secs(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecBudget {
+    /// Maximum number of interpreter steps, or `None` for unlimited.
+    pub fuel: Option<u64>,
+    /// Wall-clock bound measured from evaluation start, or `None`.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation flag, or `None`.
+    pub cancel: Option<CancellationToken>,
+}
+
+impl ExecBudget {
+    /// No limits: guarded evaluation behaves like the unguarded one.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps the evaluation at `fuel` interpreter steps.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Caps the evaluation at `deadline` of wall-clock time.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token polled at every step.
+    pub fn with_cancel(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Starts the clock: converts the declarative budget into a live
+    /// guard for one evaluation.
+    pub fn start(&self) -> ExecGuard {
+        ExecGuard {
+            initial_fuel: self.fuel.unwrap_or(0),
+            fuel: self.fuel.map(AtomicU64::new),
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            cancel: self.cancel.clone(),
+            ticks: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Live counters for one evaluation, shared across its threads.
+#[derive(Debug)]
+pub struct ExecGuard {
+    initial_fuel: u64,
+    fuel: Option<AtomicU64>,
+    deadline: Option<Instant>,
+    cancel: Option<CancellationToken>,
+    ticks: AtomicU64,
+}
+
+impl Default for ExecGuard {
+    fn default() -> Self {
+        ExecBudget::unlimited().start()
+    }
+}
+
+impl ExecGuard {
+    /// Charges one interpreter step. Fails with
+    /// [`MonetError::Interrupted`], [`MonetError::BudgetExhausted`], or
+    /// [`MonetError::Deadline`] when a limit is hit.
+    pub fn tick(&self) -> Result<()> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Err(MonetError::Interrupted);
+            }
+        }
+        if let Some(fuel) = &self.fuel {
+            // Saturating decrement: never wraps, stays exhausted at 0.
+            let mut cur = fuel.load(Ordering::Relaxed);
+            loop {
+                if cur == 0 {
+                    return Err(MonetError::BudgetExhausted {
+                        fuel: self.initial_fuel,
+                    });
+                }
+                match fuel.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let t = self.ticks.fetch_add(1, Ordering::Relaxed);
+            if t.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= deadline {
+                return Err(MonetError::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps charged so far (only meaningful with a fuel limit).
+    pub fn fuel_used(&self) -> u64 {
+        match &self.fuel {
+            Some(f) => self.initial_fuel - f.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Remaining fuel, or `None` when unlimited.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.fuel.as_ref().map(|f| f.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let guard = ExecBudget::unlimited().start();
+        for _ in 0..10_000 {
+            guard.tick().unwrap();
+        }
+        assert_eq!(guard.fuel_remaining(), None);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_exact_and_sticky() {
+        let guard = ExecBudget::unlimited().with_fuel(3).start();
+        assert!(guard.tick().is_ok());
+        assert!(guard.tick().is_ok());
+        assert!(guard.tick().is_ok());
+        for _ in 0..3 {
+            assert_eq!(guard.tick(), Err(MonetError::BudgetExhausted { fuel: 3 }));
+        }
+        assert_eq!(guard.fuel_used(), 3);
+        assert_eq!(guard.fuel_remaining(), Some(0));
+    }
+
+    #[test]
+    fn cancellation_trips_immediately() {
+        let token = CancellationToken::new();
+        let guard = ExecBudget::unlimited().with_cancel(token.clone()).start();
+        assert!(guard.tick().is_ok());
+        token.cancel();
+        assert_eq!(guard.tick(), Err(MonetError::Interrupted));
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_on_check_boundary() {
+        // A zero deadline is already expired; the first tick (tick count
+        // 0, a check boundary) must observe it.
+        let guard = ExecBudget::unlimited()
+            .with_deadline(Duration::from_secs(0))
+            .start();
+        assert_eq!(guard.tick(), Err(MonetError::Deadline));
+    }
+
+    #[test]
+    fn fuel_is_shared_across_threads() {
+        let guard = std::sync::Arc::new(ExecBudget::unlimited().with_fuel(1000).start());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = std::sync::Arc::clone(&guard);
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        let _ = g.tick();
+                    }
+                });
+            }
+        });
+        assert_eq!(guard.fuel_remaining(), Some(0));
+        assert!(guard.tick().is_err());
+    }
+}

@@ -14,6 +14,7 @@ use parking_lot::RwLock;
 
 use crate::bat::Bat;
 use crate::error::{MonetError, Result};
+use crate::guard::ExecBudget;
 use crate::mil::{self, MilValue};
 
 /// A shareable handle to a catalog-resident (or MIL-local) BAT.
@@ -146,6 +147,11 @@ impl Kernel {
 
     /// Calls an extension procedure by bare name.
     pub fn call_proc(&self, proc: &str, args: &[MilValue]) -> Result<MilValue> {
+        // Fault site `proc.{name}`: lets tests fail specific extension
+        // procedures without touching the module implementation.
+        if cobra_faults::is_armed() {
+            cobra_faults::fire(&format!("proc.{proc}"))?;
+        }
         let module = self
             .resolve_proc(proc)
             .ok_or_else(|| MonetError::NotFound(format!("procedure '{proc}'")))?;
@@ -154,8 +160,18 @@ impl Kernel {
 
     /// Parses and evaluates a MIL program against this kernel, returning
     /// the value of its final `RETURN` (or [`MilValue::Nil`]).
+    ///
+    /// Runs with no execution limits; see [`Kernel::eval_mil_guarded`].
     pub fn eval_mil(&self, source: &str) -> Result<MilValue> {
         mil::eval_program(self, source)
+    }
+
+    /// Like [`Kernel::eval_mil`], but bounded by `budget`: when the
+    /// program exceeds its step fuel, wall-clock deadline, or is
+    /// cancelled, evaluation stops with [`MonetError::BudgetExhausted`],
+    /// [`MonetError::Deadline`], or [`MonetError::Interrupted`].
+    pub fn eval_mil_guarded(&self, source: &str, budget: &ExecBudget) -> Result<MilValue> {
+        mil::eval_program_guarded(self, source, budget)
     }
 }
 

@@ -38,6 +38,7 @@
 
 pub mod bat;
 pub mod error;
+pub mod guard;
 pub mod index;
 pub mod kernel;
 pub mod mil;
@@ -49,6 +50,7 @@ pub mod value;
 pub mod prelude {
     pub use crate::bat::{Bat, Column};
     pub use crate::error::{MonetError, Result};
+    pub use crate::guard::{CancellationToken, ExecBudget};
     pub use crate::kernel::{Kernel, MelModule};
     pub use crate::mil::MilValue;
     pub use crate::value::{Atom, AtomType};
@@ -56,6 +58,7 @@ pub mod prelude {
 
 pub use bat::{Bat, Column};
 pub use error::{MonetError, Result};
+pub use guard::{CancellationToken, ExecBudget, ExecGuard};
 pub use kernel::{Kernel, MelModule};
 pub use mil::MilValue;
 pub use value::{Atom, AtomType};

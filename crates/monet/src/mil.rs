@@ -12,7 +12,15 @@
 //! * `threadcnt(n)` plus `PARALLEL { … }` blocks that evaluate their
 //!   statements on concurrent threads — the construct behind the paper's
 //!   parallel evaluation of six HMM servers,
+//! * `WHILE (cond) { … }` loops, `IF (cond) { … } ELSE { … }`
+//!   conditionals and `true`/`false` literals,
 //! * `RETURN expr;` and `#`-comments.
+//!
+//! Because `WHILE` and recursive `PROC`s make nontermination expressible,
+//! evaluation can be bounded by an [`ExecBudget`](crate::guard::ExecBudget)
+//! (step fuel, wall-clock deadline, cancellation token) through
+//! [`Kernel::eval_mil_guarded`]; see [`crate::guard`]. The unguarded
+//! entry points run with an unlimited budget.
 //!
 //! ```
 //! use f1_monet::prelude::*;
@@ -34,10 +42,15 @@ use parking_lot::RwLock;
 
 use crate::bat::Bat;
 use crate::error::{MonetError, Result};
+use crate::guard::{ExecBudget, ExecGuard};
 use crate::kernel::{BatHandle, Kernel};
 use crate::ops::{self, Aggregate};
 use crate::parallel;
 use crate::value::{Atom, AtomType};
+
+/// Maximum nesting of user-`PROC` calls: recursion beyond this fails
+/// with an eval error instead of overflowing the interpreter stack.
+const MAX_CALL_DEPTH: usize = 128;
 
 /// A value produced by MIL evaluation.
 #[derive(Clone)]
@@ -95,7 +108,13 @@ impl fmt::Display for MilValue {
             MilValue::Atom(a) => write!(f, "{a}"),
             MilValue::Bat(b) => {
                 let bat = b.read();
-                write!(f, "[{} pairs of {}|{}]", bat.len(), bat.types().0, bat.types().1)
+                write!(
+                    f,
+                    "[{} pairs of {}|{}]",
+                    bat.len(),
+                    bat.types().0,
+                    bat.types().1
+                )
             }
         }
     }
@@ -106,9 +125,7 @@ impl PartialEq for MilValue {
         match (self, other) {
             (MilValue::Nil, MilValue::Nil) => true,
             (MilValue::Atom(a), MilValue::Atom(b)) => a == b,
-            (MilValue::Bat(a), MilValue::Bat(b)) => {
-                Arc::ptr_eq(a, b) || *a.read() == *b.read()
-            }
+            (MilValue::Bat(a), MilValue::Bat(b)) => Arc::ptr_eq(a, b) || *a.read() == *b.read(),
             _ => false,
         }
     }
@@ -173,64 +190,109 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 }
             }
             '(' => {
-                toks.push(SpannedTok { tok: Tok::LParen, line });
+                toks.push(SpannedTok {
+                    tok: Tok::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                toks.push(SpannedTok { tok: Tok::RParen, line });
+                toks.push(SpannedTok {
+                    tok: Tok::RParen,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                toks.push(SpannedTok { tok: Tok::LBrace, line });
+                toks.push(SpannedTok {
+                    tok: Tok::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                toks.push(SpannedTok { tok: Tok::RBrace, line });
+                toks.push(SpannedTok {
+                    tok: Tok::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                toks.push(SpannedTok { tok: Tok::LBracket, line });
+                toks.push(SpannedTok {
+                    tok: Tok::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                toks.push(SpannedTok { tok: Tok::RBracket, line });
+                toks.push(SpannedTok {
+                    tok: Tok::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                toks.push(SpannedTok { tok: Tok::Comma, line });
+                toks.push(SpannedTok {
+                    tok: Tok::Comma,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                toks.push(SpannedTok { tok: Tok::Semi, line });
+                toks.push(SpannedTok {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                toks.push(SpannedTok { tok: Tok::Dot, line });
+                toks.push(SpannedTok {
+                    tok: Tok::Dot,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    toks.push(SpannedTok { tok: Tok::Assign, line });
+                    toks.push(SpannedTok {
+                        tok: Tok::Assign,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(SpannedTok { tok: Tok::Colon, line });
+                    toks.push(SpannedTok {
+                        tok: Tok::Colon,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '+' => {
-                toks.push(SpannedTok { tok: Tok::Plus, line });
+                toks.push(SpannedTok {
+                    tok: Tok::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                toks.push(SpannedTok { tok: Tok::Minus, line });
+                toks.push(SpannedTok {
+                    tok: Tok::Minus,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                toks.push(SpannedTok { tok: Tok::Star, line });
+                toks.push(SpannedTok {
+                    tok: Tok::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                toks.push(SpannedTok { tok: Tok::Slash, line });
+                toks.push(SpannedTok {
+                    tok: Tok::Slash,
+                    line,
+                });
                 i += 1;
             }
             '<' => {
@@ -253,7 +315,10 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
             }
             '=' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    toks.push(SpannedTok { tok: Tok::EqEq, line });
+                    toks.push(SpannedTok {
+                        tok: Tok::EqEq,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(MonetError::Parse {
@@ -312,7 +377,10 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                         }
                     }
                 }
-                toks.push(SpannedTok { tok: Tok::Str(s), line });
+                toks.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -400,7 +468,11 @@ enum Expr {
     Dbl(f64),
     Str(String),
     Ident(String),
-    Call { name: String, args: Vec<Expr> },
+    Bit(bool),
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     Method {
         recv: Box<Expr>,
         name: String,
@@ -416,11 +488,26 @@ enum Expr {
 
 #[derive(Debug, Clone)]
 enum Stmt {
-    Var { name: String, expr: Expr },
-    Assign { name: String, expr: Expr },
+    Var {
+        name: String,
+        expr: Expr,
+    },
+    Assign {
+        name: String,
+        expr: Expr,
+    },
     Expr(Expr),
     Return(Expr),
     Parallel(Vec<Stmt>),
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
 }
 
 /// A user-defined MIL procedure.
@@ -528,9 +615,7 @@ impl Parser {
                         }
                     }
                 }
-                params.push(
-                    last_ident.ok_or_else(|| self.err("missing parameter name".into()))?,
-                );
+                params.push(last_ident.ok_or_else(|| self.err("missing parameter name".into()))?);
                 if self.peek() == Some(&Tok::Comma) {
                     self.bump();
                 } else {
@@ -545,23 +630,59 @@ impl Parser {
             self.ident("return type")?;
         }
         self.expect(&Tok::Assign, "':='")?;
+        let body = self.parse_block("procedure body")?;
+        Ok(ProcDef { params, body })
+    }
+
+    /// Parses `{ stmt* }` with an optional trailing `;`.
+    fn parse_block(&mut self, what: &str) -> Result<Vec<Stmt>> {
         self.expect(&Tok::LBrace, "'{'")?;
         let mut body = Vec::new();
         while self.peek() != Some(&Tok::RBrace) {
             if self.peek().is_none() {
-                return Err(self.err("unterminated procedure body".into()));
+                return Err(self.err(format!("unterminated {what}")));
             }
             body.push(self.parse_stmt()?);
         }
-        self.bump(); // consume '}'
-        // Optional trailing ';'
+        self.bump();
         if self.peek() == Some(&Tok::Semi) {
             self.bump();
         }
-        Ok(ProcDef { params, body })
+        Ok(body)
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt> {
+        if self.is_kw("WHILE") {
+            self.bump();
+            self.expect(&Tok::LParen, "'('")?;
+            let cond = self.parse_expr()?;
+            self.expect(&Tok::RParen, "')'")?;
+            let body = self.parse_block("WHILE body")?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.is_kw("IF") {
+            self.bump();
+            self.expect(&Tok::LParen, "'('")?;
+            let cond = self.parse_expr()?;
+            self.expect(&Tok::RParen, "')'")?;
+            let then_body = self.parse_block("IF body")?;
+            let else_body = if self.is_kw("ELSE") {
+                self.bump();
+                if self.is_kw("IF") {
+                    // `ELSE IF (…) { … }` chains as a nested conditional.
+                    vec![self.parse_stmt()?]
+                } else {
+                    self.parse_block("ELSE body")?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
         if self.is_kw("VAR") {
             self.bump();
             let name = self.ident("variable name")?;
@@ -578,18 +699,7 @@ impl Parser {
         }
         if self.is_kw("PARALLEL") {
             self.bump();
-            self.expect(&Tok::LBrace, "'{'")?;
-            let mut body = Vec::new();
-            while self.peek() != Some(&Tok::RBrace) {
-                if self.peek().is_none() {
-                    return Err(self.err("unterminated PARALLEL block".into()));
-                }
-                body.push(self.parse_stmt()?);
-            }
-            self.bump();
-            if self.peek() == Some(&Tok::Semi) {
-                self.bump();
-            }
+            let body = self.parse_block("PARALLEL block")?;
             return Ok(Stmt::Parallel(body));
         }
         // Assignment `x := expr;` vs expression statement.
@@ -739,7 +849,11 @@ impl Parser {
             }
             Some(Tok::Ident(name)) => {
                 self.bump();
-                if self.peek() == Some(&Tok::LParen) {
+                if name.eq_ignore_ascii_case("true") {
+                    Ok(Expr::Bit(true))
+                } else if name.eq_ignore_ascii_case("false") {
+                    Ok(Expr::Bit(false))
+                } else if self.peek() == Some(&Tok::LParen) {
                     let args = self.parse_args()?;
                     Ok(Expr::Call { name, args })
                 } else {
@@ -761,6 +875,11 @@ struct Env<'k> {
     vars: HashMap<String, MilValue>,
     procs: Arc<HashMap<String, ProcDef>>,
     threads: Arc<AtomicUsize>,
+    /// Shared across PARALLEL threads and procedure frames so the budget
+    /// bounds the whole program.
+    guard: Arc<ExecGuard>,
+    /// Current user-PROC nesting, capped at [`MAX_CALL_DEPTH`].
+    depth: usize,
 }
 
 impl<'k> Env<'k> {
@@ -779,7 +898,22 @@ enum Flow {
 
 /// Parses and evaluates a MIL program, returning the value of the first
 /// executed `RETURN` at the top level (or [`MilValue::Nil`]).
+///
+/// Runs with an unlimited [`ExecBudget`]; a `WHILE (true) { }` program
+/// will spin forever. Use [`eval_program_guarded`] to bound execution.
 pub fn eval_program(kernel: &Kernel, source: &str) -> Result<MilValue> {
+    eval_program_guarded(kernel, source, &ExecBudget::unlimited())
+}
+
+/// Like [`eval_program`], but bounded by `budget`: evaluation fails with
+/// [`MonetError::BudgetExhausted`], [`MonetError::Deadline`] or
+/// [`MonetError::Interrupted`] when a limit trips, instead of running
+/// (potentially) forever.
+pub fn eval_program_guarded(
+    kernel: &Kernel,
+    source: &str,
+    budget: &ExecBudget,
+) -> Result<MilValue> {
     let toks = lex(source)?;
     let mut parser = Parser { toks, pos: 0 };
     let (procs, stmts) = parser.parse_program()?;
@@ -788,6 +922,8 @@ pub fn eval_program(kernel: &Kernel, source: &str) -> Result<MilValue> {
         vars: HashMap::new(),
         procs: Arc::new(procs),
         threads: Arc::new(AtomicUsize::new(1)),
+        guard: Arc::new(budget.start()),
+        depth: 0,
     };
     match exec_stmts(&mut env, &stmts)? {
         Flow::Return(v) => Ok(v),
@@ -806,6 +942,7 @@ fn exec_stmts(env: &mut Env<'_>, stmts: &[Stmt]) -> Result<Flow> {
 }
 
 fn exec_stmt(env: &mut Env<'_>, stmt: &Stmt) -> Result<Flow> {
+    env.guard.tick()?;
     match stmt {
         Stmt::Var { name, expr } => {
             let v = eval_expr(env, expr)?;
@@ -831,6 +968,43 @@ fn exec_stmt(env: &mut Env<'_>, stmt: &Stmt) -> Result<Flow> {
             Ok(Flow::Return(v))
         }
         Stmt::Parallel(body) => exec_parallel(env, body),
+        Stmt::While { cond, body } => {
+            loop {
+                // The back-edge tick makes even `WHILE (true) { }` (an
+                // empty body charges nothing) consume fuel every pass.
+                env.guard.tick()?;
+                if !eval_cond(env, cond)? {
+                    break;
+                }
+                match exec_stmts(env, body)? {
+                    Flow::Normal => {}
+                    ret @ Flow::Return(_) => return Ok(ret),
+                }
+            }
+            Ok(Flow::Normal)
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            if eval_cond(env, cond)? {
+                exec_stmts(env, then_body)
+            } else {
+                exec_stmts(env, else_body)
+            }
+        }
+    }
+}
+
+/// Evaluates a `WHILE`/`IF` condition, which must produce a bit.
+fn eval_cond(env: &mut Env<'_>, cond: &Expr) -> Result<bool> {
+    match eval_expr(env, cond)?.as_atom()? {
+        Atom::Bit(b) => Ok(b),
+        other => Err(MonetError::TypeMismatch {
+            expected: "bit condition".into(),
+            found: other.to_string(),
+        }),
     }
 }
 
@@ -881,6 +1055,7 @@ fn eval_expr(env: &mut Env<'_>, expr: &Expr) -> Result<MilValue> {
         Expr::Int(v) => Ok(MilValue::Atom(Atom::Int(*v))),
         Expr::Dbl(v) => Ok(MilValue::Atom(Atom::Dbl(*v))),
         Expr::Str(s) => Ok(MilValue::Atom(Atom::str(s))),
+        Expr::Bit(b) => Ok(MilValue::Atom(Atom::Bit(*b))),
         Expr::Ident(name) => env.lookup(name),
         Expr::Neg(inner) => {
             let v = eval_expr(env, inner)?.as_atom()?;
@@ -902,7 +1077,7 @@ fn eval_expr(env: &mut Env<'_>, expr: &Expr) -> Result<MilValue> {
             for a in args {
                 argv.push(eval_expr(env, a)?);
             }
-            eval_method(&recv, name, &argv)
+            eval_method(env, &recv, name, &argv)
         }
     }
 }
@@ -1059,9 +1234,7 @@ fn eval_call(env: &mut Env<'_>, name: &str, args: &[Expr]) -> Result<MilValue> {
                     .trim()
                     .parse()
                     .map_err(|_| MonetError::Eval(format!("cannot parse '{s}' as dbl")))?,
-                other => {
-                    return Err(MonetError::Eval(format!("cannot convert {other} to dbl")))
-                }
+                other => return Err(MonetError::Eval(format!("cannot convert {other} to dbl"))),
             };
             Ok(MilValue::Atom(Atom::Dbl(v)))
         }
@@ -1102,6 +1275,7 @@ fn eval_call(env: &mut Env<'_>, name: &str, args: &[Expr]) -> Result<MilValue> {
         _ => {
             // User-defined PROC?
             if let Some(def) = env.procs.get(name).cloned() {
+                env.guard.tick()?;
                 if def.params.len() != argv.len() {
                     return Err(MonetError::Eval(format!(
                         "procedure '{name}' expects {} arguments, got {}",
@@ -1109,11 +1283,18 @@ fn eval_call(env: &mut Env<'_>, name: &str, args: &[Expr]) -> Result<MilValue> {
                         argv.len()
                     )));
                 }
+                if env.depth + 1 > MAX_CALL_DEPTH {
+                    return Err(MonetError::Eval(format!(
+                        "procedure call depth exceeded {MAX_CALL_DEPTH} (runaway recursion in '{name}'?)"
+                    )));
+                }
                 let mut callee = Env {
                     kernel: env.kernel,
                     vars: def.params.iter().cloned().zip(argv).collect(),
                     procs: Arc::clone(&env.procs),
                     threads: Arc::clone(&env.threads),
+                    guard: Arc::clone(&env.guard),
+                    depth: env.depth + 1,
                 };
                 return match exec_stmts(&mut callee, &def.body)? {
                     Flow::Return(v) => Ok(v),
@@ -1121,15 +1302,21 @@ fn eval_call(env: &mut Env<'_>, name: &str, args: &[Expr]) -> Result<MilValue> {
                 };
             }
             // Extension-module procedure?
+            env.guard.tick()?;
             env.kernel.call_proc(name, &argv)
         }
     }
 }
 
-fn eval_method(recv: &MilValue, name: &str, args: &[MilValue]) -> Result<MilValue> {
-    let handle = recv.as_bat().map_err(|_| {
-        MonetError::Eval(format!("method '.{name}' requires a BAT receiver"))
-    })?;
+fn eval_method(env: &Env<'_>, recv: &MilValue, name: &str, args: &[MilValue]) -> Result<MilValue> {
+    env.guard.tick()?;
+    // Fault site `bat.{method}`: only pay the format when a plan is armed.
+    if cobra_faults::is_armed() {
+        cobra_faults::fire(&format!("bat.{name}"))?;
+    }
+    let handle = recv
+        .as_bat()
+        .map_err(|_| MonetError::Eval(format!("method '.{name}' requires a BAT receiver")))?;
     match name {
         "insert" => {
             let mut bat = handle.write();
@@ -1312,9 +1499,7 @@ mod tests {
     #[test]
     fn variables_and_assignment() {
         let k = kernel();
-        let v = k
-            .eval_mil("VAR x := 10; x := x + 5; RETURN x;")
-            .unwrap();
+        let v = k.eval_mil("VAR x := 10; x := x + 5; RETURN x;").unwrap();
         assert_eq!(v, MilValue::Atom(Atom::Int(15)));
         assert!(k.eval_mil("y := 1;").is_err());
     }
@@ -1560,6 +1745,143 @@ mod tests {
         assert!(k
             .eval_mil("VAR b := new(void, int); RETURN b.frobnicate;")
             .is_err());
+    }
+
+    #[test]
+    fn while_loop_accumulates() {
+        let k = kernel();
+        let v = k
+            .eval_mil(
+                r#"
+                VAR i := 0;
+                VAR sum := 0;
+                WHILE (i < 5) {
+                    sum := sum + i;
+                    i := i + 1;
+                }
+                RETURN sum;
+                "#,
+            )
+            .unwrap();
+        assert_eq!(v, MilValue::Atom(Atom::Int(10)));
+    }
+
+    #[test]
+    fn while_body_return_propagates() {
+        let k = kernel();
+        let v = k
+            .eval_mil("VAR i := 0; WHILE (true) { i := i + 1; IF (i == 3) { RETURN i; } }")
+            .unwrap();
+        assert_eq!(v, MilValue::Atom(Atom::Int(3)));
+    }
+
+    #[test]
+    fn if_else_chain_selects_branch() {
+        let k = kernel();
+        let prog = |x: i64| {
+            format!(
+                r#"
+                VAR x := {x};
+                VAR label := "low";
+                IF (x > 10) {{
+                    label := "high";
+                }} ELSE IF (x > 5) {{
+                    label := "mid";
+                }} ELSE {{
+                    label := "low";
+                }}
+                RETURN label;
+                "#
+            )
+        };
+        for (x, expect) in [(20, "high"), (7, "mid"), (1, "low")] {
+            assert_eq!(
+                k.eval_mil(&prog(x)).unwrap(),
+                MilValue::Atom(Atom::str(expect))
+            );
+        }
+    }
+
+    #[test]
+    fn bool_literals_and_non_bit_condition_errors() {
+        let k = kernel();
+        assert_eq!(
+            k.eval_mil("RETURN true;").unwrap(),
+            MilValue::Atom(Atom::Bit(true))
+        );
+        assert_eq!(
+            k.eval_mil("RETURN FALSE;").unwrap(),
+            MilValue::Atom(Atom::Bit(false))
+        );
+        let err = k.eval_mil("WHILE (1) { }").unwrap_err();
+        assert!(matches!(err, MonetError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel_instead_of_hanging() {
+        let k = kernel();
+        let budget = ExecBudget::unlimited().with_fuel(10_000);
+        // The acceptance criterion: a busy loop must come back with
+        // BudgetExhausted, not wedge the kernel thread.
+        let err = k.eval_mil_guarded("WHILE (true) { }", &budget).unwrap_err();
+        assert_eq!(err, MonetError::BudgetExhausted { fuel: 10_000 });
+        let err = k
+            .eval_mil_guarded("VAR i := 0; WHILE (true) { i := i + 1; }", &budget)
+            .unwrap_err();
+        assert_eq!(err, MonetError::BudgetExhausted { fuel: 10_000 });
+    }
+
+    #[test]
+    fn guarded_run_within_budget_succeeds() {
+        let k = kernel();
+        let budget = ExecBudget::unlimited().with_fuel(10_000);
+        let v = k
+            .eval_mil_guarded(
+                "VAR i := 0; WHILE (i < 10) { i := i + 1; } RETURN i;",
+                &budget,
+            )
+            .unwrap();
+        assert_eq!(v, MilValue::Atom(Atom::Int(10)));
+    }
+
+    #[test]
+    fn runaway_recursion_is_capped() {
+        let k = kernel();
+        let err = k
+            .eval_mil("PROC f(int x) : int := { RETURN f(x + 1); }; RETURN f(0);")
+            .unwrap_err();
+        assert!(matches!(err, MonetError::Eval(msg) if msg.contains("depth")));
+    }
+
+    #[test]
+    fn cancellation_aborts_parallel_evaluation() {
+        let k = kernel();
+        let token = crate::guard::CancellationToken::new();
+        token.cancel();
+        let budget = ExecBudget::unlimited().with_cancel(token);
+        let err = k
+            .eval_mil_guarded("VAR i := 0; WHILE (true) { i := i + 1; }", &budget)
+            .unwrap_err();
+        assert_eq!(err, MonetError::Interrupted);
+    }
+
+    #[test]
+    fn fuel_budget_spans_parallel_threads() {
+        let k = kernel();
+        let budget = ExecBudget::unlimited().with_fuel(500);
+        let err = k
+            .eval_mil_guarded(
+                r#"
+                threadcnt(2);
+                PARALLEL {
+                    WHILE (true) { }
+                    WHILE (true) { }
+                }
+                "#,
+                &budget,
+            )
+            .unwrap_err();
+        assert_eq!(err, MonetError::BudgetExhausted { fuel: 500 });
     }
 
     #[test]

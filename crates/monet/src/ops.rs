@@ -95,7 +95,11 @@ pub fn antijoin(l: &Bat, r: &Bat) -> Bat {
 }
 
 /// Applies `f` to every tail value, keeping heads (`[f]()` map in MIL).
-pub fn map_tail(b: &Bat, out_ty: AtomType, mut f: impl FnMut(&Atom) -> Result<Atom>) -> Result<Bat> {
+pub fn map_tail(
+    b: &Bat,
+    out_ty: AtomType,
+    mut f: impl FnMut(&Atom) -> Result<Atom>,
+) -> Result<Bat> {
     let (ht, _) = b.types();
     let mut out = Bat::new(ht, out_ty);
     for (h, t) in b.iter() {
@@ -220,7 +224,11 @@ pub fn aggregate(b: &Bat, kind: Aggregate) -> Result<Atom> {
                 }
             }
             if kind == Aggregate::Sum {
-                Ok(if all_int { Atom::Int(isum) } else { Atom::Dbl(sum) })
+                Ok(if all_int {
+                    Atom::Int(isum)
+                } else {
+                    Atom::Dbl(sum)
+                })
             } else {
                 Ok(Atom::Dbl(sum / b.len() as f64))
             }
@@ -256,9 +264,7 @@ pub fn grouped_aggregate(values: &Bat, groups: &Bat, kind: Aggregate) -> Result<
     for gid in order {
         let vals = &buckets[&gid];
         let tmp = Bat::from_tail(
-            vals.first()
-                .map(|a| a.atom_type())
-                .unwrap_or(AtomType::Dbl),
+            vals.first().map(|a| a.atom_type()).unwrap_or(AtomType::Dbl),
             vals.iter().cloned(),
         )?;
         let mut agg = aggregate(&tmp, kind)?;

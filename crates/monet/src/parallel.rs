@@ -30,10 +30,8 @@ where
         .map(|j| parking_lot::Mutex::new(Some(j)))
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<&mut Option<T>>> = slots
-        .iter_mut()
-        .map(parking_lot::Mutex::new)
-        .collect();
+    let results: Vec<parking_lot::Mutex<&mut Option<T>>> =
+        slots.iter_mut().map(parking_lot::Mutex::new).collect();
 
     thread::scope(|s| {
         for _ in 0..threads.min(n) {
@@ -84,9 +82,7 @@ mod tests {
 
     #[test]
     fn results_preserve_submission_order() {
-        let jobs: Vec<_> = (0..16)
-            .map(|i| move || i * i)
-            .collect();
+        let jobs: Vec<_> = (0..16).map(|i| move || i * i).collect();
         let out = run_jobs(4, jobs);
         assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
     }

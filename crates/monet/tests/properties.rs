@@ -18,9 +18,7 @@ fn arb_keyed_bat() -> impl Strategy<Value = Bat> {
         Bat::from_pairs(
             AtomType::Int,
             AtomType::Int,
-            pairs
-                .into_iter()
-                .map(|(k, v)| (Atom::Int(k), Atom::Int(v))),
+            pairs.into_iter().map(|(k, v)| (Atom::Int(k), Atom::Int(v))),
         )
         .expect("homogeneous ints")
     })

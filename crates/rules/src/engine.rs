@@ -287,7 +287,17 @@ mod tests {
             temporal: vec![TemporalConstraint {
                 a: 0,
                 b: 1,
-                relations: vec![Overlaps, OverlappedBy, During, Contains, Starts, StartedBy, Finishes, FinishedBy, Equal],
+                relations: vec![
+                    Overlaps,
+                    OverlappedBy,
+                    During,
+                    Contains,
+                    Starts,
+                    StartedBy,
+                    Finishes,
+                    FinishedBy,
+                    Equal,
+                ],
             }],
             head: "pit_highlight".into(),
             head_args: vec![Term::var("driver")],
@@ -305,7 +315,10 @@ mod tests {
             Fact::new("pit_stop", vec![Value::str("TRULLI")], iv(400, 440)), // no overlap
         ];
         let all = engine.run(facts).unwrap();
-        let derived: Vec<&Fact> = all.iter().filter(|f| f.predicate == "pit_highlight").collect();
+        let derived: Vec<&Fact> = all
+            .iter()
+            .filter(|f| f.predicate == "pit_highlight")
+            .collect();
         assert_eq!(derived.len(), 1);
         assert_eq!(derived[0].args, vec![Value::str("HAKKINEN")]);
         assert_eq!(derived[0].interval, iv(100, 200)); // hull
@@ -334,7 +347,10 @@ mod tests {
             Fact::new("pit_stop", vec![Value::str("HAKKINEN")], iv(400, 450)),
         ];
         let all = engine.run(facts).unwrap();
-        let derived: Vec<&Fact> = all.iter().filter(|f| f.predicate == "leader_pits").collect();
+        let derived: Vec<&Fact> = all
+            .iter()
+            .filter(|f| f.predicate == "leader_pits")
+            .collect();
         assert_eq!(derived.len(), 1);
         assert_eq!(derived[0].args, vec![Value::str("SCHUMACHER")]);
         assert_eq!(derived[0].interval, iv(300, 350)); // Of(1)
@@ -419,7 +435,11 @@ mod tests {
             engine.add_rule(Rule {
                 name: "bad2".into(),
                 conditions: vec![Condition::new("a", vec![])],
-                temporal: vec![TemporalConstraint { a: 0, b: 3, relations: vec![Before] }],
+                temporal: vec![TemporalConstraint {
+                    a: 0,
+                    b: 3,
+                    relations: vec![Before]
+                }],
                 head: "b".into(),
                 head_args: vec![],
                 interval: IntervalSpec::Hull,

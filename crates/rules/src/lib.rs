@@ -40,7 +40,9 @@ impl std::fmt::Display for RuleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RuleError::UnboundVariable(v) => write!(f, "unbound variable '?{v}' in production"),
-            RuleError::BadConditionIndex(i) => write!(f, "temporal constraint on condition {i} out of range"),
+            RuleError::BadConditionIndex(i) => {
+                write!(f, "temporal constraint on condition {i} out of range")
+            }
             RuleError::NoFixpoint => write!(f, "rule evaluation did not reach a fixpoint"),
         }
     }

@@ -47,13 +47,9 @@ impl Default for DetectConfig {
 
 /// First pass: does this frame show a shaded caption region?
 pub fn has_shaded_region(frame: &Frame, cfg: &DetectConfig) -> bool {
-    let dark = frame.fraction_matching(
-        0,
-        cfg.band_y,
-        frame.width(),
-        cfg.band_h,
-        |px| luma(px) < cfg.dark_luma,
-    );
+    let dark = frame.fraction_matching(0, cfg.band_y, frame.width(), cfg.band_h, |px| {
+        luma(px) < cfg.dark_luma
+    });
     dark >= cfg.min_dark_fraction
 }
 
@@ -121,8 +117,8 @@ fn luma(px: [u8; 3]) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use f1_media::frame::{FrameBuf, HEIGHT, WIDTH};
     use f1_media::font;
+    use f1_media::frame::{FrameBuf, HEIGHT, WIDTH};
 
     fn plain_frame() -> Frame {
         FrameBuf::filled(WIDTH, HEIGHT, [120, 120, 130]).freeze()
@@ -191,7 +187,12 @@ mod tests {
         let mut fb = FrameBuf::filled(WIDTH, HEIGHT, [120, 120, 130]);
         fb.blend_rect(60, cfg.band_y, 260, cfg.band_h, [10, 10, 30], 220);
         let empty_box = fb.freeze();
-        let frames = vec![empty_box.clone(), empty_box.clone(), empty_box.clone(), empty_box];
+        let frames = vec![
+            empty_box.clone(),
+            empty_box.clone(),
+            empty_box.clone(),
+            empty_box,
+        ];
         assert!(detect_text_runs(&frames, &cfg).is_empty());
     }
 }

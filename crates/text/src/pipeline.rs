@@ -171,13 +171,7 @@ mod tests {
         let sc = RaceScenario::generate(ScenarioConfig::new(profile, secs));
         let video = VideoSynth::new(&sc);
         let vocab = Vocabulary::formula1();
-        let found = scan_broadcast(
-            &video,
-            0,
-            sc.n_frames(),
-            &vocab,
-            &PipelineConfig::default(),
-        );
+        let found = scan_broadcast(&video, 0, sc.n_frames(), &vocab, &PipelineConfig::default());
         (sc, found)
     }
 
@@ -189,14 +183,22 @@ mod tests {
         // with its exact semantics.
         let mut matched = 0usize;
         for truth in &sc.captions {
-            let hit = found.iter().find(|d| {
-                d.start_frame < truth.end_frame && truth.start_frame < d.end_frame
-            });
+            let hit = found
+                .iter()
+                .find(|d| d.start_frame < truth.end_frame && truth.start_frame < d.end_frame);
             if let Some(hit) = hit {
                 let parsed = hit.parsed.as_ref().expect("caption parses");
-                assert_eq!(parsed.kind, truth.kind, "kind mismatch for {:?}", truth.text);
+                assert_eq!(
+                    parsed.kind, truth.kind,
+                    "kind mismatch for {:?}",
+                    truth.text
+                );
                 if truth.kind != CaptionKind::FinalLap {
-                    assert_eq!(parsed.driver, truth.driver, "driver mismatch for {:?}", truth.text);
+                    assert_eq!(
+                        parsed.driver, truth.driver,
+                        "driver mismatch for {:?}",
+                        truth.text
+                    );
                 }
                 matched += 1;
             }

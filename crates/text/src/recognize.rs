@@ -52,8 +52,21 @@ impl Vocabulary {
     pub fn formula1() -> Self {
         let mut words: Vec<&str> = f1_media::synth::scenario::DRIVERS.to_vec();
         words.extend_from_slice(&[
-            "PIT", "STOP", "FINAL", "LAP", "CLASSIFICATION", "WINNER", "FASTEST", "1", "2", "3",
-            "4", "5", "6", "7", "8",
+            "PIT",
+            "STOP",
+            "FINAL",
+            "LAP",
+            "CLASSIFICATION",
+            "WINNER",
+            "FASTEST",
+            "1",
+            "2",
+            "3",
+            "4",
+            "5",
+            "6",
+            "7",
+            "8",
         ]);
         Vocabulary::new(&words).expect("builtin vocabulary renders")
     }
@@ -83,7 +96,7 @@ impl Vocabulary {
         for len in n_chars.saturating_sub(1)..=n_chars + 1 {
             for (text, pattern) in self.by_len.get(&len).into_iter().flatten() {
                 let score = similarity(word, pattern);
-                if score >= threshold && best.as_ref().map_or(true, |(_, s)| score > *s) {
+                if score >= threshold && best.as_ref().is_none_or(|(_, s)| score > *s) {
                     best = Some((text.clone(), score));
                 }
             }
@@ -126,12 +139,12 @@ pub fn similarity(word: &Bitmap, reference: &Bitmap) -> f64 {
     }
     let (wh, ww) = (word.len(), word[0].len());
     let mut agree = 0usize;
-    for y in 0..rh {
-        for x in 0..rw {
+    for (y, rrow) in reference.iter().enumerate() {
+        for (x, &rpx) in rrow.iter().enumerate().take(rw) {
             // Nearest-neighbour resample of the candidate.
             let sy = y * wh / rh;
             let sx = x * ww / rw;
-            if word[sy][sx] == reference[y][x] {
+            if word[sy][sx] == rpx {
                 agree += 1;
             }
         }

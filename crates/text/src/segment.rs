@@ -11,7 +11,11 @@ use crate::Bitmap;
 /// Binarizes a gray region: ink = luma above `threshold`.
 pub fn binarize(region: &GrayRegion, threshold: u8) -> Bitmap {
     (0..region.height)
-        .map(|y| (0..region.width).map(|x| region.get(x, y) > threshold).collect())
+        .map(|y| {
+            (0..region.width)
+                .map(|x| region.get(x, y) > threshold)
+                .collect()
+        })
         .collect()
 }
 
@@ -179,10 +183,7 @@ mod tests {
 
     #[test]
     fn projections_count_ink() {
-        let bm = vec![
-            vec![true, false, true],
-            vec![false, false, true],
-        ];
+        let bm = vec![vec![true, false, true], vec![false, false, true]];
         assert_eq!(horizontal_projection(&bm), vec![2, 1]);
         assert_eq!(vertical_projection(&bm), vec![1, 0, 2]);
     }
@@ -222,7 +223,7 @@ mod tests {
         let bm = text_bitmap("PIT STOP");
         let chars = extract_characters(&bm);
         assert_eq!(chars.len(), 7); // space contributes no characters
-        // Inter-character gap is 1 px; the space gap is 7 px.
+                                    // Inter-character gap is 1 px; the space gap is 7 px.
         let words = group_words(&chars, 4);
         assert_eq!(words.len(), 2);
         assert_eq!(words[0].n_chars, 3);

@@ -18,7 +18,9 @@ fn main() {
     let scenario = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 300));
     println!("extracting audio features ({} clips)…", scenario.n_clips);
     let fx = FeatureExtractor::new(&scenario).expect("extractor builds");
-    let features = fx.extract(&[], 0, scenario.n_clips).expect("extraction runs");
+    let features = fx
+        .extract(&[], 0, scenario.n_clips)
+        .expect("extraction runs");
     let audio: Vec<Vec<f64>> = features.iter().map(|r| r[..10].to_vec()).collect();
 
     // Train both networks with the announcer's excitement clamped to
@@ -77,6 +79,10 @@ fn main() {
         truth.len()
     );
     for seg in segs.iter().take(8) {
-        println!("  excited [{:>5.1}s, {:>5.1}s)", seg.start as f64 / 10.0, seg.end as f64 / 10.0);
+        println!(
+            "  excited [{:>5.1}s, {:>5.1}s)",
+            seg.start as f64 / 10.0,
+            seg.end as f64 / 10.0
+        );
     }
 }

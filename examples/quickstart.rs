@@ -25,7 +25,9 @@ fn main() {
     let vdbms = Vdbms::new();
 
     // Ingest: keyword spotting, feature extraction, text recognition.
-    let report = vdbms.ingest("german", &scenario).expect("ingestion succeeds");
+    let report = vdbms
+        .ingest("german", &scenario)
+        .expect("ingestion succeeds");
     println!(
         "ingested {} clips with method '{}': {} keyword spots, {} captions recognized",
         report.n_clips, report.extraction_method, report.n_keyword_spots, report.n_captions

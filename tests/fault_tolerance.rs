@@ -1,0 +1,94 @@
+//! Fault-tolerant ingestion: the pre-processor's retry/fallback path.
+//!
+//! These tests drive the real ingest pipeline with the `cobra-faults`
+//! harness armed, knocking out extraction methods at their named fault
+//! sites (`extract.full`, `extract.fast`) and checking that ingestion
+//! degrades — visibly, through `IngestReport::attempts` — instead of
+//! failing outright.
+
+use cobra_faults::{with_faults, FaultPlan, Trigger};
+use f1_cobra::{CobraError, Vdbms};
+use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig};
+
+fn scenario() -> RaceScenario {
+    // Short broadcast: these tests exercise control flow, not accuracy.
+    RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 45))
+}
+
+#[test]
+fn primary_extraction_fault_falls_back_to_fast_method() {
+    let vdbms = Vdbms::try_new().unwrap();
+    let sc = scenario();
+    let (report, faults) = with_faults(
+        FaultPlan::new(7).fail("extract.full", Trigger::Always),
+        || vdbms.ingest("german", &sc),
+    );
+    let report = report.unwrap();
+    assert_eq!(report.extraction_method, "fast");
+    assert!(report.degraded, "fallback must be reported as degraded");
+    // The attempt history shows the failed primary and the succeeding
+    // fallback, in order.
+    assert_eq!(report.attempts.len(), 2);
+    assert_eq!(report.attempts[0].method, "full");
+    assert!(report.attempts[0].error.is_some());
+    assert_eq!(report.attempts[1].method, "fast");
+    assert_eq!(report.attempts[1].error, None);
+    assert_eq!(faults.count("extract.full"), 1);
+    // The degraded features are real: they landed in the catalog.
+    assert_eq!(report.n_clips, sc.n_clips);
+    assert!(vdbms.kernel().has_bat("german.f1"));
+}
+
+#[test]
+fn transient_fault_is_retried_without_degrading() {
+    let vdbms = Vdbms::try_new().unwrap();
+    let sc = scenario();
+    // The "full" profile allows one retry; a single transient fault
+    // should be absorbed in place.
+    let (report, faults) = with_faults(
+        FaultPlan::new(3).fail_transient("extract.full", Trigger::Times(1)),
+        || vdbms.ingest("german", &sc),
+    );
+    let report = report.unwrap();
+    assert_eq!(report.extraction_method, "full");
+    assert!(!report.degraded);
+    assert_eq!(report.attempts.len(), 1);
+    assert_eq!(report.attempts[0].tries, 2);
+    assert_eq!(report.attempts[0].error, None);
+    assert_eq!(faults.count("extract.full"), 1);
+}
+
+#[test]
+fn exhausting_every_method_surfaces_a_typed_error() {
+    let vdbms = Vdbms::try_new().unwrap();
+    let sc = scenario();
+    let (result, faults) = with_faults(
+        FaultPlan::new(11).fail("extract.*", Trigger::Always),
+        || vdbms.ingest("german", &sc),
+    );
+    match result {
+        Err(CobraError::ExtractionFailed { video, source }) => {
+            assert_eq!(video, "german");
+            // The cause chain stays walkable down to the injected fault.
+            let cause = std::error::Error::source(source.as_ref())
+                .expect("extraction failure keeps its cause");
+            assert!(cause.to_string().contains("extract.fast"), "{cause}");
+        }
+        other => panic!("expected ExtractionFailed, got {other:?}"),
+    }
+    // Both methods were attempted before giving up.
+    assert_eq!(faults.count("extract.full"), 1);
+    assert_eq!(faults.count("extract.fast"), 1);
+}
+
+#[test]
+fn unfaulted_ingest_reports_a_clean_primary_run() {
+    let vdbms = Vdbms::try_new().unwrap();
+    let sc = scenario();
+    let report = vdbms.ingest("german", &sc).unwrap();
+    assert_eq!(report.extraction_method, "full");
+    assert!(!report.degraded);
+    assert_eq!(report.attempts.len(), 1);
+    assert_eq!(report.attempts[0].tries, 1);
+    assert_eq!(report.attempts[0].error, None);
+}

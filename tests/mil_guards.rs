@@ -1,0 +1,77 @@
+//! Execution-guard integration tests.
+//!
+//! The MIL interpreter's fuel budget must make *every* program
+//! terminate — including deliberately non-terminating ones. The
+//! property test below generates random programs mixing bounded loops,
+//! unbounded loops, conditionals, and BAT operations, and checks that
+//! a guarded evaluation always comes back: either with the program's
+//! value or with `MonetError::BudgetExhausted`.
+
+use f1_monet::prelude::*;
+use f1_monet::ExecBudget;
+use proptest::prelude::*;
+
+/// Renders a random statement list from a byte script. Opcode 1 emits
+/// an unconditional infinite loop, so many generated programs cannot
+/// terminate on their own.
+fn gen_stmts(codes: &mut std::vec::IntoIter<u8>, depth: usize) -> String {
+    let mut out = String::new();
+    for _ in 0..3 {
+        let Some(c) = codes.next() else { break };
+        match c % 6 {
+            0 => out.push_str("x := x + 1; "),
+            1 => out.push_str("WHILE (true) { x := x + 1; } "),
+            2 if depth < 3 => {
+                out.push_str("WHILE (x < 5000) { ");
+                out.push_str(&gen_stmts(codes, depth + 1));
+                out.push_str("x := x + 1; } ");
+            }
+            3 if depth < 3 => {
+                out.push_str("IF (x < 10) { ");
+                out.push_str(&gen_stmts(codes, depth + 1));
+                out.push_str("} ELSE { x := x - 1; } ");
+            }
+            4 => out.push_str("b.insert(x); "),
+            _ => out.push_str("x := x + 2; "),
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn any_generated_program_terminates_under_finite_fuel(
+        codes in proptest::collection::vec(0u8..=255, 1..24),
+    ) {
+        let body = gen_stmts(&mut codes.into_iter(), 0);
+        let program = format!("VAR x := 0; VAR b := new(void, int); {body} RETURN x;");
+        let kernel = Kernel::new();
+        let budget = ExecBudget::unlimited().with_fuel(20_000);
+        // Returning at all is the property; the only admissible error
+        // for these well-formed programs is fuel exhaustion.
+        match kernel.eval_mil_guarded(&program, &budget) {
+            Ok(_) => {}
+            Err(MonetError::BudgetExhausted { fuel }) => prop_assert_eq!(fuel, 20_000),
+            Err(other) => prop_assert!(false, "unexpected error from {program:?}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn busy_loop_returns_budget_exhausted_instead_of_hanging() {
+    let kernel = Kernel::new();
+    let budget = ExecBudget::unlimited().with_fuel(10_000);
+    let got = kernel.eval_mil_guarded("WHILE (true) { } RETURN 1;", &budget);
+    assert_eq!(got, Err(MonetError::BudgetExhausted { fuel: 10_000 }));
+}
+
+#[test]
+fn cancellation_token_aborts_a_guarded_run() {
+    use f1_monet::CancellationToken;
+    let kernel = Kernel::new();
+    let cancel = CancellationToken::new();
+    cancel.cancel();
+    let budget = ExecBudget::unlimited().with_cancel(cancel);
+    let got = kernel.eval_mil_guarded("RETURN 1 + 1;", &budget);
+    assert_eq!(got, Err(MonetError::Interrupted));
+}

@@ -23,7 +23,9 @@ fn kernel_with_everything() -> Kernel {
         "Low",
         DiscreteHmm::new(1, 2, vec![1.0], vec![0.9, 0.1], vec![1.0]).unwrap(),
     );
-    kernel.load_module(Arc::new(HmmModule::new(bank, 2))).unwrap();
+    kernel
+        .load_module(Arc::new(HmmModule::new(bank, 2)))
+        .unwrap();
     // DBN module with the audio BN.
     let nets: NetStore = Default::default();
     let bn = audio_bn(BnStructure::FullyParameterized).unwrap();

@@ -86,8 +86,8 @@ fn catalog_metadata_lives_in_kernel_bats() {
         cobra_f1::monet::MilValue::Atom(cobra_f1::monet::Atom::Int(sc.n_clips as i64))
     );
     // And Moa expressions compile down onto them.
-    let expr = cobra_f1::moa::MoaExpr::collection("race.f3")
-        .aggregate(cobra_f1::moa::Aggregate::Max);
+    let expr =
+        cobra_f1::moa::MoaExpr::collection("race.f3").aggregate(cobra_f1::moa::Aggregate::Max);
     let max = cobra_f1::moa::execute(vdbms.kernel(), expr).unwrap();
     let cobra_f1::monet::MilValue::Atom(cobra_f1::monet::Atom::Dbl(v)) = max else {
         panic!("expected a dbl");
@@ -137,13 +137,17 @@ fn user_defined_compound_events_extend_the_event_layer() {
     };
     let added = vdbms.define_compound_event("race", rule).unwrap();
     // The derived events are retrievable like any built-in kind.
-    let results = vdbms.query("race", "RETRIEVE EVENTS HOT_HIGHLIGHT").unwrap();
+    let results = vdbms
+        .query("race", "RETRIEVE EVENTS HOT_HIGHLIGHT")
+        .unwrap();
     assert_eq!(results.len(), added);
     // Every compound event coincides with a stored highlight.
     let highlights = vdbms.query("race", "RETRIEVE HIGHLIGHTS").unwrap();
     for r in &results {
         assert!(
-            highlights.iter().any(|h| h.start == r.start && h.end == r.end),
+            highlights
+                .iter()
+                .any(|h| h.start == r.start && h.end == r.end),
             "compound event {:?} not aligned with a highlight",
             (r.start, r.end)
         );

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench targets compiling and runnable without the real
+//! statistics engine: each `bench_function` runs its routine for the
+//! configured sample count and prints a mean wall-clock time. Good
+//! enough to smoke-test the benches and compare orders of magnitude;
+//! not a substitute for criterion's outlier-aware measurements.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How setup output is batched between measurements (API-compatible
+/// subset of criterion's enum; the stub runs one setup per iteration
+/// regardless, which matches `PerIteration` semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Timing harness handed to each benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Total time spent in measured routines, accumulated across `iter*`.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched) but passes the input by
+    /// mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Benchmark manager: registers and immediately runs benchmark routines.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub runs a fixed sample
+    /// count rather than a time-targeted number of iterations.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not warm up.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(id.as_ref(), &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Hook for `criterion_main!`; the stub runs benches eagerly, so
+    /// there is nothing left to finalize.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    if bencher.iters == 0 {
+        println!("bench {id}: no iterations");
+        return;
+    }
+    let mean = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    println!(
+        "bench {id}: mean {:.3} ms over {} iters",
+        mean * 1e3,
+        bencher.iters
+    );
+}
+
+/// Declares a group of benchmark targets. Supports both forms the real
+/// crate accepts: `criterion_group!(name, fn…)` and the
+/// `name = …; config = …; targets = …` block.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut n = 0u32;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("count", |b| b.iter(|| n += 1));
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut total = 0usize;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1, 2, 3],
+                    |v| total += v.len(),
+                    BatchSize::SmallInput,
+                )
+            });
+        assert_eq!(total, 9);
+    }
+}

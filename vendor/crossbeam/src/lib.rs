@@ -1,0 +1,97 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` built on `std::thread::scope`
+//! (stable since Rust 1.63). API shape matches the real crate where this
+//! workspace uses it: the spawn closure receives the scope handle, and
+//! `scope` returns a `Result` so callers can `.expect("worker panicked")`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle for spawning threads tied to a [`scope`] invocation.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned inside a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope handle,
+        /// mirroring crossbeam's signature (callers write `s.spawn(|_| …)`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || {
+                    let handle = Scope { inner: inner_scope };
+                    f(&handle)
+                }),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing local data can be
+    /// spawned. All spawned threads are joined before this returns.
+    /// Returns `Err` with a panic payload if the closure or an unjoined
+    /// spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let handle = Scope { inner: s };
+                f(&handle)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_locals() {
+            let data = [1, 2, 3];
+            let sum = super::scope(|s| {
+                let h1 = s.spawn(|_| data.iter().sum::<i32>());
+                let h2 = s.spawn(|_| data.len() as i32);
+                h1.join().unwrap() + h2.join().unwrap()
+            })
+            .expect("worker panicked");
+            assert_eq!(sum, 9);
+        }
+
+        #[test]
+        fn panic_in_worker_is_reported() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_handle() {
+            let n = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .expect("worker panicked");
+            assert_eq!(n, 42);
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reimplements the slice of the API this workspace uses: the
+//! [`proptest!`] test macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, a [`Strategy`]
+//! trait implemented for numeric ranges, tuples, `collection::vec`, and
+//! `char::range`, plus `.prop_map`.
+//!
+//! Differences from the real crate, deliberate for an offline stub:
+//! - **No shrinking.** A failing case reports the deterministic RNG seed
+//!   that reproduces it instead of a minimized input.
+//! - **Determinism.** Case generation is seeded from the test name and
+//!   case index — no wall clock, no OS entropy — so runs are identical
+//!   across machines and invocations.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Per-test configuration; only `cases` is honored by the stub.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+    }
+
+    /// Deterministic case-generation RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG with the given seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one property test: repeatedly generates cases until
+    /// `config.cases` of them pass, a case fails, or the rejection
+    /// budget is exhausted. Called by the [`proptest!`](crate::proptest)
+    /// expansion, not directly by user code.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let mut passed: u32 = 0;
+        let mut attempt: u64 = 0;
+        let max_attempts = (config.cases as u64) * 16 + 64;
+        while passed < config.cases {
+            assert!(
+                attempt < max_attempts,
+                "proptest '{name}': too many rejected cases ({passed}/{} passed after {attempt} attempts)",
+                config.cases
+            );
+            let seed = base.wrapping_add(attempt.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            attempt += 1;
+            let mut rng = TestRng::new(seed);
+            match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject)) => continue,
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!("proptest '{name}' failed at case {passed} (rng seed {seed:#x}): {msg}")
+                }
+                Err(payload) => {
+                    eprintln!("proptest '{name}' panicked at case {passed} (rng seed {seed:#x})");
+                    resume_unwind(payload)
+                }
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy producing exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+// `::core::primitive::char` disambiguates from this crate's `char` module,
+// which shadows the primitive in type paths at crate root.
+impl Strategy for Range<::core::primitive::char> {
+    type Value = ::core::primitive::char;
+    fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+        assert!(self.start < self.end, "empty range strategy");
+        let last = ::core::primitive::char::from_u32(self.end as u32 - 1).unwrap_or(self.start);
+        char::range(self.start, last).generate(rng)
+    }
+}
+impl Strategy for RangeInclusive<::core::primitive::char> {
+    type Value = ::core::primitive::char;
+    fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+        char::range(*self.start(), *self.end()).generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`], half-open `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length falls in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod char {
+    use super::{Strategy, TestRng};
+
+    /// Strategy over an inclusive range of `char`s.
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Generates chars in `[start, end]` (inclusive, like real proptest).
+    pub fn range(start: char, end: char) -> CharRange {
+        assert!(start <= end, "empty char range");
+        CharRange {
+            lo: start as u32,
+            hi: end as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            // Reject the (rare) surrogate gap; the bound keeps this total.
+            for _ in 0..128 {
+                let code = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
+                if let Some(c) = std::char::from_u32(code) {
+                    return c;
+                }
+            }
+            std::char::from_u32(self.lo).expect("range start is a valid char")
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Map, Strategy};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config = $cfg;
+            $crate::test_runner::run(&__proptest_config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__prop_l, __prop_r) = (&$left, &$right);
+        if !(*__prop_l == *__prop_r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __prop_l,
+                    __prop_r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__prop_l, __prop_r) = (&$left, &$right);
+        if !(*__prop_l == *__prop_r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+),
+                    __prop_l,
+                    __prop_r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (without failing) if the assumption is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = i64> {
+        (0i64..50).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn mapped_strategy_applies_function(n in small_even()) {
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            v in collection::vec((0usize..10, 'a'..='c'), 1..6),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (n, c) in v {
+                prop_assert!(n < 10);
+                prop_assert!(('a'..='c').contains(&c));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(c in crate::char::range('A', 'Z')) {
+            prop_assert!(c.is_ascii_uppercase());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::test_runner::TestRng;
+        let s = collection::vec(0u64..1000, 3..10);
+        let a: Vec<u64> = s.generate(&mut TestRng::new(7));
+        let b: Vec<u64> = s.generate(&mut TestRng::new(7));
+        assert_eq!(a, b);
+    }
+}

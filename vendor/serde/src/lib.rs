@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no access to a crates registry, so the
+//! workspace vendors a minimal substitute. The codebase uses serde only
+//! as `#[derive(serde::Serialize, serde::Deserialize)]` markers on data
+//! types; no code path performs actual serialization (the one JSON
+//! producer, the experiments binary, goes through the vendored
+//! `serde_json::json!` which builds values structurally).
+//!
+//! The derive macros therefore parse nothing and emit nothing — the
+//! attribute stays valid, the types stay source-compatible with the real
+//! serde, and restoring the registry dependency later is a one-line
+//! change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the input, emits no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the input, emits no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
