@@ -1,0 +1,143 @@
+//! Vectorized-vs-naive operator benchmarks.
+//!
+//! Every benchmark pairs a vectorized operator from `f1_monet::ops` with
+//! its atom-at-a-time reference in `f1_monet::ops::naive`, at 10k, 100k
+//! and 1M rows, and runs the parallel `*_ctx` variants at 1, 2 and 4
+//! threads. The `experiments` binary re-measures the same pairs and emits
+//! the machine-readable `BENCH_monet.json` used by CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use f1_monet::ops::{self, naive, Aggregate, OpCtx};
+use f1_monet::prelude::*;
+
+/// Void-headed int BAT with tails cycling over 1000 distinct values.
+fn int_bat(n: usize) -> Bat {
+    Bat::from_tail(AtomType::Int, (0..n as i64).map(|v| Atom::Int(v % 1000))).unwrap()
+}
+
+/// 1k-key dimension table: int key -> str label.
+fn dim_bat() -> Bat {
+    Bat::from_pairs(
+        AtomType::Int,
+        AtomType::Str,
+        (0..1000).map(|v| (Atom::Int(v), Atom::str(format!("d{v}")))),
+    )
+    .unwrap()
+}
+
+/// Grouping BAT: oid i -> group i % 64.
+fn groups_bat(n: usize) -> Bat {
+    Bat::from_pairs(
+        AtomType::Oid,
+        AtomType::Oid,
+        (0..n as u64).map(|i| (Atom::Oid(i), Atom::Oid(i % 64))),
+    )
+    .unwrap()
+}
+
+fn bench_select(c: &mut Criterion) {
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let b = int_bat(n);
+        let mut g = c.benchmark_group(&format!("select_range_{n}"));
+        g.bench_function("naive", |bch| {
+            bch.iter(|| naive::select_range(&b, &Atom::Int(100), &Atom::Int(400)));
+        });
+        g.bench_function("vectorized", |bch| {
+            bch.iter(|| ops::select_range(&b, &Atom::Int(100), &Atom::Int(400)));
+        });
+        for threads in [1usize, 2, 4] {
+            let ctx = OpCtx::with_threads(threads);
+            g.bench_function(format!("vectorized_t{threads}"), |bch| {
+                bch.iter(|| {
+                    ops::select_range_ctx(&b, &Atom::Int(100), &Atom::Int(400), &ctx).unwrap()
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_join(c: &mut Criterion) {
+    let dim = dim_bat();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let fact = int_bat(n);
+        let mut g = c.benchmark_group(&format!("join_{n}_x_1k"));
+        g.bench_function("naive", |bch| {
+            bch.iter(|| naive::join(&fact, &dim));
+        });
+        g.bench_function("vectorized", |bch| {
+            bch.iter(|| ops::join(&fact, &dim));
+        });
+        let idx = ColumnIndex::build(dim.head()).unwrap();
+        for threads in [1usize, 2, 4] {
+            let ctx = OpCtx::with_threads(threads);
+            g.bench_function(format!("vectorized_cached_t{threads}"), |bch| {
+                bch.iter(|| ops::join_ctx(&fact, &dim, Some(&idx), &ctx).unwrap());
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_group_aggregate(c: &mut Criterion) {
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let values = int_bat(n);
+        let groups = groups_bat(n);
+        let mut g = c.benchmark_group(&format!("grouped_sum_{n}"));
+        g.bench_function("naive", |bch| {
+            bch.iter(|| naive::grouped_aggregate(&values, &groups, Aggregate::Sum).unwrap());
+        });
+        g.bench_function("vectorized", |bch| {
+            bch.iter(|| ops::grouped_aggregate(&values, &groups, Aggregate::Sum).unwrap());
+        });
+        for threads in [1usize, 2, 4] {
+            let ctx = OpCtx::with_threads(threads);
+            g.bench_function(format!("vectorized_t{threads}"), |bch| {
+                bch.iter(|| {
+                    ops::grouped_aggregate_ctx(&values, &groups, Aggregate::Sum, &ctx).unwrap()
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_grouping_and_sort(c: &mut Criterion) {
+    let b = int_bat(100_000);
+    let mut g = c.benchmark_group("grouping_100k");
+    g.bench_function("histogram_naive", |bch| {
+        bch.iter(|| naive::histogram(&b));
+    });
+    g.bench_function("histogram_vectorized", |bch| {
+        bch.iter(|| ops::histogram(&b));
+    });
+    g.bench_function("sort_naive", |bch| {
+        bch.iter(|| naive::sort_by_tail(&b));
+    });
+    g.bench_function("sort_vectorized", |bch| {
+        bch.iter(|| ops::sort_by_tail(&b));
+    });
+    g.bench_function("aggregate_sum_naive", |bch| {
+        bch.iter(|| naive::aggregate(&b, Aggregate::Sum).unwrap());
+    });
+    g.bench_function("aggregate_sum_vectorized", |bch| {
+        bch.iter(|| ops::aggregate(&b, Aggregate::Sum).unwrap());
+    });
+    g.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    // Single-core CI boxes: small sample counts keep the suite tractable.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_select, bench_join, bench_group_aggregate, bench_grouping_and_sort
+}
+criterion_main!(benches);

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! experiments [--duration SECONDS] [table1 table2 table3 table4 ablation
-//!              fig9 temporal clustering keywords endpoint shots hmm queries]
+//!              fig9 temporal clustering keywords endpoint shots hmm queries
+//!              monet]
 //! ```
 //!
 //! With no experiment names, everything runs. Traces for Fig. 9 are
@@ -52,14 +53,37 @@ fn main() {
         );
         race
     };
-    let german = prepare(RaceProfile::German);
+    // Kernel-only experiments (monet, hmm) need no synthetic broadcast;
+    // skip the expensive race preparation when only those were requested.
+    let needs_german = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "ablation",
+        "fig9",
+        "temporal",
+        "clustering",
+        "keywords",
+        "endpoint",
+        "shots",
+        "queries",
+    ]
+    .iter()
+    .any(|name| want(name));
+    let german = needs_german.then(|| prepare(RaceProfile::German));
+    let german = |label: &str| -> &RaceData {
+        german
+            .as_ref()
+            .unwrap_or_else(|| panic!("race data prepared for {label}"))
+    };
     let needs_belgian = want("table2") || want("table4");
     let belgian = needs_belgian.then(|| prepare(RaceProfile::Belgian));
     let usa = needs_belgian.then(|| prepare(RaceProfile::Usa));
 
     let mut t1out = None;
     if want("table1") || want("table2") || want("fig9") || want("clustering") {
-        let out = experiments::table1(&german);
+        let out = experiments::table1(german("table1"));
         if want("table1") {
             println!("{}", out.table);
         }
@@ -78,7 +102,7 @@ fn main() {
     }
     let mut t3out = None;
     if want("table3") || want("table4") || want("ablation") {
-        let out = experiments::table3(&german);
+        let out = experiments::table3(german("table3"));
         if want("table3") {
             println!("{}", out.table);
         }
@@ -97,12 +121,13 @@ fn main() {
     if want("ablation") {
         println!(
             "{}",
-            experiments::ablation(t3out.as_ref().expect("table3 ran"), &german)
+            experiments::ablation(t3out.as_ref().expect("table3 ran"), german("ablation"))
         );
     }
     if want("fig9") {
         let t1 = t1out.as_ref().expect("table1 ran");
-        let (table, bn_trace, dbn_trace) = experiments::fig9(&t1.bn_full, &t1.dbn_full, &german);
+        let (table, bn_trace, dbn_trace) =
+            experiments::fig9(&t1.bn_full, &t1.dbn_full, german("fig9"));
         println!("{table}");
         let json = serde_json::json!({
             "bn": bn_trace,
@@ -113,26 +138,36 @@ fn main() {
         }
     }
     if want("temporal") {
-        println!("{}", experiments::temporal(&german));
+        println!("{}", experiments::temporal(german("temporal")));
     }
     if want("clustering") {
         let t1 = t1out.as_ref().expect("table1 ran");
-        println!("{}", experiments::clustering(&t1.dbn_full, &german));
+        println!(
+            "{}",
+            experiments::clustering(&t1.dbn_full, german("clustering"))
+        );
     }
     if want("keywords") {
-        println!("{}", experiments::keywords(&german));
+        println!("{}", experiments::keywords(german("keywords")));
     }
     if want("endpoint") {
-        println!("{}", experiments::endpoint(&german));
+        println!("{}", experiments::endpoint(german("endpoint")));
     }
     if want("shots") {
-        println!("{}", experiments::shots(&german));
+        println!("{}", experiments::shots(german("shots")));
     }
     if want("hmm") {
         println!("{}", experiments::hmm_parallel());
     }
+    if want("monet") {
+        let (table, json) = experiments::monet();
+        println!("{table}");
+        if std::fs::write("BENCH_monet.json", json.to_string()).is_ok() {
+            println!("(benchmarks written to BENCH_monet.json)");
+        }
+    }
     if want("queries") {
-        println!("{}", experiments::queries(&german));
+        println!("{}", experiments::queries(german("queries")));
     }
 
     eprintln!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());

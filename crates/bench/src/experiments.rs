@@ -741,3 +741,132 @@ pub fn queries(german: &RaceData) -> Table {
     );
     table
 }
+
+/// **Columnar kernel** — vectorized operators vs the naive atom-at-a-time
+/// reference, on the join/select/group shapes the paper's queries compile
+/// into. Returns the human-readable table plus a machine-readable JSON
+/// document (written to `BENCH_monet.json` by the experiments binary and
+/// validated by CI).
+pub fn monet() -> (Table, serde_json::Value) {
+    use f1_monet::ops::{self, naive, Aggregate, OpCtx};
+    use f1_monet::prelude::*;
+
+    fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    }
+
+    const ROWS: usize = 100_000;
+    let fact =
+        Bat::from_tail(AtomType::Int, (0..ROWS as i64).map(|v| Atom::Int(v % 1000))).unwrap();
+    let dim = Bat::from_pairs(
+        AtomType::Int,
+        AtomType::Str,
+        (0..1000).map(|v| (Atom::Int(v), Atom::str(format!("d{v}")))),
+    )
+    .unwrap();
+    let groups = Bat::from_pairs(
+        AtomType::Oid,
+        AtomType::Oid,
+        (0..ROWS as u64).map(|i| (Atom::Oid(i), Atom::Oid(i % 64))),
+    )
+    .unwrap();
+    let (lo, hi) = (Atom::Int(100), Atom::Int(400));
+
+    // Result identity first — a benchmark of a wrong answer means nothing.
+    assert_eq!(
+        ops::select_range(&fact, &lo, &hi),
+        naive::select_range(&fact, &lo, &hi)
+    );
+    assert_eq!(ops::join(&fact, &dim), naive::join(&fact, &dim));
+    assert_eq!(
+        ops::grouped_aggregate(&fact, &groups, Aggregate::Sum).unwrap(),
+        naive::grouped_aggregate(&fact, &groups, Aggregate::Sum).unwrap()
+    );
+
+    let idx = ColumnIndex::build(dim.head()).expect("dim head is materialized");
+    let reps = 5;
+    let t2 = OpCtx::with_threads(2);
+
+    let mut measured: Vec<(&str, f64, f64, f64)> = Vec::new(); // (op, naive, vec, vec_t2)
+    measured.push((
+        "select_range",
+        time_ms(reps, || {
+            naive::select_range(&fact, &lo, &hi);
+        }),
+        time_ms(reps, || {
+            ops::select_range(&fact, &lo, &hi);
+        }),
+        time_ms(reps, || {
+            ops::select_range_ctx(&fact, &lo, &hi, &t2).unwrap();
+        }),
+    ));
+    measured.push((
+        "join",
+        time_ms(reps, || {
+            naive::join(&fact, &dim);
+        }),
+        time_ms(reps, || {
+            ops::join_ctx(&fact, &dim, Some(&idx), &OpCtx::default()).unwrap();
+        }),
+        time_ms(reps, || {
+            ops::join_ctx(&fact, &dim, Some(&idx), &t2).unwrap();
+        }),
+    ));
+    measured.push((
+        "grouped_aggregate",
+        time_ms(reps, || {
+            naive::grouped_aggregate(&fact, &groups, Aggregate::Sum).unwrap();
+        }),
+        time_ms(reps, || {
+            ops::grouped_aggregate(&fact, &groups, Aggregate::Sum).unwrap();
+        }),
+        time_ms(reps, || {
+            ops::grouped_aggregate_ctx(&fact, &groups, Aggregate::Sum, &t2).unwrap();
+        }),
+    ));
+
+    let mut table = Table::new(
+        &format!("Columnar kernel — vectorized vs naive operators ({ROWS} rows)"),
+        &[
+            "operator",
+            "naive ms",
+            "vectorized ms",
+            "2 threads ms",
+            "speedup",
+        ],
+    );
+    let mut ops_json: Vec<serde_json::Value> = Vec::new();
+    let mut max_speedup = 0.0f64;
+    for &(op, naive_ms, vec_ms, t2_ms) in &measured {
+        let speedup = naive_ms / vec_ms;
+        max_speedup = max_speedup.max(speedup);
+        table.row(vec![
+            Cell::Text(op.into()),
+            Cell::Num(naive_ms),
+            Cell::Num(vec_ms),
+            Cell::Num(t2_ms),
+            Cell::Text(format!("{speedup:.1}x")),
+        ]);
+        ops_json.push(serde_json::json!({
+            "op": op,
+            "rows": ROWS,
+            "naive_ms": naive_ms,
+            "vectorized_ms": vec_ms,
+            "vectorized_t2_ms": t2_ms,
+            "speedup": speedup,
+        }));
+    }
+    let doc = serde_json::json!({
+        "experiment": "monet_columnar_kernel",
+        "rows": ROWS,
+        "ops": ops_json,
+        "max_speedup": max_speedup,
+    });
+    (table, doc)
+}

@@ -100,6 +100,7 @@ impl HmmBank {
             })
             .collect();
         f1_monet::parallel::run_jobs(threads, jobs)
+            .map_err(|e| HmmError::Numerical(format!("parallel evaluation failed: {e}")))?
             .into_iter()
             .collect()
     }

@@ -4,12 +4,278 @@
 //! collection type. Either column may be *void*: a dense run of object
 //! identifiers `seqbase, seqbase+1, …` that is never materialized, which is
 //! how Monet stores positional columns for free.
+//!
+//! Storage is **columnar and typed**: a materialized column holds one
+//! specialized vector per atom type ([`ColumnData`]) instead of a
+//! `Vec<Atom>` of tagged enums. String columns are dictionary-encoded
+//! against an `Arc<str>` intern pool ([`StrColumn`]), so equal strings are
+//! stored once and row storage is a `u32` code. The [`Atom`]-level API
+//! (`at`, `push`, `iter`) survives as a compatibility shim; hot operator
+//! paths use the typed-slice accessors (`oids`, `ints`, `dbls`, `bits`,
+//! `strs`, `void_run`) and the positional [`Column::gather`] primitive.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::{MonetError, Result};
 use crate::value::{Atom, AtomType};
 
-/// One column of a BAT: either a dense void run or materialized atoms.
+/// A dictionary-encoded string column: row storage is a `u32` code into a
+/// shared `Arc<str>` intern pool.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct StrColumn {
+    /// code -> string.
+    dict: Vec<Arc<str>>,
+    /// row -> code.
+    codes: Vec<u32>,
+    /// string -> code (intern map; always consistent with `dict`).
+    interned: HashMap<Arc<str>, u32>,
+}
+
+impl StrColumn {
+    /// An empty string column.
+    pub fn new() -> Self {
+        StrColumn::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of distinct strings in the dictionary.
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// The per-row dictionary codes.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The dictionary, indexed by code.
+    pub fn dict(&self) -> &[Arc<str>] {
+        &self.dict
+    }
+
+    /// The dictionary code of `s`, if interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.interned.get(s).copied()
+    }
+
+    /// The string at row `i` (panics when out of range; callers bound-check).
+    pub fn value(&self, i: usize) -> &Arc<str> {
+        &self.dict[self.codes[i] as usize]
+    }
+
+    /// Interns `s` (if new) and appends its code as a row.
+    pub fn push(&mut self, s: Arc<str>) {
+        let code = match self.interned.get(s.as_ref()) {
+            Some(&c) => c,
+            None => {
+                let c = self.dict.len() as u32;
+                self.dict.push(Arc::clone(&s));
+                self.interned.insert(s, c);
+                c
+            }
+        };
+        self.codes.push(code);
+    }
+
+    /// Overwrites row `i` with `s`, interning as needed.
+    fn set(&mut self, i: usize, s: Arc<str>) {
+        let code = match self.interned.get(s.as_ref()) {
+            Some(&c) => c,
+            None => {
+                let c = self.dict.len() as u32;
+                self.dict.push(Arc::clone(&s));
+                self.interned.insert(s, c);
+                c
+            }
+        };
+        self.codes[i] = code;
+    }
+
+    /// Rows at the given positions, sharing this column's dictionary.
+    pub fn gather(&self, idx: &[u32]) -> StrColumn {
+        StrColumn {
+            dict: self.dict.clone(),
+            codes: idx.iter().map(|&i| self.codes[i as usize]).collect(),
+            interned: self.interned.clone(),
+        }
+    }
+
+    /// Ranks of each dictionary code under lexicographic string order, so
+    /// rows can be compared by `rank[code]` without touching the strings.
+    pub fn dict_ranks(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.dict.len() as u32).collect();
+        order.sort_by(|&a, &b| self.dict[a as usize].cmp(&self.dict[b as usize]));
+        let mut ranks = vec![0u32; self.dict.len()];
+        for (rank, &code) in order.iter().enumerate() {
+            ranks[code as usize] = rank as u32;
+        }
+        ranks
+    }
+}
+
+impl PartialEq for StrColumn {
+    /// Row-wise logical equality; dictionaries may differ in layout.
+    fn eq(&self, other: &Self) -> bool {
+        self.codes.len() == other.codes.len()
+            && self
+                .codes
+                .iter()
+                .zip(&other.codes)
+                .all(|(&a, &b)| self.dict[a as usize] == other.dict[b as usize])
+    }
+}
+
+/// Typed storage for one materialized column.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ColumnData {
+    /// Object identifiers.
+    Oid(Vec<u64>),
+    /// Integers.
+    Int(Vec<i64>),
+    /// Doubles.
+    Dbl(Vec<f64>),
+    /// Dictionary-encoded strings.
+    Str(StrColumn),
+    /// Booleans.
+    Bit(Vec<bool>),
+}
+
+impl ColumnData {
+    /// An empty typed vector for `ty` (which must not be `Void`).
+    fn empty(ty: AtomType) -> Self {
+        match ty {
+            AtomType::Oid => ColumnData::Oid(Vec::new()),
+            AtomType::Int => ColumnData::Int(Vec::new()),
+            AtomType::Dbl => ColumnData::Dbl(Vec::new()),
+            AtomType::Str => ColumnData::Str(StrColumn::new()),
+            AtomType::Bit => ColumnData::Bit(Vec::new()),
+            AtomType::Void => unreachable!("void columns are not materialized"),
+        }
+    }
+
+    /// Element type.
+    pub fn atom_type(&self) -> AtomType {
+        match self {
+            ColumnData::Oid(_) => AtomType::Oid,
+            ColumnData::Int(_) => AtomType::Int,
+            ColumnData::Dbl(_) => AtomType::Dbl,
+            ColumnData::Str(_) => AtomType::Str,
+            ColumnData::Bit(_) => AtomType::Bit,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Oid(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Dbl(v) => v.len(),
+            ColumnData::Str(s) => s.len(),
+            ColumnData::Bit(v) => v.len(),
+        }
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn at(&self, i: usize) -> Option<Atom> {
+        match self {
+            ColumnData::Oid(v) => v.get(i).map(|&x| Atom::Oid(x)),
+            ColumnData::Int(v) => v.get(i).map(|&x| Atom::Int(x)),
+            ColumnData::Dbl(v) => v.get(i).map(|&x| Atom::Dbl(x)),
+            ColumnData::Str(s) => (i < s.len()).then(|| Atom::Str(Arc::clone(s.value(i)))),
+            ColumnData::Bit(v) => v.get(i).map(|&x| Atom::Bit(x)),
+        }
+    }
+
+    fn pop(&mut self) {
+        match self {
+            ColumnData::Oid(v) => {
+                v.pop();
+            }
+            ColumnData::Int(v) => {
+                v.pop();
+            }
+            ColumnData::Dbl(v) => {
+                v.pop();
+            }
+            ColumnData::Str(s) => {
+                s.codes.pop();
+            }
+            ColumnData::Bit(v) => {
+                v.pop();
+            }
+        }
+    }
+
+    /// Appends `value`, widening ints into dbl columns; any other type
+    /// mismatch is a typed error.
+    fn push(&mut self, value: Atom) -> Result<()> {
+        match (self, value) {
+            (ColumnData::Oid(v), Atom::Oid(x)) => v.push(x),
+            (ColumnData::Int(v), Atom::Int(x)) => v.push(x),
+            (ColumnData::Dbl(v), Atom::Dbl(x)) => v.push(x),
+            // Numeric widening: an int appended to a dbl column is stored
+            // as dbl so the column stays homogeneous.
+            (ColumnData::Dbl(v), Atom::Int(x)) => v.push(x as f64),
+            (ColumnData::Str(s), Atom::Str(x)) => s.push(x),
+            (ColumnData::Bit(v), Atom::Bit(x)) => v.push(x),
+            (data, value) => {
+                return Err(MonetError::TypeMismatch {
+                    expected: data.atom_type().name().into(),
+                    found: format!("{} ({value})", value.atom_type()),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrites row `i`, with the same coercion rules as [`push`](Self::push).
+    fn set(&mut self, i: usize, value: Atom) -> Result<()> {
+        match (self, value) {
+            (ColumnData::Oid(v), Atom::Oid(x)) => v[i] = x,
+            (ColumnData::Int(v), Atom::Int(x)) => v[i] = x,
+            (ColumnData::Dbl(v), Atom::Dbl(x)) => v[i] = x,
+            (ColumnData::Dbl(v), Atom::Int(x)) => v[i] = x as f64,
+            (ColumnData::Str(s), Atom::Str(x)) => s.set(i, x),
+            (ColumnData::Bit(v), Atom::Bit(x)) => v[i] = x,
+            (data, value) => {
+                return Err(MonetError::TypeMismatch {
+                    expected: data.atom_type().name().into(),
+                    found: value.to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows at the given positions, as a fresh typed vector.
+    pub fn gather(&self, idx: &[u32]) -> ColumnData {
+        match self {
+            ColumnData::Oid(v) => ColumnData::Oid(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Dbl(v) => ColumnData::Dbl(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Str(s) => ColumnData::Str(s.gather(idx)),
+            ColumnData::Bit(v) => ColumnData::Bit(idx.iter().map(|&i| v[i as usize]).collect()),
+        }
+    }
+}
+
+/// One column of a BAT: either a dense void run or typed materialized data.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum Column {
     /// Dense object identifiers `seqbase .. seqbase + len`, not stored.
     Void {
@@ -18,13 +284,8 @@ pub enum Column {
         /// Number of (virtual) entries.
         len: usize,
     },
-    /// Materialized atoms, all of one declared type.
-    Atoms {
-        /// Declared element type.
-        ty: AtomType,
-        /// The values.
-        data: Vec<Atom>,
-    },
+    /// Materialized typed data.
+    Data(ColumnData),
 }
 
 impl Column {
@@ -32,18 +293,20 @@ impl Column {
     pub fn empty(ty: AtomType) -> Self {
         match ty {
             AtomType::Void => Column::Void { seqbase: 0, len: 0 },
-            other => Column::Atoms {
-                ty: other,
-                data: Vec::new(),
-            },
+            other => Column::Data(ColumnData::empty(other)),
         }
+    }
+
+    /// Wraps typed data as a column.
+    pub fn from_data(data: ColumnData) -> Self {
+        Column::Data(data)
     }
 
     /// Number of entries (virtual for void columns).
     pub fn len(&self) -> usize {
         match self {
             Column::Void { len, .. } => *len,
-            Column::Atoms { data, .. } => data.len(),
+            Column::Data(d) => d.len(),
         }
     }
 
@@ -56,7 +319,63 @@ impl Column {
     pub fn atom_type(&self) -> AtomType {
         match self {
             Column::Void { .. } => AtomType::Void,
-            Column::Atoms { ty, .. } => *ty,
+            Column::Data(d) => d.atom_type(),
+        }
+    }
+
+    /// The dense run `(seqbase, len)` of a void column.
+    pub fn void_run(&self) -> Option<(u64, usize)> {
+        match self {
+            Column::Void { seqbase, len } => Some((*seqbase, *len)),
+            Column::Data(_) => None,
+        }
+    }
+
+    /// The typed data of a materialized column.
+    pub fn data(&self) -> Option<&ColumnData> {
+        match self {
+            Column::Void { .. } => None,
+            Column::Data(d) => Some(d),
+        }
+    }
+
+    /// Typed slice accessor: materialized oids.
+    pub fn oids(&self) -> Option<&[u64]> {
+        match self {
+            Column::Data(ColumnData::Oid(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed slice accessor: ints.
+    pub fn ints(&self) -> Option<&[i64]> {
+        match self {
+            Column::Data(ColumnData::Int(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed slice accessor: dbls.
+    pub fn dbls(&self) -> Option<&[f64]> {
+        match self {
+            Column::Data(ColumnData::Dbl(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed slice accessor: bits.
+    pub fn bits(&self) -> Option<&[bool]> {
+        match self {
+            Column::Data(ColumnData::Bit(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the dictionary-encoded string column.
+    pub fn strs(&self) -> Option<&StrColumn> {
+        match self {
+            Column::Data(ColumnData::Str(s)) => Some(s),
+            _ => None,
         }
     }
 
@@ -73,9 +392,9 @@ impl Column {
                     })
                 }
             }
-            Column::Atoms { data, .. } => data.get(i).cloned().ok_or(MonetError::OutOfRange {
+            Column::Data(d) => d.at(i).ok_or(MonetError::OutOfRange {
                 index: i,
-                len: data.len(),
+                len: d.len(),
             }),
         }
     }
@@ -97,31 +416,7 @@ impl Column {
                     }),
                 }
             }
-            Column::Atoms { ty, data } => {
-                if value.atom_type() == *ty
-                    || (value.is_numeric() && matches!(ty, AtomType::Dbl | AtomType::Int))
-                {
-                    // Numeric widening: an int appended to a dbl column is
-                    // stored as dbl so the column stays homogeneous.
-                    let coerced = match (*ty, &value) {
-                        (AtomType::Dbl, Atom::Int(v)) => Atom::Dbl(*v as f64),
-                        (AtomType::Int, Atom::Dbl(_)) => {
-                            return Err(MonetError::TypeMismatch {
-                                expected: "int".into(),
-                                found: value.to_string(),
-                            })
-                        }
-                        _ => value,
-                    };
-                    data.push(coerced);
-                    Ok(())
-                } else {
-                    Err(MonetError::TypeMismatch {
-                        expected: ty.name().into(),
-                        found: format!("{} ({value})", value.atom_type()),
-                    })
-                }
-            }
+            Column::Data(d) => d.push(value),
         }
     }
 
@@ -132,9 +427,9 @@ impl Column {
                 *len += 1;
                 Ok(())
             }
-            Column::Atoms { ty, .. } => Err(MonetError::TypeMismatch {
+            Column::Data(d) => Err(MonetError::TypeMismatch {
                 expected: "void".into(),
-                found: ty.name().into(),
+                found: d.atom_type().name().into(),
             }),
         }
     }
@@ -147,6 +442,48 @@ impl Column {
     /// Materializes the column into a plain atom vector.
     pub fn to_vec(&self) -> Vec<Atom> {
         self.iter().collect()
+    }
+
+    /// Rows at the given positions. Void columns materialize into oid data
+    /// (re-arranged rows lose density); positions must be in range.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        match self {
+            Column::Void { seqbase, .. } => Column::Data(ColumnData::Oid(
+                idx.iter().map(|&i| seqbase + i as u64).collect(),
+            )),
+            Column::Data(d) => Column::Data(d.gather(idx)),
+        }
+    }
+
+    /// A materialized copy: void runs become explicit oid vectors, typed
+    /// data is cloned as-is.
+    pub fn materialize(&self) -> Column {
+        match self {
+            Column::Void { seqbase, len } => Column::Data(ColumnData::Oid(
+                (0..*len as u64).map(|i| seqbase + i).collect(),
+            )),
+            data => data.clone(),
+        }
+    }
+}
+
+impl PartialEq for Column {
+    /// Logical equality: same declared type and row-wise equal values.
+    /// `Dbl` rows compare by bit pattern (matching [`Atom`]'s total order),
+    /// so NaN equals itself and `0.0 != -0.0`.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Column::Void { seqbase: a, len: m }, Column::Void { seqbase: b, len: n }) => {
+                m == n && (a == b || *m == 0)
+            }
+            (Column::Data(a), Column::Data(b)) => match (a, b) {
+                (ColumnData::Dbl(x), ColumnData::Dbl(y)) => {
+                    x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+                }
+                (a, b) => a == b,
+            },
+            _ => false,
+        }
     }
 }
 
@@ -161,7 +498,7 @@ impl Iterator for ColumnIter<'_> {
 
     fn next(&mut self) -> Option<Atom> {
         if self.pos < self.col.len() {
-            let v = self.col.at(self.pos).expect("in-range access");
+            let v = self.col.at(self.pos).ok()?;
             self.pos += 1;
             Some(v)
         } else {
@@ -177,20 +514,72 @@ impl Iterator for ColumnIter<'_> {
 
 impl ExactSizeIterator for ColumnIter<'_> {}
 
+/// BAT identities for the kernel's index cache; never reused.
+static NEXT_BAT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_bat_id() -> u64 {
+    NEXT_BAT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A Binary Association Table: the pair of a head and a tail column of
 /// equal length.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// Every BAT carries a process-unique `id` and a `version` counter bumped
+/// on each mutation; together they key the kernel's hash-index cache (an
+/// index built for `(id, version)` is valid exactly until the next append
+/// or replace).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 pub struct Bat {
     head: Column,
     tail: Column,
+    id: u64,
+    version: u64,
+}
+
+impl Clone for Bat {
+    /// Clones the columns under a *fresh* identity: the clone may diverge
+    /// from the original, so it must not share cached indexes.
+    fn clone(&self) -> Self {
+        Bat {
+            head: self.head.clone(),
+            tail: self.tail.clone(),
+            id: fresh_bat_id(),
+            version: 0,
+        }
+    }
+}
+
+impl PartialEq for Bat {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.tail == other.tail
+    }
 }
 
 impl Bat {
     /// Creates an empty BAT with the given column types.
     pub fn new(head: AtomType, tail: AtomType) -> Self {
+        Bat::from_columns_unchecked(Column::empty(head), Column::empty(tail))
+    }
+
+    /// Builds a BAT directly from two equal-length columns.
+    pub fn from_columns(head: Column, tail: Column) -> Result<Self> {
+        if head.len() != tail.len() {
+            return Err(MonetError::TypeMismatch {
+                expected: format!("columns of equal length ({})", head.len()),
+                found: format!("tail of length {}", tail.len()),
+            });
+        }
+        Ok(Bat::from_columns_unchecked(head, tail))
+    }
+
+    /// Crate-internal constructor for operators that produce equal-length
+    /// columns by construction.
+    pub(crate) fn from_columns_unchecked(head: Column, tail: Column) -> Self {
         Bat {
-            head: Column::empty(head),
-            tail: Column::empty(tail),
+            head,
+            tail,
+            id: fresh_bat_id(),
+            version: 0,
         }
     }
 
@@ -227,6 +616,16 @@ impl Bat {
         &self.tail
     }
 
+    /// Process-unique identity of this BAT instance (fresh per clone).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Mutation counter; bumped by `append`, `append_void` and `replace`.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Number of pairs (`count` in MIL).
     pub fn len(&self) -> usize {
         self.head.len()
@@ -242,6 +641,10 @@ impl Bat {
         (self.head.atom_type(), self.tail.atom_type())
     }
 
+    fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
     /// Appends an explicit (head, tail) pair (`insert` in MIL).
     pub fn append(&mut self, head: Atom, tail: Atom) -> Result<()> {
         self.head.push(head)?;
@@ -250,6 +653,7 @@ impl Bat {
             self.pop_head();
             return Err(e);
         }
+        self.touch();
         Ok(())
     }
 
@@ -260,15 +664,14 @@ impl Bat {
             self.pop_head();
             return Err(e);
         }
+        self.touch();
         Ok(())
     }
 
     fn pop_head(&mut self) {
         match &mut self.head {
             Column::Void { len, .. } => *len -= 1,
-            Column::Atoms { data, .. } => {
-                data.pop();
-            }
+            Column::Data(d) => d.pop(),
         }
     }
 
@@ -290,30 +693,24 @@ impl Bat {
     /// `reverse`: swaps head and tail columns in O(1) (columns are moved,
     /// not copied, when called on an owned BAT; here we clone).
     pub fn reverse(&self) -> Bat {
-        Bat {
-            head: self.tail.clone(),
-            tail: self.head.clone(),
-        }
+        Bat::from_columns_unchecked(self.tail.clone(), self.head.clone())
     }
 
     /// `mirror`: pairs every head value with itself.
     pub fn mirror(&self) -> Bat {
-        Bat {
-            head: self.head.clone(),
-            tail: self.head.clone(),
-        }
+        Bat::from_columns_unchecked(self.head.clone(), self.head.clone())
     }
 
     /// `mark`: pairs every head value with a dense oid run starting at
     /// `seqbase` — Monet's way of (re)numbering rows.
     pub fn mark(&self, seqbase: u64) -> Bat {
-        Bat {
-            head: self.head.clone(),
-            tail: Column::Void {
+        Bat::from_columns_unchecked(
+            self.head.clone(),
+            Column::Void {
                 seqbase,
                 len: self.len(),
             },
-        }
+        )
     }
 
     /// `find`: tail value of the first pair whose head equals `key`.
@@ -330,25 +727,23 @@ impl Bat {
         self.iter().find(|(h, _)| h == key).map(|(_, t)| t)
     }
 
-    /// `slice`: pairs at positions `lo..hi` (clamped).
-    pub fn slice(&self, lo: usize, hi: usize) -> Bat {
+    /// Positions `lo..hi` (clamped), as gatherable row indices.
+    fn clamped_range(&self, lo: usize, hi: usize) -> Vec<u32> {
         let hi = hi.min(self.len());
         let lo = lo.min(hi);
-        let mut out = Bat::new(
-            match self.head.atom_type() {
-                AtomType::Void => AtomType::Oid, // slicing breaks density
-                t => t,
-            },
-            match self.tail.atom_type() {
-                AtomType::Void => AtomType::Oid,
-                t => t,
-            },
-        );
-        for i in lo..hi {
-            out.append(self.head.at(i).unwrap(), self.tail.at(i).unwrap())
-                .expect("types preserved by slice");
-        }
-        out
+        (lo as u32..hi as u32).collect()
+    }
+
+    /// `slice`: pairs at positions `lo..hi` (clamped). Void columns
+    /// materialize (slicing breaks density).
+    pub fn slice(&self, lo: usize, hi: usize) -> Bat {
+        self.gather(&self.clamped_range(lo, hi))
+    }
+
+    /// Pairs at the given row positions, via typed columnar gather. Void
+    /// columns materialize into oid data. Positions must be in range.
+    pub fn gather(&self, idx: &[u32]) -> Bat {
+        Bat::from_columns_unchecked(self.head.gather(idx), self.tail.gather(idx))
     }
 
     /// Replaces the tail of the first pair whose head equals `key`, or
@@ -357,17 +752,9 @@ impl Bat {
         let pos = self.iter().position(|(h, _)| h == key);
         match pos {
             Some(i) => match &mut self.tail {
-                Column::Atoms { ty, data } => {
-                    if tail.atom_type() != *ty && !(tail.is_numeric() && *ty == AtomType::Dbl) {
-                        return Err(MonetError::TypeMismatch {
-                            expected: ty.name().into(),
-                            found: tail.to_string(),
-                        });
-                    }
-                    data[i] = match (*ty, tail) {
-                        (AtomType::Dbl, Atom::Int(v)) => Atom::Dbl(v as f64),
-                        (_, t) => t,
-                    };
+                Column::Data(d) => {
+                    d.set(i, tail)?;
+                    self.touch();
                     Ok(())
                 }
                 Column::Void { .. } => Err(MonetError::TypeMismatch {
@@ -505,6 +892,18 @@ mod tests {
     }
 
     #[test]
+    fn replace_rejects_wrong_type_in_int_tail() {
+        let mut b = Bat::from_pairs(
+            AtomType::Str,
+            AtomType::Int,
+            [(Atom::str("k"), Atom::Int(1))],
+        )
+        .unwrap();
+        assert!(b.replace(Atom::str("k"), Atom::Dbl(2.5)).is_err());
+        assert_eq!(b.find(&Atom::str("k")), Some(Atom::Int(1)));
+    }
+
+    #[test]
     fn iterator_yields_pairs_in_order() {
         let b = dbl_bat(&[1.0, 2.0]);
         let pairs: Vec<_> = b.iter().collect();
@@ -515,5 +914,61 @@ mod tests {
                 (Atom::Oid(1), Atom::Dbl(2.0)),
             ]
         );
+    }
+
+    #[test]
+    fn string_columns_are_dictionary_encoded() {
+        let b = Bat::from_tail(
+            AtomType::Str,
+            ["pit", "lap", "pit", "pit"].into_iter().map(Atom::str),
+        )
+        .unwrap();
+        let s = b.tail().strs().expect("str column");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dict_len(), 2);
+        assert_eq!(s.codes(), &[0, 1, 0, 0]);
+        assert_eq!(s.code_of("lap"), Some(1));
+        assert_eq!(s.code_of("nope"), None);
+        // Interning shares one allocation across equal rows.
+        assert!(Arc::ptr_eq(s.value(0), s.value(2)));
+    }
+
+    #[test]
+    fn typed_accessors_expose_slices() {
+        let b = Bat::from_tail(AtomType::Int, (0..4).map(Atom::Int)).unwrap();
+        assert_eq!(b.tail().ints(), Some(&[0i64, 1, 2, 3][..]));
+        assert_eq!(b.tail().dbls(), None);
+        assert_eq!(b.head().void_run(), Some((0, 4)));
+    }
+
+    #[test]
+    fn gather_materializes_and_reorders() {
+        let b = dbl_bat(&[1.0, 2.0, 3.0, 4.0]);
+        let g = b.gather(&[3, 0, 0]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.head_at(0).unwrap(), Atom::Oid(3));
+        assert_eq!(g.tail_at(1).unwrap(), Atom::Dbl(1.0));
+        assert_eq!(g.tail_at(2).unwrap(), Atom::Dbl(1.0));
+        assert_eq!(g.types(), (AtomType::Oid, AtomType::Dbl));
+    }
+
+    #[test]
+    fn version_bumps_on_mutation_and_clone_gets_fresh_id() {
+        let mut b = Bat::new(AtomType::Void, AtomType::Int);
+        let v0 = b.version();
+        b.append_void(Atom::Int(1)).unwrap();
+        assert!(b.version() > v0);
+        let c = b.clone();
+        assert_ne!(b.id(), c.id());
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn column_equality_is_logical_for_doubles() {
+        let a = dbl_bat(&[f64::NAN, 0.0]);
+        let b = dbl_bat(&[f64::NAN, 0.0]);
+        let c = dbl_bat(&[f64::NAN, -0.0]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 }

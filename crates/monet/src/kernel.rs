@@ -15,7 +15,12 @@ use parking_lot::RwLock;
 use crate::bat::Bat;
 use crate::error::{MonetError, Result};
 use crate::guard::ExecBudget;
+use crate::index::ColumnIndex;
 use crate::mil::{self, MilValue};
+
+/// When the index cache holds this many entries, it is cleared wholesale
+/// before inserting — a crude but bounded eviction policy.
+const INDEX_CACHE_CAP: usize = 128;
 
 /// A shareable handle to a catalog-resident (or MIL-local) BAT.
 pub type BatHandle = Arc<RwLock<Bat>>;
@@ -46,6 +51,10 @@ pub struct Kernel {
     modules: RwLock<HashMap<String, Arc<dyn MelModule>>>,
     /// proc name -> module name, for bare-name resolution from MIL.
     procs: RwLock<HashMap<String, String>>,
+    /// Head-column indexes keyed by BAT identity, tagged with the BAT
+    /// version they were built at. A mutated BAT bumps its version, so a
+    /// stale entry is detected (and rebuilt) on the next lookup.
+    index_cache: RwLock<HashMap<u64, (u64, Arc<ColumnIndex>)>>,
 }
 
 impl Kernel {
@@ -55,7 +64,39 @@ impl Kernel {
             bats: RwLock::new(HashMap::new()),
             modules: RwLock::new(HashMap::new()),
             procs: RwLock::new(HashMap::new()),
+            index_cache: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// A hash index over `bat`'s head column, cached per (BAT id, version).
+    ///
+    /// Returns `None` for void heads (positional lookup beats any index)
+    /// and empty BATs. Join-heavy MIL programs probing the same catalog BAT
+    /// repeatedly pay the build cost once per mutation instead of once per
+    /// operator call.
+    pub fn head_index(&self, bat: &Bat) -> Option<Arc<ColumnIndex>> {
+        bat.head().data()?;
+        let key = bat.id();
+        {
+            let cache = self.index_cache.read();
+            if let Some((version, idx)) = cache.get(&key) {
+                if *version == bat.version() {
+                    return Some(Arc::clone(idx));
+                }
+            }
+        }
+        let built = Arc::new(ColumnIndex::build(bat.head())?);
+        let mut cache = self.index_cache.write();
+        if cache.len() >= INDEX_CACHE_CAP && !cache.contains_key(&key) {
+            cache.clear();
+        }
+        cache.insert(key, (bat.version(), Arc::clone(&built)));
+        Some(built)
+    }
+
+    /// Number of live entries in the head-index cache (for tests/metrics).
+    pub fn cached_indexes(&self) -> usize {
+        self.index_cache.read().len()
     }
 
     /// Registers `bat` in the catalog under `name`. Fails when taken.
@@ -266,5 +307,32 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(k.bat("shared").unwrap().read().len(), 4);
+    }
+
+    #[test]
+    fn head_index_is_cached_per_version() {
+        let k = Kernel::new();
+        let mut b = Bat::new(AtomType::Int, AtomType::Int);
+        b.append(Atom::Int(7), Atom::Int(1)).unwrap();
+        let first = k.head_index(&b).unwrap();
+        let again = k.head_index(&b).unwrap();
+        // Same version: the cached Arc is handed back, not a rebuild.
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(k.cached_indexes(), 1);
+
+        // Mutation bumps the version; the stale entry is rebuilt in place.
+        b.append(Atom::Int(9), Atom::Int(2)).unwrap();
+        let rebuilt = k.head_index(&b).unwrap();
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_eq!(rebuilt.lookup_i64(9), &[1]);
+        assert_eq!(k.cached_indexes(), 1);
+    }
+
+    #[test]
+    fn head_index_skips_void_heads() {
+        let k = Kernel::new();
+        let b = Bat::from_tail(AtomType::Int, (0..3).map(Atom::Int)).unwrap();
+        assert!(k.head_index(&b).is_none());
+        assert_eq!(k.cached_indexes(), 0);
     }
 }

@@ -48,17 +48,21 @@ pub mod value;
 
 /// Convenient glob-import of the kernel's most used types.
 pub mod prelude {
-    pub use crate::bat::{Bat, Column};
+    pub use crate::bat::{Bat, Column, ColumnData, StrColumn};
     pub use crate::error::{MonetError, Result};
     pub use crate::guard::{CancellationToken, ExecBudget};
+    pub use crate::index::ColumnIndex;
     pub use crate::kernel::{Kernel, MelModule};
     pub use crate::mil::MilValue;
+    pub use crate::ops::OpCtx;
     pub use crate::value::{Atom, AtomType};
 }
 
-pub use bat::{Bat, Column};
+pub use bat::{Bat, Column, ColumnData, StrColumn};
 pub use error::{MonetError, Result};
 pub use guard::{CancellationToken, ExecBudget, ExecGuard};
+pub use index::ColumnIndex;
 pub use kernel::{Kernel, MelModule};
 pub use mil::MilValue;
+pub use ops::OpCtx;
 pub use value::{Atom, AtomType};

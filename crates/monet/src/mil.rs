@@ -1033,7 +1033,7 @@ fn exec_parallel(env: &mut Env<'_>, body: &[Stmt]) -> Result<Flow> {
             }) as Box<dyn FnOnce() -> JobOut + Send>
         })
         .collect();
-    let outcomes = parallel::run_jobs(threads, jobs);
+    let outcomes = parallel::run_jobs(threads, jobs)?;
     let mut ret: Option<MilValue> = None;
     for outcome in outcomes {
         let (vars, r) = outcome?;
@@ -1308,6 +1308,16 @@ fn eval_call(env: &mut Env<'_>, name: &str, args: &[Expr]) -> Result<MilValue> {
     }
 }
 
+/// The operator context for the current MIL evaluation: `threadcnt(n)`
+/// workers and the program's execution guard, so vectorized operators
+/// morselize across threads and honour the budget inside long scans.
+fn op_ctx<'e>(env: &'e Env<'_>) -> ops::OpCtx<'e> {
+    ops::OpCtx {
+        threads: env.threads.load(Ordering::Relaxed).max(1),
+        guard: Some(env.guard.as_ref()),
+    }
+}
+
 fn eval_method(env: &Env<'_>, recv: &MilValue, name: &str, args: &[MilValue]) -> Result<MilValue> {
     env.guard.tick()?;
     // Fault site `bat.{method}`: only pay the format when a plan is armed.
@@ -1382,15 +1392,17 @@ fn eval_method(env: &Env<'_>, recv: &MilValue, name: &str, args: &[MilValue]) ->
             }
         }
         "select" => match args.len() {
-            1 => Ok(MilValue::new_bat(ops::select_eq(
+            1 => Ok(MilValue::new_bat(ops::select_eq_ctx(
                 &handle.read(),
                 &args[0].as_atom()?,
-            ))),
-            2 => Ok(MilValue::new_bat(ops::select_range(
+                &op_ctx(env),
+            )?)),
+            2 => Ok(MilValue::new_bat(ops::select_range_ctx(
                 &handle.read(),
                 &args[0].as_atom()?,
                 &args[1].as_atom()?,
-            ))),
+                &op_ctx(env),
+            )?)),
             n => Err(MonetError::Eval(format!(
                 "select takes 1 or 2 arguments, got {n}"
             ))),
@@ -1410,7 +1422,14 @@ fn eval_method(env: &Env<'_>, recv: &MilValue, name: &str, args: &[MilValue]) ->
                 .as_bat()?;
             let l = handle.read();
             let r = other.read();
-            Ok(MilValue::new_bat(ops::join(&l, &r)))
+            // Reuse (or build) the kernel's cached index over r's head.
+            let idx = env.kernel.head_index(&r);
+            Ok(MilValue::new_bat(ops::join_ctx(
+                &l,
+                &r,
+                idx.as_deref(),
+                &op_ctx(env),
+            )?))
         }
         "semijoin" => {
             let other = args
@@ -1419,7 +1438,8 @@ fn eval_method(env: &Env<'_>, recv: &MilValue, name: &str, args: &[MilValue]) ->
                 .as_bat()?;
             let l = handle.read();
             let r = other.read();
-            let out = ops::semijoin(&l, &r);
+            let idx = env.kernel.head_index(&r);
+            let out = ops::semijoin_ctx(&l, &r, idx.as_deref(), &op_ctx(env))?;
             drop((l, r));
             Ok(MilValue::new_bat(out))
         }
@@ -1430,7 +1450,8 @@ fn eval_method(env: &Env<'_>, recv: &MilValue, name: &str, args: &[MilValue]) ->
                 .as_bat()?;
             let l = handle.read();
             let r = other.read();
-            let out = ops::antijoin(&l, &r);
+            let idx = env.kernel.head_index(&r);
+            let out = ops::antijoin_ctx(&l, &r, idx.as_deref(), &op_ctx(env))?;
             drop((l, r));
             Ok(MilValue::new_bat(out))
         }

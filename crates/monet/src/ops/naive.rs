@@ -1,0 +1,231 @@
+//! Naive reference implementations of the relational operators.
+//!
+//! These are the pre-vectorization operator bodies, kept verbatim as the
+//! semantic ground truth: they iterate [`Atom`]s one at a time and rebuild
+//! hash indexes on every call. The vectorized operators in [`super`] are
+//! differentially tested against them on random BATs (see
+//! `tests/vectorized_differential.rs`) and benchmarked against them in
+//! `BENCH_monet.json`, so every speedup is measured against this module.
+
+use std::collections::HashMap;
+
+use crate::bat::Bat;
+use crate::error::{MonetError, Result};
+use crate::index::HashIndex;
+use crate::value::{Atom, AtomType};
+
+use super::{out_type, Aggregate};
+
+/// `select(b, v)`: pairs whose tail equals `v`.
+pub fn select_eq(b: &Bat, v: &Atom) -> Bat {
+    let (ht, tt) = b.types();
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in b.iter().filter(|(_, t)| t == v) {
+        out.append(h, t).expect("type preserved");
+    }
+    out
+}
+
+/// `select(b, lo, hi)`: pairs whose tail lies in the inclusive range.
+pub fn select_range(b: &Bat, lo: &Atom, hi: &Atom) -> Bat {
+    let (ht, tt) = b.types();
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in b.iter().filter(|(_, t)| t >= lo && t <= hi) {
+        out.append(h, t).expect("type preserved");
+    }
+    out
+}
+
+/// `join(l, r)`: Monet's positional join — matches `l.tail` against
+/// `r.head` and yields `(l.head, r.tail)` for every match.
+pub fn join(l: &Bat, r: &Bat) -> Bat {
+    let (lh, _) = l.types();
+    let (_, rt) = r.types();
+    let mut out = Bat::new(out_type(lh), out_type(rt));
+    let idx = HashIndex::build(r.head());
+    for (h, t) in l.iter() {
+        for &pos in idx.lookup(&t) {
+            out.append(h.clone(), r.tail_at(pos).expect("indexed position"))
+                .expect("type preserved");
+        }
+    }
+    out
+}
+
+/// `semijoin(l, r)`: pairs of `l` whose head occurs among `r`'s heads.
+pub fn semijoin(l: &Bat, r: &Bat) -> Bat {
+    let (lh, lt) = l.types();
+    let mut out = Bat::new(out_type(lh), out_type(lt));
+    let idx = HashIndex::build(r.head());
+    for (h, t) in l.iter() {
+        if idx.contains(&h) {
+            out.append(h, t).expect("type preserved");
+        }
+    }
+    out
+}
+
+/// `diff(l, r)`: pairs of `l` whose head does **not** occur among `r`'s heads.
+pub fn antijoin(l: &Bat, r: &Bat) -> Bat {
+    let (lh, lt) = l.types();
+    let mut out = Bat::new(out_type(lh), out_type(lt));
+    let idx = HashIndex::build(r.head());
+    for (h, t) in l.iter() {
+        if !idx.contains(&h) {
+            out.append(h, t).expect("type preserved");
+        }
+    }
+    out
+}
+
+/// `unique(b)`: first occurrence of every distinct tail value.
+pub fn unique_tail(b: &Bat) -> Bat {
+    let (ht, tt) = b.types();
+    let mut seen: HashMap<Atom, ()> = HashMap::new();
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in b.iter() {
+        if seen.insert(t.clone(), ()).is_none() {
+            out.append(h, t).expect("type preserved");
+        }
+    }
+    out
+}
+
+/// `histogram(b)`: (tail value, occurrence count) pairs.
+pub fn histogram(b: &Bat) -> Bat {
+    let (_, tt) = b.types();
+    let mut counts: HashMap<Atom, i64> = HashMap::new();
+    let mut order: Vec<Atom> = Vec::new();
+    for (_, t) in b.iter() {
+        let e = counts.entry(t.clone()).or_insert(0);
+        if *e == 0 {
+            order.push(t);
+        }
+        *e += 1;
+    }
+    let mut out = Bat::new(out_type(tt), AtomType::Int);
+    for key in order {
+        let n = counts[&key];
+        out.append(key, Atom::Int(n)).expect("type preserved");
+    }
+    out
+}
+
+/// `group(b)`: maps every head to a group id shared by equal tail values.
+pub fn group(b: &Bat) -> Bat {
+    let (ht, _) = b.types();
+    let mut ids: HashMap<Atom, u64> = HashMap::new();
+    let mut next = 0u64;
+    let mut out = Bat::new(out_type(ht), AtomType::Oid);
+    for (h, t) in b.iter() {
+        let id = *ids.entry(t).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        out.append(h, Atom::Oid(id)).expect("type preserved");
+    }
+    out
+}
+
+/// `sort(b)`: pairs ordered by tail value (stable).
+pub fn sort_by_tail(b: &Bat) -> Bat {
+    let (ht, tt) = b.types();
+    let mut pairs: Vec<(Atom, Atom)> = b.iter().collect();
+    pairs.sort_by(|a, c| a.1.cmp(&c.1));
+    let mut out = Bat::new(out_type(ht), out_type(tt));
+    for (h, t) in pairs {
+        out.append(h, t).expect("type preserved");
+    }
+    out
+}
+
+/// Computes a numeric aggregate over the tail column.
+pub fn aggregate(b: &Bat, kind: Aggregate) -> Result<Atom> {
+    if kind == Aggregate::Count {
+        return Ok(Atom::Int(b.len() as i64));
+    }
+    if b.is_empty() {
+        return Err(MonetError::EmptyBat(format!("{kind:?}").to_lowercase()));
+    }
+    match kind {
+        Aggregate::Min => Ok(b.tail().iter().min().expect("non-empty")),
+        Aggregate::Max => Ok(b.tail().iter().max().expect("non-empty")),
+        Aggregate::Sum | Aggregate::Avg => {
+            let mut sum = 0.0f64;
+            let mut all_int = true;
+            let mut isum = 0i64;
+            for t in b.tail().iter() {
+                match &t {
+                    Atom::Int(v) => {
+                        isum = isum.wrapping_add(*v);
+                        sum += *v as f64;
+                    }
+                    Atom::Dbl(v) => {
+                        all_int = false;
+                        sum += v;
+                    }
+                    other => {
+                        return Err(MonetError::TypeMismatch {
+                            expected: "numeric tail".into(),
+                            found: other.to_string(),
+                        })
+                    }
+                }
+            }
+            if kind == Aggregate::Sum {
+                Ok(if all_int {
+                    Atom::Int(isum)
+                } else {
+                    Atom::Dbl(sum)
+                })
+            } else {
+                Ok(Atom::Dbl(sum / b.len() as f64))
+            }
+        }
+        Aggregate::Count => unreachable!("handled above"),
+    }
+}
+
+/// Grouped aggregation: `grouped(values, groups, kind)` where `groups`
+/// assigns a group id to every head of `values`. Returns (group id, agg).
+///
+/// Heads of `values` absent from `groups` are silently dropped — the
+/// historical semantics the vectorized operator replaces with a typed
+/// [`MonetError::GroupMismatch`].
+pub fn grouped_aggregate(values: &Bat, groups: &Bat, kind: Aggregate) -> Result<Bat> {
+    let gidx = HashIndex::build(groups.head());
+    let mut buckets: HashMap<Atom, Vec<Atom>> = HashMap::new();
+    let mut order: Vec<Atom> = Vec::new();
+    for (h, t) in values.iter() {
+        let positions = gidx.lookup(&h);
+        let gid = match positions.first() {
+            Some(&p) => groups.tail_at(p)?,
+            None => continue, // head absent from grouping — dropped
+        };
+        let bucket = buckets.entry(gid.clone()).or_insert_with(|| {
+            order.push(gid.clone());
+            Vec::new()
+        });
+        bucket.push(t);
+    }
+    let out_ty = if kind == Aggregate::Count {
+        AtomType::Int
+    } else {
+        AtomType::Dbl
+    };
+    let mut out = Bat::new(out_type(groups.tail().atom_type()), out_ty);
+    for gid in order {
+        let vals = &buckets[&gid];
+        let tmp = Bat::from_tail(
+            vals.first().map(|a| a.atom_type()).unwrap_or(AtomType::Dbl),
+            vals.iter().cloned(),
+        )?;
+        let mut agg = aggregate(&tmp, kind)?;
+        if out_ty == AtomType::Dbl {
+            agg = Atom::Dbl(agg.as_dbl()?);
+        }
+        out.append(gid, agg)?;
+    }
+    Ok(out)
+}
