@@ -742,6 +742,123 @@ pub fn queries(german: &RaceData) -> Table {
     table
 }
 
+/// **Observability** — the metrics registry and `PROFILE` span trees
+/// under a pure retrieval workload: a catalog-only video is queried
+/// repeatedly, then the per-op kernel histograms, the MIL interpreter
+/// counters and one profiled span tree are dumped. Returns the table
+/// plus a machine-readable JSON document (written to `BENCH_obs.json`
+/// by the experiments binary and validated by CI).
+pub fn obs() -> (Table, serde_json::Value) {
+    use f1_cobra::catalog::{EventRecord, VideoInfo};
+    use f1_cobra::{QueryOutput, Vdbms};
+
+    const CLIPS: usize = 600;
+    const REPS: usize = 100;
+
+    // Catalog-only fixture: no media pipeline, so the numbers isolate
+    // the query path (conceptual level -> Moa -> MIL -> kernel ops).
+    let vdbms = Vdbms::new();
+    vdbms.catalog.register_video(VideoInfo {
+        name: "bench".into(),
+        n_clips: CLIPS,
+        n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
+    });
+    let events: Vec<EventRecord> = (0..CLIPS / 3)
+        .map(|i| EventRecord {
+            kind: match i % 3 {
+                0 => "highlight",
+                1 => "excited",
+                _ => "caption:pit_stop",
+            }
+            .into(),
+            start: i * 3,
+            end: i * 3 + 2,
+            driver: (i % 4 == 0).then(|| "SCHUMACHER".to_string()),
+        })
+        .collect();
+    vdbms
+        .catalog
+        .store_events("bench", &events)
+        .expect("catalog accepts events");
+
+    let before = vdbms.kernel().metrics().registry().snapshot();
+    for _ in 0..REPS {
+        for q in [
+            "RETRIEVE HIGHLIGHTS",
+            "RETRIEVE EXCITED",
+            "RETRIEVE PITSTOPS",
+        ] {
+            vdbms.query("bench", q).expect("query answers");
+        }
+    }
+    let metrics = vdbms
+        .kernel()
+        .metrics()
+        .registry()
+        .snapshot()
+        .delta(&before);
+
+    let profile = match vdbms.run("bench", "PROFILE RETRIEVE HIGHLIGHTS") {
+        Ok(QueryOutput::Profile(p)) => p,
+        _ => panic!("PROFILE must return a profile"),
+    };
+
+    let mut table = Table::new(
+        &format!(
+            "Observability — query-path metrics after {REPS}x3 retrievals ({CLIPS}-clip catalog video)"
+        ),
+        &["series", "count", "p50 us", "p95 us", "p99 us"],
+    );
+    let us = |ns: u64| ns as f64 / 1e3;
+    let mut hist_row = |name: &str, labels: &[(&str, &str)]| {
+        if let Some(h) = metrics.histogram(name, labels) {
+            table.row(vec![
+                Cell::Text(cobra_obs::MetricKey::new(name, labels).render()),
+                Cell::Num(h.count() as f64),
+                Cell::Num(us(h.p50())),
+                Cell::Num(us(h.p95())),
+                Cell::Num(us(h.p99())),
+            ]);
+        }
+    };
+    hist_row("mil.eval_ns", &[]);
+    for op in ["select", "mirror", "join"] {
+        hist_row("mil.op_ns", &[("op", op)]);
+    }
+    for (label, name, labels) in [
+        ("mil.evals", "mil.evals", &[][..]),
+        ("mil.ticks", "mil.ticks", &[]),
+        (
+            "index cache hits",
+            "kernel.index_cache",
+            &[("result", "hit")],
+        ),
+        (
+            "index cache misses",
+            "kernel.index_cache",
+            &[("result", "miss")],
+        ),
+    ] {
+        table.row(vec![
+            Cell::Text(label.into()),
+            Cell::Num(metrics.counter(name, labels) as f64),
+            Cell::Empty,
+            Cell::Empty,
+            Cell::Empty,
+        ]);
+    }
+
+    let doc = serde_json::json!({
+        "experiment": "obs_metrics",
+        "clips": (CLIPS as f64),
+        "reps": (REPS as f64),
+        "metrics": (metrics.to_json()),
+        "profile_shape": (profile.span.shape()),
+        "profile": (profile.span.to_json()),
+    });
+    (table, doc)
+}
+
 /// **Columnar kernel** — vectorized operators vs the naive atom-at-a-time
 /// reference, on the join/select/group shapes the paper's queries compile
 /// into. Returns the human-readable table plus a machine-readable JSON

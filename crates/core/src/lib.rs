@@ -25,8 +25,9 @@ pub mod query;
 pub mod session;
 
 pub use catalog::Catalog;
-pub use query::{parse_query, Query, RetrievedSegment};
-pub use session::{IngestReport, Vdbms};
+pub use extensions::{CostModel, CostStat, MethodRegistry};
+pub use query::{parse_query, parse_statement, Query, RetrievedSegment, Statement};
+pub use session::{IngestReport, MethodRank, QueryOutput, QueryProfile, Vdbms};
 
 /// Errors raised by the VDBMS layer.
 #[derive(Debug)]

@@ -20,6 +20,11 @@
 //! ```
 //!
 //! Keywords are case-insensitive; driver names are quoted strings.
+//!
+//! Any retrieval query may additionally be prefixed with `PROFILE` (run
+//! it and return a span tree of where time went, per level of the
+//! three-level architecture) or `EXPLAIN` (return the plan's span-tree
+//! shape without executing); see [`parse_statement`].
 
 use crate::{CobraError, Result};
 
@@ -53,6 +58,50 @@ pub struct Query {
     pub driver: Option<String>,
     /// Restrict to segments overlapping pit-stop activity.
     pub at_pitlane: bool,
+}
+
+/// A top-level query-language statement: a plain retrieval, or a
+/// retrieval wrapped in the `EXPLAIN`/`PROFILE` observability surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `RETRIEVE …` — execute and return segments.
+    Retrieve(Query),
+    /// `EXPLAIN RETRIEVE …` — return the plan shape, don't execute.
+    Explain(Query),
+    /// `PROFILE RETRIEVE …` — execute and return segments plus a span
+    /// tree with measured timings.
+    Profile(Query),
+}
+
+impl Statement {
+    /// The wrapped retrieval query.
+    pub fn query(&self) -> &Query {
+        match self {
+            Statement::Retrieve(q) | Statement::Explain(q) | Statement::Profile(q) => q,
+        }
+    }
+}
+
+/// Parses a statement: an optional `EXPLAIN`/`PROFILE` prefix followed
+/// by a retrieval query.
+pub fn parse_statement(text: &str) -> Result<Statement> {
+    let trimmed = text.trim_start();
+    let first = trimmed
+        .split_whitespace()
+        .next()
+        .map(str::to_uppercase)
+        .unwrap_or_default();
+    match first.as_str() {
+        "EXPLAIN" => {
+            let rest = &trimmed[first.len()..];
+            Ok(Statement::Explain(parse_query(rest)?))
+        }
+        "PROFILE" => {
+            let rest = &trimmed[first.len()..];
+            Ok(Statement::Profile(parse_query(rest)?))
+        }
+        _ => Ok(Statement::Retrieve(parse_query(text)?)),
+    }
 }
 
 /// One retrieved video segment.
@@ -218,6 +267,29 @@ mod tests {
         assert!(parse_query(r#"RETRIEVE HIGHLIGHTS WITH DRIVER "unterminated"#).is_err());
         assert!(parse_query("RETRIEVE HIGHLIGHTS AT PITSTOP").is_err());
         assert!(parse_query("RETRIEVE HIGHLIGHTS SHINY").is_err());
+    }
+
+    #[test]
+    fn statements_peel_explain_and_profile_prefixes() {
+        let s = parse_statement("RETRIEVE HIGHLIGHTS").unwrap();
+        assert_eq!(
+            s,
+            Statement::Retrieve(Query {
+                target: Target::Highlights,
+                driver: None,
+                at_pitlane: false,
+            })
+        );
+        let s = parse_statement(r#"PROFILE RETRIEVE HIGHLIGHTS WITH DRIVER "Montoya""#).unwrap();
+        assert!(matches!(&s, Statement::Profile(q)
+            if q.target == Target::Highlights && q.driver.as_deref() == Some("MONTOYA")));
+        let s = parse_statement("explain retrieve events fly_out").unwrap();
+        assert!(matches!(&s, Statement::Explain(q)
+            if q.target == Target::Events("fly_out".into())));
+        assert_eq!(s.query().target, Target::Events("fly_out".into()));
+        // The prefix alone is not a statement.
+        assert!(parse_statement("PROFILE").is_err());
+        assert!(parse_statement("EXPLAIN SELECT").is_err());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
+use cobra_obs::{SpanNode, SpanTimer};
 use parking_lot::RwLock;
 
 use f1_bayes::em::{train, EmConfig};
@@ -26,8 +28,8 @@ use f1_rules::{
 use f1_text::{scan_broadcast, Vocabulary};
 
 use crate::catalog::{Catalog, EventRecord, VideoInfo};
-use crate::extensions::{DbnModule, MethodRegistry, NetStore, StoredNet};
-use crate::query::{parse_query, Query, RetrievedSegment, Target};
+use crate::extensions::{CostModel, DbnModule, MethodProfile, MethodRegistry, NetStore, StoredNet};
+use crate::query::{parse_query, parse_statement, Query, RetrievedSegment, Statement, Target};
 use crate::Result;
 
 /// One extraction method the pre-processor ran (or re-ran) during
@@ -40,6 +42,20 @@ pub struct MethodAttempt {
     pub tries: u32,
     /// The final error, rendered; `None` when this attempt succeeded.
     pub error: Option<String>,
+}
+
+/// One row of the pre-processor's extraction ranking at ingest time.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MethodRank {
+    /// The method's name in the registry.
+    pub method: String,
+    /// Its [`CostModel`] score at ranking time (lower ranks first).
+    pub score: f64,
+    /// True when the score reflects recorded measurements rather than
+    /// the static table alone.
+    pub measured: bool,
+    /// Failures the cost model has recorded against the method.
+    pub failures: u64,
 }
 
 /// What ingestion extracted.
@@ -59,6 +75,14 @@ pub struct IngestReport {
     /// True when the succeeding method was not the pre-processor's first
     /// choice — the features are usable but of lower declared quality.
     pub degraded: bool,
+    /// The pre-processor's extraction ranking at ingest time, best
+    /// first, with the score behind each position.
+    pub ranking: Vec<MethodRank>,
+    /// True when measured costs changed the order the static
+    /// cost/quality table would have produced.
+    pub reranked: bool,
+    /// Why the ranking looked the way it did.
+    pub rationale: String,
 }
 
 /// What annotation derived.
@@ -70,6 +94,76 @@ pub struct AnnotateReport {
     pub n_sub_events: usize,
     /// Excited-speech segments stored.
     pub n_excited: usize,
+}
+
+/// A profiled query: the answer plus the span tree of where time went.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// The retrieved segments.
+    pub segments: Vec<RetrievedSegment>,
+    /// Measured spans, rooted at the whole query.
+    pub span: SpanNode,
+}
+
+/// What [`Vdbms::run`] produced for a statement.
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// A plain `RETRIEVE` answer.
+    Segments(Vec<RetrievedSegment>),
+    /// A `PROFILE RETRIEVE` answer with its span tree.
+    Profile(QueryProfile),
+    /// An `EXPLAIN RETRIEVE` plan (not executed, timings zero).
+    Plan(SpanNode),
+}
+
+/// The event-layer kind an event-backed target selects, `None` for the
+/// targets that derive their answer from other catalog metadata.
+fn event_kind(target: &Target) -> Option<&str> {
+    match target {
+        Target::Highlights => Some("highlight"),
+        Target::Events(kind) => Some(kind),
+        Target::Excited => Some("excited"),
+        Target::PitStops => Some("caption:pit_stop"),
+        Target::Winner => Some("caption:winner"),
+        Target::FinalLap => Some("caption:final_lap"),
+        Target::Leader | Target::Segments => None,
+    }
+}
+
+/// Compares the live extraction ranking against the static (unmeasured)
+/// order and explains any difference the measurements made.
+fn rank_rationale(
+    ranking: &[MethodProfile],
+    model: &CostModel,
+    min_quality: f64,
+) -> (bool, String) {
+    let unmeasured = CostModel::new();
+    let mut static_order: Vec<&MethodProfile> = ranking.iter().collect();
+    static_order.sort_by(|a, b| {
+        unmeasured
+            .score(a, min_quality)
+            .total_cmp(&unmeasured.score(b, min_quality))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let reranked = static_order
+        .iter()
+        .map(|m| m.name.as_str())
+        .ne(ranking.iter().map(|m| m.name.as_str()));
+    if !reranked {
+        return (false, "static cost/quality ranking".into());
+    }
+    let demoted = &static_order[0].name;
+    let stat = model.stat(demoted).unwrap_or_default();
+    (
+        true,
+        format!(
+            "measured cost model demoted '{demoted}' (running {:.1}x its best pace, \
+             {} recorded failure(s)); preferring '{}'",
+            stat.slowdown(),
+            stat.failures,
+            ranking[0].name,
+        ),
+    )
 }
 
 /// The Cobra VDBMS facade.
@@ -126,13 +220,24 @@ impl Vdbms {
     /// spotting, feature extraction and text recognition, and stores the
     /// feature and caption metadata.
     pub fn ingest(&self, name: &str, scenario: &RaceScenario) -> Result<IngestReport> {
+        let registry = Arc::clone(self.kernel.metrics().registry());
+        let stage = |stage: &str, start: Instant| {
+            registry
+                .histogram("ingest.stage_ns", &[("stage", stage)])
+                .record(start.elapsed().as_nanos() as u64);
+        };
+        registry.counter("ingest.runs", &[]).inc();
+
+        let t = Instant::now();
         self.catalog.register_video(VideoInfo {
             name: name.to_string(),
             n_clips: scenario.n_clips,
             n_frames: scenario.n_frames(),
         });
+        stage("register", t);
 
         // Keyword spotting feeds the f1 evidence column.
+        let t = Instant::now();
         let stream = PhonemeStream::from_scenario(scenario);
         let grammar = Grammar::formula1();
         let spots = spot(
@@ -142,19 +247,36 @@ impl Vdbms {
             &SpotterConfig::default(),
         );
         let kw = keyword_feature(&spots, scenario.n_clips);
+        stage("keyword_spotting", t);
 
         // Audio-visual feature extraction. The pre-processor ranks the
-        // registry's methods by cost/quality (the "full" profile first
-        // for annotation use) and walks down the ranking: transient
-        // failures retry per the method's policy, anything else falls
-        // through to the next method. The report keeps the whole
-        // attempt history so a degraded ingest stays visible.
+        // registry's methods by the measured cost model (static
+        // cost/quality scores until measurements accumulate) and walks
+        // down the ranking: transient failures retry per the method's
+        // policy, anything else falls through to the next method. The
+        // report keeps the whole attempt history plus the ranking and
+        // its rationale, so a degraded or reranked ingest stays visible.
+        let t = Instant::now();
+        let cost_model = Arc::clone(self.methods.cost_model());
         let ranking: Vec<_> = self
             .methods
             .ranked("feature_extraction", 0.9)
             .into_iter()
             .cloned()
             .collect();
+        let ranking_report: Vec<MethodRank> = ranking
+            .iter()
+            .map(|m| {
+                let stat = cost_model.stat(&m.name).unwrap_or_default();
+                MethodRank {
+                    method: m.name.clone(),
+                    score: cost_model.score(m, 0.9),
+                    measured: stat.samples > 0,
+                    failures: stat.failures,
+                }
+            })
+            .collect();
+        let (reranked, rationale) = rank_rationale(&ranking, &cost_model, 0.9);
         let mut attempts: Vec<MethodAttempt> = Vec::new();
         let mut extracted: Option<(String, Vec<Vec<f64>>)> = None;
         let mut last_err = crate::CobraError::MissingMetadata {
@@ -165,8 +287,11 @@ impl Vdbms {
             let mut tries = 0u32;
             loop {
                 tries += 1;
+                let attempt = Instant::now();
                 match self.run_extraction(&profile.name, scenario, &kw) {
                     Ok(matrix) => {
+                        let ms = attempt.elapsed().as_secs_f64() * 1e3;
+                        cost_model.observe(&profile.name, ms / scenario.n_clips.max(1) as f64);
                         attempts.push(MethodAttempt {
                             method: profile.name.clone(),
                             tries,
@@ -176,6 +301,11 @@ impl Vdbms {
                         break;
                     }
                     Err(e) => {
+                        cost_model.observe_failure(&profile.name);
+                        let site = format!("extract.{}", profile.name);
+                        registry
+                            .counter("faults.failures", &[("site", &site)])
+                            .inc();
                         let transient = matches!(
                             &e,
                             crate::CobraError::Kernel(f1_monet::MonetError::Fault {
@@ -217,9 +347,14 @@ impl Vdbms {
         let degraded = ranking
             .first()
             .is_some_and(|primary| primary.name != method);
+        if degraded {
+            registry.counter("ingest.degraded", &[]).inc();
+        }
         self.catalog.store_features(name, &matrix)?;
+        stage("feature_extraction", t);
 
         // Superimposed text: recognize captions, store as events.
+        let t = Instant::now();
         let video = VideoSynth::new(scenario);
         let vocab = Vocabulary::formula1();
         let captions = scan_broadcast(
@@ -253,6 +388,7 @@ impl Vdbms {
             })
             .collect();
         self.catalog.store_events(name, &records)?;
+        stage("caption_recognition", t);
 
         Ok(IngestReport {
             n_clips: scenario.n_clips,
@@ -261,6 +397,9 @@ impl Vdbms {
             extraction_method: method,
             attempts,
             degraded,
+            ranking: ranking_report,
+            reranked,
+            rationale,
         })
     }
 
@@ -396,6 +535,9 @@ impl Vdbms {
     /// (most probable candidate, re-evaluated every 5 s for segments over
     /// 15 s), and excited-speech segments.
     pub fn annotate(&self, video: &str) -> Result<AnnotateReport> {
+        let registry = Arc::clone(self.kernel.metrics().registry());
+        registry.counter("annotate.runs", &[]).inc();
+        let t = Instant::now();
         let (has_passing, hl_theta, ea_theta) = {
             let nets = self.nets.read();
             let stored = nets.get("av");
@@ -420,6 +562,10 @@ impl Vdbms {
         } else {
             None
         };
+        registry
+            .histogram("annotate.stage_ns", &[("stage", "inference")])
+            .record(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
 
         // Replace previously derived events, keeping caption metadata.
         const DERIVED: [&str; 5] = ["highlight", "start", "fly_out", "passing", "excited"];
@@ -497,6 +643,9 @@ impl Vdbms {
             });
         }
         self.catalog.store_events(video, &records)?;
+        registry
+            .histogram("annotate.stage_ns", &[("stage", "segmentation")])
+            .record(t.elapsed().as_nanos() as u64);
         Ok(AnnotateReport {
             n_highlights: highlights.len(),
             n_sub_events: n_sub,
@@ -572,42 +721,130 @@ impl Vdbms {
         self.execute(video, &q)
     }
 
+    /// Runs a full statement: `RETRIEVE …` answers, `PROFILE RETRIEVE …`
+    /// answers with a measured span tree, `EXPLAIN RETRIEVE …` returns
+    /// the plan shape without executing.
+    pub fn run(&self, video: &str, text: &str) -> Result<QueryOutput> {
+        match parse_statement(text)? {
+            Statement::Retrieve(q) => Ok(QueryOutput::Segments(self.execute(video, &q)?)),
+            Statement::Profile(q) => Ok(QueryOutput::Profile(self.profile(video, &q)?)),
+            Statement::Explain(q) => Ok(QueryOutput::Plan(self.explain(&q))),
+        }
+    }
+
+    /// Executes `q` and returns the answer together with the span tree
+    /// of where time went: conceptual target mapping, Moa compilation,
+    /// MIL evaluation, and the kernel operators underneath.
+    pub fn profile(&self, video: &str, q: &Query) -> Result<QueryProfile> {
+        let mut timer = SpanTimer::start("query");
+        timer.meta("target", format!("{:?}", q.target));
+        timer.meta("video", video);
+        let mut children = Vec::new();
+        let segments = self.execute_traced(video, q, Some(&mut children))?;
+        for c in children {
+            timer.child(c);
+        }
+        Ok(QueryProfile {
+            segments,
+            span: timer.finish(),
+        })
+    }
+
+    /// The static plan of `q`: the span-tree shape [`profile`](Self::profile)
+    /// would produce, with no execution and all timings zero.
+    pub fn explain(&self, q: &Query) -> SpanNode {
+        let conceptual = match event_kind(&q.target) {
+            Some(kind) => SpanNode::new("conceptual:select_events")
+                .with_meta("kind", kind)
+                .with_child(SpanNode::new("moa:compile"))
+                .with_child(SpanNode::new("mil:eval"))
+                .with_child(SpanNode::new("fetch:results")),
+            None => match &q.target {
+                Target::Leader => SpanNode::new("conceptual:leader_segments"),
+                _ => SpanNode::new("conceptual:driver_visible"),
+            },
+        };
+        let mut root = SpanNode::new("query")
+            .with_meta("target", format!("{:?}", q.target))
+            .with_child(conceptual);
+        if q.at_pitlane {
+            root = root.with_child(SpanNode::new("filter:pitlane"));
+        }
+        if q.driver.is_some() && q.target != Target::Segments {
+            root = root.with_child(SpanNode::new("filter:driver"));
+        }
+        root
+    }
+
     fn execute(&self, video: &str, q: &Query) -> Result<Vec<RetrievedSegment>> {
-        let mut out: Vec<RetrievedSegment> = match &q.target {
-            Target::Highlights => self.events_as_segments(video, "highlight")?,
-            Target::Events(kind) => self.events_as_segments(video, kind)?,
-            Target::Excited => self.events_as_segments(video, "excited")?,
-            Target::PitStops => self.events_as_segments(video, "caption:pit_stop")?,
-            Target::Winner => self.events_as_segments(video, "caption:winner")?,
-            Target::FinalLap => self.events_as_segments(video, "caption:final_lap")?,
-            Target::Leader => self.leader_segments(video)?,
-            Target::Segments => {
-                let driver = q.driver.as_deref().ok_or_else(|| {
-                    crate::CobraError::Parse("RETRIEVE SEGMENTS requires WITH DRIVER".into())
-                })?;
-                return Ok(self
-                    .driver_visible(video, driver)?
-                    .into_iter()
-                    .map(|(start, end)| RetrievedSegment {
-                        start,
-                        end,
-                        label: "segment".into(),
-                        driver: Some(driver.to_string()),
-                    })
-                    .collect());
+        self.execute_traced(video, q, None)
+    }
+
+    fn execute_traced(
+        &self,
+        video: &str,
+        q: &Query,
+        mut spans: Option<&mut Vec<SpanNode>>,
+    ) -> Result<Vec<RetrievedSegment>> {
+        let mut out: Vec<RetrievedSegment> = if let Some(kind) = event_kind(&q.target) {
+            self.select_events(video, kind, spans.as_deref_mut())?
+        } else {
+            match &q.target {
+                Target::Leader => {
+                    let t = Instant::now();
+                    let segs = self.leader_segments(video)?;
+                    if let Some(spans) = spans.as_deref_mut() {
+                        spans.push(SpanNode::leaf(
+                            "conceptual:leader_segments",
+                            t.elapsed().as_nanos() as u64,
+                        ));
+                    }
+                    segs
+                }
+                _ => {
+                    let driver = q.driver.as_deref().ok_or_else(|| {
+                        crate::CobraError::Parse("RETRIEVE SEGMENTS requires WITH DRIVER".into())
+                    })?;
+                    let t = Instant::now();
+                    let segs: Vec<RetrievedSegment> = self
+                        .driver_visible(video, driver)?
+                        .into_iter()
+                        .map(|(start, end)| RetrievedSegment {
+                            start,
+                            end,
+                            label: "segment".into(),
+                            driver: Some(driver.to_string()),
+                        })
+                        .collect();
+                    if let Some(spans) = spans.as_deref_mut() {
+                        spans.push(SpanNode::leaf(
+                            "conceptual:driver_visible",
+                            t.elapsed().as_nanos() as u64,
+                        ));
+                    }
+                    return Ok(segs);
+                }
             }
         };
 
         // Pit-lane restriction via the rule extension: join the target
         // with overlapping pit-stop captions.
         if q.at_pitlane {
+            let t = Instant::now();
             out = self.join_with_pitlane(video, out)?;
+            if let Some(spans) = spans.as_deref_mut() {
+                spans.push(
+                    SpanNode::leaf("filter:pitlane", t.elapsed().as_nanos() as u64)
+                        .with_meta("kept", out.len().to_string()),
+                );
+            }
         }
 
         // Driver restriction: direct attribute when present, otherwise
         // overlap with the driver's visibility spans (the combination of
         // Bayesian fusion and text recognition the paper advertises).
         if let Some(driver) = &q.driver {
+            let t = Instant::now();
             let visible = self.driver_visible(video, driver)?;
             out.retain(|seg| {
                 seg.driver.as_deref() == Some(driver.as_str())
@@ -617,22 +854,104 @@ impl Vdbms {
             for seg in &mut out {
                 seg.driver.get_or_insert_with(|| driver.clone());
             }
+            if let Some(spans) = spans {
+                spans.push(
+                    SpanNode::leaf("filter:driver", t.elapsed().as_nanos() as u64)
+                        .with_meta("kept", out.len().to_string()),
+                );
+            }
         }
         Ok(out)
     }
 
-    fn events_as_segments(&self, video: &str, kind: &str) -> Result<Vec<RetrievedSegment>> {
-        Ok(self
-            .catalog
-            .events(video, Some(kind))?
-            .into_iter()
-            .map(|e| RetrievedSegment {
-                start: e.start,
-                end: e.end,
-                label: kind.trim_start_matches("caption:").to_string(),
-                driver: e.driver,
-            })
-            .collect())
+    /// Answers an event-kind retrieval through all three levels: a Moa
+    /// selection over the event layer's kind column is compiled to MIL,
+    /// and the MIL program position-joins the matching rows against the
+    /// parallel start/end/driver columns on the kernel's vectorized
+    /// operators. When profiling, `spans` receives the per-level tree,
+    /// with kernel operator timings taken from the metrics registry
+    /// delta around the evaluation.
+    fn select_events(
+        &self,
+        video: &str,
+        kind: &str,
+        spans: Option<&mut Vec<SpanNode>>,
+    ) -> Result<Vec<RetrievedSegment>> {
+        self.catalog.video(video)?;
+        let mut node = SpanTimer::start("conceptual:select_events");
+        node.meta("kind", kind);
+        let kind_bat = format!("{video}.ev.kind");
+        if !self.kernel.has_bat(&kind_bat) {
+            if let Some(spans) = spans {
+                spans.push(node.finish());
+            }
+            return Ok(Vec::new());
+        }
+
+        // Conceptual → logical: a Moa selection over the kind column,
+        // through the same optimizer every Moa plan passes.
+        let t = Instant::now();
+        let sel = f1_moa::optimize(
+            f1_moa::MoaExpr::collection(&kind_bat)
+                .select(f1_moa::Predicate::Eq(f1_monet::Atom::str(kind))),
+        );
+        let sel_mil = f1_moa::compile(&sel);
+        node.child(
+            SpanNode::leaf("moa:compile", t.elapsed().as_nanos() as u64)
+                .with_meta("mil", sel_mil.as_str()),
+        );
+
+        // Logical → physical: mirror the matching oids and join them
+        // against each event column.
+        let before = self.kernel.metrics().registry().snapshot();
+        let t = Instant::now();
+        let mut columns = Vec::new();
+        for col in ["start", "end", "driver"] {
+            let program = format!("RETURN (({sel_mil}).mirror).join(bat(\"{video}.ev.{col}\"));");
+            columns.push(self.kernel.eval_mil(&program)?);
+        }
+        let mil_ns = t.elapsed().as_nanos() as u64;
+        let delta = self.kernel.metrics().registry().snapshot().delta(&before);
+        let mut mil_node = SpanNode::leaf("mil:eval", mil_ns);
+        for (key, h) in delta.histograms_named("mil.op_ns") {
+            if h.count() == 0 {
+                continue;
+            }
+            mil_node = mil_node.with_child(
+                SpanNode::leaf(
+                    &format!("kernel:{}", key.label("op").unwrap_or("op")),
+                    h.sum(),
+                )
+                .with_meta("calls", h.count().to_string()),
+            );
+        }
+        node.child(mil_node);
+
+        // Materialize the answer from the joined columns.
+        let t = Instant::now();
+        let label = kind.trim_start_matches("caption:").to_string();
+        let starts = columns[0].as_bat()?;
+        let ends = columns[1].as_bat()?;
+        let drivers = columns[2].as_bat()?;
+        let (starts, ends, drivers) = (starts.read(), ends.read(), drivers.read());
+        let mut out = Vec::with_capacity(starts.len());
+        for i in 0..starts.len() {
+            let driver = drivers.tail_at(i)?.as_str()?.to_string();
+            out.push(RetrievedSegment {
+                start: starts.tail_at(i)?.as_int()?.max(0) as usize,
+                end: ends.tail_at(i)?.as_int()?.max(0) as usize,
+                label: label.clone(),
+                driver: (!driver.is_empty()).then_some(driver),
+            });
+        }
+        node.child(
+            SpanNode::leaf("fetch:results", t.elapsed().as_nanos() as u64)
+                .with_meta("rows", out.len().to_string()),
+        );
+        if let Some(spans) = spans {
+            spans.push(node.finish());
+        }
+        Ok(out)
     }
 
     /// Leading spans from classification captions: the shown leader holds

@@ -129,6 +129,10 @@ pub struct FaultRule {
     pub trigger: Trigger,
     /// Whether raised faults are transient (retryable).
     pub transient: bool,
+    /// When nonzero the rule injects *latency* instead of failure: the
+    /// site sleeps this long and then succeeds. Models a degraded (slow
+    /// but functional) dependency for cost-model tests.
+    pub delay_ms: u64,
 }
 
 impl FaultRule {
@@ -164,6 +168,7 @@ impl FaultPlan {
             site: site.into(),
             trigger,
             transient: false,
+            delay_ms: 0,
         });
         self
     }
@@ -174,6 +179,20 @@ impl FaultPlan {
             site: site.into(),
             trigger,
             transient: true,
+            delay_ms: 0,
+        });
+        self
+    }
+
+    /// Adds a slowdown rule for `site`: matching invocations sleep
+    /// `delay_ms` and then succeed, so the operation completes but its
+    /// measured cost inflates.
+    pub fn slow(mut self, site: impl Into<String>, trigger: Trigger, delay_ms: u64) -> Self {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            trigger,
+            transient: false,
+            delay_ms,
         });
         self
     }
@@ -193,12 +212,19 @@ pub struct FiredFault {
 pub struct FaultReport {
     /// Faults in firing order.
     pub fired: Vec<FiredFault>,
+    /// Slowdown injections in firing order (the site succeeded late).
+    pub slowed: Vec<FiredFault>,
 }
 
 impl FaultReport {
     /// How many times `site` failed during the scope.
     pub fn count(&self, site: &str) -> usize {
         self.fired.iter().filter(|f| f.site == site).count()
+    }
+
+    /// How many times `site` was slowed during the scope.
+    pub fn count_slowed(&self, site: &str) -> usize {
+        self.slowed.iter().filter(|f| f.site == site).count()
     }
 }
 
@@ -216,6 +242,7 @@ mod armed {
         pub(super) plan: FaultPlan,
         pub(super) counters: Mutex<HashMap<String, u64>>,
         pub(super) fired: Mutex<Vec<FiredFault>>,
+        pub(super) slowed: Mutex<Vec<FiredFault>>,
     }
 
     /// Fast-path flag: `fire()` is a single relaxed load when disarmed.
@@ -289,6 +316,20 @@ pub fn fire(site: &str) -> Result<(), FaultError> {
     if !fails {
         return Ok(());
     }
+    if rule.delay_ms > 0 {
+        // A slowdown rule: stall the caller, record it, succeed.
+        let delay = std::time::Duration::from_millis(rule.delay_ms);
+        injector
+            .slowed
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(FiredFault {
+                site: site.to_string(),
+                invocation,
+            });
+        std::thread::sleep(delay);
+        return Ok(());
+    }
     injector
         .fired
         .lock()
@@ -323,6 +364,7 @@ pub fn with_faults<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> (R, FaultReport
         plan,
         counters: std::sync::Mutex::new(Default::default()),
         fired: std::sync::Mutex::new(Vec::new()),
+        slowed: std::sync::Mutex::new(Vec::new()),
     });
     *injector_slot().lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&injector));
     ARMED.store(true, Ordering::SeqCst);
@@ -346,7 +388,12 @@ pub fn with_faults<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> (R, FaultReport
         .lock()
         .unwrap_or_else(|p| p.into_inner())
         .clone();
-    (result, FaultReport { fired })
+    let slowed = injector
+        .slowed
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone();
+    (result, FaultReport { fired, slowed })
 }
 
 /// Runs `f` unmodified: the `fault-injection` feature is disabled, so no
@@ -421,6 +468,24 @@ mod tests {
                 invocation: 1
             }]
         );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn slow_rule_delays_but_succeeds() {
+        let (elapsed, report) = with_faults(
+            FaultPlan::new(1).slow("net.fetch", Trigger::Times(1), 20),
+            || {
+                let t = std::time::Instant::now();
+                assert!(fire("net.fetch").is_ok());
+                let first = t.elapsed();
+                assert!(fire("net.fetch").is_ok());
+                first
+            },
+        );
+        assert!(elapsed >= std::time::Duration::from_millis(20));
+        assert!(report.fired.is_empty());
+        assert_eq!(report.count_slowed("net.fetch"), 1);
     }
 
     #[cfg(feature = "fault-injection")]

@@ -127,9 +127,17 @@ pub fn execute(kernel: &Kernel, expr: MoaExpr) -> Result<MilValue> {
 /// so a misbehaving plan (or a wedged extension procedure loop) comes
 /// back as a budget error instead of hanging the session.
 pub fn execute_with(kernel: &Kernel, expr: MoaExpr, budget: &ExecBudget) -> Result<MilValue> {
+    let metrics = kernel.metrics();
+    metrics.registry().counter("moa.executions", &[]).inc();
+    let start = std::time::Instant::now();
     let optimized = optimize(expr);
     let program = format!("RETURN {};", compile(&optimized));
-    Ok(kernel.eval_mil_guarded(&program, budget)?)
+    let out = kernel.eval_mil_guarded(&program, budget);
+    metrics
+        .registry()
+        .histogram("moa.execute_ns", &[])
+        .record(start.elapsed().as_nanos() as u64);
+    Ok(out?)
 }
 
 #[cfg(test)]

@@ -108,6 +108,7 @@ impl ExecGuard {
     /// [`MonetError::Interrupted`], [`MonetError::BudgetExhausted`], or
     /// [`MonetError::Deadline`] when a limit is hit.
     pub fn tick(&self) -> Result<()> {
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed);
         if let Some(cancel) = &self.cancel {
             if cancel.is_cancelled() {
                 return Err(MonetError::Interrupted);
@@ -130,12 +131,18 @@ impl ExecGuard {
             }
         }
         if let Some(deadline) = self.deadline {
-            let t = self.ticks.fetch_add(1, Ordering::Relaxed);
             if t.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= deadline {
                 return Err(MonetError::Deadline);
             }
         }
         Ok(())
+    }
+
+    /// Interpreter steps charged so far, counted on every budget —
+    /// including the unlimited one — so observability can report
+    /// per-evaluation step consumption.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
     }
 
     /// Steps charged so far (only meaningful with a fuel limit).
@@ -163,6 +170,7 @@ mod tests {
             guard.tick().unwrap();
         }
         assert_eq!(guard.fuel_remaining(), None);
+        assert_eq!(guard.ticks(), 10_000);
     }
 
     #[test]

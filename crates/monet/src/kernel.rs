@@ -16,6 +16,7 @@ use crate::bat::Bat;
 use crate::error::{MonetError, Result};
 use crate::guard::ExecBudget;
 use crate::index::ColumnIndex;
+use crate::metrics::KernelMetrics;
 use crate::mil::{self, MilValue};
 
 /// When the index cache holds this many entries, it is cleared wholesale
@@ -55,6 +56,9 @@ pub struct Kernel {
     /// version they were built at. A mutated BAT bumps its version, so a
     /// stale entry is detected (and rebuilt) on the next lookup.
     index_cache: RwLock<HashMap<u64, (u64, Arc<ColumnIndex>)>>,
+    /// Observability: pre-resolved handles over this kernel's metric
+    /// registry. Snapshot via `kernel.metrics().registry()`.
+    metrics: Arc<KernelMetrics>,
 }
 
 impl Kernel {
@@ -65,7 +69,14 @@ impl Kernel {
             modules: RwLock::new(HashMap::new()),
             procs: RwLock::new(HashMap::new()),
             index_cache: RwLock::new(HashMap::new()),
+            metrics: Arc::new(KernelMetrics::default()),
         }
+    }
+
+    /// This kernel's metric handles; snapshot the registry behind them
+    /// for a point-in-time view of every series.
+    pub fn metrics(&self) -> &Arc<KernelMetrics> {
+        &self.metrics
     }
 
     /// A hash index over `bat`'s head column, cached per (BAT id, version).
@@ -81,10 +92,12 @@ impl Kernel {
             let cache = self.index_cache.read();
             if let Some((version, idx)) = cache.get(&key) {
                 if *version == bat.version() {
+                    self.metrics.index_hits.inc();
                     return Some(Arc::clone(idx));
                 }
             }
         }
+        self.metrics.index_misses.inc();
         let built = Arc::new(ColumnIndex::build(bat.head())?);
         let mut cache = self.index_cache.write();
         if cache.len() >= INDEX_CACHE_CAP && !cache.contains_key(&key) {
@@ -191,12 +204,20 @@ impl Kernel {
         // Fault site `proc.{name}`: lets tests fail specific extension
         // procedures without touching the module implementation.
         if cobra_faults::is_armed() {
-            cobra_faults::fire(&format!("proc.{proc}"))?;
+            if let Err(fault) = cobra_faults::fire(&format!("proc.{proc}")) {
+                self.metrics.record_failure(&format!("proc.{proc}"));
+                return Err(fault.into());
+            }
         }
         let module = self
             .resolve_proc(proc)
             .ok_or_else(|| MonetError::NotFound(format!("procedure '{proc}'")))?;
-        module.call(self, proc, args)
+        self.metrics.proc_calls.inc();
+        let start = std::time::Instant::now();
+        let out = module.call(self, proc, args);
+        self.metrics
+            .record_proc(proc, start.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Parses and evaluates a MIL program against this kernel, returning
@@ -204,7 +225,13 @@ impl Kernel {
     ///
     /// Runs with no execution limits; see [`Kernel::eval_mil_guarded`].
     pub fn eval_mil(&self, source: &str) -> Result<MilValue> {
-        mil::eval_program(self, source)
+        self.metrics.mil_evals.inc();
+        let start = std::time::Instant::now();
+        let out = mil::eval_program(self, source);
+        self.metrics
+            .mil_eval_ns
+            .record(start.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Like [`Kernel::eval_mil`], but bounded by `budget`: when the
@@ -212,7 +239,13 @@ impl Kernel {
     /// cancelled, evaluation stops with [`MonetError::BudgetExhausted`],
     /// [`MonetError::Deadline`], or [`MonetError::Interrupted`].
     pub fn eval_mil_guarded(&self, source: &str, budget: &ExecBudget) -> Result<MilValue> {
-        mil::eval_program_guarded(self, source, budget)
+        self.metrics.mil_evals.inc();
+        let start = std::time::Instant::now();
+        let out = mil::eval_program_guarded(self, source, budget);
+        self.metrics
+            .mil_eval_ns
+            .record(start.elapsed().as_nanos() as u64);
+        out
     }
 }
 

@@ -41,6 +41,7 @@ pub mod error;
 pub mod guard;
 pub mod index;
 pub mod kernel;
+pub mod metrics;
 pub mod mil;
 pub mod ops;
 pub mod parallel;
@@ -53,6 +54,7 @@ pub mod prelude {
     pub use crate::guard::{CancellationToken, ExecBudget};
     pub use crate::index::ColumnIndex;
     pub use crate::kernel::{Kernel, MelModule};
+    pub use crate::metrics::KernelMetrics;
     pub use crate::mil::MilValue;
     pub use crate::ops::OpCtx;
     pub use crate::value::{Atom, AtomType};
@@ -63,6 +65,7 @@ pub use error::{MonetError, Result};
 pub use guard::{CancellationToken, ExecBudget, ExecGuard};
 pub use index::ColumnIndex;
 pub use kernel::{Kernel, MelModule};
+pub use metrics::KernelMetrics;
 pub use mil::MilValue;
 pub use ops::OpCtx;
 pub use value::{Atom, AtomType};

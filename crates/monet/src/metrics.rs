@@ -1,0 +1,122 @@
+//! Kernel observability: pre-resolved metric handles over a
+//! [`cobra_obs::Registry`].
+//!
+//! Hot paths (index-cache probes, morsel dispatch) must not pay a
+//! registry lookup per event, so the kernel resolves its core series
+//! once at construction into this struct; recording is then a single
+//! relaxed atomic add. Series with a genuine label dimension (per-opcode
+//! timings, per-procedure timings, per-site failure counts) go through
+//! the registry on demand — those events are orders of magnitude rarer
+//! than the per-row work they measure.
+
+use std::sync::Arc;
+
+use cobra_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Pre-resolved metric handles for one [`crate::kernel::Kernel`].
+#[derive(Debug)]
+pub struct KernelMetrics {
+    registry: Arc<Registry>,
+    /// Head-index cache probes that found a current index.
+    pub index_hits: Arc<Counter>,
+    /// Head-index cache probes that had to (re)build.
+    pub index_misses: Arc<Counter>,
+    /// Extension-procedure dispatches.
+    pub proc_calls: Arc<Counter>,
+    /// MIL programs evaluated.
+    pub mil_evals: Arc<Counter>,
+    /// Wall time of whole MIL evaluations, nanoseconds.
+    pub mil_eval_ns: Arc<Histogram>,
+    /// Interpreter steps charged across all evaluations.
+    pub mil_ticks: Arc<Counter>,
+    /// Fuel consumed by fuel-limited evaluations.
+    pub mil_fuel_used: Arc<Counter>,
+    /// `PARALLEL` blocks executed.
+    pub parallel_blocks: Arc<Counter>,
+    /// Operator invocations that stayed on the calling thread.
+    pub morsel_runs_seq: Arc<Counter>,
+    /// Operator invocations fanned out over worker threads.
+    pub morsel_runs_par: Arc<Counter>,
+    /// Morsels dispatched by parallel operator runs.
+    pub morsels: Arc<Counter>,
+    /// Rows covered by morsel-driven operator runs.
+    pub morsel_rows: Arc<Counter>,
+    /// Thread count most recently requested from an operator context.
+    pub threads: Arc<Gauge>,
+}
+
+impl KernelMetrics {
+    /// Resolves the kernel's core series in `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        KernelMetrics {
+            index_hits: registry.counter("kernel.index_cache", &[("result", "hit")]),
+            index_misses: registry.counter("kernel.index_cache", &[("result", "miss")]),
+            proc_calls: registry.counter("kernel.proc_calls", &[]),
+            mil_evals: registry.counter("mil.evals", &[]),
+            mil_eval_ns: registry.histogram("mil.eval_ns", &[]),
+            mil_ticks: registry.counter("mil.ticks", &[]),
+            mil_fuel_used: registry.counter("mil.fuel_used", &[]),
+            parallel_blocks: registry.counter("mil.parallel_blocks", &[]),
+            morsel_runs_seq: registry.counter("kernel.morsel_runs", &[("mode", "sequential")]),
+            morsel_runs_par: registry.counter("kernel.morsel_runs", &[("mode", "parallel")]),
+            morsels: registry.counter("kernel.morsels", &[]),
+            morsel_rows: registry.counter("kernel.morsel_rows", &[]),
+            threads: registry.gauge("kernel.threads", &[]),
+            registry,
+        }
+    }
+
+    /// The backing registry (for snapshots and ad-hoc series).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Records one MIL BAT-method invocation (`mil.op_ns{op=...}`).
+    pub fn record_op(&self, op: &str, ns: u64) {
+        self.registry
+            .histogram("mil.op_ns", &[("op", op)])
+            .record(ns);
+    }
+
+    /// Records one extension-procedure call (`kernel.proc_ns{proc=...}`).
+    pub fn record_proc(&self, proc: &str, ns: u64) {
+        self.registry
+            .histogram("kernel.proc_ns", &[("proc", proc)])
+            .record(ns);
+    }
+
+    /// Records an injected-fault failure at `site`
+    /// (`faults.failures{site=...}`).
+    pub fn record_failure(&self, site: &str) {
+        self.registry
+            .counter("faults.failures", &[("site", site)])
+            .inc();
+    }
+}
+
+impl Default for KernelMetrics {
+    fn default() -> Self {
+        KernelMetrics::new(Arc::new(Registry::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_series_appear_in_snapshots() {
+        let m = KernelMetrics::default();
+        m.index_hits.inc();
+        m.index_misses.add(2);
+        m.record_op("join", 1500);
+        m.record_failure("bat.join");
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter("kernel.index_cache", &[("result", "hit")]), 1);
+        assert_eq!(snap.counter("kernel.index_cache", &[("result", "miss")]), 2);
+        assert_eq!(snap.counter("faults.failures", &[("site", "bat.join")]), 1);
+        let op = snap.histogram("mil.op_ns", &[("op", "join")]).unwrap();
+        assert_eq!(op.count(), 1);
+        assert_eq!(op.sum(), 1500);
+    }
+}

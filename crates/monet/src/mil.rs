@@ -925,7 +925,11 @@ pub fn eval_program_guarded(
         guard: Arc::new(budget.start()),
         depth: 0,
     };
-    match exec_stmts(&mut env, &stmts)? {
+    let out = exec_stmts(&mut env, &stmts);
+    let metrics = kernel.metrics();
+    metrics.mil_ticks.add(env.guard.ticks());
+    metrics.mil_fuel_used.add(env.guard.fuel_used());
+    match out? {
         Flow::Return(v) => Ok(v),
         Flow::Normal => Ok(MilValue::Nil),
     }
@@ -1017,6 +1021,8 @@ fn eval_cond(env: &mut Env<'_>, cond: &Expr) -> Result<bool> {
 /// block completes, earliest statement winning.
 fn exec_parallel(env: &mut Env<'_>, body: &[Stmt]) -> Result<Flow> {
     let threads = env.threads.load(Ordering::Relaxed).max(1);
+    env.kernel.metrics().parallel_blocks.inc();
+    env.kernel.metrics().threads.set(threads as i64);
     type JobOut = Result<(HashMap<String, MilValue>, Option<MilValue>)>;
     let jobs: Vec<Box<dyn FnOnce() -> JobOut + Send + '_>> = body
         .iter()
@@ -1315,6 +1321,7 @@ fn op_ctx<'e>(env: &'e Env<'_>) -> ops::OpCtx<'e> {
     ops::OpCtx {
         threads: env.threads.load(Ordering::Relaxed).max(1),
         guard: Some(env.guard.as_ref()),
+        metrics: Some(env.kernel.metrics().as_ref()),
     }
 }
 
@@ -1322,8 +1329,27 @@ fn eval_method(env: &Env<'_>, recv: &MilValue, name: &str, args: &[MilValue]) ->
     env.guard.tick()?;
     // Fault site `bat.{method}`: only pay the format when a plan is armed.
     if cobra_faults::is_armed() {
-        cobra_faults::fire(&format!("bat.{name}"))?;
+        if let Err(fault) = cobra_faults::fire(&format!("bat.{name}")) {
+            env.kernel.metrics().record_failure(&format!("bat.{name}"));
+            return Err(fault.into());
+        }
     }
+    let start = std::time::Instant::now();
+    let out = eval_method_op(env, recv, name, args);
+    env.kernel
+        .metrics()
+        .record_op(name, start.elapsed().as_nanos() as u64);
+    out
+}
+
+/// The BAT-method dispatch proper, separated from [`eval_method`] so the
+/// wrapper can time every opcode uniformly.
+fn eval_method_op(
+    env: &Env<'_>,
+    recv: &MilValue,
+    name: &str,
+    args: &[MilValue],
+) -> Result<MilValue> {
     let handle = recv
         .as_bat()
         .map_err(|_| MonetError::Eval(format!("method '.{name}' requires a BAT receiver")))?;

@@ -33,12 +33,15 @@ use crate::bat::{Bat, Column, ColumnData};
 use crate::error::{MonetError, Result};
 use crate::guard::ExecGuard;
 use crate::index::ColumnIndex;
+use crate::metrics::KernelMetrics;
 use crate::parallel;
 use crate::value::{Atom, AtomType};
 
 /// Execution context for the `*_ctx` operator variants: a worker count for
-/// morsel-driven parallelism and an optional execution guard charged at
-/// every morsel boundary.
+/// morsel-driven parallelism, an optional execution guard charged at
+/// every morsel boundary, and optional metric handles recording morsel
+/// utilization. Leave `metrics` unset (the default) to keep operators
+/// observation-free — benchmarks measuring raw kernel speed do.
 #[derive(Clone, Copy, Default)]
 pub struct OpCtx<'g> {
     /// Worker threads to spread morsels over; `0`/`1` means sequential
@@ -47,6 +50,9 @@ pub struct OpCtx<'g> {
     /// Budget guard ticked once per morsel, so fuel/deadline/cancellation
     /// interrupt long scans between morsels.
     pub guard: Option<&'g ExecGuard>,
+    /// Morsel-utilization counters (`kernel.morsel_*`); `None` records
+    /// nothing and costs nothing on the operator hot path.
+    pub metrics: Option<&'g KernelMetrics>,
 }
 
 impl<'g> OpCtx<'g> {
@@ -54,7 +60,7 @@ impl<'g> OpCtx<'g> {
     pub fn with_threads(threads: usize) -> Self {
         OpCtx {
             threads,
-            guard: None,
+            ..OpCtx::default()
         }
     }
 
@@ -63,6 +69,7 @@ impl<'g> OpCtx<'g> {
         OpCtx {
             threads,
             guard: Some(guard),
+            ..OpCtx::default()
         }
     }
 
@@ -94,12 +101,23 @@ where
     };
     let ranges = parallel::morsels(len, parts);
     if ctx.threads <= 1 || ranges.len() <= 1 {
+        if let Some(m) = ctx.metrics {
+            m.morsel_runs_seq.inc();
+            m.morsels.add(ranges.len() as u64);
+            m.morsel_rows.add(len as u64);
+        }
         let mut out = Vec::with_capacity(ranges.len());
         for r in ranges {
             ctx.tick()?;
             out.push(f(r));
         }
         return Ok(out);
+    }
+    if let Some(m) = ctx.metrics {
+        m.morsel_runs_par.inc();
+        m.morsels.add(ranges.len() as u64);
+        m.morsel_rows.add(len as u64);
+        m.threads.set(ctx.threads as i64);
     }
     let guard = ctx.guard;
     let jobs: Vec<_> = ranges

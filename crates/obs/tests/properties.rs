@@ -1,0 +1,166 @@
+//! Property tests for the `cobra-obs` primitives.
+//!
+//! The observability layer is only trustworthy if its arithmetic is:
+//! percentiles must be monotone, merges associative, and concurrent
+//! recording lossless. These properties are exercised over generated
+//! inputs rather than hand-picked cases.
+
+use cobra_obs::{Histogram, HistogramSnapshot, Registry, OVERFLOW_LABELS};
+use f1_monet::parallel::run_jobs;
+use proptest::prelude::*;
+
+/// Records every value into a fresh histogram and snapshots it.
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Value strategy small enough that 200 observations cannot overflow the
+/// u64 running sum, while still spanning many histogram buckets.
+fn values(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    collection::vec(0u64..(1u64 << 40), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_are_monotone_and_bracket_the_data(
+        vals in collection::vec(0u64..(1u64 << 40), 1..200),
+        mut ps in collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let s = snapshot_of(&vals);
+        prop_assert_eq!(s.count(), vals.len() as u64);
+        prop_assert_eq!(s.sum(), vals.iter().sum::<u64>());
+
+        // Monotone in the requested quantile, for any sampled grid.
+        ps.sort_by(f64::total_cmp);
+        let qs: Vec<u64> = ps.iter().map(|&p| s.percentile(p)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentiles not monotone: {:?}", qs);
+        }
+        prop_assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+
+        // Log-scaled buckets quote an upper bound with ~2x resolution:
+        // the extreme percentiles bracket the extreme observations.
+        let min = *vals.iter().min().unwrap();
+        let max = *vals.iter().max().unwrap();
+        let p0 = s.percentile(0.0);
+        let p100 = s.percentile(1.0);
+        prop_assert!(p0 >= min && p0 <= min.saturating_mul(2));
+        prop_assert!(p100 >= max && p100 <= max.saturating_mul(2));
+    }
+
+    #[test]
+    fn merge_is_associative_commutative_and_matches_one_histogram(
+        a in values(100),
+        b in values(100),
+        c in values(100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&sb).count(), sa.count() + sb.count());
+        prop_assert_eq!(sa.merge(&sb).sum(), sa.sum() + sb.sum());
+
+        // Merging partials equals recording everything in one histogram,
+        // which is what makes per-thread histograms combinable.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), snapshot_of(&all));
+
+        // Delta undoes merge: (a + b) - b == a.
+        prop_assert_eq!(sa.merge(&sb).delta(&sb), sa);
+    }
+}
+
+proptest! {
+    // Each case forks real threads; fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_recording_is_lossless_across_snapshot_deltas(
+        threads in 1usize..=8,
+        jobs in collection::vec((1u64..48, 0u64..(1u64 << 20)), 1..32),
+    ) {
+        let reg = Registry::new();
+        // Pre-existing traffic the delta must subtract back out.
+        reg.counter("obs.records", &[]).add(17);
+        reg.histogram("obs.ns", &[("op", "work")]).record(5);
+        let before = reg.snapshot();
+
+        let work: Vec<_> = jobs
+            .iter()
+            .map(|&(n, v)| {
+                let reg = &reg;
+                move || {
+                    for _ in 0..n {
+                        reg.counter("obs.records", &[]).inc();
+                        reg.histogram("obs.ns", &[("op", "work")]).record(v);
+                        reg.gauge("obs.level", &[]).add(1);
+                    }
+                }
+            })
+            .collect();
+        run_jobs(threads, work).unwrap();
+
+        let total: u64 = jobs.iter().map(|&(n, _)| n).sum();
+        let sum: u64 = jobs.iter().map(|&(n, v)| n * v).sum();
+        let delta = reg.snapshot().delta(&before);
+        prop_assert_eq!(delta.counter("obs.records", &[]), total);
+        prop_assert_eq!(delta.gauge("obs.level", &[]), total as i64);
+        let h = delta.histogram("obs.ns", &[("op", "work")]);
+        prop_assert!(h.is_some());
+        let h = h.unwrap();
+        prop_assert_eq!(h.count(), total);
+        prop_assert_eq!(h.sum(), sum);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn label_cardinality_cap_folds_overflow_without_losing_counts(
+        cap in 1usize..6,
+        n in 0usize..24,
+    ) {
+        let reg = Registry::with_label_cap(cap);
+        for i in 0..n {
+            let i = i.to_string();
+            reg.counter("series", &[("i", &i)]).inc();
+            reg.histogram("series_ns", &[("i", &i)]).record(7);
+        }
+        let snap = reg.snapshot();
+
+        let series = snap.counters.keys().filter(|k| k.name == "series").count();
+        if n <= cap {
+            prop_assert_eq!(series, n);
+            prop_assert_eq!(snap.counter("series", &OVERFLOW_LABELS), 0);
+        } else {
+            // Exactly `cap` real series plus the sentinel holding the rest.
+            prop_assert_eq!(series, cap + 1);
+            prop_assert_eq!(
+                snap.counter("series", &OVERFLOW_LABELS) as usize,
+                n - cap
+            );
+        }
+        // The cap bounds memory, never drops observations.
+        let counted: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.name == "series")
+            .map(|(_, v)| *v)
+            .sum();
+        prop_assert_eq!(counted as usize, n);
+
+        let hists = snap.histograms_named("series_ns");
+        prop_assert!(hists.len() <= cap + 1);
+        let recorded: u64 = hists.iter().map(|(_, h)| h.count()).sum();
+        prop_assert_eq!(recorded as usize, n);
+    }
+}

@@ -6,13 +6,15 @@
 //! degrades — visibly, through `IngestReport::attempts` — instead of
 //! failing outright.
 
+mod common;
+
 use cobra_faults::{with_faults, FaultPlan, Trigger};
 use f1_cobra::{CobraError, Vdbms};
-use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig};
+use f1_media::synth::scenario::RaceScenario;
 
 fn scenario() -> RaceScenario {
     // Short broadcast: these tests exercise control flow, not accuracy.
-    RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 45))
+    common::german_scenario(45)
 }
 
 #[test]
@@ -79,6 +81,71 @@ fn exhausting_every_method_surfaces_a_typed_error() {
     // Both methods were attempted before giving up.
     assert_eq!(faults.count("extract.full"), 1);
     assert_eq!(faults.count("extract.fast"), 1);
+}
+
+#[test]
+fn measured_slowdown_reranks_extraction_methods() {
+    let vdbms = Vdbms::try_new().unwrap();
+    let sc = common::german_scenario(30);
+
+    // Clean baseline: the static ranking holds and the cost model
+    // records the primary's healthy pace.
+    let t0 = std::time::Instant::now();
+    let report = vdbms.ingest("german", &sc).unwrap();
+    let baseline_ms = t0.elapsed().as_millis() as u64;
+    assert_eq!(report.extraction_method, "full");
+    assert!(!report.reranked);
+    assert_eq!(report.ranking[0].method, "full");
+
+    // A degraded dependency slows "full" far past its demonstrated best
+    // (4x the whole baseline ingest bounds the slowdown ratio well above
+    // the quality penalty that protects the primary's rank).
+    let delay_ms = (baseline_ms * 4).max(1_000);
+    let (slowed, faults) = with_faults(
+        FaultPlan::new(5).slow("extract.full", Trigger::Always, delay_ms),
+        || vdbms.ingest("german-slow", &sc),
+    );
+    let slowed = slowed.unwrap();
+    assert_eq!(slowed.extraction_method, "full", "slow is not failing");
+    assert_eq!(faults.count_slowed("extract.full"), 1);
+
+    // Re-ingest with the faults gone: the measured cost model now
+    // prefers the fast fallback, and the report says why.
+    let report = vdbms.ingest("german2", &sc).unwrap();
+    assert!(report.reranked, "ranking: {:?}", report.ranking);
+    assert_eq!(report.extraction_method, "fast");
+    assert_eq!(report.ranking[0].method, "fast");
+    assert!(
+        report
+            .ranking
+            .iter()
+            .any(|r| r.method == "full" && r.measured),
+        "the demoted primary must carry its measurement: {:?}",
+        report.ranking
+    );
+    assert!(
+        report.rationale.contains("full") && report.rationale.contains("fast"),
+        "rationale must name both methods: {}",
+        report.rationale
+    );
+    // "fast" was the first choice this time, not a fallback.
+    assert!(!report.degraded);
+    assert_eq!(report.attempts.len(), 1);
+
+    // Ingest stages were measured along the way.
+    let snap = vdbms.kernel().metrics().registry().snapshot();
+    for stage in [
+        "register",
+        "keyword_spotting",
+        "feature_extraction",
+        "caption_recognition",
+    ] {
+        let h = snap
+            .histogram("ingest.stage_ns", &[("stage", stage)])
+            .unwrap_or_else(|| panic!("missing ingest stage histogram {stage}"));
+        assert!(h.count() >= 3, "{stage} not recorded per ingest");
+    }
+    assert_eq!(snap.counter("ingest.runs", &[]), 3);
 }
 
 #[test]

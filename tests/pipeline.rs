@@ -1,22 +1,17 @@
 //! Cross-crate integration tests: the full ingest → train → annotate →
 //! retrieve pipeline and its determinism.
 
+mod common;
+
 use cobra_f1::cobra::Vdbms;
-use cobra_f1::media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig, Span};
-use cobra_f1::media::time::clips_per_second;
+use cobra_f1::media::synth::scenario::{RaceScenario, Span};
 
 fn scenario() -> RaceScenario {
-    RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 150))
+    common::german_scenario(150)
 }
 
 fn windows(sc: &RaceScenario) -> Vec<Span> {
-    let cps = clips_per_second();
-    (0..5)
-        .map(|k| {
-            let start = k * sc.n_clips / 6;
-            Span::new(start, (start + 30 * cps).min(sc.n_clips))
-        })
-        .collect()
+    common::training_windows(sc, 5, 30)
 }
 
 #[test]
