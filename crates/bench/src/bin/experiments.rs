@@ -4,7 +4,7 @@
 //! ```text
 //! experiments [--duration SECONDS] [table1 table2 table3 table4 ablation
 //!              fig9 temporal clustering keywords endpoint shots hmm queries
-//!              monet obs]
+//!              monet obs serve]
 //! ```
 //!
 //! With no experiment names, everything runs. Traces for Fig. 9 are
@@ -175,6 +175,13 @@ fn main() {
     }
     if want("queries") {
         println!("{}", experiments::queries(german("queries")));
+    }
+    if want("serve") {
+        let (table, json) = experiments::serve();
+        println!("{table}");
+        if std::fs::write("BENCH_serve.json", json.to_string()).is_ok() {
+            println!("(load test written to BENCH_serve.json)");
+        }
     }
 
     eprintln!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());

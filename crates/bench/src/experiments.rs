@@ -987,3 +987,132 @@ pub fn monet() -> (Table, serde_json::Value) {
     });
     (table, doc)
 }
+
+/// **Serving layer** — the cobra-serve load test: a closed-loop client
+/// fleet against a live TCP server over the catalog-only fixture, in
+/// two regimes. *At the admission limit* every request must succeed;
+/// at *twice* the limit the excess must surface as typed `overloaded`
+/// rejections — never hangs, errors or worker panics. Returns the
+/// human-readable table plus the JSON document `BENCH_serve.json`
+/// (schema-validated by the CI serve smoke job).
+pub fn serve() -> (Table, serde_json::Value) {
+    use cobra_serve::load::{run as run_load, LoadConfig};
+    use cobra_serve::server::{start, ServerConfig};
+    use f1_cobra::catalog::{EventRecord, VideoInfo};
+    use f1_cobra::Vdbms;
+    use std::sync::Arc;
+
+    const CLIPS: usize = 600;
+    const WORKERS: usize = 8;
+    const QUEUE_CAP: usize = 32;
+    const REQUESTS_PER_CLIENT: usize = 50;
+
+    // Same catalog-only fixture as the obs experiment: the numbers
+    // isolate protocol + scheduling + query path, not media synthesis.
+    let vdbms = Arc::new(Vdbms::new());
+    vdbms.catalog.register_video(VideoInfo {
+        name: "bench".into(),
+        n_clips: CLIPS,
+        n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
+    });
+    let events: Vec<EventRecord> = (0..CLIPS / 3)
+        .map(|i| EventRecord {
+            kind: match i % 3 {
+                0 => "highlight",
+                1 => "excited",
+                _ => "caption:pit_stop",
+            }
+            .into(),
+            start: i * 3,
+            end: i * 3 + 2,
+            driver: (i % 4 == 0).then(|| "SCHUMACHER".to_string()),
+        })
+        .collect();
+    vdbms
+        .catalog
+        .store_events("bench", &events)
+        .expect("catalog accepts events");
+
+    let handle = start(
+        Arc::clone(&vdbms),
+        ServerConfig {
+            workers: WORKERS,
+            queue_cap: QUEUE_CAP,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let admission_limit = handle.admission_limit();
+
+    let queries = vec![
+        "RETRIEVE HIGHLIGHTS".to_string(),
+        "RETRIEVE EXCITED".to_string(),
+        "RETRIEVE PITSTOPS".to_string(),
+        "PROFILE RETRIEVE HIGHLIGHTS".to_string(),
+    ];
+    let regime = |clients: usize| LoadConfig {
+        clients,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        video: "bench".into(),
+        queries: queries.clone(),
+        deadline_ms: None,
+    };
+
+    // Regime A: 32 concurrent clients, below the admission limit —
+    // closed-loop, so in-flight requests never exceed the client count
+    // and nothing may be rejected.
+    assert!(admission_limit >= 32, "load test assumes a limit of >= 32");
+    let at_limit = run_load(handle.addr(), &regime(32));
+    // Regime B: twice the admission limit — the excess must be shed as
+    // typed `overloaded` rejections, all other answers staying intact.
+    let over_limit = run_load(handle.addr(), &regime(2 * admission_limit));
+    handle.shutdown();
+
+    let mut table = Table::new(
+        &format!(
+            "Serving — closed-loop load vs cobra-serve \
+             ({WORKERS} workers, queue {QUEUE_CAP}, admission limit {admission_limit})"
+        ),
+        &[
+            "regime", "clients", "ok", "overload", "deadline", "errors", "rps", "p50 us", "p95 us",
+            "p99 us",
+        ],
+    );
+    for (name, report) in [("at limit", &at_limit), ("2x limit", &over_limit)] {
+        let j = report.to_json();
+        let p = |k: &str| {
+            j.get("latency_us")
+                .and_then(|l| l.get(k))
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        table.row(vec![
+            Cell::Text(name.into()),
+            Cell::Num(report.clients as f64),
+            Cell::Num(report.ok as f64),
+            Cell::Num(report.overloaded as f64),
+            Cell::Num(report.deadline as f64),
+            Cell::Num(report.errors as f64),
+            Cell::Num(report.throughput_rps()),
+            Cell::Num(p("p50")),
+            Cell::Num(p("p95")),
+            Cell::Num(p("p99")),
+        ]);
+    }
+
+    let doc = serde_json::json!({
+        "experiment": "serve_load",
+        "config": {
+            "workers": (WORKERS as f64),
+            "queue_cap": (QUEUE_CAP as f64),
+            "admission_limit": (admission_limit as f64),
+            "requests_per_client": (REQUESTS_PER_CLIENT as f64),
+            "queries": (queries),
+        },
+        "regimes": {
+            "at_limit": (at_limit.to_json()),
+            "over_limit": (over_limit.to_json()),
+        },
+    });
+    (table, doc)
+}

@@ -93,6 +93,15 @@ impl Catalog {
     pub fn store_features(&self, video: &str, matrix: &[Vec<f64>]) -> Result<()> {
         self.video(video)?;
         let n_features = matrix.first().map(Vec::len).unwrap_or(0);
+        if let Some(t) = matrix.iter().position(|row| row.len() != n_features) {
+            return Err(CobraError::MissingMetadata {
+                video: video.to_string(),
+                what: format!(
+                    "ragged feature matrix: clip {t} has {} features, expected {n_features}",
+                    matrix[t].len()
+                ),
+            });
+        }
         for k in 0..n_features {
             let bat = Bat::from_tail(AtomType::Dbl, matrix.iter().map(|row| Atom::Dbl(row[k])))?;
             self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
@@ -252,6 +261,17 @@ mod tests {
         assert!(c.kernel().has_bat("german.f2"));
         let loaded = c.load_features("german", 2).unwrap();
         assert_eq!(loaded, matrix);
+    }
+
+    #[test]
+    fn ragged_feature_matrix_is_a_typed_error() {
+        let c = catalog();
+        let ragged = vec![vec![0.5, 0.6], vec![0.7]];
+        let err = c.store_features("german", &ragged).unwrap_err();
+        assert!(
+            matches!(&err, CobraError::MissingMetadata { what, .. } if what.contains("ragged")),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! JSON encoding of the public result types.
+//!
+//! The serving layer's wire protocol and the `STATS` command transmit
+//! exactly the structures the in-process API returns —
+//! [`QueryOutput`], [`IngestReport`], obs span trees — rather than a
+//! parallel set of string formats. Encoding lives here (as explicit
+//! `to_json`/`from_json` functions over the vendored `serde_json`
+//! [`Value`] tree) so the wire format is a reviewable, stable surface.
+
+use cobra_obs::SpanNode;
+use serde_json::{json, Value};
+
+use crate::query::RetrievedSegment;
+use crate::session::{IngestReport, MethodAttempt, MethodRank, QueryOutput, QueryProfile};
+
+/// Encodes one retrieved segment.
+pub fn segment_to_json(seg: &RetrievedSegment) -> Value {
+    json!({
+        "start": (seg.start as f64),
+        "end": (seg.end as f64),
+        "label": (seg.label.clone()),
+        "driver": (seg.driver.clone()),
+    })
+}
+
+/// Decodes a segment produced by [`segment_to_json`]. Returns `None`
+/// on shape mismatch — wire data is untrusted.
+pub fn segment_from_json(v: &Value) -> Option<RetrievedSegment> {
+    let driver = match v.get("driver")? {
+        Value::Null => None,
+        other => Some(other.as_str()?.to_string()),
+    };
+    Some(RetrievedSegment {
+        start: v.get("start")?.as_u64()? as usize,
+        end: v.get("end")?.as_u64()? as usize,
+        label: v.get("label")?.as_str()?.to_string(),
+        driver,
+    })
+}
+
+fn segments_to_json(segments: &[RetrievedSegment]) -> Value {
+    Value::Array(segments.iter().map(segment_to_json).collect())
+}
+
+/// Decodes a segment list.
+pub fn segments_from_json(v: &Value) -> Option<Vec<RetrievedSegment>> {
+    v.as_array()?.iter().map(segment_from_json).collect()
+}
+
+/// Encodes a query answer as a tagged object:
+/// `{"kind": "segments" | "profile" | "plan", ...}`.
+pub fn query_output_to_json(out: &QueryOutput) -> Value {
+    match out {
+        QueryOutput::Segments(segments) => json!({
+            "kind": "segments",
+            "segments": (segments_to_json(segments)),
+        }),
+        QueryOutput::Profile(QueryProfile { segments, span }) => json!({
+            "kind": "profile",
+            "segments": (segments_to_json(segments)),
+            "span": (span.to_json()),
+        }),
+        QueryOutput::Plan(span) => json!({
+            "kind": "plan",
+            "span": (span.to_json()),
+        }),
+    }
+}
+
+/// Decodes a [`query_output_to_json`] object back into a
+/// [`QueryOutput`]. Returns `None` on shape mismatch.
+pub fn query_output_from_json(v: &Value) -> Option<QueryOutput> {
+    match v.get("kind")?.as_str()? {
+        "segments" => Some(QueryOutput::Segments(segments_from_json(
+            v.get("segments")?,
+        )?)),
+        "profile" => Some(QueryOutput::Profile(QueryProfile {
+            segments: segments_from_json(v.get("segments")?)?,
+            span: SpanNode::from_json(v.get("span")?)?,
+        })),
+        "plan" => Some(QueryOutput::Plan(SpanNode::from_json(v.get("span")?)?)),
+        _ => None,
+    }
+}
+
+fn attempt_to_json(a: &MethodAttempt) -> Value {
+    json!({
+        "method": (a.method.clone()),
+        "tries": (a.tries as f64),
+        "error": (a.error.clone()),
+    })
+}
+
+fn rank_to_json(r: &MethodRank) -> Value {
+    json!({
+        "method": (r.method.clone()),
+        "score": (r.score),
+        "measured": (r.measured),
+        "failures": (r.failures as f64),
+    })
+}
+
+/// Encodes an ingest report, attempts and ranking included.
+pub fn ingest_report_to_json(report: &IngestReport) -> Value {
+    json!({
+        "n_clips": (report.n_clips as f64),
+        "n_keyword_spots": (report.n_keyword_spots as f64),
+        "n_captions": (report.n_captions as f64),
+        "extraction_method": (report.extraction_method.clone()),
+        "attempts": (Value::Array(report.attempts.iter().map(attempt_to_json).collect())),
+        "degraded": (report.degraded),
+        "ranking": (Value::Array(report.ranking.iter().map(rank_to_json).collect())),
+        "reranked": (report.reranked),
+        "rationale": (report.rationale.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_segments() -> Vec<RetrievedSegment> {
+        vec![
+            RetrievedSegment {
+                start: 10,
+                end: 25,
+                label: "highlight".into(),
+                driver: Some("schumacher".into()),
+            },
+            RetrievedSegment {
+                start: 40,
+                end: 41,
+                label: "pit_stop".into(),
+                driver: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn segments_round_trip() {
+        for output in [
+            QueryOutput::Segments(sample_segments()),
+            QueryOutput::Plan(
+                SpanNode::new("query")
+                    .with_meta("target", "Highlights")
+                    .with_child(SpanNode::new("conceptual:select_events")),
+            ),
+            QueryOutput::Profile(QueryProfile {
+                segments: sample_segments(),
+                span: SpanNode::leaf("query", 1234)
+                    .with_child(SpanNode::leaf("mil:eval", 900).with_meta("rows", "2")),
+            }),
+        ] {
+            let encoded = query_output_to_json(&output);
+            let reparsed = serde_json::from_str(&encoded.to_string()).expect("wire text parses");
+            let decoded = query_output_from_json(&reparsed).expect("decodes");
+            match (&output, &decoded) {
+                (QueryOutput::Segments(a), QueryOutput::Segments(b)) => assert_eq!(a, b),
+                (QueryOutput::Plan(a), QueryOutput::Plan(b)) => assert_eq!(a, b),
+                (QueryOutput::Profile(a), QueryOutput::Profile(b)) => {
+                    assert_eq!(a.segments, b.segments);
+                    assert_eq!(a.span, b.span);
+                }
+                _ => panic!("variant changed across round trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_wire_data_is_rejected_not_panicked() {
+        for bad in [
+            serde_json::json!({"kind": "segments"}),
+            serde_json::json!({"kind": "nonsense"}),
+            serde_json::json!({"segments": []}),
+            serde_json::from_str(r#"{"kind": "segments", "segments": [{"start": -1}]}"#)
+                .expect("valid JSON text"),
+            serde_json::Value::Null,
+        ] {
+            assert!(query_output_from_json(&bad).is_none(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn ingest_report_encodes_attempt_history() {
+        let report = IngestReport {
+            n_clips: 60,
+            n_keyword_spots: 3,
+            n_captions: 5,
+            extraction_method: "histogram".into(),
+            attempts: vec![MethodAttempt {
+                method: "optical_flow".into(),
+                tries: 2,
+                error: Some("fault at extract.flow".into()),
+            }],
+            degraded: true,
+            ranking: vec![MethodRank {
+                method: "optical_flow".into(),
+                score: 1.25,
+                measured: true,
+                failures: 2,
+            }],
+            reranked: false,
+            rationale: "static order".into(),
+        };
+        let v = ingest_report_to_json(&report);
+        assert_eq!(v.get("n_clips").and_then(Value::as_u64), Some(60));
+        assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(true));
+        let attempt = v.get("attempts").and_then(|a| a.idx(0)).expect("attempt");
+        assert_eq!(
+            attempt.get("method").and_then(Value::as_str),
+            Some("optical_flow")
+        );
+        let rank = v.get("ranking").and_then(|a| a.idx(0)).expect("rank");
+        assert_eq!(rank.get("failures").and_then(Value::as_u64), Some(2));
+    }
+}

@@ -21,13 +21,14 @@
 
 pub mod catalog;
 pub mod extensions;
+pub mod json;
 pub mod query;
 pub mod session;
 
 pub use catalog::Catalog;
 pub use extensions::{CostModel, CostStat, MethodRegistry};
 pub use query::{parse_query, parse_statement, Query, RetrievedSegment, Statement};
-pub use session::{IngestReport, MethodRank, QueryOutput, QueryProfile, Vdbms};
+pub use session::{IngestReport, MethodAttempt, MethodRank, QueryOutput, QueryProfile, Vdbms};
 
 /// Errors raised by the VDBMS layer.
 #[derive(Debug)]

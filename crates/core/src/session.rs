@@ -20,7 +20,7 @@ use f1_keyword::{keyword_feature, spot, AcousticModel, Grammar, PhonemeStream, S
 use f1_media::features::vector::{FeatureExtractor, VectorConfig, N_FEATURES};
 use f1_media::synth::scenario::{CaptionKind, EventKind, RaceScenario, Span};
 use f1_media::synth::video::VideoSynth;
-use f1_monet::Kernel;
+use f1_monet::{ExecBudget, Kernel};
 use f1_rules::{
     AllenRelation, Condition, Engine as RuleEngine, Fact, Interval, IntervalSpec, Rule,
     TemporalConstraint, Term, Value,
@@ -174,6 +174,14 @@ pub struct Vdbms {
     nets: NetStore,
     methods: MethodRegistry,
 }
+
+// The serving layer shares one `Vdbms` across worker threads behind an
+// `Arc`; losing `Send + Sync` (say, by adding an `Rc` or `RefCell`
+// field) must fail compilation here, not deadlock in production.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Vdbms>();
+};
 
 impl Default for Vdbms {
     fn default() -> Self {
@@ -718,16 +726,32 @@ impl Vdbms {
     /// Answers a §5.6 retrieval query over an annotated video.
     pub fn query(&self, video: &str, text: &str) -> Result<Vec<RetrievedSegment>> {
         let q = parse_query(text)?;
-        self.execute(video, &q)
+        self.execute(video, &q, &ExecBudget::unlimited())
     }
 
     /// Runs a full statement: `RETRIEVE …` answers, `PROFILE RETRIEVE …`
     /// answers with a measured span tree, `EXPLAIN RETRIEVE …` returns
     /// the plan shape without executing.
     pub fn run(&self, video: &str, text: &str) -> Result<QueryOutput> {
+        self.run_with_budget(video, text, &ExecBudget::unlimited())
+    }
+
+    /// [`run`](Self::run) under an execution budget: the kernel checks
+    /// `budget`'s fuel, deadline and cancellation token at MIL loop
+    /// back-edges, so a request-layer deadline actually interrupts a
+    /// slow query instead of merely being reported late. This is the
+    /// entry point the serving layer uses.
+    pub fn run_with_budget(
+        &self,
+        video: &str,
+        text: &str,
+        budget: &ExecBudget,
+    ) -> Result<QueryOutput> {
         match parse_statement(text)? {
-            Statement::Retrieve(q) => Ok(QueryOutput::Segments(self.execute(video, &q)?)),
-            Statement::Profile(q) => Ok(QueryOutput::Profile(self.profile(video, &q)?)),
+            Statement::Retrieve(q) => Ok(QueryOutput::Segments(self.execute(video, &q, budget)?)),
+            Statement::Profile(q) => {
+                Ok(QueryOutput::Profile(self.profile_with(video, &q, budget)?))
+            }
             Statement::Explain(q) => Ok(QueryOutput::Plan(self.explain(&q))),
         }
     }
@@ -736,11 +760,15 @@ impl Vdbms {
     /// of where time went: conceptual target mapping, Moa compilation,
     /// MIL evaluation, and the kernel operators underneath.
     pub fn profile(&self, video: &str, q: &Query) -> Result<QueryProfile> {
+        self.profile_with(video, q, &ExecBudget::unlimited())
+    }
+
+    fn profile_with(&self, video: &str, q: &Query, budget: &ExecBudget) -> Result<QueryProfile> {
         let mut timer = SpanTimer::start("query");
         timer.meta("target", format!("{:?}", q.target));
         timer.meta("video", video);
         let mut children = Vec::new();
-        let segments = self.execute_traced(video, q, Some(&mut children))?;
+        let segments = self.execute_traced(video, q, Some(&mut children), budget)?;
         for c in children {
             timer.child(c);
         }
@@ -776,8 +804,13 @@ impl Vdbms {
         root
     }
 
-    fn execute(&self, video: &str, q: &Query) -> Result<Vec<RetrievedSegment>> {
-        self.execute_traced(video, q, None)
+    fn execute(
+        &self,
+        video: &str,
+        q: &Query,
+        budget: &ExecBudget,
+    ) -> Result<Vec<RetrievedSegment>> {
+        self.execute_traced(video, q, None, budget)
     }
 
     fn execute_traced(
@@ -785,9 +818,10 @@ impl Vdbms {
         video: &str,
         q: &Query,
         mut spans: Option<&mut Vec<SpanNode>>,
+        budget: &ExecBudget,
     ) -> Result<Vec<RetrievedSegment>> {
         let mut out: Vec<RetrievedSegment> = if let Some(kind) = event_kind(&q.target) {
-            self.select_events(video, kind, spans.as_deref_mut())?
+            self.select_events(video, kind, spans.as_deref_mut(), budget)?
         } else {
             match &q.target {
                 Target::Leader => {
@@ -876,6 +910,7 @@ impl Vdbms {
         video: &str,
         kind: &str,
         spans: Option<&mut Vec<SpanNode>>,
+        budget: &ExecBudget,
     ) -> Result<Vec<RetrievedSegment>> {
         self.catalog.video(video)?;
         let mut node = SpanTimer::start("conceptual:select_events");
@@ -908,7 +943,7 @@ impl Vdbms {
         let mut columns = Vec::new();
         for col in ["start", "end", "driver"] {
             let program = format!("RETURN (({sel_mil}).mirror).join(bat(\"{video}.ev.{col}\"));");
-            columns.push(self.kernel.eval_mil(&program)?);
+            columns.push(self.kernel.eval_mil_guarded(&program, budget)?);
         }
         let mil_ns = t.elapsed().as_nanos() as u64;
         let delta = self.kernel.metrics().registry().snapshot().delta(&before);

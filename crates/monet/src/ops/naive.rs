@@ -149,8 +149,16 @@ pub fn aggregate(b: &Bat, kind: Aggregate) -> Result<Atom> {
         return Err(MonetError::EmptyBat(format!("{kind:?}").to_lowercase()));
     }
     match kind {
-        Aggregate::Min => Ok(b.tail().iter().min().expect("non-empty")),
-        Aggregate::Max => Ok(b.tail().iter().max().expect("non-empty")),
+        Aggregate::Min => b
+            .tail()
+            .iter()
+            .min()
+            .ok_or_else(|| MonetError::EmptyBat("min".into())),
+        Aggregate::Max => b
+            .tail()
+            .iter()
+            .max()
+            .ok_or_else(|| MonetError::EmptyBat("max".into())),
         Aggregate::Sum | Aggregate::Avg => {
             let mut sum = 0.0f64;
             let mut all_int = true;

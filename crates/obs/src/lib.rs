@@ -656,6 +656,33 @@ impl SpanNode {
         })
     }
 
+    /// Decodes a tree produced by [`to_json`](Self::to_json). Meta keys
+    /// come back sorted (JSON objects are ordered maps here); timings
+    /// and structure round-trip exactly. Returns `None` on shape
+    /// mismatch — wire data is untrusted.
+    pub fn from_json(v: &serde_json::Value) -> Option<SpanNode> {
+        let name = v.get("name")?.as_str()?.to_string();
+        let elapsed_ns = v.get("elapsed_ns")?.as_u64()?;
+        let meta = v
+            .get("meta")?
+            .as_object()?
+            .iter()
+            .map(|(k, val)| Some((k.clone(), val.as_str()?.to_string())))
+            .collect::<Option<Vec<_>>>()?;
+        let children = v
+            .get("children")?
+            .as_array()?
+            .iter()
+            .map(SpanNode::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(SpanNode {
+            name,
+            elapsed_ns,
+            meta,
+            children,
+        })
+    }
+
     /// Depth-first search for the first node with the given name.
     pub fn find(&self, name: &str) -> Option<&SpanNode> {
         if self.name == name {

@@ -1,0 +1,117 @@
+//! Command-line client for a running cobra-serve.
+//!
+//! ```text
+//! cobra-cli [--addr 127.0.0.1:7477] ping
+//! cobra-cli [--addr ...] videos
+//! cobra-cli [--addr ...] stats
+//! cobra-cli [--addr ...] query [--deadline-ms N] [--fuel N] VIDEO TEXT...
+//! ```
+//!
+//! The query TEXT is the retrieval language verbatim, `PROFILE` and
+//! `EXPLAIN` prefixes included; remaining words are joined, so quoting
+//! the statement is optional:
+//!
+//! ```text
+//! cobra-cli query german RETRIEVE HIGHLIGHTS WITH DRIVER schumacher
+//! cobra-cli query german PROFILE RETRIEVE PITSTOPS
+//! ```
+
+use cobra_serve::client::{Client, QueryReply, RequestOpts};
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("cobra-cli: {msg}");
+    std::process::exit(1)
+}
+
+const USAGE: &str = "usage: cobra-cli [--addr HOST:PORT] \
+                     (ping | videos | stats | query [--deadline-ms N] [--fuel N] VIDEO TEXT...)";
+
+fn main() {
+    let mut addr = "127.0.0.1:7477".to_string();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            fail("--addr needs a value");
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        fail(USAGE);
+    };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => fail(format!("cannot connect to {addr}: {e}")),
+    };
+
+    match command.as_str() {
+        "ping" => match client.ping() {
+            Ok(()) => println!("pong"),
+            Err(e) => fail(e),
+        },
+        "videos" => match client.videos() {
+            Ok(names) => {
+                for name in names {
+                    println!("{name}");
+                }
+            }
+            Err(e) => fail(e),
+        },
+        "stats" => match client.stats() {
+            Ok(snapshot) => println!("{snapshot}"),
+            Err(e) => fail(e),
+        },
+        "query" => {
+            let mut opts = RequestOpts::default();
+            let mut rest = &args[1..];
+            loop {
+                match rest.first().map(String::as_str) {
+                    Some("--deadline-ms") => {
+                        let v = rest
+                            .get(1)
+                            .unwrap_or_else(|| fail("--deadline-ms needs a value"));
+                        opts.deadline_ms = Some(v.parse().unwrap_or_else(|e| fail(e)));
+                        rest = &rest[2..];
+                    }
+                    Some("--fuel") => {
+                        let v = rest.get(1).unwrap_or_else(|| fail("--fuel needs a value"));
+                        opts.fuel = Some(v.parse().unwrap_or_else(|e| fail(e)));
+                        rest = &rest[2..];
+                    }
+                    _ => break,
+                }
+            }
+            if rest.len() < 2 {
+                fail(USAGE);
+            }
+            let video = &rest[0];
+            let text = rest[1..].join(" ");
+            match client.query_opts(video, &text, opts) {
+                Ok(QueryReply::Segments(segments)) => print_segments(&segments),
+                Ok(QueryReply::Profile { segments, span }) => {
+                    print_segments(&segments);
+                    println!("--- profile ---");
+                    print!("{}", span.render());
+                }
+                Ok(QueryReply::Plan(span)) => print!("{}", span.render()),
+                Err(e) => fail(e),
+            }
+        }
+        other => fail(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+fn print_segments(segments: &[f1_cobra::RetrievedSegment]) {
+    if segments.is_empty() {
+        println!("(no segments)");
+        return;
+    }
+    for seg in segments {
+        let driver = seg.driver.as_deref().unwrap_or("-");
+        println!(
+            "{:>6} ..{:>6}  {:<12} {driver}",
+            seg.start, seg.end, seg.label
+        );
+    }
+}

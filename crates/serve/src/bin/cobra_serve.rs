@@ -1,0 +1,128 @@
+//! The cobra-serve daemon.
+//!
+//! ```text
+//! cobra-serve [--addr 127.0.0.1:7477] [--workers 8] [--queue-cap 32]
+//!             [--demo SECONDS] [--debug]
+//! ```
+//!
+//! `--demo N` synthesizes an N-second German-profile broadcast and runs
+//! the full ingest → train → annotate pipeline on it before listening,
+//! so a fresh checkout has a queryable video named `german` without any
+//! external data. `--debug` enables the `sleep` test command.
+//!
+//! The process serves until it receives a `quit` line on stdin (CI and
+//! scripts use this for a graceful, draining shutdown) or is killed.
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use cobra_serve::server::{start, ServerConfig};
+use f1_cobra::Vdbms;
+use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig, Span};
+use f1_media::time::clips_per_second;
+
+fn parse_args() -> Result<(ServerConfig, Option<usize>), String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7477".into(),
+        ..ServerConfig::default()
+    };
+    let mut demo = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => config.addr = take("--addr")?,
+            "--workers" => {
+                config.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-cap" => {
+                config.queue_cap = take("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--demo" => {
+                demo = Some(
+                    take("--demo")?
+                        .parse()
+                        .map_err(|e| format!("--demo: {e}"))?,
+                )
+            }
+            "--debug" => config.debug = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok((config, demo))
+}
+
+/// §5.5-style training windows clipped to the broadcast.
+fn training_windows(scenario: &RaceScenario) -> Vec<Span> {
+    let cps = clips_per_second();
+    (0..6)
+        .map(|k| k * 25 * cps)
+        .take_while(|&start| start < scenario.n_clips)
+        .map(|start| Span::new(start, (start + 50 * cps).min(scenario.n_clips)))
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+fn prepare_demo(vdbms: &Vdbms, seconds: usize) -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("demo: synthesizing a {seconds}s German-profile broadcast");
+    let scenario = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, seconds));
+    let report = vdbms.ingest("german", &scenario)?;
+    eprintln!(
+        "demo: ingested {} clips ({} captions, {} keyword spots) via '{}'",
+        report.n_clips, report.n_captions, report.n_keyword_spots, report.extraction_method
+    );
+    vdbms.train_highlight_net("german", &scenario, &training_windows(&scenario), true)?;
+    let ann = vdbms.annotate("german")?;
+    eprintln!(
+        "demo: annotated — {} highlights, {} excited-speech segments",
+        ann.n_highlights, ann.n_excited
+    );
+    Ok(())
+}
+
+fn main() {
+    let (config, demo) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("cobra-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let vdbms = Arc::new(Vdbms::new());
+    if let Some(seconds) = demo {
+        if let Err(e) = prepare_demo(&vdbms, seconds) {
+            eprintln!("cobra-serve: demo setup failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let handle = match start(vdbms, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cobra-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The readiness line scripts wait for; stdout, flushed by newline.
+    println!("listening on {}", handle.addr());
+
+    for line in std::io::stdin().lock().lines() {
+        match line {
+            Ok(cmd) if matches!(cmd.trim(), "quit" | "shutdown") => {
+                eprintln!("cobra-serve: draining and shutting down");
+                handle.shutdown();
+                return;
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    // Stdin closed without a quit command (e.g. launched with
+    // stdin < /dev/null): serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,248 @@
+//! Blocking client for the cobra-serve protocol.
+//!
+//! One [`Client`] wraps one TCP session. Requests are sent with
+//! monotonically increasing ids and answers are matched by id, so a
+//! caller can interleave commands freely; this client keeps at most one
+//! request outstanding per call, while the raw
+//! [`send`](Client::send)/[`recv`](Client::recv) pair is exposed for
+//! tests (and load generators) that want pipelining or mid-request
+//! disconnects.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use cobra_obs::SpanNode;
+use f1_cobra::RetrievedSegment;
+use serde_json::{json, Value};
+
+use crate::protocol::{read_frame, write_frame, ErrorKind, FrameError};
+
+/// What went wrong client-side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed or the frame was malformed.
+    Transport(FrameError),
+    /// The server answered, but not in the shape this client expects.
+    Protocol(String),
+    /// The server answered with a typed error.
+    Server {
+        /// The typed category ([`ErrorKind::Overloaded`], …).
+        kind: ErrorKind,
+        /// The server's human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Server { kind, message } => write!(f, "server [{kind}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl ClientError {
+    /// The typed server error category, when this is a server error.
+    pub fn server_kind(&self) -> Option<ErrorKind> {
+        match self {
+            ClientError::Server { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+/// Per-request execution limits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOpts {
+    /// Wall-clock deadline; the server cancels the query when it lapses
+    /// (queue wait included) and answers `deadline`.
+    pub deadline_ms: Option<u64>,
+    /// Fuel (kernel step) allowance; exhaustion answers `budget_exhausted`.
+    pub fuel: Option<u64>,
+}
+
+/// A decoded query answer.
+#[derive(Debug, Clone)]
+pub enum QueryReply {
+    /// Plain `RETRIEVE` segments.
+    Segments(Vec<RetrievedSegment>),
+    /// `PROFILE RETRIEVE`: segments plus the measured span tree.
+    Profile {
+        /// The retrieved segments.
+        segments: Vec<RetrievedSegment>,
+        /// Where time went.
+        span: SpanNode,
+    },
+    /// `EXPLAIN RETRIEVE`: the plan shape.
+    Plan(SpanNode),
+}
+
+/// A blocking protocol session.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Bounds how long [`recv`](Self::recv) blocks; `None` blocks
+    /// indefinitely.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends a raw request object, assigning and returning its id.
+    pub fn send(&mut self, mut request: Value) -> Result<u64, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        if let Value::Object(map) = &mut request {
+            map.insert("id".into(), Value::Number(id as f64));
+        }
+        write_frame(&mut self.stream, &request)?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame, whatever its id.
+    pub fn recv(&mut self) -> Result<Value, ClientError> {
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// Sends `request` and blocks for its answer, unwrapping the typed
+    /// error envelope. Responses are matched by id; with one request
+    /// outstanding the next frame is always ours.
+    fn call(&mut self, request: Value) -> Result<Value, ClientError> {
+        let id = self.send(request)?;
+        loop {
+            let response = self.recv()?;
+            if response.get("id").and_then(Value::as_u64) != Some(id) {
+                continue; // stale answer from an abandoned request
+            }
+            return unwrap_response(&response);
+        }
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(json!({"cmd": "ping"})).map(|_| ())
+    }
+
+    /// Names of the videos in the server's catalog.
+    pub fn videos(&mut self) -> Result<Vec<String>, ClientError> {
+        let result = self.call(json!({"cmd": "videos"}))?;
+        let names = result
+            .get("videos")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'videos' array".into()))?;
+        names
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ClientError::Protocol("non-string video name".into()))
+            })
+            .collect()
+    }
+
+    /// The server's metrics registry snapshot, as JSON.
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        let result = self.call(json!({"cmd": "stats"}))?;
+        result
+            .get("snapshot")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("missing 'snapshot'".into()))
+    }
+
+    /// Runs a retrieval statement with no limits.
+    pub fn query(&mut self, video: &str, text: &str) -> Result<QueryReply, ClientError> {
+        self.query_opts(video, text, RequestOpts::default())
+    }
+
+    /// Runs a retrieval statement under per-request limits.
+    pub fn query_opts(
+        &mut self,
+        video: &str,
+        text: &str,
+        opts: RequestOpts,
+    ) -> Result<QueryReply, ClientError> {
+        let mut request = json!({"cmd": "query", "video": (video), "text": (text)});
+        if let Value::Object(map) = &mut request {
+            if let Some(ms) = opts.deadline_ms {
+                map.insert("deadline_ms".into(), Value::Number(ms as f64));
+            }
+            if let Some(fuel) = opts.fuel {
+                map.insert("fuel".into(), Value::Number(fuel as f64));
+            }
+        }
+        let result = self.call(request)?;
+        decode_reply(&result)
+    }
+
+    /// Debug command (server must run with `debug`): occupy a worker
+    /// for `ms` milliseconds under the request's budget.
+    pub fn sleep_ms(&mut self, ms: u64, opts: RequestOpts) -> Result<(), ClientError> {
+        let mut request = json!({"cmd": "sleep", "ms": (ms as f64)});
+        if let Value::Object(map) = &mut request {
+            if let Some(d) = opts.deadline_ms {
+                map.insert("deadline_ms".into(), Value::Number(d as f64));
+            }
+            if let Some(fuel) = opts.fuel {
+                map.insert("fuel".into(), Value::Number(fuel as f64));
+            }
+        }
+        self.call(request).map(|_| ())
+    }
+}
+
+/// Splits the `{ok, result | error}` envelope into `Ok(result)` or a
+/// typed [`ClientError::Server`].
+pub fn unwrap_response(response: &Value) -> Result<Value, ClientError> {
+    match response.get("ok").and_then(Value::as_bool) {
+        Some(true) => response
+            .get("result")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("ok response without 'result'".into())),
+        Some(false) => {
+            let error = response
+                .get("error")
+                .ok_or_else(|| ClientError::Protocol("error response without 'error'".into()))?;
+            Err(ClientError::Server {
+                kind: ErrorKind::parse(error.get("kind").and_then(Value::as_str).unwrap_or("")),
+                message: error
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            })
+        }
+        None => Err(ClientError::Protocol("response without 'ok'".into())),
+    }
+}
+
+fn decode_reply(result: &Value) -> Result<QueryReply, ClientError> {
+    let shape_err = || ClientError::Protocol(format!("unexpected query result: {result}"));
+    match f1_cobra::json::query_output_from_json(result) {
+        Some(f1_cobra::QueryOutput::Segments(segments)) => Ok(QueryReply::Segments(segments)),
+        Some(f1_cobra::QueryOutput::Profile(p)) => Ok(QueryReply::Profile {
+            segments: p.segments,
+            span: p.span,
+        }),
+        Some(f1_cobra::QueryOutput::Plan(span)) => Ok(QueryReply::Plan(span)),
+        None => Err(shape_err()),
+    }
+}

@@ -1,0 +1,41 @@
+//! # cobra-serve — the concurrent query service
+//!
+//! The paper presents Cobra through an interactive query interface; the
+//! ROADMAP's north star is that interface serving heavy traffic. This
+//! crate is the serving layer over an in-process [`Vdbms`]: a TCP
+//! service speaking a length-prefixed JSON protocol ([`protocol`]),
+//! scheduling queries on a bounded worker pool with admission control
+//! ([`scheduler`]), translating per-request deadlines into kernel
+//! [`ExecBudget`]s, cancelling work whose client disconnected, and
+//! draining in-flight queries on shutdown ([`server`]).
+//!
+//! The same crate ships the blocking [`client`] library (used by the
+//! `cobra-cli` binary and the integration tests) and the closed-loop
+//! [`load`] generator behind `experiments serve`.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use cobra_serve::server::{start, ServerConfig};
+//!
+//! let vdbms = Arc::new(f1_cobra::Vdbms::new());
+//! let handle = start(vdbms, ServerConfig::default()).unwrap();
+//! let mut client = cobra_serve::client::Client::connect(handle.addr()).unwrap();
+//! client.ping().unwrap();
+//! let reply = client.query("german", "RETRIEVE HIGHLIGHTS");
+//! handle.shutdown();
+//! # let _ = reply;
+//! ```
+//!
+//! [`Vdbms`]: f1_cobra::Vdbms
+//! [`ExecBudget`]: f1_monet::ExecBudget
+
+pub mod client;
+pub mod load;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{Client, ClientError, QueryReply, RequestOpts};
+pub use protocol::ErrorKind;
+pub use scheduler::{SubmitError, WorkerPool};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,175 @@
+//! Closed-loop load generator for the serve experiment.
+//!
+//! `clients` threads each open one session and issue
+//! `requests_per_client` queries back to back, cycling through a query
+//! mix. Latency is recorded per successful request (exact percentiles
+//! from the sorted vector — no histogram bucketing error in the
+//! report); rejections are counted by type. An `overloaded` answer is
+//! followed by a 1 ms backoff, which is the cooperative reaction the
+//! admission-control contract asks of clients.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde_json::{json, Value};
+
+use crate::client::{Client, ClientError, RequestOpts};
+use crate::protocol::ErrorKind;
+
+/// Shape of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// The catalog video every query targets.
+    pub video: String,
+    /// Statements cycled per request (client k starts at offset k).
+    pub queries: Vec<String>,
+    /// Optional per-request deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Clients that ran.
+    pub clients: usize,
+    /// Requests issued.
+    pub total: usize,
+    /// Successful answers.
+    pub ok: usize,
+    /// Typed `overloaded` rejections.
+    pub overloaded: usize,
+    /// Typed `deadline` cancellations.
+    pub deadline: usize,
+    /// Anything else (transport failures, internal errors) — the load
+    /// acceptance criterion requires this to be zero.
+    pub errors: usize,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Sorted per-request latencies of successful answers, microseconds.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    fn percentile(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
+        self.latencies_us[rank]
+    }
+
+    /// Successful requests per second over the run.
+    pub fn throughput_rps(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The regime object `BENCH_serve.json` stores.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "clients": (self.clients as f64),
+            "total": (self.total as f64),
+            "ok": (self.ok as f64),
+            "overloaded": (self.overloaded as f64),
+            "deadline": (self.deadline as f64),
+            "errors": (self.errors as f64),
+            "elapsed_s": (self.elapsed.as_secs_f64()),
+            "throughput_rps": (self.throughput_rps()),
+            "latency_us": {
+                "p50": (self.percentile(0.50) as f64),
+                "p95": (self.percentile(0.95) as f64),
+                "p99": (self.percentile(0.99) as f64),
+            },
+        })
+    }
+}
+
+/// Runs the closed loop against `addr` and aggregates the outcome.
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    let ok = Arc::new(AtomicUsize::new(0));
+    let overloaded = Arc::new(AtomicUsize::new(0));
+    let deadline = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..config.clients)
+        .map(|k| {
+            let config = config.clone();
+            let (ok, overloaded, deadline, errors, latencies) = (
+                Arc::clone(&ok),
+                Arc::clone(&overloaded),
+                Arc::clone(&deadline),
+                Arc::clone(&errors),
+                Arc::clone(&latencies),
+            );
+            std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    errors.fetch_add(config.requests_per_client, Ordering::Relaxed);
+                    return;
+                };
+                let mut mine = Vec::with_capacity(config.requests_per_client);
+                for i in 0..config.requests_per_client {
+                    let text = &config.queries[(k + i) % config.queries.len()];
+                    let opts = RequestOpts {
+                        deadline_ms: config.deadline_ms,
+                        fuel: None,
+                    };
+                    let t = Instant::now();
+                    match client.query_opts(&config.video, text, opts) {
+                        Ok(_) => {
+                            mine.push(t.elapsed().as_micros() as u64);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => match e.server_kind() {
+                            Some(ErrorKind::Overloaded) => {
+                                overloaded.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Some(ErrorKind::Deadline) => {
+                                deadline.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                    }
+                }
+                latencies.lock().expect("latency vec").extend(mine);
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    let elapsed = started.elapsed();
+
+    let mut latencies_us = std::mem::take(&mut *latencies.lock().expect("latency vec"));
+    latencies_us.sort_unstable();
+    LoadReport {
+        clients: config.clients,
+        total: config.clients * config.requests_per_client,
+        ok: ok.load(Ordering::Relaxed),
+        overloaded: overloaded.load(Ordering::Relaxed),
+        deadline: deadline.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed,
+        latencies_us,
+    }
+}
+
+/// Handles `ClientError` classification for callers that use the raw
+/// API (kept next to [`run`] so the mapping stays in one place).
+pub fn classify_client_error(e: &ClientError) -> &'static str {
+    match e.server_kind() {
+        Some(ErrorKind::Overloaded) => "overloaded",
+        Some(ErrorKind::Deadline) => "deadline",
+        Some(_) => "server_error",
+        None => "transport",
+    }
+}

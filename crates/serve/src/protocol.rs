@@ -1,0 +1,236 @@
+//! Wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian length followed by that many
+//! bytes of UTF-8 JSON. Requests carry a client-chosen `id` echoed in
+//! the response, so a session can pipeline requests and match answers
+//! out of order:
+//!
+//! ```json
+//! {"id": 1, "cmd": "query", "video": "german", "text": "RETRIEVE HIGHLIGHTS",
+//!  "deadline_ms": 2000, "fuel": 5000000}
+//! {"id": 1, "ok": true, "result": {"kind": "segments", "segments": [...]}}
+//! {"id": 2, "ok": false, "error": {"kind": "overloaded", "message": "..."}}
+//! ```
+//!
+//! Commands: `query`, `stats` (registry snapshot), `videos`, `ping`,
+//! and — only when the server runs with `debug` — `sleep`, a budgeted
+//! busy-wait the overload and deadline tests use as a deterministic
+//! slow query.
+
+use std::io::{Read, Write};
+
+use serde_json::{json, Value};
+
+/// Frames larger than this are a protocol error: the answer to a §5.6
+/// retrieval is small, so an over-long frame means a confused or
+/// hostile peer, and reading it would let one connection balloon
+/// server memory.
+pub const MAX_FRAME_LEN: usize = 4 << 20;
+
+/// A protocol-level failure while reading or writing frames.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (includes clean EOF).
+    Io(std::io::Error),
+    /// The peer announced a frame longer than [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// The payload was not valid JSON.
+    Json(serde_json::ParseError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport: {e}"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::Json(e) => write!(f, "payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: length prefix plus serialized JSON.
+pub fn write_frame(w: &mut impl Write, v: &Value) -> Result<(), FrameError> {
+    let payload = v.to_string();
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(bytes.len()));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. An `Err(FrameError::Io)` with kind `UnexpectedEof`
+/// before any prefix byte means the peer closed cleanly.
+pub fn read_frame(r: &mut impl Read) -> Result<Value, FrameError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    serde_json::from_slice(&payload).map_err(FrameError::Json)
+}
+
+/// Typed error categories of the wire protocol. The client surfaces
+/// these verbatim, so overload and deadline handling are part of the
+/// contract, not string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Admission control rejected the request: the worker queue is full.
+    Overloaded,
+    /// The request's deadline passed before the query finished.
+    Deadline,
+    /// The request was cancelled (client disconnect, server shutdown
+    /// mid-query).
+    Cancelled,
+    /// The request's fuel allowance ran out.
+    BudgetExhausted,
+    /// The server is shutting down and admits no new work.
+    ShuttingDown,
+    /// The retrieval text failed to parse.
+    Parse,
+    /// The named video is not in the catalog.
+    UnknownVideo,
+    /// The request frame was structurally invalid.
+    BadRequest,
+    /// Anything else that went wrong server-side.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::BudgetExhausted => "budget_exhausted",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Parse => "parse",
+            ErrorKind::UnknownVideo => "unknown_video",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str); unknown names decode as
+    /// `Internal` so an old client still classifies a new server error.
+    pub fn parse(s: &str) -> ErrorKind {
+        match s {
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline" => ErrorKind::Deadline,
+            "cancelled" => ErrorKind::Cancelled,
+            "budget_exhausted" => ErrorKind::BudgetExhausted,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "parse" => ErrorKind::Parse,
+            "unknown_video" => ErrorKind::UnknownVideo,
+            "bad_request" => ErrorKind::BadRequest,
+            _ => ErrorKind::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Builds a success response for request `id`.
+pub fn ok_response(id: u64, result: Value) -> Value {
+    json!({
+        "id": (id as f64),
+        "ok": true,
+        "result": (result),
+    })
+}
+
+/// Builds an error response for request `id`.
+pub fn err_response(id: u64, kind: ErrorKind, message: impl Into<String>) -> Value {
+    json!({
+        "id": (id as f64),
+        "ok": false,
+        "error": {
+            "kind": (kind.as_str()),
+            "message": (message.into()),
+        },
+    })
+}
+
+/// Maps a query-layer error onto the wire's typed categories.
+pub fn classify(err: &f1_cobra::CobraError) -> ErrorKind {
+    use f1_cobra::CobraError;
+    use f1_monet::MonetError;
+    match err {
+        CobraError::Parse(_) => ErrorKind::Parse,
+        CobraError::UnknownVideo(_) => ErrorKind::UnknownVideo,
+        CobraError::Kernel(MonetError::Deadline) => ErrorKind::Deadline,
+        CobraError::Kernel(MonetError::Interrupted) => ErrorKind::Cancelled,
+        CobraError::Kernel(MonetError::BudgetExhausted { .. }) => ErrorKind::BudgetExhausted,
+        _ => ErrorKind::Internal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let v = json!({"id": 7, "cmd": "query", "text": "RETRIEVE HIGHLIGHTS"});
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_io() {
+        assert!(matches!(
+            read_frame(&mut [].as_slice()),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn error_kinds_round_trip_their_wire_names() {
+        for kind in [
+            ErrorKind::Overloaded,
+            ErrorKind::Deadline,
+            ErrorKind::Cancelled,
+            ErrorKind::BudgetExhausted,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Parse,
+            ErrorKind::UnknownVideo,
+            ErrorKind::BadRequest,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::parse(kind.as_str()), kind);
+        }
+        assert_eq!(ErrorKind::parse("future_kind"), ErrorKind::Internal);
+    }
+}

@@ -1,0 +1,487 @@
+//! The TCP query service.
+//!
+//! One accept thread hands each connection to its own session thread; a
+//! session thread reads frames, answers cheap control commands inline
+//! (`ping`, `stats`, `videos`) and submits queries to the shared
+//! [`WorkerPool`](crate::scheduler::WorkerPool). Responses flow through
+//! a per-session writer thread, so a worker finishing a query never
+//! blocks on a slow client socket and pipelined answers can return out
+//! of order.
+//!
+//! Guard rails, all typed on the wire:
+//! * **Admission control** — a full queue answers `overloaded` at once.
+//! * **Deadlines** — `deadline_ms` becomes an [`ExecBudget`] deadline;
+//!   the kernel interrupts the query mid-MIL and the client gets
+//!   `deadline`. Time spent waiting in the queue counts.
+//! * **Disconnect cancellation** — when a client's socket closes, every
+//!   query it still has in flight is cancelled through its budget token.
+//! * **Graceful shutdown** — admitted queries drain, new ones are
+//!   refused with `shutting_down`, then sessions and workers join.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cobra_faults::CancellationToken;
+use cobra_obs::Registry;
+use f1_cobra::Vdbms;
+use f1_monet::{ExecBudget, MonetError};
+use serde_json::{json, Value};
+
+use crate::protocol::{err_response, ok_response, write_frame, ErrorKind, FrameError};
+use crate::scheduler::{SubmitError, WorkerPool};
+
+/// How the server is sized and where it listens.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the handle reports it).
+    pub addr: String,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Jobs allowed to wait behind the workers before admission control
+    /// starts rejecting. Admission limit = `workers + queue_cap`.
+    pub queue_cap: usize,
+    /// Enables the `sleep` debug command (deterministic slow queries
+    /// for overload and deadline tests). Off in production.
+    pub debug: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            queue_cap: 32,
+            debug: false,
+        }
+    }
+}
+
+struct ServerShared {
+    vdbms: Arc<Vdbms>,
+    pool: WorkerPool,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn registry(&self) -> &Arc<Registry> {
+        self.vdbms.kernel().metrics().registry()
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) leaves the server running detached.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when the config said 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The configured admission limit (`workers + queue_cap`).
+    pub fn admission_limit(&self) -> usize {
+        self.shared.pool.admission_limit()
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new queries, drain
+    /// admitted ones, join every session and worker thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.pool.shutdown();
+        let sessions = std::mem::take(&mut *self.shared.sessions.lock().expect("session list"));
+        for s in sessions {
+            let _ = s.join();
+        }
+    }
+}
+
+/// Binds and starts serving `vdbms` per `config`.
+pub fn start(vdbms: Arc<Vdbms>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let pool = WorkerPool::new(
+        config.workers,
+        config.queue_cap,
+        vdbms.kernel().metrics().registry(),
+    );
+    let shared = Arc::new(ServerShared {
+        vdbms,
+        pool,
+        config,
+        shutting_down: AtomicBool::new(false),
+        sessions: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("cobra-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.registry().counter("serve.connections", &[]).inc();
+        let session_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("cobra-serve-session".into())
+            .spawn(move || session_loop(stream, &session_shared));
+        if let Ok(handle) = handle {
+            shared.sessions.lock().expect("session list").push(handle);
+        }
+    }
+}
+
+/// Reads `buf.len()` bytes, tolerating read timeouts so the loop can
+/// observe the shutdown flag. Returns `Ok(false)` on clean EOF or when
+/// `stop` fires (a partial frame abandoned at shutdown was never
+/// admitted, so nothing is lost).
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: impl Fn() -> bool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop() {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Per-request state a session tracks while the query is in the pool:
+/// cancelling the token interrupts the running query via its budget.
+type Inflight = Arc<Mutex<HashMap<u64, CancellationToken>>>;
+
+fn session_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<Value>();
+    let writer = std::thread::Builder::new()
+        .name("cobra-serve-writer".into())
+        .spawn(move || {
+            while let Ok(v) = rx.recv() {
+                if write_frame(&mut write_half, &v).is_err() {
+                    // Keep draining so senders never see a full pipe;
+                    // the session notices the dead socket on read.
+                    for _ in rx.iter() {}
+                    return;
+                }
+            }
+        });
+    let Ok(writer) = writer else { return };
+
+    let inflight: Inflight = Arc::new(Mutex::new(HashMap::new()));
+    loop {
+        let stop = || shared.shutting_down.load(Ordering::SeqCst);
+        let mut prefix = [0u8; 4];
+        match read_exact_interruptible(&mut stream, &mut prefix, stop) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+        let len = u32::from_be_bytes(prefix) as usize;
+        if len > crate::protocol::MAX_FRAME_LEN {
+            let _ = tx.send(err_response(
+                0,
+                ErrorKind::BadRequest,
+                FrameError::Oversized(len).to_string(),
+            ));
+            break; // the stream is beyond resync
+        }
+        let mut payload = vec![0u8; len];
+        match read_exact_interruptible(&mut stream, &mut payload, stop) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+        match serde_json::from_slice(&payload) {
+            Ok(request) => handle_request(shared, &request, &tx, &inflight),
+            Err(e) => {
+                let _ = tx.send(err_response(0, ErrorKind::BadRequest, e.to_string()));
+            }
+        }
+    }
+
+    // Client gone (or shutdown): interrupt whatever it still has running.
+    let orphaned = std::mem::take(&mut *inflight.lock().expect("inflight map"));
+    if !orphaned.is_empty() {
+        shared
+            .registry()
+            .counter("serve.cancelled_disconnect", &[])
+            .add(orphaned.len() as u64);
+        for token in orphaned.into_values() {
+            token.cancel();
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn handle_request(
+    shared: &Arc<ServerShared>,
+    request: &Value,
+    tx: &Sender<Value>,
+    inflight: &Inflight,
+) {
+    let id = request.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
+        let _ = tx.send(err_response(id, ErrorKind::BadRequest, "missing 'cmd'"));
+        return;
+    };
+    let registry = shared.registry();
+    registry.counter("serve.requests", &[("cmd", cmd)]).inc();
+    match cmd {
+        "ping" => {
+            let _ = tx.send(ok_response(id, json!({"kind": "pong"})));
+        }
+        "stats" => {
+            let snapshot = registry.snapshot().to_json();
+            let _ = tx.send(ok_response(
+                id,
+                json!({"kind": "stats", "snapshot": (snapshot)}),
+            ));
+        }
+        "videos" => {
+            let names = shared.vdbms.catalog.videos();
+            let _ = tx.send(ok_response(
+                id,
+                json!({"kind": "videos", "videos": (names)}),
+            ));
+        }
+        "query" => submit_query(shared, id, request, tx, inflight),
+        "sleep" if shared.config.debug => submit_sleep(shared, id, request, tx, inflight),
+        other => {
+            let _ = tx.send(err_response(
+                id,
+                ErrorKind::BadRequest,
+                format!("unknown command '{other}'"),
+            ));
+        }
+    }
+}
+
+/// Everything a pooled job needs to report its outcome.
+struct JobCtx {
+    shared: Arc<ServerShared>,
+    id: u64,
+    tx: Sender<Value>,
+    inflight: Inflight,
+    token: CancellationToken,
+    deadline_at: Option<Instant>,
+    fuel: Option<u64>,
+    admitted_at: Instant,
+}
+
+impl JobCtx {
+    /// Builds the request's execution budget from what is *left* of the
+    /// deadline — queue wait has already consumed part of it.
+    fn budget(&self) -> ExecBudget {
+        let mut budget = ExecBudget::unlimited().with_cancel(self.token.clone());
+        if let Some(at) = self.deadline_at {
+            budget = budget.with_deadline(at.saturating_duration_since(Instant::now()));
+        }
+        if let Some(fuel) = self.fuel {
+            budget = budget.with_fuel(fuel);
+        }
+        budget
+    }
+
+    /// Pre-flight: a request whose deadline lapsed in the queue, or
+    /// whose client already left, fails without occupying the worker.
+    fn expired(&self) -> Option<ErrorKind> {
+        if self.token.is_cancelled() {
+            return Some(ErrorKind::Cancelled);
+        }
+        if matches!(self.deadline_at, Some(at) if Instant::now() >= at) {
+            return Some(ErrorKind::Deadline);
+        }
+        None
+    }
+
+    fn finish(&self, response: Value) {
+        self.inflight.lock().expect("inflight map").remove(&self.id);
+        let registry = self.shared.registry();
+        registry
+            .histogram("serve.latency_us", &[])
+            .record(self.admitted_at.elapsed().as_micros() as u64);
+        let _ = self.tx.send(response);
+    }
+
+    fn fail(&self, kind: ErrorKind, message: impl Into<String>) {
+        let registry = self.shared.registry();
+        registry
+            .counter("serve.failed", &[("kind", kind.as_str())])
+            .inc();
+        self.finish(err_response(self.id, kind, message));
+    }
+}
+
+fn admit(
+    shared: &Arc<ServerShared>,
+    id: u64,
+    request: &Value,
+    tx: &Sender<Value>,
+    inflight: &Inflight,
+    run: impl FnOnce(&JobCtx) + Send + 'static,
+) {
+    let token = CancellationToken::new();
+    inflight
+        .lock()
+        .expect("inflight map")
+        .insert(id, token.clone());
+    let ctx = JobCtx {
+        shared: Arc::clone(shared),
+        id,
+        tx: tx.clone(),
+        inflight: Arc::clone(inflight),
+        token,
+        deadline_at: request
+            .get("deadline_ms")
+            .and_then(Value::as_u64)
+            .map(|ms| Instant::now() + Duration::from_millis(ms)),
+        fuel: request.get("fuel").and_then(Value::as_u64),
+        admitted_at: Instant::now(),
+    };
+    let outcome = shared.pool.try_submit(Box::new(move || {
+        if let Some(kind) = ctx.expired() {
+            ctx.fail(kind, "request expired before execution");
+            return;
+        }
+        run(&ctx);
+    }));
+    if let Err(e) = outcome {
+        inflight.lock().expect("inflight map").remove(&id);
+        let (kind, message) = match e {
+            SubmitError::Overloaded { queue_cap } => (
+                ErrorKind::Overloaded,
+                format!("worker queue full ({queue_cap} waiting); retry with backoff"),
+            ),
+            SubmitError::ShuttingDown => {
+                (ErrorKind::ShuttingDown, "server is shutting down".into())
+            }
+        };
+        shared
+            .registry()
+            .counter("serve.rejected", &[("kind", kind.as_str())])
+            .inc();
+        let _ = tx.send(err_response(id, kind, message));
+    }
+}
+
+fn submit_query(
+    shared: &Arc<ServerShared>,
+    id: u64,
+    request: &Value,
+    tx: &Sender<Value>,
+    inflight: &Inflight,
+) {
+    let (Some(video), Some(text)) = (
+        request.get("video").and_then(Value::as_str),
+        request.get("text").and_then(Value::as_str),
+    ) else {
+        let _ = tx.send(err_response(
+            id,
+            ErrorKind::BadRequest,
+            "query needs string fields 'video' and 'text'",
+        ));
+        return;
+    };
+    let (video, text) = (video.to_string(), text.to_string());
+    admit(shared, id, request, tx, inflight, move |ctx| {
+        let budget = ctx.budget();
+        match ctx.shared.vdbms.run_with_budget(&video, &text, &budget) {
+            Ok(output) => ctx.finish(ok_response(
+                ctx.id,
+                f1_cobra::json::query_output_to_json(&output),
+            )),
+            Err(e) => ctx.fail(crate::protocol::classify(&e), e.to_string()),
+        }
+    });
+}
+
+/// Debug-only deterministic slow query: holds a worker for `ms`
+/// milliseconds while ticking an [`ExecBudget`] guard, so deadline,
+/// cancellation and overload behavior can be tested without hunting
+/// for a genuinely slow retrieval.
+fn submit_sleep(
+    shared: &Arc<ServerShared>,
+    id: u64,
+    request: &Value,
+    tx: &Sender<Value>,
+    inflight: &Inflight,
+) {
+    let Some(ms) = request.get("ms").and_then(Value::as_u64) else {
+        let _ = tx.send(err_response(
+            id,
+            ErrorKind::BadRequest,
+            "sleep needs integer field 'ms'",
+        ));
+        return;
+    };
+    admit(shared, id, request, tx, inflight, move |ctx| {
+        let budget = ctx.budget();
+        let guard = budget.start();
+        let end = Instant::now() + Duration::from_millis(ms);
+        while Instant::now() < end {
+            std::thread::sleep(Duration::from_millis(1));
+            // The guard checks wall-clock deadlines every 64 ticks;
+            // burn a full window per step so lapses surface within ~1ms.
+            for _ in 0..64 {
+                if let Err(e) = guard.tick() {
+                    let kind = match &e {
+                        MonetError::Deadline => ErrorKind::Deadline,
+                        MonetError::Interrupted => ErrorKind::Cancelled,
+                        MonetError::BudgetExhausted { .. } => ErrorKind::BudgetExhausted,
+                        _ => ErrorKind::Internal,
+                    };
+                    ctx.fail(kind, e.to_string());
+                    return;
+                }
+            }
+        }
+        ctx.finish(ok_response(
+            ctx.id,
+            json!({"kind": "slept", "ms": (ms as f64)}),
+        ));
+    });
+}

@@ -1,0 +1,42 @@
+//! Shared fixture for the serve integration suites: a catalog-only
+//! `Vdbms` (no media pipeline) with one event of every retrievable
+//! kind, so servers start instantly and answers are deterministic.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use f1_cobra::catalog::{EventRecord, VideoInfo};
+use f1_cobra::Vdbms;
+
+/// The fixture's catalog video.
+pub const VIDEO: &str = "v";
+
+/// Builds the shared fixture.
+pub fn fixture_vdbms() -> Arc<Vdbms> {
+    let vdbms = Vdbms::try_new().expect("fresh vdbms");
+    vdbms.catalog.register_video(VideoInfo {
+        name: VIDEO.into(),
+        n_clips: 200,
+        n_frames: 200 * 25 / 10,
+    });
+    let ev = |kind: &str, start: usize, end: usize, driver: Option<&str>| EventRecord {
+        kind: kind.into(),
+        start,
+        end,
+        driver: driver.map(str::to_string),
+    };
+    vdbms
+        .catalog
+        .store_events(
+            VIDEO,
+            &[
+                ev("highlight", 10, 40, None),
+                ev("fly_out", 15, 25, Some("SCHUMACHER")),
+                ev("excited", 12, 30, None),
+                ev("caption:pit_stop", 20, 35, Some("MONTOYA")),
+                ev("caption:winner", 180, 190, Some("SCHUMACHER")),
+            ],
+        )
+        .expect("store fixture events");
+    Arc::new(vdbms)
+}

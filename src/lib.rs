@@ -15,6 +15,8 @@
 //! | [`keyword`] | finite-state-grammar keyword spotting |
 //! | [`rules`] | Allen-interval rule engine for compound events |
 //! | [`cobra`] | the VDBMS: catalog, extensions, query pre-processor, retrieval |
+//! | [`obs`] | metrics registry, query profiler, measured cost model |
+//! | [`serve`] | TCP query service: admission control, deadlines, graceful drain |
 //!
 //! See the workspace `README.md` for the architecture tour, `DESIGN.md`
 //! for the system inventory and experiment index, and `EXPERIMENTS.md`
@@ -24,6 +26,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+pub use cobra_obs as obs;
+pub use cobra_serve as serve;
 pub use f1_bayes as bayes;
 pub use f1_cobra as cobra;
 pub use f1_hmm as hmm;

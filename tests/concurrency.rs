@@ -1,0 +1,122 @@
+//! Multi-threaded `Vdbms` regression: the serving layer shares one
+//! instance behind an `Arc` across worker threads, so concurrent
+//! `run`/`query` calls must return exactly the single-threaded answers
+//! — no torn reads from the catalog's locks, no index-cache races in
+//! the kernel. (The compile-time `Send + Sync` assertion lives next to
+//! the `Vdbms` struct; this exercises the claim at runtime.)
+
+use std::sync::Arc;
+
+use f1_cobra::catalog::{EventRecord, VideoInfo};
+use f1_cobra::{QueryOutput, Vdbms};
+
+fn fixture() -> Arc<Vdbms> {
+    let vdbms = Vdbms::try_new().unwrap();
+    vdbms.catalog.register_video(VideoInfo {
+        name: "v".into(),
+        n_clips: 200,
+        n_frames: 200 * 25 / 10,
+    });
+    let ev = |kind: &str, start: usize, end: usize, driver: Option<&str>| EventRecord {
+        kind: kind.into(),
+        start,
+        end,
+        driver: driver.map(str::to_string),
+    };
+    vdbms
+        .catalog
+        .store_events(
+            "v",
+            &[
+                ev("highlight", 10, 40, None),
+                ev("highlight", 90, 120, Some("MONTOYA")),
+                ev("fly_out", 15, 25, Some("SCHUMACHER")),
+                ev("excited", 12, 30, None),
+                ev("caption:pit_stop", 20, 35, Some("MONTOYA")),
+                ev("caption:winner", 180, 190, Some("SCHUMACHER")),
+                ev("caption:classification", 0, 10, Some("SCHUMACHER")),
+            ],
+        )
+        .unwrap();
+    Arc::new(vdbms)
+}
+
+const QUERIES: &[&str] = &[
+    "RETRIEVE HIGHLIGHTS",
+    "RETRIEVE EVENTS FLY_OUT",
+    "RETRIEVE EXCITED",
+    "RETRIEVE PITSTOPS",
+    "RETRIEVE WINNER",
+    "RETRIEVE LEADER",
+    "RETRIEVE HIGHLIGHTS AT PITLANE",
+    "RETRIEVE SEGMENTS WITH DRIVER \"SCHUMACHER\"",
+];
+
+#[test]
+fn concurrent_runs_match_single_threaded_answers() {
+    let vdbms = fixture();
+
+    // Ground truth, computed before any concurrency.
+    let expected: Vec<_> = QUERIES
+        .iter()
+        .map(|q| vdbms.query("v", q).unwrap())
+        .collect();
+
+    let threads: Vec<_> = (0..8)
+        .map(|k| {
+            let vdbms = Arc::clone(&vdbms);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                // Each thread starts on a different query so the mix of
+                // in-flight statements varies over the run.
+                for i in 0..25 {
+                    let idx = (k + i) % QUERIES.len();
+                    let got = vdbms.query("v", QUERIES[idx]).unwrap();
+                    assert_eq!(
+                        got, expected[idx],
+                        "thread {k} iteration {i}: '{}' diverged under concurrency",
+                        QUERIES[idx]
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker thread panicked");
+    }
+}
+
+#[test]
+fn concurrent_profile_and_plain_runs_coexist() {
+    let vdbms = fixture();
+    let plain = vdbms.query("v", "RETRIEVE HIGHLIGHTS").unwrap();
+
+    // PROFILE takes registry snapshots around evaluation while other
+    // threads mutate the same metrics — answers must be unaffected.
+    let threads: Vec<_> = (0..4)
+        .map(|k| {
+            let vdbms = Arc::clone(&vdbms);
+            let plain = plain.clone();
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let statement = if k % 2 == 0 {
+                        "PROFILE RETRIEVE HIGHLIGHTS"
+                    } else {
+                        "RETRIEVE HIGHLIGHTS"
+                    };
+                    match vdbms.run("v", statement).unwrap() {
+                        QueryOutput::Segments(segments) => assert_eq!(segments, plain),
+                        QueryOutput::Profile(p) => {
+                            assert_eq!(p.segments, plain);
+                            assert_eq!(p.span.name, "query");
+                        }
+                        QueryOutput::Plan(_) => unreachable!("no EXPLAIN issued"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker thread panicked");
+    }
+}

@@ -1,9 +1,13 @@
 //! Offline stand-in for `serde_json`.
 //!
 //! Implements the small slice of the API this workspace uses: a [`Value`]
-//! tree, the [`json!`] constructor macro for literal objects/arrays, and
-//! `Display`/`to_string` rendering standards-compliant JSON. Numbers are
-//! rendered via Rust's shortest-roundtrip float formatting.
+//! tree, the [`json!`] constructor macro for literal objects/arrays,
+//! `Display`/`to_string` rendering standards-compliant JSON, a
+//! recursive-descent [`from_str`] parser (the serving layer's wire
+//! protocol decodes requests and responses with it), and the accessor
+//! methods (`get`, `as_str`, …) structural consumers need. Numbers are
+//! rendered via Rust's shortest-roundtrip float formatting and stored as
+//! `f64`, like JavaScript.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -23,6 +27,91 @@ pub enum Value {
     Array(Vec<Value>),
     /// An object with sorted keys (deterministic output).
     Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member of an object by key; `None` on non-objects and absent keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Element of an array by position; `None` on non-arrays.
+    pub fn idx(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n)
+                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
 }
 
 fn escape(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -140,8 +229,295 @@ macro_rules! json {
     ($other:expr) => { $crate::Value::from($other) };
 }
 
+/// A JSON parse failure: byte offset plus a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting bound: deeper documents are rejected instead of risking a
+/// stack overflow on hostile input (the server parses untrusted frames).
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err("document nests too deeply");
+        }
+        self.skip_ws();
+        let out = match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        };
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| ParseError {
+            offset: start,
+            message: "invalid number bytes".into(),
+        })?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Value::Number(n)),
+            _ => self.err(format!("invalid number '{text}'")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return self.err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return self.err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                            continue; // parse_hex4 already advanced
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return self.err("control character in string"),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences intact).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| ParseError {
+                            offset: self.pos,
+                            message: "invalid UTF-8".into(),
+                        })?;
+                    let ch = rest.chars().next().ok_or(ParseError {
+                        offset: self.pos,
+                        message: "unterminated string".into(),
+                    })?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return self.err("invalid \\u escape"),
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.expect_byte(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document. Trailing non-whitespace input is an error.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after document");
+    }
+    Ok(value)
+}
+
+/// Parses a JSON document from raw bytes (must be UTF-8).
+pub fn from_slice(input: &[u8]) -> Result<Value, ParseError> {
+    let text = std::str::from_utf8(input).map_err(|e| ParseError {
+        offset: e.valid_up_to(),
+        message: "frame is not valid UTF-8".into(),
+    })?;
+    from_str(text)
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
 
     #[test]
     fn renders_nested_structures() {
@@ -161,5 +537,82 @@ mod tests {
     fn from_vec_of_floats() {
         let trace = vec![0.5f64, 1.0];
         assert_eq!(json!(trace).to_string(), "[0.5,1]");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::Number(42.0));
+        assert_eq!(from_str("-1.5e2").unwrap(), Value::Number(-150.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn round_trips_nested_documents() {
+        let v = json!({
+            "a": [1, 2.5, "x", null, false],
+            "b": { "nested": true, "text": "tab\tquote\"" },
+            "unicode": "héllo — ✓",
+        });
+        assert_eq!(from_str(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            from_str(r#""\u00e9\n\t\"\\\ud83d\ude00""#).unwrap(),
+            Value::String("é\n\t\"\\😀".into())
+        );
+    }
+
+    #[test]
+    fn accessors_navigate_structure() {
+        let v = from_str(r#"{"n":3,"items":["a","b"],"flag":true}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("items")
+                .and_then(|a| a.idx(1))
+                .and_then(Value::as_str),
+            Some("b")
+        );
+        assert_eq!(v.get("flag").and_then(Value::as_bool), Some(true));
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(from_str("-7").unwrap().as_u64(), None);
+        assert_eq!(from_str("2.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "tru",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "\"unterminated",
+            "1 2",
+            "01x",
+            "{\"a\" 1}",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "nan",
+        ] {
+            assert!(from_str(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_runaway_nesting() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(from_str(&deep).is_err());
+    }
+
+    #[test]
+    fn from_slice_rejects_bad_utf8() {
+        assert!(from_slice(&[0x22, 0xFF, 0x22]).is_err());
+        assert_eq!(from_slice(b"[1]").unwrap(), json!([1]));
     }
 }
