@@ -4,7 +4,7 @@
 //! ```text
 //! experiments [--duration SECONDS] [table1 table2 table3 table4 ablation
 //!              fig9 temporal clustering keywords endpoint shots hmm queries
-//!              monet obs serve]
+//!              monet obs serve cache]
 //! ```
 //!
 //! With no experiment names, everything runs. Traces for Fig. 9 are
@@ -181,6 +181,13 @@ fn main() {
         println!("{table}");
         if std::fs::write("BENCH_serve.json", json.to_string()).is_ok() {
             println!("(load test written to BENCH_serve.json)");
+        }
+    }
+    if want("cache") {
+        let (table, json) = experiments::cache();
+        println!("{table}");
+        if std::fs::write("BENCH_cache.json", json.to_string()).is_ok() {
+            println!("(cache benchmark written to BENCH_cache.json)");
         }
     }
 

@@ -782,6 +782,15 @@ pub fn obs() -> (Table, serde_json::Value) {
         .expect("catalog accepts events");
 
     let before = vdbms.kernel().metrics().registry().snapshot();
+    // Profile first, while the result cache is still cold: the dumped
+    // span tree must show the full conceptual -> Moa -> MIL pipeline
+    // (CI asserts `conceptual:select_events` in the shape), not the
+    // single `cache:result` leaf a warm profile reports. The replay
+    // below then exercises the hit path, which the counter rows show.
+    let profile = match vdbms.run("bench", "PROFILE RETRIEVE HIGHLIGHTS") {
+        Ok(QueryOutput::Profile(p)) => p,
+        _ => panic!("PROFILE must return a profile"),
+    };
     for _ in 0..REPS {
         for q in [
             "RETRIEVE HIGHLIGHTS",
@@ -797,11 +806,6 @@ pub fn obs() -> (Table, serde_json::Value) {
         .registry()
         .snapshot()
         .delta(&before);
-
-    let profile = match vdbms.run("bench", "PROFILE RETRIEVE HIGHLIGHTS") {
-        Ok(QueryOutput::Profile(p)) => p,
-        _ => panic!("PROFILE must return a profile"),
-    };
 
     let mut table = Table::new(
         &format!(
@@ -838,6 +842,8 @@ pub fn obs() -> (Table, serde_json::Value) {
             "kernel.index_cache",
             &[("result", "miss")],
         ),
+        ("result cache hits", "cache.result", &[("result", "hit")]),
+        ("result cache misses", "cache.result", &[("result", "miss")]),
     ] {
         table.row(vec![
             Cell::Text(label.into()),
@@ -1056,6 +1062,13 @@ pub fn serve() -> (Table, serde_json::Value) {
         video: "bench".into(),
         queries: queries.clone(),
         deadline_ms: None,
+        // All-cold traffic: each request carries a distinct driver
+        // variant, so the result cache and single-flight coalescing
+        // stay out of the picture and both regimes keep measuring the
+        // scheduler + admission control (the cache experiment measures
+        // the hot side).
+        distinct: 50_000,
+        zipf: None,
     };
 
     // Regime A: 32 concurrent clients, below the admission limit —
@@ -1112,6 +1125,297 @@ pub fn serve() -> (Table, serde_json::Value) {
         "regimes": {
             "at_limit": (at_limit.to_json()),
             "over_limit": (over_limit.to_json()),
+        },
+    });
+    (table, doc)
+}
+
+/// **Query caching** — the multi-level cache measured end to end.
+/// Embedded: per-query cold vs warm latency through the plan + result
+/// caches, a driver variant that hits the plan cache but misses the
+/// result cache, and the forced re-execution after a write invalidates
+/// the cached entry. Served: the 2x-admission-limit regime from the
+/// serve experiment, once with all-distinct (cold) traffic and once
+/// with a hot three-query mix where the result cache and single-flight
+/// coalescing absorb the load. Returns the human-readable table plus
+/// the JSON document `BENCH_cache.json` (schema-validated by CI).
+pub fn cache() -> (Table, serde_json::Value) {
+    use cobra_serve::load::{run as run_load, LoadConfig, LoadReport};
+    use cobra_serve::server::{start, ServerConfig};
+    use f1_cobra::catalog::{EventRecord, VideoInfo};
+    use f1_cobra::Vdbms;
+    use std::sync::Arc;
+
+    const CLIPS: usize = 600;
+    const WARM_REPS: usize = 50;
+    const WORKERS: usize = 8;
+    const QUEUE_CAP: usize = 32;
+    const REQUESTS_PER_CLIENT: usize = 50;
+
+    // Same catalog-only fixture as the obs and serve experiments.
+    let fixture_events = || -> Vec<EventRecord> {
+        (0..CLIPS / 3)
+            .map(|i| EventRecord {
+                kind: match i % 3 {
+                    0 => "highlight",
+                    1 => "excited",
+                    _ => "caption:pit_stop",
+                }
+                .into(),
+                start: i * 3,
+                end: i * 3 + 2,
+                driver: (i % 4 == 0).then(|| "SCHUMACHER".to_string()),
+            })
+            .collect()
+    };
+    let fixture = || -> Arc<Vdbms> {
+        let vdbms = Arc::new(Vdbms::new());
+        vdbms.catalog.register_video(VideoInfo {
+            name: "bench".into(),
+            n_clips: CLIPS,
+            n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
+        });
+        vdbms
+            .catalog
+            .store_events("bench", &fixture_events())
+            .expect("catalog accepts events");
+        vdbms
+    };
+    let us = |t: Instant| t.elapsed().as_secs_f64() * 1e6;
+
+    // Embedded regime: first execution pays the full conceptual ->
+    // Moa -> MIL cost; repeats must come out of the result cache.
+    let vdbms = fixture();
+    let registry = Arc::clone(vdbms.kernel().metrics().registry());
+    let before = registry.snapshot();
+    let mut per_query: Vec<(&str, f64, f64)> = Vec::new();
+    for q in [
+        "RETRIEVE HIGHLIGHTS",
+        "RETRIEVE EXCITED",
+        "RETRIEVE PITSTOPS",
+    ] {
+        let t = Instant::now();
+        let cold_rows = vdbms.query("bench", q).expect("cold query answers");
+        let cold_us = us(t);
+        let mut warm_us = f64::INFINITY;
+        for _ in 0..WARM_REPS {
+            let t = Instant::now();
+            let warm_rows = vdbms.query("bench", q).expect("warm query answers");
+            warm_us = warm_us.min(us(t));
+            assert_eq!(cold_rows, warm_rows, "a cache hit must answer identically");
+        }
+        per_query.push((q, cold_us, warm_us));
+    }
+
+    // A driver variant misses the result cache (different normalized
+    // text) but reuses the compiled plan for its kind.
+    let t = Instant::now();
+    vdbms
+        .query("bench", "RETRIEVE HIGHLIGHTS WITH DRIVER \"SCHUMACHER\"")
+        .expect("variant answers");
+    let variant_us = us(t);
+
+    // A write between two identical queries must invalidate: the event
+    // layer's version vector moved, so the repeat re-executes and
+    // observes the appended highlight instead of the cached answer.
+    let baseline = vdbms
+        .query("bench", "RETRIEVE HIGHLIGHTS")
+        .expect("warm query answers");
+    vdbms
+        .catalog
+        .store_events(
+            "bench",
+            &[EventRecord {
+                kind: "highlight".into(),
+                start: CLIPS - 3,
+                end: CLIPS - 1,
+                driver: None,
+            }],
+        )
+        .expect("catalog accepts the extra event");
+    let t = Instant::now();
+    let after_write = vdbms
+        .query("bench", "RETRIEVE HIGHLIGHTS")
+        .expect("post-write query answers");
+    let post_write_us = us(t);
+    assert_ne!(baseline, after_write, "the write must be visible");
+
+    let delta = registry.snapshot().delta(&before);
+    let plan_hits = delta.counter("cache.plan", &[("result", "hit")]);
+    let plan_misses = delta.counter("cache.plan", &[("result", "miss")]);
+    let result_hits = delta.counter("cache.result", &[("result", "hit")]);
+    let result_misses = delta.counter("cache.result", &[("result", "miss")]);
+    let invalidated = delta.counter("cache.result", &[("result", "invalidated")]);
+    assert!(plan_hits >= 1, "the driver variant must hit the plan cache");
+    assert!(invalidated >= 1, "the write must invalidate the cache");
+
+    // Served regime: twice the admission limit, cold vs hot traffic
+    // against a fresh server (so the hot run's first executions are the
+    // only misses it pays).
+    let serve_vdbms = fixture();
+    let serve_registry = Arc::clone(serve_vdbms.kernel().metrics().registry());
+    let handle = start(
+        Arc::clone(&serve_vdbms),
+        ServerConfig {
+            workers: WORKERS,
+            queue_cap: QUEUE_CAP,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let admission_limit = handle.admission_limit();
+    let clients = 2 * admission_limit;
+    let base = LoadConfig {
+        clients,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        video: "bench".into(),
+        queries: vec![
+            "RETRIEVE HIGHLIGHTS".to_string(),
+            "RETRIEVE EXCITED".to_string(),
+            "RETRIEVE PITSTOPS".to_string(),
+        ],
+        deadline_ms: None,
+        distinct: 0,
+        zipf: None,
+    };
+    let regime_delta = |snap: &cobra_obs::Snapshot| {
+        let d = serve_registry.snapshot().delta(snap);
+        (
+            d.counter("cache.coalesced", &[]),
+            d.counter("cache.result", &[("result", "hit")]),
+        )
+    };
+
+    // Cold: every request is a distinct normalized query — no result
+    // hits, no coalescing. This is the PR-4 over-limit regime.
+    let snap = serve_registry.snapshot();
+    let cold = run_load(
+        handle.addr(),
+        &LoadConfig {
+            distinct: 50_000,
+            ..base.clone()
+        },
+    );
+    let (cold_coalesced, cold_hits) = regime_delta(&snap);
+
+    // Hot: the three-query mix cycled verbatim — after the first
+    // executions every answer is a result hit, and concurrent identical
+    // requests coalesce onto in-flight leaders instead of competing for
+    // admission slots.
+    let snap = serve_registry.snapshot();
+    let hot = run_load(handle.addr(), &base.clone());
+    let (hot_coalesced, hot_hits) = regime_delta(&snap);
+    handle.shutdown();
+
+    let mut table = Table::new(
+        &format!(
+            "Query caching — cold vs warm retrievals and 2x-limit serve regimes \
+             ({CLIPS}-clip catalog video, {WORKERS} workers, queue {QUEUE_CAP})"
+        ),
+        &["measurement", "cold", "warm", "ratio"],
+    );
+    for (q, cold_us, warm_us) in &per_query {
+        table.row(vec![
+            Cell::Text(format!("{q} (us)")),
+            Cell::Num(*cold_us),
+            Cell::Num(*warm_us),
+            Cell::Num(cold_us / warm_us),
+        ]);
+    }
+    table.row(vec![
+        Cell::Text("plan hit, result miss (us)".into()),
+        Cell::Num(variant_us),
+        Cell::Empty,
+        Cell::Empty,
+    ]);
+    table.row(vec![
+        Cell::Text("post-write re-execution (us)".into()),
+        Cell::Num(post_write_us),
+        Cell::Empty,
+        Cell::Empty,
+    ]);
+    table.row(vec![
+        Cell::Text("serve 2x limit ok (goodput)".into()),
+        Cell::Num(cold.ok as f64),
+        Cell::Num(hot.ok as f64),
+        Cell::Num(hot.ok as f64 / (cold.ok as f64).max(1.0)),
+    ]);
+    table.row(vec![
+        Cell::Text("serve 2x limit (rps)".into()),
+        Cell::Num(cold.throughput_rps()),
+        Cell::Num(hot.throughput_rps()),
+        Cell::Empty,
+    ]);
+    table.row(vec![
+        Cell::Text("serve 2x limit overloaded".into()),
+        Cell::Num(cold.overloaded as f64),
+        Cell::Num(hot.overloaded as f64),
+        Cell::Empty,
+    ]);
+    table.row(vec![
+        Cell::Text("serve coalesced requests".into()),
+        Cell::Num(cold_coalesced as f64),
+        Cell::Num(hot_coalesced as f64),
+        Cell::Empty,
+    ]);
+
+    let min_speedup = per_query
+        .iter()
+        .map(|(_, c, w)| c / w)
+        .fold(f64::INFINITY, f64::min);
+    let regime_json = |report: &LoadReport, coalesced: u64, hits: u64| {
+        let mut j = report.to_json();
+        if let serde_json::Value::Object(map) = &mut j {
+            map.insert(
+                "coalesced".to_string(),
+                serde_json::Value::Number(coalesced as f64),
+            );
+            map.insert(
+                "cache_hits".to_string(),
+                serde_json::Value::Number(hits as f64),
+            );
+        }
+        j
+    };
+    let doc = serde_json::json!({
+        "experiment": "query_cache",
+        "clips": (CLIPS as f64),
+        "warm_reps": (WARM_REPS as f64),
+        "queries": (per_query
+            .iter()
+            .map(|(q, c, w)| serde_json::json!({
+                "query": (*q),
+                "cold_us": (*c),
+                "warm_us": (*w),
+                "speedup": (c / w),
+            }))
+            .collect::<Vec<_>>()),
+        "min_speedup": (min_speedup),
+        "plan_hit_us": (variant_us),
+        "post_write_us": (post_write_us),
+        "metrics": {
+            "plan_hits": (plan_hits as f64),
+            "plan_misses": (plan_misses as f64),
+            "result_hits": (result_hits as f64),
+            "result_misses": (result_misses as f64),
+            "result_invalidated": (invalidated as f64),
+        },
+        "serve": {
+            "config": {
+                "workers": (WORKERS as f64),
+                "queue_cap": (QUEUE_CAP as f64),
+                "admission_limit": (admission_limit as f64),
+                "clients": (clients as f64),
+                "requests_per_client": (REQUESTS_PER_CLIENT as f64),
+            },
+            "cold": (regime_json(&cold, cold_coalesced, cold_hits)),
+            "hot": (regime_json(&hot, hot_coalesced, hot_hits)),
+            // Goodput, not raw rps: the cold regime "finishes" fast by
+            // shedding most of the offered load as typed rejections,
+            // while the hot regime answers everything — so completed
+            // requests is the cross-regime comparison that holds on
+            // any core count.
+            "goodput_gain": (hot.ok as f64 / (cold.ok as f64).max(1.0)),
         },
     });
     (table, doc)

@@ -1,0 +1,285 @@
+//! The query-layer caches: compiled plans and versioned results.
+//!
+//! The paper's conceptual pre-processor is built around one idea — check
+//! whether the metadata a query needs already exists before recomputing
+//! it. These caches apply the same discipline to the query path itself:
+//!
+//! * **Plan cache** — `RETRIEVE EVENTS …`-family queries compile a Moa
+//!   selection to MIL on every call; the compiled program depends only on
+//!   (video, event kind), so it is cached under that key. Budgets (fuel,
+//!   deadline, cancellation) apply at evaluation time, never at compile
+//!   time, so a cached plan is exactly as guarded as a fresh one.
+//! * **Result cache** — whole answers keyed by (video, normalized query
+//!   text) and guarded by a [`VersionVector`]: the (BAT id, BAT version)
+//!   pairs of the video's event layer plus the catalog generation, read
+//!   *before* the query executes. Any event-layer write bumps a BAT
+//!   version (append) or swaps a BAT id (clear + recreate), so a vector
+//!   captured before a write never matches the post-write state — a
+//!   cached read can never return pre-write results. This reuses the
+//!   per-(bat, version) discipline the kernel's `ColumnIndex` cache
+//!   established.
+//!
+//! Both caches sit on the shared [`cobra_cache::Lru`] and publish
+//! `cache.*` counters/gauges through the kernel's metrics registry, so
+//! `stats` and `PROFILE` make hits, misses, evictions and residency
+//! visible.
+
+use std::sync::Arc;
+
+use cobra_cache::Lru;
+use cobra_obs::{Counter, Gauge, Registry};
+
+use crate::query::RetrievedSegment;
+
+/// Entry bound of the plan cache. Plans are (video, kind)-shaped, so
+/// even a large catalog stays far below this.
+const PLAN_CACHE_CAP: usize = 256;
+
+/// Entry bound of the result cache.
+const RESULT_CACHE_CAP: usize = 512;
+
+/// A compiled event-selection plan: the optimized Moa selection rendered
+/// to MIL, plus the three column-join programs built from it.
+#[derive(Debug)]
+pub struct CompiledPlan {
+    /// The selection sub-program (for `PROFILE` metadata).
+    pub sel_mil: String,
+    /// Full programs joining the selection against the start/end/driver
+    /// event columns, in that order.
+    pub column_programs: [String; 3],
+}
+
+/// The catalog state a cached result was computed against.
+///
+/// Two equal vectors mean the video's event layer (and raw-layer
+/// registration) are unchanged, so the cached answer is still exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionVector {
+    /// Catalog generation (bumped on video (re)registration).
+    pub catalog_gen: u64,
+    /// (BAT id, BAT version) of the kind/start/end/driver event BATs.
+    pub bats: Vec<Option<(u64, u64)>>,
+}
+
+/// A cached query answer plus the state vector it was computed against.
+#[derive(Debug)]
+pub struct CachedResult {
+    /// The answer.
+    pub segments: Vec<RetrievedSegment>,
+    /// Event-layer state at capture time.
+    pub versions: VersionVector,
+}
+
+impl CachedResult {
+    /// Approximate resident size, for the `cache.result.bytes` gauge.
+    fn approx_bytes(&self, key: &(String, String)) -> i64 {
+        let seg_bytes: usize = self
+            .segments
+            .iter()
+            .map(|s| {
+                std::mem::size_of::<RetrievedSegment>()
+                    + s.label.len()
+                    + s.driver.as_deref().map_or(0, str::len)
+            })
+            .sum();
+        (key.0.len() + key.1.len() + seg_bytes + std::mem::size_of::<Self>()) as i64
+    }
+}
+
+/// Plan and result caches with their observability counters.
+pub struct QueryCaches {
+    plan: Lru<(String, String), Arc<CompiledPlan>>,
+    result: Lru<(String, String), Arc<CachedResult>>,
+    plan_hits: Arc<Counter>,
+    plan_misses: Arc<Counter>,
+    plan_evictions: Arc<Counter>,
+    plan_entries: Arc<Gauge>,
+    result_hits: Arc<Counter>,
+    result_misses: Arc<Counter>,
+    result_evictions: Arc<Counter>,
+    result_invalidated: Arc<Counter>,
+    result_entries: Arc<Gauge>,
+    result_bytes: Arc<Gauge>,
+}
+
+impl QueryCaches {
+    /// Resolves the `cache.*` series in `registry` (so they appear in
+    /// snapshots as zeros from boot) and creates empty caches.
+    pub fn new(registry: &Registry) -> Self {
+        QueryCaches {
+            plan: Lru::new(PLAN_CACHE_CAP),
+            result: Lru::new(RESULT_CACHE_CAP),
+            plan_hits: registry.counter("cache.plan", &[("result", "hit")]),
+            plan_misses: registry.counter("cache.plan", &[("result", "miss")]),
+            plan_evictions: registry.counter("cache.plan", &[("result", "eviction")]),
+            plan_entries: registry.gauge("cache.plan.entries", &[]),
+            result_hits: registry.counter("cache.result", &[("result", "hit")]),
+            result_misses: registry.counter("cache.result", &[("result", "miss")]),
+            result_evictions: registry.counter("cache.result", &[("result", "eviction")]),
+            result_invalidated: registry.counter("cache.result", &[("result", "invalidated")]),
+            result_entries: registry.gauge("cache.result.entries", &[]),
+            result_bytes: registry.gauge("cache.result.bytes", &[]),
+        }
+    }
+
+    /// Cached compiled plan for `(video, kind)`, counting hit/miss.
+    pub fn plan(&self, video: &str, kind: &str) -> Option<Arc<CompiledPlan>> {
+        let found = self.plan.get(&(video.to_string(), kind.to_string()));
+        match &found {
+            Some(_) => self.plan_hits.inc(),
+            None => self.plan_misses.inc(),
+        }
+        found
+    }
+
+    /// Stores a freshly compiled plan.
+    pub fn store_plan(&self, video: &str, kind: &str, plan: Arc<CompiledPlan>) {
+        if self
+            .plan
+            .insert((video.to_string(), kind.to_string()), plan)
+            .is_some()
+        {
+            self.plan_evictions.inc();
+        }
+        self.plan_entries.set(self.plan.len() as i64);
+    }
+
+    /// Cached answer for `(video, normalized query)` provided it was
+    /// computed against exactly `current`; a version mismatch drops the
+    /// stale entry (counted as `invalidated`) and reports a miss.
+    pub fn result(
+        &self,
+        video: &str,
+        normalized: &str,
+        current: &VersionVector,
+    ) -> Option<Arc<CachedResult>> {
+        let key = (video.to_string(), normalized.to_string());
+        if let Some(cached) = self.result.get(&key) {
+            if &cached.versions == current {
+                self.result_hits.inc();
+                return Some(cached);
+            }
+            if let Some(stale) = self.result.remove(&key) {
+                self.result_invalidated.inc();
+                self.result_bytes.add(-stale.approx_bytes(&key));
+                self.result_entries.set(self.result.len() as i64);
+            }
+        }
+        self.result_misses.inc();
+        None
+    }
+
+    /// Stores an answer computed against `current` (captured before the
+    /// execution read any event-layer data).
+    pub fn store_result(&self, video: &str, normalized: &str, cached: Arc<CachedResult>) {
+        let key = (video.to_string(), normalized.to_string());
+        self.result_bytes.add(cached.approx_bytes(&key));
+        if let Some((old_key, old)) = self.result.insert(key, cached) {
+            self.result_evictions.inc();
+            self.result_bytes.add(-old.approx_bytes(&old_key));
+        }
+        self.result_entries.set(self.result.len() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(generation: u64, version: u64) -> VersionVector {
+        VersionVector {
+            catalog_gen: generation,
+            bats: vec![Some((1, version)); 4],
+        }
+    }
+
+    fn segs(n: usize) -> Vec<RetrievedSegment> {
+        (0..n)
+            .map(|i| RetrievedSegment {
+                start: i,
+                end: i + 1,
+                label: "highlight".into(),
+                driver: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn result_hits_only_on_matching_versions() {
+        let registry = Registry::new();
+        let caches = QueryCaches::new(&registry);
+        let v1 = vector(0, 1);
+        assert!(caches.result("v", "RETRIEVE HIGHLIGHTS", &v1).is_none());
+        caches.store_result(
+            "v",
+            "RETRIEVE HIGHLIGHTS",
+            Arc::new(CachedResult {
+                segments: segs(3),
+                versions: v1.clone(),
+            }),
+        );
+        assert_eq!(
+            caches
+                .result("v", "RETRIEVE HIGHLIGHTS", &v1)
+                .map(|r| r.segments.len()),
+            Some(3)
+        );
+
+        // A bumped version (a write happened) invalidates the entry.
+        let v2 = vector(0, 2);
+        assert!(caches.result("v", "RETRIEVE HIGHLIGHTS", &v2).is_none());
+        // And the stale entry is gone even for the original vector.
+        assert!(caches.result("v", "RETRIEVE HIGHLIGHTS", &v1).is_none());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.result", &[("result", "hit")]), 1);
+        assert_eq!(
+            snap.counter("cache.result", &[("result", "invalidated")]),
+            1
+        );
+        assert_eq!(snap.counter("cache.result", &[("result", "miss")]), 3);
+    }
+
+    #[test]
+    fn byte_and_entry_gauges_track_residency() {
+        let registry = Registry::new();
+        let caches = QueryCaches::new(&registry);
+        caches.store_result(
+            "v",
+            "Q1",
+            Arc::new(CachedResult {
+                segments: segs(10),
+                versions: vector(0, 1),
+            }),
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("cache.result.entries", &[]), 1);
+        assert!(snap.gauge("cache.result.bytes", &[]) > 0);
+
+        // Invalidation returns the gauges to zero.
+        assert!(caches.result("v", "Q1", &vector(0, 2)).is_none());
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("cache.result.entries", &[]), 0);
+        assert_eq!(snap.gauge("cache.result.bytes", &[]), 0);
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_and_misses() {
+        let registry = Registry::new();
+        let caches = QueryCaches::new(&registry);
+        assert!(caches.plan("v", "highlight").is_none());
+        caches.store_plan(
+            "v",
+            "highlight",
+            Arc::new(CompiledPlan {
+                sel_mil: "sel".into(),
+                column_programs: ["a".into(), "b".into(), "c".into()],
+            }),
+        );
+        assert!(caches.plan("v", "highlight").is_some());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.plan", &[("result", "hit")]), 1);
+        assert_eq!(snap.counter("cache.plan", &[("result", "miss")]), 1);
+        assert_eq!(snap.gauge("cache.plan.entries", &[]), 1);
+    }
+}

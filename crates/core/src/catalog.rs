@@ -12,6 +12,7 @@
 //! * **object layer** — drivers referenced by events and captions.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
@@ -48,6 +49,9 @@ pub struct EventRecord {
 pub struct Catalog {
     kernel: std::sync::Arc<Kernel>,
     videos: RwLock<HashMap<String, VideoInfo>>,
+    /// Bumped on raw-layer changes (video (re)registration), which BAT
+    /// versions can't see. Part of the result-cache version vector.
+    generation: AtomicU64,
 }
 
 impl Catalog {
@@ -56,6 +60,7 @@ impl Catalog {
         Catalog {
             kernel,
             videos: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -67,6 +72,33 @@ impl Catalog {
     /// Registers a video's raw-layer descriptor.
     pub fn register_video(&self, info: VideoInfo) {
         self.videos.write().insert(info.name.clone(), info);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Raw-layer change counter (see the `generation` field).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The (BAT id, BAT version) pairs of `video`'s event layer, in the
+    /// fixed kind/start/end/driver order; `None` where the BAT does not
+    /// exist. Every event-layer write either bumps a version (append) or
+    /// swaps the BAT identity (clear + recreate), so two equal vectors
+    /// mean the layer is byte-identical — the invariant the versioned
+    /// result cache keys on.
+    pub fn event_versions(&self, video: &str) -> Vec<Option<(u64, u64)>> {
+        ["kind", "start", "end", "driver"]
+            .iter()
+            .map(|suffix| {
+                self.kernel
+                    .bat(&format!("{video}.ev.{suffix}"))
+                    .ok()
+                    .map(|handle| {
+                        let bat = handle.read();
+                        (bat.id(), bat.version())
+                    })
+            })
+            .collect()
     }
 
     /// Raw-layer info for a video.

@@ -19,12 +19,14 @@
 //!   retrieval language ([`query`]), combining DBN event detection with
 //!   recognized superimposed text ([`session`]).
 
+pub mod cache;
 pub mod catalog;
 pub mod extensions;
 pub mod json;
 pub mod query;
 pub mod session;
 
+pub use cache::{CachedResult, CompiledPlan, QueryCaches, VersionVector};
 pub use catalog::Catalog;
 pub use extensions::{CostModel, CostStat, MethodRegistry};
 pub use query::{parse_query, parse_statement, Query, RetrievedSegment, Statement};

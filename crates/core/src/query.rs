@@ -73,11 +73,56 @@ pub enum Statement {
     Profile(Query),
 }
 
+impl Query {
+    /// Canonical text rendering used as a cache key.
+    ///
+    /// Two query strings that parse to the same [`Query`] normalize to the
+    /// same text regardless of keyword case, whitespace, or clause order
+    /// (`AT PITLANE` always precedes `WITH DRIVER`), so the plan and
+    /// result caches see one key per semantic query.
+    pub fn normalized(&self) -> String {
+        let mut text = String::from("RETRIEVE ");
+        match &self.target {
+            Target::Segments => text.push_str("SEGMENTS"),
+            Target::Highlights => text.push_str("HIGHLIGHTS"),
+            Target::Events(kind) => {
+                text.push_str("EVENTS ");
+                text.push_str(&kind.to_uppercase());
+            }
+            Target::PitStops => text.push_str("PITSTOPS"),
+            Target::Winner => text.push_str("WINNER"),
+            Target::FinalLap => text.push_str("FINALLAP"),
+            Target::Leader => text.push_str("LEADER"),
+            Target::Excited => text.push_str("EXCITED"),
+        }
+        if self.at_pitlane {
+            text.push_str(" AT PITLANE");
+        }
+        if let Some(driver) = &self.driver {
+            text.push_str(" WITH DRIVER \"");
+            text.push_str(driver);
+            text.push('"');
+        }
+        text
+    }
+}
+
 impl Statement {
     /// The wrapped retrieval query.
     pub fn query(&self) -> &Query {
         match self {
             Statement::Retrieve(q) | Statement::Explain(q) | Statement::Profile(q) => q,
+        }
+    }
+
+    /// Canonical text rendering of the whole statement (prefix included);
+    /// see [`Query::normalized`]. Used by cobra-serve to coalesce
+    /// identical in-flight requests.
+    pub fn normalized(&self) -> String {
+        match self {
+            Statement::Retrieve(q) => q.normalized(),
+            Statement::Explain(q) => format!("EXPLAIN {}", q.normalized()),
+            Statement::Profile(q) => format!("PROFILE {}", q.normalized()),
         }
     }
 }
@@ -290,6 +335,47 @@ mod tests {
         // The prefix alone is not a statement.
         assert!(parse_statement("PROFILE").is_err());
         assert!(parse_statement("EXPLAIN SELECT").is_err());
+    }
+
+    #[test]
+    fn normalization_canonicalizes_case_whitespace_and_clause_order() {
+        let variants = [
+            r#"RETRIEVE HIGHLIGHTS AT PITLANE WITH DRIVER "Montoya""#,
+            r#"retrieve   highlights with driver "montoya"  at pitlane"#,
+            "RETRIEVE HIGHLIGHTS WITH DRIVER \"MONTOYA\" AT PITLANE",
+        ];
+        let keys: Vec<String> = variants
+            .iter()
+            .map(|v| parse_query(v).unwrap().normalized())
+            .collect();
+        assert_eq!(
+            keys[0],
+            r#"RETRIEVE HIGHLIGHTS AT PITLANE WITH DRIVER "MONTOYA""#
+        );
+        assert!(keys.iter().all(|k| k == &keys[0]));
+
+        // Normalized text round-trips through the parser.
+        let q = parse_query(&keys[0]).unwrap();
+        assert_eq!(q.normalized(), keys[0]);
+        assert_eq!(
+            parse_query("retrieve events fly_out").unwrap().normalized(),
+            "RETRIEVE EVENTS FLY_OUT"
+        );
+
+        // Statements keep their prefix so PROFILE/EXPLAIN/RETRIEVE stay
+        // distinct coalescing keys.
+        assert_eq!(
+            parse_statement("profile retrieve winner")
+                .unwrap()
+                .normalized(),
+            "PROFILE RETRIEVE WINNER"
+        );
+        assert_eq!(
+            parse_statement("explain retrieve winner")
+                .unwrap()
+                .normalized(),
+            "EXPLAIN RETRIEVE WINNER"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use f1_rules::{
 };
 use f1_text::{scan_broadcast, Vocabulary};
 
+use crate::cache::{CachedResult, CompiledPlan, QueryCaches, VersionVector};
 use crate::catalog::{Catalog, EventRecord, VideoInfo};
 use crate::extensions::{CostModel, DbnModule, MethodProfile, MethodRegistry, NetStore, StoredNet};
 use crate::query::{parse_query, parse_statement, Query, RetrievedSegment, Statement, Target};
@@ -173,6 +174,9 @@ pub struct Vdbms {
     pub catalog: Catalog,
     nets: NetStore,
     methods: MethodRegistry,
+    /// Plan and versioned-result caches (§"never recompute what the
+    /// system already knows"), shared by every retrieval entry point.
+    caches: QueryCaches,
 }
 
 // The serving layer shares one `Vdbms` across worker threads behind an
@@ -211,11 +215,13 @@ impl Vdbms {
             f1_hmm::HmmBank::new(),
             4,
         )))?;
+        let caches = QueryCaches::new(kernel.metrics().registry());
         Ok(Vdbms {
             catalog: Catalog::new(Arc::clone(&kernel)),
             kernel,
             nets,
             methods: MethodRegistry::formula1(),
+            caches,
         })
     }
 
@@ -726,7 +732,7 @@ impl Vdbms {
     /// Answers a §5.6 retrieval query over an annotated video.
     pub fn query(&self, video: &str, text: &str) -> Result<Vec<RetrievedSegment>> {
         let q = parse_query(text)?;
-        self.execute(video, &q, &ExecBudget::unlimited())
+        self.execute_cached(video, &q, &ExecBudget::unlimited())
     }
 
     /// Runs a full statement: `RETRIEVE …` answers, `PROFILE RETRIEVE …`
@@ -748,12 +754,54 @@ impl Vdbms {
         budget: &ExecBudget,
     ) -> Result<QueryOutput> {
         match parse_statement(text)? {
-            Statement::Retrieve(q) => Ok(QueryOutput::Segments(self.execute(video, &q, budget)?)),
-            Statement::Profile(q) => {
-                Ok(QueryOutput::Profile(self.profile_with(video, &q, budget)?))
-            }
+            Statement::Retrieve(q) => Ok(QueryOutput::Segments(
+                self.execute_cached(video, &q, budget)?,
+            )),
+            Statement::Profile(q) => Ok(QueryOutput::Profile(
+                self.profile_cached(video, &q, budget)?,
+            )),
             Statement::Explain(q) => Ok(QueryOutput::Plan(self.explain(&q))),
         }
+    }
+
+    /// The result-cache version vector for `video`: the catalog
+    /// generation plus the event layer's (BAT id, version) pairs. Must
+    /// be captured *before* execution reads any event data — a write
+    /// racing the execution then bumps a version past the captured
+    /// vector, so the (possibly torn) answer can never be served after
+    /// the write is acknowledged.
+    fn version_vector(&self, video: &str) -> VersionVector {
+        VersionVector {
+            catalog_gen: self.catalog.generation(),
+            bats: self.catalog.event_versions(video),
+        }
+    }
+
+    /// [`execute`](Self::execute) behind the versioned result cache:
+    /// serve a stored answer when the event layer is provably unchanged,
+    /// otherwise execute and (on success only) store the answer under the
+    /// pre-execution version vector. Failed queries are never cached.
+    fn execute_cached(
+        &self,
+        video: &str,
+        q: &Query,
+        budget: &ExecBudget,
+    ) -> Result<Vec<RetrievedSegment>> {
+        let normalized = q.normalized();
+        let versions = self.version_vector(video);
+        if let Some(hit) = self.caches.result(video, &normalized, &versions) {
+            return Ok(hit.segments.clone());
+        }
+        let segments = self.execute_traced(video, q, None, budget)?;
+        self.caches.store_result(
+            video,
+            &normalized,
+            Arc::new(CachedResult {
+                segments: segments.clone(),
+                versions,
+            }),
+        );
+        Ok(segments)
     }
 
     /// Executes `q` and returns the answer together with the span tree
@@ -761,6 +809,42 @@ impl Vdbms {
     /// MIL evaluation, and the kernel operators underneath.
     pub fn profile(&self, video: &str, q: &Query) -> Result<QueryProfile> {
         self.profile_with(video, q, &ExecBudget::unlimited())
+    }
+
+    /// [`profile_with`](Self::profile_with) behind the result cache. A
+    /// hit returns the cached answer under a span tree whose only child
+    /// is a `cache:result` leaf (the probe cost *is* where the time
+    /// went); a miss profiles normally — identical tree to the uncached
+    /// path — and stores the answer for subsequent statements sharing
+    /// the normalized query text, `RETRIEVE` or `PROFILE` alike.
+    fn profile_cached(&self, video: &str, q: &Query, budget: &ExecBudget) -> Result<QueryProfile> {
+        let normalized = q.normalized();
+        let mut timer = SpanTimer::start("query");
+        timer.meta("target", format!("{:?}", q.target));
+        timer.meta("video", video);
+        let probe = Instant::now();
+        let versions = self.version_vector(video);
+        if let Some(hit) = self.caches.result(video, &normalized, &versions) {
+            timer.child(
+                SpanNode::leaf("cache:result", probe.elapsed().as_nanos() as u64)
+                    .with_meta("result", "hit")
+                    .with_meta("rows", hit.segments.len().to_string()),
+            );
+            return Ok(QueryProfile {
+                segments: hit.segments.clone(),
+                span: timer.finish(),
+            });
+        }
+        let profile = self.profile_with(video, q, budget)?;
+        self.caches.store_result(
+            video,
+            &normalized,
+            Arc::new(CachedResult {
+                segments: profile.segments.clone(),
+                versions,
+            }),
+        );
+        Ok(profile)
     }
 
     fn profile_with(&self, video: &str, q: &Query, budget: &ExecBudget) -> Result<QueryProfile> {
@@ -802,15 +886,6 @@ impl Vdbms {
             root = root.with_child(SpanNode::new("filter:driver"));
         }
         root
-    }
-
-    fn execute(
-        &self,
-        video: &str,
-        q: &Query,
-        budget: &ExecBudget,
-    ) -> Result<Vec<RetrievedSegment>> {
-        self.execute_traced(video, q, None, budget)
     }
 
     fn execute_traced(
@@ -924,16 +999,33 @@ impl Vdbms {
         }
 
         // Conceptual → logical: a Moa selection over the kind column,
-        // through the same optimizer every Moa plan passes.
+        // through the same optimizer every Moa plan passes. The plan
+        // depends only on (video, kind), so a cached compilation is
+        // reused verbatim; the execution budget below still applies.
         let t = Instant::now();
-        let sel = f1_moa::optimize(
-            f1_moa::MoaExpr::collection(&kind_bat)
-                .select(f1_moa::Predicate::Eq(f1_monet::Atom::str(kind))),
-        );
-        let sel_mil = f1_moa::compile(&sel);
+        let (plan, compile_cached) = match self.caches.plan(video, kind) {
+            Some(plan) => (plan, "hit"),
+            None => {
+                let sel = f1_moa::optimize(
+                    f1_moa::MoaExpr::collection(&kind_bat)
+                        .select(f1_moa::Predicate::Eq(f1_monet::Atom::str(kind))),
+                );
+                let sel_mil = f1_moa::compile(&sel);
+                let column_programs = ["start", "end", "driver"].map(|col| {
+                    format!("RETURN (({sel_mil}).mirror).join(bat(\"{video}.ev.{col}\"));")
+                });
+                let plan = Arc::new(CompiledPlan {
+                    sel_mil,
+                    column_programs,
+                });
+                self.caches.store_plan(video, kind, Arc::clone(&plan));
+                (plan, "miss")
+            }
+        };
         node.child(
             SpanNode::leaf("moa:compile", t.elapsed().as_nanos() as u64)
-                .with_meta("mil", sel_mil.as_str()),
+                .with_meta("mil", plan.sel_mil.as_str())
+                .with_meta("cache", compile_cached),
         );
 
         // Logical → physical: mirror the matching oids and join them
@@ -941,9 +1033,8 @@ impl Vdbms {
         let before = self.kernel.metrics().registry().snapshot();
         let t = Instant::now();
         let mut columns = Vec::new();
-        for col in ["start", "end", "driver"] {
-            let program = format!("RETURN (({sel_mil}).mirror).join(bat(\"{video}.ev.{col}\"));");
-            columns.push(self.kernel.eval_mil_guarded(&program, budget)?);
+        for program in &plan.column_programs {
+            columns.push(self.kernel.eval_mil_guarded(program, budget)?);
         }
         let mil_ns = t.elapsed().as_nanos() as u64;
         let delta = self.kernel.metrics().registry().snapshot().delta(&before);

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use cobra_cache::Lru;
 use parking_lot::RwLock;
 
 use crate::bat::Bat;
@@ -19,8 +20,8 @@ use crate::index::ColumnIndex;
 use crate::metrics::KernelMetrics;
 use crate::mil::{self, MilValue};
 
-/// When the index cache holds this many entries, it is cleared wholesale
-/// before inserting — a crude but bounded eviction policy.
+/// Entry bound for the head-index cache; the least-recently-used entry is
+/// evicted when a new BAT's index would exceed it.
 const INDEX_CACHE_CAP: usize = 128;
 
 /// A shareable handle to a catalog-resident (or MIL-local) BAT.
@@ -54,8 +55,9 @@ pub struct Kernel {
     procs: RwLock<HashMap<String, String>>,
     /// Head-column indexes keyed by BAT identity, tagged with the BAT
     /// version they were built at. A mutated BAT bumps its version, so a
-    /// stale entry is detected (and rebuilt) on the next lookup.
-    index_cache: RwLock<HashMap<u64, (u64, Arc<ColumnIndex>)>>,
+    /// stale entry is detected (and rebuilt) on the next lookup. Bounded
+    /// by [`INDEX_CACHE_CAP`] with per-entry LRU eviction.
+    index_cache: Lru<u64, (u64, Arc<ColumnIndex>)>,
     /// Observability: pre-resolved handles over this kernel's metric
     /// registry. Snapshot via `kernel.metrics().registry()`.
     metrics: Arc<KernelMetrics>,
@@ -68,7 +70,7 @@ impl Kernel {
             bats: RwLock::new(HashMap::new()),
             modules: RwLock::new(HashMap::new()),
             procs: RwLock::new(HashMap::new()),
-            index_cache: RwLock::new(HashMap::new()),
+            index_cache: Lru::new(INDEX_CACHE_CAP),
             metrics: Arc::new(KernelMetrics::default()),
         }
     }
@@ -88,28 +90,27 @@ impl Kernel {
     pub fn head_index(&self, bat: &Bat) -> Option<Arc<ColumnIndex>> {
         bat.head().data()?;
         let key = bat.id();
-        {
-            let cache = self.index_cache.read();
-            if let Some((version, idx)) = cache.get(&key) {
-                if *version == bat.version() {
-                    self.metrics.index_hits.inc();
-                    return Some(Arc::clone(idx));
-                }
+        if let Some((version, idx)) = self.index_cache.get(&key) {
+            if version == bat.version() {
+                self.metrics.index_hits.inc();
+                return Some(idx);
             }
         }
         self.metrics.index_misses.inc();
         let built = Arc::new(ColumnIndex::build(bat.head())?);
-        let mut cache = self.index_cache.write();
-        if cache.len() >= INDEX_CACHE_CAP && !cache.contains_key(&key) {
-            cache.clear();
+        if self
+            .index_cache
+            .insert(key, (bat.version(), Arc::clone(&built)))
+            .is_some()
+        {
+            self.metrics.index_evictions.inc();
         }
-        cache.insert(key, (bat.version(), Arc::clone(&built)));
         Some(built)
     }
 
     /// Number of live entries in the head-index cache (for tests/metrics).
     pub fn cached_indexes(&self) -> usize {
-        self.index_cache.read().len()
+        self.index_cache.len()
     }
 
     /// Registers `bat` in the catalog under `name`. Fails when taken.
@@ -359,6 +360,30 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &rebuilt));
         assert_eq!(rebuilt.lookup_i64(9), &[1]);
         assert_eq!(k.cached_indexes(), 1);
+    }
+
+    #[test]
+    fn head_index_evicts_per_entry_not_wholesale() {
+        let k = Kernel::new();
+        let bats: Vec<Bat> = (0..INDEX_CACHE_CAP as i64 + 16)
+            .map(|i| {
+                let mut b = Bat::new(AtomType::Int, AtomType::Int);
+                b.append(Atom::Int(i), Atom::Int(i)).unwrap();
+                b
+            })
+            .collect();
+        for b in &bats {
+            k.head_index(b).unwrap();
+        }
+        // Overflow displaces old entries one at a time instead of clearing
+        // the whole cache, so residency stays at (roughly) the cap.
+        assert!(k.cached_indexes() <= k.index_cache.capacity());
+        assert!(k.cached_indexes() > INDEX_CACHE_CAP / 2);
+        assert!(k.metrics.index_evictions.get() > 0);
+        // The most recent BAT is still resident: probing it again is a hit.
+        let hits_before = k.metrics.index_hits.get();
+        k.head_index(bats.last().unwrap()).unwrap();
+        assert_eq!(k.metrics.index_hits.get(), hits_before + 1);
     }
 
     #[test]

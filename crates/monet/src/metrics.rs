@@ -21,6 +21,8 @@ pub struct KernelMetrics {
     pub index_hits: Arc<Counter>,
     /// Head-index cache probes that had to (re)build.
     pub index_misses: Arc<Counter>,
+    /// Head-index cache entries displaced by LRU eviction.
+    pub index_evictions: Arc<Counter>,
     /// Extension-procedure dispatches.
     pub proc_calls: Arc<Counter>,
     /// MIL programs evaluated.
@@ -51,6 +53,7 @@ impl KernelMetrics {
         KernelMetrics {
             index_hits: registry.counter("kernel.index_cache", &[("result", "hit")]),
             index_misses: registry.counter("kernel.index_cache", &[("result", "miss")]),
+            index_evictions: registry.counter("kernel.index_cache", &[("result", "eviction")]),
             proc_calls: registry.counter("kernel.proc_calls", &[]),
             mil_evals: registry.counter("mil.evals", &[]),
             mil_eval_ns: registry.histogram("mil.eval_ns", &[]),

@@ -31,6 +31,53 @@ pub struct LoadConfig {
     pub queries: Vec<String>,
     /// Optional per-request deadline.
     pub deadline_ms: Option<u64>,
+    /// Number of distinct query texts to synthesize (the `--distinct`
+    /// knob). `0` keeps the legacy behavior: cycle `queries` verbatim.
+    /// Otherwise each request picks rank `r < distinct` and appends a
+    /// driver variant to a base query, so `distinct = 1` is an all-hot
+    /// (maximally cacheable/coalescable) workload and a large value
+    /// approaches all-cold.
+    pub distinct: usize,
+    /// Zipf skew exponent for rank selection when `distinct > 0`;
+    /// `None` draws ranks uniformly. Realistic hot-key traffic is
+    /// `Some(1.0)`-ish: rank r drawn with weight 1/(r+1)^s.
+    pub zipf: Option<f64>,
+}
+
+/// Deterministic per-client rank sampler over `[0, distinct)`:
+/// uniform, or Zipf(s) by inverse-CDF over precomputed weights. A tiny
+/// xorshift PRNG keeps runs reproducible without a rand dependency.
+struct RankSampler {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl RankSampler {
+    fn new(distinct: usize, zipf: Option<f64>, seed: u64) -> Self {
+        let s = zipf.unwrap_or(0.0);
+        let mut cdf = Vec::with_capacity(distinct);
+        let mut total = 0.0;
+        for r in 0..distinct {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        RankSampler {
+            cdf,
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+
+    fn next(&mut self) -> usize {
+        // xorshift64*
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let u = (self.state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
 }
 
 /// Aggregated outcome of a load run.
@@ -114,14 +161,25 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                     return;
                 };
                 let mut mine = Vec::with_capacity(config.requests_per_client);
+                let mut sampler = (config.distinct > 0)
+                    .then(|| RankSampler::new(config.distinct, config.zipf, k as u64 + 1));
                 for i in 0..config.requests_per_client {
-                    let text = &config.queries[(k + i) % config.queries.len()];
+                    let text = match &mut sampler {
+                        // Distinct regime: a driver-variant suffix makes
+                        // rank r a distinct normalized query text.
+                        Some(s) => {
+                            let r = s.next();
+                            let base = &config.queries[r % config.queries.len()];
+                            format!("{base} WITH DRIVER \"Z{r}\"")
+                        }
+                        None => config.queries[(k + i) % config.queries.len()].clone(),
+                    };
                     let opts = RequestOpts {
                         deadline_ms: config.deadline_ms,
                         fuel: None,
                     };
                     let t = Instant::now();
-                    match client.query_opts(&config.video, text, opts) {
+                    match client.query_opts(&config.video, &text, opts) {
                         Ok(_) => {
                             mine.push(t.elapsed().as_micros() as u64);
                             ok.fetch_add(1, Ordering::Relaxed);

@@ -62,12 +62,26 @@ impl Default for ServerConfig {
     }
 }
 
+/// A request coalesced onto another request's execution: it waits for
+/// the leader's response and receives a copy with its own id.
+struct FlightWaiter {
+    id: u64,
+    tx: Sender<Value>,
+    since: Instant,
+}
+
 struct ServerShared {
     vdbms: Arc<Vdbms>,
     pool: WorkerPool,
     config: ServerConfig,
     shutting_down: AtomicBool,
     sessions: Mutex<Vec<JoinHandle<()>>>,
+    /// Single-flight table: (video, normalized statement) of every
+    /// coalescable query currently admitted, mapped to the followers
+    /// that arrived while it was in flight. The leader's presence is the
+    /// map entry itself (followers may be zero), so identical requests
+    /// share one worker execution instead of burning admission slots.
+    flights: Mutex<HashMap<String, Vec<FlightWaiter>>>,
 }
 
 impl ServerShared {
@@ -127,7 +141,10 @@ pub fn start(vdbms: Arc<Vdbms>, config: ServerConfig) -> std::io::Result<ServerH
         config,
         shutting_down: AtomicBool::new(false),
         sessions: Mutex::new(Vec::new()),
+        flights: Mutex::new(HashMap::new()),
     });
+    // Pre-resolve so `stats` shows the series from boot.
+    shared.registry().counter("cache.coalesced", &[]);
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
         .name("cobra-serve-accept".into())
@@ -300,6 +317,27 @@ fn handle_request(
     }
 }
 
+/// Delivers the leader's `response` to every follower coalesced under
+/// `key`, with each follower's own request id substituted, and retires
+/// the flight so the next identical query starts fresh.
+fn fan_out(shared: &Arc<ServerShared>, key: &str, response: &Value) {
+    let waiters = {
+        let mut flights = shared.flights.lock().expect("flight table");
+        flights.remove(key).unwrap_or_default()
+    };
+    let registry = shared.registry();
+    for w in waiters {
+        registry
+            .histogram("serve.latency_us", &[])
+            .record(w.since.elapsed().as_micros() as u64);
+        let mut copy = response.clone();
+        if let Value::Object(map) = &mut copy {
+            map.insert("id".into(), Value::Number(w.id as f64));
+        }
+        let _ = w.tx.send(copy);
+    }
+}
+
 /// Everything a pooled job needs to report its outcome.
 struct JobCtx {
     shared: Arc<ServerShared>,
@@ -310,6 +348,14 @@ struct JobCtx {
     deadline_at: Option<Instant>,
     fuel: Option<u64>,
     admitted_at: Instant,
+    /// Set when this job leads a single-flight group; its response is
+    /// fanned out to the group's followers.
+    flight_key: Option<String>,
+    /// True from the moment the worker starts running the job until a
+    /// response is sent; arms the drop guard that releases followers if
+    /// the worker dies mid-query. Not armed while the job sits in the
+    /// queue, so an admission rejection reports its own (typed) error.
+    running: AtomicBool,
 }
 
 impl JobCtx {
@@ -339,11 +385,15 @@ impl JobCtx {
     }
 
     fn finish(&self, response: Value) {
+        self.running.store(false, Ordering::SeqCst);
         self.inflight.lock().expect("inflight map").remove(&self.id);
         let registry = self.shared.registry();
         registry
             .histogram("serve.latency_us", &[])
             .record(self.admitted_at.elapsed().as_micros() as u64);
+        if let Some(key) = &self.flight_key {
+            fan_out(&self.shared, key, &response);
+        }
         let _ = self.tx.send(response);
     }
 
@@ -356,19 +406,39 @@ impl JobCtx {
     }
 }
 
+impl Drop for JobCtx {
+    /// A job that dies without responding (worker panic) must not wedge
+    /// its single-flight group: release the followers with an error so
+    /// the next identical query becomes a fresh leader.
+    fn drop(&mut self) {
+        if !self.running.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(key) = self.flight_key.take() {
+            let response = err_response(
+                self.id,
+                ErrorKind::Internal,
+                "query worker terminated before responding",
+            );
+            fan_out(&self.shared, &key, &response);
+        }
+    }
+}
+
 fn admit(
     shared: &Arc<ServerShared>,
     id: u64,
     request: &Value,
     tx: &Sender<Value>,
     inflight: &Inflight,
+    flight_key: Option<String>,
     run: impl FnOnce(&JobCtx) + Send + 'static,
 ) {
     let token = CancellationToken::new();
-    inflight
-        .lock()
-        .expect("inflight map")
-        .insert(id, token.clone());
+    let mut map = inflight.lock().expect("inflight map");
+    map.insert(id, token.clone());
+    drop(map);
+    let rejection_key = flight_key.clone();
     let ctx = JobCtx {
         shared: Arc::clone(shared),
         id,
@@ -381,8 +451,11 @@ fn admit(
             .map(|ms| Instant::now() + Duration::from_millis(ms)),
         fuel: request.get("fuel").and_then(Value::as_u64),
         admitted_at: Instant::now(),
+        flight_key,
+        running: AtomicBool::new(false),
     };
     let outcome = shared.pool.try_submit(Box::new(move || {
+        ctx.running.store(true, Ordering::SeqCst);
         if let Some(kind) = ctx.expired() {
             ctx.fail(kind, "request expired before execution");
             return;
@@ -404,7 +477,12 @@ fn admit(
             .registry()
             .counter("serve.rejected", &[("kind", kind.as_str())])
             .inc();
-        let _ = tx.send(err_response(id, kind, message));
+        let response = err_response(id, kind, message);
+        // A rejected leader takes its (raced-in) followers with it.
+        if let Some(key) = &rejection_key {
+            fan_out(shared, key, &response);
+        }
+        let _ = tx.send(response);
     }
 }
 
@@ -427,7 +505,37 @@ fn submit_query(
         return;
     };
     let (video, text) = (video.to_string(), text.to_string());
-    admit(shared, id, request, tx, inflight, move |ctx| {
+
+    // Single-flight: identical statements already in flight share one
+    // worker execution. Only requests without a per-request deadline or
+    // fuel budget are eligible (coalesced requests share the leader's
+    // unlimited budget, so nobody's constraint is silently widened), and
+    // only parseable statements coalesce — parse errors take the normal
+    // path and fail in the worker as before.
+    let eligible = request.get("deadline_ms").is_none() && request.get("fuel").is_none();
+    let flight_key = if eligible {
+        f1_cobra::parse_statement(&text)
+            .ok()
+            .map(|s| format!("{video}\u{1}{}", s.normalized()))
+    } else {
+        None
+    };
+    if let Some(key) = &flight_key {
+        let mut flights = shared.flights.lock().expect("flight table");
+        if let Some(waiters) = flights.get_mut(key) {
+            waiters.push(FlightWaiter {
+                id,
+                tx: tx.clone(),
+                since: Instant::now(),
+            });
+            drop(flights);
+            shared.registry().counter("cache.coalesced", &[]).inc();
+            return;
+        }
+        flights.insert(key.clone(), Vec::new());
+    }
+
+    admit(shared, id, request, tx, inflight, flight_key, move |ctx| {
         let budget = ctx.budget();
         match ctx.shared.vdbms.run_with_budget(&video, &text, &budget) {
             Ok(output) => ctx.finish(ok_response(
@@ -458,7 +566,7 @@ fn submit_sleep(
         ));
         return;
     };
-    admit(shared, id, request, tx, inflight, move |ctx| {
+    admit(shared, id, request, tx, inflight, None, move |ctx| {
         let budget = ctx.budget();
         let guard = budget.start();
         let end = Instant::now() + Duration::from_millis(ms);
