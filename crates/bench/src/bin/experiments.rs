@@ -4,7 +4,7 @@
 //! ```text
 //! experiments [--duration SECONDS] [table1 table2 table3 table4 ablation
 //!              fig9 temporal clustering keywords endpoint shots hmm queries
-//!              monet obs serve cache]
+//!              monet obs serve cache wal]
 //! ```
 //!
 //! With no experiment names, everything runs. Traces for Fig. 9 are
@@ -188,6 +188,13 @@ fn main() {
         println!("{table}");
         if std::fs::write("BENCH_cache.json", json.to_string()).is_ok() {
             println!("(cache benchmark written to BENCH_cache.json)");
+        }
+    }
+    if want("wal") {
+        let (table, json) = experiments::wal();
+        println!("{table}");
+        if std::fs::write("BENCH_wal.json", json.to_string()).is_ok() {
+            println!("(durability benchmark written to BENCH_wal.json)");
         }
     }
 

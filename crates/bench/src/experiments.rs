@@ -599,11 +599,14 @@ pub fn queries(german: &RaceData) -> Table {
     let scenario = &german.scenario;
     let vdbms = Vdbms::new();
     // Reuse the prepared feature matrix instead of re-extracting.
-    vdbms.catalog.register_video(f1_cobra::catalog::VideoInfo {
-        name: "german".into(),
-        n_clips: scenario.n_clips,
-        n_frames: scenario.n_frames(),
-    });
+    vdbms
+        .catalog
+        .register_video(f1_cobra::catalog::VideoInfo {
+            name: "german".into(),
+            n_clips: scenario.n_clips,
+            n_frames: scenario.n_frames(),
+        })
+        .expect("register bench video");
     vdbms
         .catalog
         .store_features("german", &german.features)
@@ -758,11 +761,14 @@ pub fn obs() -> (Table, serde_json::Value) {
     // Catalog-only fixture: no media pipeline, so the numbers isolate
     // the query path (conceptual level -> Moa -> MIL -> kernel ops).
     let vdbms = Vdbms::new();
-    vdbms.catalog.register_video(VideoInfo {
-        name: "bench".into(),
-        n_clips: CLIPS,
-        n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
-    });
+    vdbms
+        .catalog
+        .register_video(VideoInfo {
+            name: "bench".into(),
+            n_clips: CLIPS,
+            n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
+        })
+        .expect("register bench video");
     let events: Vec<EventRecord> = (0..CLIPS / 3)
         .map(|i| EventRecord {
             kind: match i % 3 {
@@ -1016,11 +1022,14 @@ pub fn serve() -> (Table, serde_json::Value) {
     // Same catalog-only fixture as the obs experiment: the numbers
     // isolate protocol + scheduling + query path, not media synthesis.
     let vdbms = Arc::new(Vdbms::new());
-    vdbms.catalog.register_video(VideoInfo {
-        name: "bench".into(),
-        n_clips: CLIPS,
-        n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
-    });
+    vdbms
+        .catalog
+        .register_video(VideoInfo {
+            name: "bench".into(),
+            n_clips: CLIPS,
+            n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
+        })
+        .expect("register bench video");
     let events: Vec<EventRecord> = (0..CLIPS / 3)
         .map(|i| EventRecord {
             kind: match i % 3 {
@@ -1170,11 +1179,14 @@ pub fn cache() -> (Table, serde_json::Value) {
     };
     let fixture = || -> Arc<Vdbms> {
         let vdbms = Arc::new(Vdbms::new());
-        vdbms.catalog.register_video(VideoInfo {
-            name: "bench".into(),
-            n_clips: CLIPS,
-            n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
-        });
+        vdbms
+            .catalog
+            .register_video(VideoInfo {
+                name: "bench".into(),
+                n_clips: CLIPS,
+                n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
+            })
+            .expect("register bench video");
         vdbms
             .catalog
             .store_events("bench", &fixture_events())
@@ -1416,6 +1428,210 @@ pub fn cache() -> (Table, serde_json::Value) {
             // requests is the cross-regime comparison that holds on
             // any core count.
             "goodput_gain": (hot.ok as f64 / (cold.ok as f64).max(1.0)),
+        },
+    });
+    (table, doc)
+}
+
+/// **WAL bench** — what durability costs and what recovery buys: per-op
+/// ingest overhead of the durable backend against the in-memory one
+/// (under both fsync policies), recovery time as a function of WAL
+/// length, and the cost of cutting a checkpoint.
+pub fn wal() -> (Table, serde_json::Value) {
+    use f1_cobra::catalog::{EventRecord, VideoInfo};
+    use f1_cobra::{FsyncPolicy, StoreConfig, Vdbms};
+    use std::path::{Path, PathBuf};
+
+    const OPS: usize = 256;
+    const CLIPS: usize = 400;
+
+    /// A scratch data dir per regime, removed on drop.
+    struct Scratch(PathBuf);
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir =
+                std::env::temp_dir().join(format!("cobra-walbench-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    // Manual checkpoints only: the bench owns the log length.
+    let config = |dir: &Path, fsync: FsyncPolicy| StoreConfig {
+        fsync,
+        checkpoint_every: 0,
+        ..StoreConfig::new(dir)
+    };
+    let register = |vdbms: &Vdbms| {
+        vdbms
+            .catalog
+            .register_video(VideoInfo {
+                name: "bench".into(),
+                n_clips: CLIPS,
+                n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
+            })
+            .expect("register bench video");
+    };
+    let event = |i: usize| EventRecord {
+        kind: if i.is_multiple_of(2) {
+            "highlight"
+        } else {
+            "excited"
+        }
+        .into(),
+        start: i % CLIPS,
+        end: i % CLIPS + 1,
+        driver: i.is_multiple_of(4).then(|| "SCHUMACHER".to_string()),
+    };
+    let ingest = |vdbms: &Vdbms, n: usize| -> f64 {
+        let t = Instant::now();
+        for i in 0..n {
+            vdbms
+                .catalog
+                .store_events("bench", &[event(i)])
+                .expect("catalog accepts events");
+        }
+        t.elapsed().as_secs_f64() * 1e6 / n as f64
+    };
+
+    // Ingest overhead: the identical mutation stream against each
+    // backend. Memory is the floor the durable regimes are judged by.
+    let mem = Vdbms::new();
+    register(&mem);
+    let mem_us = ingest(&mem, OPS);
+    drop(mem);
+
+    let mut regimes: Vec<(&str, f64, u64, u64)> = vec![("memory", mem_us, 0, 0)];
+    for (tag, label, fsync) in [
+        ("always", "durable fsync=always", FsyncPolicy::Always),
+        (
+            "batched",
+            "durable fsync=every(32)",
+            FsyncPolicy::EveryN(32),
+        ),
+    ] {
+        let scratch = Scratch::new(tag);
+        let vdbms = Vdbms::open(&config(&scratch.0, fsync)).expect("durable vdbms boots");
+        register(&vdbms);
+        let us = ingest(&vdbms, OPS);
+        let stats = vdbms.store_stats();
+        regimes.push((label, us, stats.wal_bytes, stats.wal_fsyncs));
+    }
+
+    // Recovery time vs WAL length: crash (drop without checkpoint)
+    // after n acknowledged mutations, then time the recovering boot.
+    let scratch = Scratch::new("recovery");
+    let mut recovery: Vec<(usize, f64, u64)> = Vec::new();
+    for &n in &[64usize, 256, 1024] {
+        let _ = std::fs::remove_dir_all(&scratch.0);
+        {
+            let vdbms = Vdbms::open(&config(&scratch.0, FsyncPolicy::EveryN(64)))
+                .expect("durable vdbms boots");
+            register(&vdbms);
+            ingest(&vdbms, n);
+            vdbms.flush().expect("wal flush");
+        }
+        let t = Instant::now();
+        let vdbms =
+            Vdbms::open(&config(&scratch.0, FsyncPolicy::EveryN(64))).expect("recovering boot");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let rec = vdbms
+            .recovery_report()
+            .expect("durable boot reports recovery");
+        assert!(
+            rec.replayed >= n as u64,
+            "every acknowledged mutation must be replayed"
+        );
+        recovery.push((n, ms, rec.replayed));
+    }
+
+    // Checkpoint cost on the longest log, with a dirty feature BAT so
+    // the snapshot writes real payload — then prove the next boot
+    // replays nothing because the snapshot covers the log.
+    let vdbms =
+        Vdbms::open(&config(&scratch.0, FsyncPolicy::EveryN(64))).expect("durable vdbms boots");
+    let features: Vec<Vec<f64>> = (0..CLIPS)
+        .map(|t| vec![t as f64 * 0.5, -(t as f64)])
+        .collect();
+    vdbms
+        .catalog
+        .store_features("bench", &features)
+        .expect("catalog accepts features");
+    let t = Instant::now();
+    let outcome = vdbms
+        .checkpoint()
+        .expect("checkpoint succeeds")
+        .expect("the durable backend checkpoints");
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(vdbms);
+    let t = Instant::now();
+    let rebooted = Vdbms::open(&config(&scratch.0, FsyncPolicy::EveryN(64))).expect("clean boot");
+    let clean_boot_ms = t.elapsed().as_secs_f64() * 1e3;
+    let clean = rebooted.recovery_report().expect("recovery report").clone();
+    assert_eq!(clean.replayed, 0, "a fresh checkpoint must cover the log");
+    drop(rebooted);
+
+    let mut table = Table::new(
+        "WAL — durability overhead, recovery time, checkpoint cost",
+        &["Regime", "Ingest (us/op)", "WAL bytes", "fsyncs"],
+    );
+    for (label, us, bytes, fsyncs) in &regimes {
+        table.row(vec![
+            Cell::Text((*label).into()),
+            Cell::Num((us * 10.0).round() / 10.0),
+            Cell::Num(*bytes as f64),
+            Cell::Num(*fsyncs as f64),
+        ]);
+    }
+    for (n, ms, replayed) in &recovery {
+        table.row(vec![
+            Cell::Text(format!("recovery of {n} records")),
+            Cell::Num((ms * 100.0).round() / 100.0),
+            Cell::Num(*replayed as f64),
+            Cell::Empty,
+        ]);
+    }
+    table.row(vec![
+        Cell::Text("checkpoint (ms / BATs / bytes)".into()),
+        Cell::Num((checkpoint_ms * 100.0).round() / 100.0),
+        Cell::Num(outcome.bats_written as f64),
+        Cell::Num(outcome.bytes_written as f64),
+    ]);
+
+    let doc = serde_json::json!({
+        "experiment": "wal",
+        "ops": (OPS as f64),
+        "clips": (CLIPS as f64),
+        "ingest": (regimes
+            .iter()
+            .map(|(label, us, bytes, fsyncs)| serde_json::json!({
+                "regime": (*label),
+                "us_per_op": (*us),
+                "wal_bytes": (*bytes as f64),
+                "wal_fsyncs": (*fsyncs as f64),
+            }))
+            .collect::<Vec<_>>()),
+        "recovery": (recovery
+            .iter()
+            .map(|(n, ms, replayed)| serde_json::json!({
+                "records": (*n as f64),
+                "open_ms": (*ms),
+                "replayed": (*replayed as f64),
+            }))
+            .collect::<Vec<_>>()),
+        "checkpoint": {
+            "ms": (checkpoint_ms),
+            "bats_written": (outcome.bats_written as f64),
+            "bats_skipped": (outcome.bats_skipped as f64),
+            "bytes_written": (outcome.bytes_written as f64),
+            "wal_files_retired": (outcome.wal_files_retired as f64),
+            "clean_boot_ms": (clean_boot_ms),
+            "clean_boot_replayed": (clean.replayed as f64),
         },
     });
     (table, doc)

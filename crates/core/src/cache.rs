@@ -55,6 +55,12 @@ pub struct CompiledPlan {
 /// registration) are unchanged, so the cached answer is still exact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VersionVector {
+    /// Storage boot epoch: 0 when memory-only, strictly increasing per
+    /// recovery when durable. BAT ids and versions restart arbitrarily
+    /// after a crash, so without the epoch a post-crash process could
+    /// collide with a pre-crash vector and serve stale results; the
+    /// epoch makes every incarnation's vectors disjoint.
+    pub epoch: u64,
     /// Catalog generation (bumped on video (re)registration).
     pub catalog_gen: u64,
     /// (BAT id, BAT version) of the kind/start/end/driver event BATs.
@@ -188,6 +194,7 @@ mod tests {
 
     fn vector(generation: u64, version: u64) -> VersionVector {
         VersionVector {
+            epoch: 0,
             catalog_gen: generation,
             bats: vec![Some((1, version)); 4],
         }

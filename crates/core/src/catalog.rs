@@ -13,9 +13,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use cobra_store::backend::{NamedBat, SnapshotState, StorageBackend};
+use cobra_store::{CheckpointOutcome, ManifestVideo, MemBackend, Recovery, WalEvent, WalOp};
 use f1_monet::prelude::*;
 
 use crate::{CobraError, Result};
@@ -45,22 +48,48 @@ pub struct EventRecord {
     pub driver: Option<String>,
 }
 
-/// The catalog, backed by a shared Monet kernel.
+/// The catalog, backed by a shared Monet kernel and (optionally) a
+/// durable storage backend.
+///
+/// Every mutation follows **log-before-apply**: the typed WAL record is
+/// appended (and made durable per the backend's fsync policy) *before*
+/// the in-memory state changes, under a catalog-wide commit lock that
+/// keeps log order identical to apply order. A mutation that fails to
+/// log is neither applied nor acknowledged, so recovery replaying the
+/// log reconstructs exactly the acknowledged state.
 pub struct Catalog {
     kernel: std::sync::Arc<Kernel>,
     videos: RwLock<HashMap<String, VideoInfo>>,
     /// Bumped on raw-layer changes (video (re)registration), which BAT
     /// versions can't see. Part of the result-cache version vector.
     generation: AtomicU64,
+    /// The durability backend ([`MemBackend`] keeps the old pure
+    /// main-memory behaviour at zero overhead).
+    store: Arc<dyn StorageBackend>,
+    /// Serializes (WAL append, memory apply) pairs, and the checkpoint
+    /// cut against in-flight mutations.
+    commit: Mutex<()>,
+    /// Serializes whole checkpoints (the background checkpointer versus
+    /// an explicit `CHECKPOINT`).
+    ckpt: Mutex<()>,
 }
 
 impl Catalog {
-    /// Creates a catalog over a kernel.
+    /// Creates a memory-only catalog over a kernel (the pre-durability
+    /// behaviour).
     pub fn new(kernel: std::sync::Arc<Kernel>) -> Self {
+        Catalog::with_store(kernel, Arc::new(MemBackend::new()))
+    }
+
+    /// Creates a catalog whose mutations are logged to `store`.
+    pub fn with_store(kernel: std::sync::Arc<Kernel>, store: Arc<dyn StorageBackend>) -> Self {
         Catalog {
             kernel,
             videos: RwLock::new(HashMap::new()),
             generation: AtomicU64::new(0),
+            store,
+            commit: Mutex::new(()),
+            ckpt: Mutex::new(()),
         }
     }
 
@@ -69,8 +98,33 @@ impl Catalog {
         &self.kernel
     }
 
-    /// Registers a video's raw-layer descriptor.
-    pub fn register_video(&self, info: VideoInfo) {
+    /// The storage backend.
+    pub fn store(&self) -> &Arc<dyn StorageBackend> {
+        &self.store
+    }
+
+    /// The boot epoch of the storage backend (0 when memory-only). Folded
+    /// into the result-cache version vector so a recovered process can
+    /// never serve cached results from a previous incarnation.
+    pub fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// Registers a video's raw-layer descriptor (logged, then applied).
+    pub fn register_video(&self, info: VideoInfo) -> Result<()> {
+        let _commit = self.commit.lock();
+        if self.store.is_durable() {
+            self.store.log(&WalOp::RegisterVideo {
+                name: info.name.clone(),
+                n_clips: info.n_clips as u64,
+                n_frames: info.n_frames as u64,
+            })?;
+        }
+        self.apply_register(info);
+        Ok(())
+    }
+
+    fn apply_register(&self, info: VideoInfo) {
         self.videos.write().insert(info.name.clone(), info);
         self.generation.fetch_add(1, Ordering::Release);
     }
@@ -122,6 +176,7 @@ impl Catalog {
     }
 
     /// Stores the feature layer: `matrix[t][k]` is feature k at clip t.
+    /// Validated first, then logged, then applied.
     pub fn store_features(&self, video: &str, matrix: &[Vec<f64>]) -> Result<()> {
         self.video(video)?;
         let n_features = matrix.first().map(Vec::len).unwrap_or(0);
@@ -134,8 +189,33 @@ impl Catalog {
                 ),
             });
         }
+        let _commit = self.commit.lock();
+        if self.store.is_durable() {
+            self.store.log(&WalOp::StoreFeatures {
+                video: video.to_string(),
+                n_features: n_features as u64,
+                values: matrix.iter().flatten().copied().collect(),
+            })?;
+        }
         for k in 0..n_features {
             let bat = Bat::from_tail(AtomType::Dbl, matrix.iter().map(|row| Atom::Dbl(row[k])))?;
+            self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
+        }
+        Ok(())
+    }
+
+    /// Replay-side twin of [`store_features`](Self::store_features): the
+    /// WAL keeps the matrix row-major (`values[t * n_features + k]`).
+    fn apply_features_flat(&self, video: &str, n_features: usize, values: &[f64]) -> Result<()> {
+        for k in 0..n_features {
+            let bat = Bat::from_tail(
+                AtomType::Dbl,
+                values
+                    .iter()
+                    .skip(k)
+                    .step_by(n_features)
+                    .map(|&v| Atom::Dbl(v)),
+            )?;
             self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
         }
         Ok(())
@@ -169,8 +249,28 @@ impl Catalog {
     }
 
     /// Appends event-layer records (creating the BATs on first use).
+    /// Logged, then applied.
     pub fn store_events(&self, video: &str, events: &[EventRecord]) -> Result<()> {
         self.video(video)?;
+        let _commit = self.commit.lock();
+        if self.store.is_durable() {
+            self.store.log(&WalOp::StoreEvents {
+                video: video.to_string(),
+                events: events
+                    .iter()
+                    .map(|e| WalEvent {
+                        kind: e.kind.clone(),
+                        start: e.start as u64,
+                        end: e.end as u64,
+                        driver: e.driver.clone(),
+                    })
+                    .collect(),
+            })?;
+        }
+        self.apply_events(video, events)
+    }
+
+    fn apply_events(&self, video: &str, events: &[EventRecord]) -> Result<()> {
         let names = [
             format!("{video}.ev.kind"),
             format!("{video}.ev.start"),
@@ -205,7 +305,19 @@ impl Catalog {
     }
 
     /// Removes all stored events of a video (e.g. before re-annotation).
-    pub fn clear_events(&self, video: &str) {
+    /// Logged, then applied.
+    pub fn clear_events(&self, video: &str) -> Result<()> {
+        let _commit = self.commit.lock();
+        if self.store.is_durable() {
+            self.store.log(&WalOp::ClearEvents {
+                video: video.to_string(),
+            })?;
+        }
+        self.apply_clear_events(video);
+        Ok(())
+    }
+
+    fn apply_clear_events(&self, video: &str) {
         for suffix in ["kind", "start", "end", "driver"] {
             let _ = self.kernel.drop_bat(&format!("{video}.ev.{suffix}"));
         }
@@ -251,6 +363,136 @@ impl Catalog {
             .map(|v| !v.is_empty())
             .unwrap_or(false)
     }
+
+    /// Installs the state recovery found at boot: the manifest's videos
+    /// and snapshot BATs, then the WAL tail replayed through the same
+    /// apply paths live mutations use. Runs before any concurrency.
+    pub fn install_recovery(&self, recovery: Recovery) -> Result<()> {
+        {
+            let mut videos = self.videos.write();
+            for v in &recovery.videos {
+                videos.insert(
+                    v.name.clone(),
+                    VideoInfo {
+                        name: v.name.clone(),
+                        n_clips: v.n_clips as usize,
+                        n_frames: v.n_frames as usize,
+                    },
+                );
+            }
+        }
+        self.generation
+            .store(recovery.catalog_gen, Ordering::Release);
+        for (name, bat) in recovery.bats {
+            self.kernel.set_bat(&name, bat);
+        }
+        for op in recovery.replay {
+            self.apply_op(op)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one replayed WAL operation.
+    fn apply_op(&self, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::Boot { .. } => Ok(()),
+            WalOp::RegisterVideo {
+                name,
+                n_clips,
+                n_frames,
+            } => {
+                self.apply_register(VideoInfo {
+                    name,
+                    n_clips: n_clips as usize,
+                    n_frames: n_frames as usize,
+                });
+                Ok(())
+            }
+            WalOp::StoreFeatures {
+                video,
+                n_features,
+                values,
+            } => self.apply_features_flat(&video, n_features as usize, &values),
+            WalOp::StoreEvents { video, events } => {
+                let records: Vec<EventRecord> = events
+                    .into_iter()
+                    .map(|e| EventRecord {
+                        kind: e.kind,
+                        start: e.start as usize,
+                        end: e.end as usize,
+                        driver: e.driver,
+                    })
+                    .collect();
+                self.apply_events(&video, &records)
+            }
+            WalOp::ClearEvents { video } => {
+                self.apply_clear_events(&video);
+                Ok(())
+            }
+        }
+    }
+
+    /// True when `name` is a catalog-owned BAT of `video` (a feature
+    /// column `{video}.f<k>` or an event column `{video}.ev.*`).
+    fn owns_bat(video: &str, name: &str) -> bool {
+        name.strip_prefix(video).is_some_and(|rest| {
+            rest.strip_prefix(".ev.")
+                .is_some_and(|s| matches!(s, "kind" | "start" | "end" | "driver"))
+                || rest
+                    .strip_prefix(".f")
+                    .is_some_and(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
+        })
+    }
+
+    /// Runs one checkpoint against the backend: under the commit lock,
+    /// rotate the WAL and clone the catalog state; off-lock, write dirty
+    /// BATs, commit the new manifest, and retire covered WAL files.
+    /// Returns `None` when the backend is memory-only.
+    pub fn checkpoint(&self) -> Result<Option<CheckpointOutcome>> {
+        let _serial = self.ckpt.lock();
+        let state = {
+            let _commit = self.commit.lock();
+            if !self.store.begin_checkpoint()? {
+                return Ok(None);
+            }
+            self.collect_state()
+        };
+        Ok(Some(self.store.complete_checkpoint(state)?))
+    }
+
+    /// Clones the catalog's durable state. Caller holds the commit lock.
+    fn collect_state(&self) -> SnapshotState {
+        let videos_guard = self.videos.read();
+        let mut videos: Vec<ManifestVideo> = videos_guard
+            .values()
+            .map(|v| ManifestVideo {
+                name: v.name.clone(),
+                n_clips: v.n_clips as u64,
+                n_frames: v.n_frames as u64,
+            })
+            .collect();
+        videos.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut bats = Vec::new();
+        for name in self.kernel.bat_names() {
+            if !videos_guard.keys().any(|v| Self::owns_bat(v, &name)) {
+                continue;
+            }
+            if let Ok(handle) = self.kernel.bat(&name) {
+                let bat = handle.read();
+                bats.push(NamedBat {
+                    name: name.clone(),
+                    src_id: bat.id(),
+                    src_version: bat.version(),
+                    bat: bat.clone(),
+                });
+            }
+        }
+        SnapshotState {
+            catalog_gen: self.generation(),
+            videos,
+            bats,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +506,8 @@ mod tests {
             name: "german".into(),
             n_clips: 4,
             n_frames: 10,
-        });
+        })
+        .unwrap();
         c
     }
 
@@ -343,7 +586,7 @@ mod tests {
         assert_eq!(pits[0].driver.as_deref(), Some("HAKKINEN"));
         assert!(c.has_events("german", "highlight"));
         assert!(!c.has_events("german", "fly_out"));
-        c.clear_events("german");
+        c.clear_events("german").unwrap();
         assert!(c.events("german", None).unwrap().is_empty());
     }
 

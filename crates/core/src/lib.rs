@@ -28,9 +28,12 @@ pub mod session;
 
 pub use cache::{CachedResult, CompiledPlan, QueryCaches, VersionVector};
 pub use catalog::Catalog;
+pub use cobra_store::{CheckpointOutcome, FsyncPolicy, StoreConfig, StoreStats};
 pub use extensions::{CostModel, CostStat, MethodRegistry};
 pub use query::{parse_query, parse_statement, Query, RetrievedSegment, Statement};
-pub use session::{IngestReport, MethodAttempt, MethodRank, QueryOutput, QueryProfile, Vdbms};
+pub use session::{
+    IngestReport, MethodAttempt, MethodRank, QueryOutput, QueryProfile, RecoveryReport, Vdbms,
+};
 
 /// Errors raised by the VDBMS layer.
 #[derive(Debug)]
@@ -68,6 +71,10 @@ pub enum CobraError {
         /// The final method's failure.
         source: Box<CobraError>,
     },
+    /// The durable storage layer failed. Raised *before* a mutation is
+    /// applied or acknowledged: a caller seeing this error knows the
+    /// catalog is unchanged.
+    Store(cobra_store::StoreError),
 }
 
 impl std::fmt::Display for CobraError {
@@ -88,6 +95,7 @@ impl std::fmt::Display for CobraError {
             CobraError::ExtractionFailed { video, .. } => {
                 write!(f, "every extraction method failed for video '{video}'")
             }
+            CobraError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -103,6 +111,7 @@ impl std::error::Error for CobraError {
             CobraError::Text(e) => Some(e),
             CobraError::Keyword(e) => Some(e),
             CobraError::ExtractionFailed { source, .. } => Some(source.as_ref()),
+            CobraError::Store(e) => Some(e),
             CobraError::UnknownVideo(_)
             | CobraError::MissingMetadata { .. }
             | CobraError::Parse(_) => None,
@@ -143,6 +152,11 @@ impl From<f1_text::TextError> for CobraError {
 impl From<f1_keyword::KeywordError> for CobraError {
     fn from(e: f1_keyword::KeywordError) -> Self {
         CobraError::Keyword(e)
+    }
+}
+impl From<cobra_store::StoreError> for CobraError {
+    fn from(e: cobra_store::StoreError) -> Self {
+        CobraError::Store(e)
     }
 }
 

@@ -6,10 +6,13 @@
 //! Bayesian fusion with recognized text.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cobra_obs::{SpanNode, SpanTimer};
+use cobra_store::backend::StorageBackend;
+use cobra_store::{CheckpointOutcome, FileBackend, MemBackend, StoreConfig, StoreStats};
 use parking_lot::RwLock;
 
 use f1_bayes::em::{train, EmConfig};
@@ -167,16 +170,41 @@ fn rank_rationale(
     )
 }
 
+/// What recovery-on-boot did (all zeros for a memory-only or fresh
+/// durable boot).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryReport {
+    /// The boot epoch assigned to this process.
+    pub epoch: u64,
+    /// WAL tail records replayed over the latest snapshot.
+    pub replayed: u64,
+    /// BATs loaded from snapshot files.
+    pub bats_loaded: u64,
+    /// Videos restored from the manifest (before replay).
+    pub videos: u64,
+    /// True when a torn/corrupt WAL tail was discarded.
+    pub torn_tail: bool,
+    /// WAL files scanned at boot.
+    pub wal_files: u64,
+    /// Valid WAL bytes scanned at boot.
+    pub wal_bytes: u64,
+}
+
 /// The Cobra VDBMS facade.
 pub struct Vdbms {
     kernel: Arc<Kernel>,
-    /// The metadata catalog.
-    pub catalog: Catalog,
+    /// The metadata catalog (shared with the background checkpointer).
+    pub catalog: Arc<Catalog>,
     nets: NetStore,
     methods: MethodRegistry,
     /// Plan and versioned-result caches (§"never recompute what the
     /// system already knows"), shared by every retrieval entry point.
     caches: QueryCaches,
+    /// What recovery-on-boot replayed; `None` for memory-only boots.
+    recovery: Option<RecoveryReport>,
+    /// Background checkpointer shutdown flag + thread.
+    ckpt_stop: Arc<AtomicBool>,
+    ckpt_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 // The serving layer shares one `Vdbms` across worker threads behind an
@@ -206,8 +234,20 @@ impl Vdbms {
     }
 
     /// Boots the system, surfacing module-load failures as errors
-    /// instead of panicking.
+    /// instead of panicking. Memory-only: nothing survives the process.
     pub fn try_new() -> Result<Self> {
+        Self::boot(None)
+    }
+
+    /// Boots the system against a durable data directory: replays the
+    /// latest snapshot plus the WAL tail (recovery-on-boot), then logs
+    /// every catalog mutation before acknowledging it. The recovery
+    /// outcome is available via [`recovery_report`](Self::recovery_report).
+    pub fn open(config: &StoreConfig) -> Result<Self> {
+        Self::boot(Some(config))
+    }
+
+    fn boot(config: Option<&StoreConfig>) -> Result<Self> {
         let kernel = Arc::new(Kernel::new());
         let nets: NetStore = Arc::new(RwLock::new(HashMap::new()));
         kernel.load_module(Arc::new(DbnModule::new(Arc::clone(&nets))))?;
@@ -216,13 +256,104 @@ impl Vdbms {
             4,
         )))?;
         let caches = QueryCaches::new(kernel.metrics().registry());
+        let store: Arc<dyn StorageBackend> = match config {
+            Some(c) => Arc::new(FileBackend::open(c, kernel.metrics().registry())?),
+            None => Arc::new(MemBackend::new()),
+        };
+        let catalog = Arc::new(Catalog::with_store(Arc::clone(&kernel), Arc::clone(&store)));
+        let recovery = match store.take_recovery() {
+            Some(rec) => {
+                let report = RecoveryReport {
+                    epoch: rec.epoch,
+                    replayed: rec.replayed,
+                    bats_loaded: rec.bats.len() as u64,
+                    videos: rec.videos.len() as u64,
+                    torn_tail: rec.torn_tail,
+                    wal_files: rec.wal_files,
+                    wal_bytes: rec.wal_bytes,
+                };
+                catalog.install_recovery(rec)?;
+                Some(report)
+            }
+            None => None,
+        };
+
+        // The background checkpointer: polls the backend's pending-record
+        // count and snapshots dirty BATs once it crosses the configured
+        // threshold, truncating (retiring) covered WAL files.
+        let ckpt_stop = Arc::new(AtomicBool::new(false));
+        let ckpt_handle = match config {
+            Some(c) if store.is_durable() && c.checkpoint_every > 0 => {
+                let stop = Arc::clone(&ckpt_stop);
+                let catalog = Arc::clone(&catalog);
+                let every = c.checkpoint_every;
+                let interval = Duration::from_millis(c.checkpoint_interval_ms.max(10));
+                let errors = kernel
+                    .metrics()
+                    .registry()
+                    .counter("store.checkpoint.errors", &[]);
+                let handle = std::thread::Builder::new()
+                    .name("cobra-checkpointer".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::park_timeout(interval);
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if catalog.store().pending_records() >= every
+                                && catalog.checkpoint().is_err()
+                            {
+                                // Injected faults and transient I/O errors
+                                // surface here; the WAL remains authoritative,
+                                // so a failed checkpoint only defers log
+                                // truncation to the next attempt.
+                                errors.inc();
+                            }
+                        }
+                    })
+                    .map_err(|e| {
+                        crate::CobraError::Store(cobra_store::StoreError::Io {
+                            op: "spawn checkpointer",
+                            path: String::new(),
+                            source: e,
+                        })
+                    })?;
+                Some(handle)
+            }
+            _ => None,
+        };
+
         Ok(Vdbms {
-            catalog: Catalog::new(Arc::clone(&kernel)),
+            catalog,
             kernel,
             nets,
             methods: MethodRegistry::formula1(),
             caches,
+            recovery,
+            ckpt_stop,
+            ckpt_handle,
         })
+    }
+
+    /// What recovery-on-boot did; `None` for memory-only boots.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Forces a checkpoint now (the `CHECKPOINT` command). Returns
+    /// `None` when storage is memory-only.
+    pub fn checkpoint(&self) -> Result<Option<CheckpointOutcome>> {
+        self.catalog.checkpoint()
+    }
+
+    /// Forces buffered WAL records to disk (used on server drain).
+    pub fn flush(&self) -> Result<()> {
+        Ok(self.catalog.store().flush()?)
+    }
+
+    /// Storage-layer statistics.
+    pub fn store_stats(&self) -> StoreStats {
+        self.catalog.store().stats()
     }
 
     /// The shared kernel (for MIL access).
@@ -247,7 +378,7 @@ impl Vdbms {
             name: name.to_string(),
             n_clips: scenario.n_clips,
             n_frames: scenario.n_frames(),
-        });
+        })?;
         stage("register", t);
 
         // Keyword spotting feeds the f1 evidence column.
@@ -589,7 +720,7 @@ impl Vdbms {
             .into_iter()
             .filter(|e| !DERIVED.contains(&e.kind.as_str()))
             .collect();
-        self.catalog.clear_events(video);
+        self.catalog.clear_events(video)?;
         self.catalog.store_events(video, &kept)?;
         let mut records = Vec::new();
 
@@ -772,6 +903,7 @@ impl Vdbms {
     /// the write is acknowledged.
     fn version_vector(&self, video: &str) -> VersionVector {
         VersionVector {
+            epoch: self.catalog.epoch(),
             catalog_gen: self.catalog.generation(),
             bats: self.catalog.event_versions(video),
         }
@@ -1163,6 +1295,22 @@ impl Vdbms {
         }
         out.sort_by_key(|s: &RetrievedSegment| s.start);
         Ok(out)
+    }
+}
+
+impl Drop for Vdbms {
+    /// Stops the background checkpointer. Deliberately does *not* flush
+    /// or checkpoint: acknowledged mutations are already durable in the
+    /// WAL, and drop must behave no better than a crash so the recovery
+    /// path stays honest. Graceful shutdowns that want a clean manifest
+    /// call [`checkpoint`](Self::checkpoint)/[`flush`](Self::flush)
+    /// explicitly (as `cobra-serve` does on drain).
+    fn drop(&mut self) {
+        self.ckpt_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.ckpt_handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
     }
 }
 

@@ -69,6 +69,28 @@ impl StrColumn {
         self.interned.get(s).copied()
     }
 
+    /// Rebuilds a column from a dictionary and per-row codes (the snapshot
+    /// wire format). Every code must index into `dict`; the intern map is
+    /// reconstructed, keeping later duplicates consistent with
+    /// [`push`](Self::push) (first occurrence wins).
+    pub fn from_parts(dict: Vec<Arc<str>>, codes: Vec<u32>) -> Result<Self> {
+        if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dict.len()) {
+            return Err(MonetError::OutOfRange {
+                index: bad as usize,
+                len: dict.len(),
+            });
+        }
+        let mut interned = HashMap::with_capacity(dict.len());
+        for (i, s) in dict.iter().enumerate() {
+            interned.entry(Arc::clone(s)).or_insert(i as u32);
+        }
+        Ok(StrColumn {
+            dict,
+            codes,
+            interned,
+        })
+    }
+
     /// The string at row `i` (panics when out of range; callers bound-check).
     pub fn value(&self, i: usize) -> &Arc<str> {
         &self.dict[self.codes[i] as usize]

@@ -4,8 +4,14 @@
 //! cobra-cli [--addr 127.0.0.1:7477] ping
 //! cobra-cli [--addr ...] videos
 //! cobra-cli [--addr ...] stats
+//! cobra-cli [--addr ...] checkpoint
 //! cobra-cli [--addr ...] query [--deadline-ms N] [--fuel N] VIDEO TEXT...
 //! ```
+//!
+//! `stats` prints the full metrics snapshot as JSON plus a human-readable
+//! summary of the `store.*` durability series (WAL records/bytes,
+//! checkpoints, last recovery's replay count). `checkpoint` forces a
+//! snapshot + WAL truncation on a durable server.
 //!
 //! The query TEXT is the retrieval language verbatim, `PROFILE` and
 //! `EXPLAIN` prefixes included; remaining words are joined, so quoting
@@ -24,7 +30,8 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 }
 
 const USAGE: &str = "usage: cobra-cli [--addr HOST:PORT] \
-                     (ping | videos | stats | query [--deadline-ms N] [--fuel N] VIDEO TEXT...)";
+                     (ping | videos | stats | checkpoint \
+                     | query [--deadline-ms N] [--fuel N] VIDEO TEXT...)";
 
 fn main() {
     let mut addr = "127.0.0.1:7477".to_string();
@@ -59,7 +66,34 @@ fn main() {
             Err(e) => fail(e),
         },
         "stats" => match client.stats() {
-            Ok(snapshot) => println!("{snapshot}"),
+            Ok(snapshot) => {
+                println!("{snapshot}");
+                print_store_summary(&snapshot);
+            }
+            Err(e) => fail(e),
+        },
+        "checkpoint" => match client.checkpoint() {
+            Ok(outcome) => {
+                if outcome.get("durable").and_then(serde_json::Value::as_bool) == Some(false) {
+                    println!("server is memory-only; nothing to checkpoint");
+                } else {
+                    let field = |name: &str| {
+                        outcome
+                            .get(name)
+                            .and_then(serde_json::Value::as_u64)
+                            .unwrap_or(0)
+                    };
+                    println!(
+                        "checkpoint done: {} BAT(s) written, {} unchanged, \
+                         {} bytes, {} WAL file(s) retired (wal_seq {})",
+                        field("bats_written"),
+                        field("bats_skipped"),
+                        field("bytes_written"),
+                        field("wal_files_retired"),
+                        field("wal_seq"),
+                    );
+                }
+            }
             Err(e) => fail(e),
         },
         "query" => {
@@ -99,6 +133,29 @@ fn main() {
             }
         }
         other => fail(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+/// Pulls the `store.*` durability series out of a stats snapshot and
+/// prints them as a readable block after the raw JSON.
+fn print_store_summary(snapshot: &serde_json::Value) {
+    let section = |kind: &str| {
+        snapshot
+            .get(kind)
+            .and_then(serde_json::Value::as_object)
+            .into_iter()
+            .flatten()
+            .filter(|(name, _)| name.starts_with("store."))
+            .collect::<Vec<_>>()
+    };
+    let counters = section("counters");
+    let gauges = section("gauges");
+    if counters.is_empty() && gauges.is_empty() {
+        return; // memory-only server: no durability series
+    }
+    println!("--- store ---");
+    for (name, value) in counters.into_iter().chain(gauges) {
+        println!("{name:<44} {value}");
     }
 }
 

@@ -2,31 +2,46 @@
 //!
 //! ```text
 //! cobra-serve [--addr 127.0.0.1:7477] [--workers 8] [--queue-cap 32]
-//!             [--demo SECONDS] [--debug]
+//!             [--data-dir PATH] [--demo SECONDS] [--debug]
 //! ```
+//!
+//! `--data-dir PATH` makes the catalog durable: mutations are logged to
+//! a write-ahead log under PATH before being acknowledged, a background
+//! checkpointer snapshots dirty BATs, and boot replays the WAL tail over
+//! the latest snapshot (the recovery outcome is logged to stderr).
 //!
 //! `--demo N` synthesizes an N-second German-profile broadcast and runs
 //! the full ingest → train → annotate pipeline on it before listening,
 //! so a fresh checkout has a queryable video named `german` without any
-//! external data. `--debug` enables the `sleep` test command.
+//! external data. Without an explicit `--data-dir`, `--demo` persists to
+//! a per-process temp data dir so the durability path is exercised out
+//! of the box. `--debug` enables the `sleep` test command.
 //!
 //! The process serves until it receives a `quit` line on stdin (CI and
 //! scripts use this for a graceful, draining shutdown) or is killed.
 
 use std::io::BufRead;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use cobra_serve::server::{start, ServerConfig};
-use f1_cobra::Vdbms;
+use f1_cobra::{StoreConfig, Vdbms};
 use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig, Span};
 use f1_media::time::clips_per_second;
 
-fn parse_args() -> Result<(ServerConfig, Option<usize>), String> {
+struct Cli {
+    config: ServerConfig,
+    demo: Option<usize>,
+    data_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7477".into(),
         ..ServerConfig::default()
     };
     let mut demo = None;
+    let mut data_dir = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -42,6 +57,7 @@ fn parse_args() -> Result<(ServerConfig, Option<usize>), String> {
                     .parse()
                     .map_err(|e| format!("--queue-cap: {e}"))?
             }
+            "--data-dir" => data_dir = Some(PathBuf::from(take("--data-dir")?)),
             "--demo" => {
                 demo = Some(
                     take("--demo")?
@@ -53,7 +69,11 @@ fn parse_args() -> Result<(ServerConfig, Option<usize>), String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    Ok((config, demo))
+    Ok(Cli {
+        config,
+        demo,
+        data_dir,
+    })
 }
 
 /// §5.5-style training windows clipped to the broadcast.
@@ -85,16 +105,65 @@ fn prepare_demo(vdbms: &Vdbms, seconds: usize) -> Result<(), Box<dyn std::error:
 }
 
 fn main() {
-    let (config, demo) = match parse_args() {
+    let cli = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("cobra-serve: {e}");
             std::process::exit(2);
         }
     };
-    let vdbms = Arc::new(Vdbms::new());
+    let Cli {
+        config,
+        demo,
+        mut data_dir,
+    } = cli;
+    // `--demo` without an explicit data dir still exercises the durable
+    // path: persist to a per-process temp dir (kept after exit so a
+    // crashed demo can be inspected and recovered by pointing
+    // `--data-dir` at the logged path).
+    if demo.is_some() && data_dir.is_none() {
+        let dir = std::env::temp_dir().join(format!("cobra-demo-{}", std::process::id()));
+        eprintln!("demo: persisting to {}", dir.display());
+        data_dir = Some(dir);
+    }
+    let vdbms = match data_dir {
+        Some(dir) => match Vdbms::open(&StoreConfig::new(&dir)) {
+            Ok(v) => {
+                if let Some(rec) = v.recovery_report() {
+                    eprintln!(
+                        "recovery: epoch {} — {} videos and {} BATs from snapshot, \
+                         {} WAL records replayed ({} bytes across {} files){}",
+                        rec.epoch,
+                        rec.videos,
+                        rec.bats_loaded,
+                        rec.replayed,
+                        rec.wal_bytes,
+                        rec.wal_files,
+                        if rec.torn_tail {
+                            "; torn tail discarded"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                Arc::new(v)
+            }
+            Err(e) => {
+                eprintln!(
+                    "cobra-serve: opening data dir {} failed: {e}",
+                    dir.display()
+                );
+                std::process::exit(1);
+            }
+        },
+        None => Arc::new(Vdbms::new()),
+    };
     if let Some(seconds) = demo {
-        if let Err(e) = prepare_demo(&vdbms, seconds) {
+        // A recovered catalog already has the demo video: skip the
+        // (expensive) pipeline and prove the data survived instead.
+        if vdbms.catalog.videos().iter().any(|v| v == "german") {
+            eprintln!("demo: 'german' recovered from the data dir; skipping re-ingest");
+        } else if let Err(e) = prepare_demo(&vdbms, seconds) {
             eprintln!("cobra-serve: demo setup failed: {e}");
             std::process::exit(1);
         }

@@ -168,6 +168,12 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("missing 'snapshot'".into()))
     }
 
+    /// Forces a storage checkpoint on the server. Returns the server's
+    /// checkpoint summary (`durable: false` on a memory-only server).
+    pub fn checkpoint(&mut self) -> Result<Value, ClientError> {
+        self.call(json!({"cmd": "checkpoint"}))
+    }
+
     /// Runs a retrieval statement with no limits.
     pub fn query(&mut self, video: &str, text: &str) -> Result<QueryReply, ClientError> {
         self.query_opts(video, text, RequestOpts::default())

@@ -60,8 +60,10 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads servicing a queue of at most
     /// `queue_cap` waiting jobs. Gauges and counters are registered in
-    /// `registry` under `serve.*`.
-    pub fn new(workers: usize, queue_cap: usize, registry: &Registry) -> Self {
+    /// `registry` under `serve.*`. Fails when the OS refuses a worker
+    /// thread; workers spawned before the failure are told to shut down,
+    /// so an error never leaks live threads.
+    pub fn new(workers: usize, queue_cap: usize, registry: &Registry) -> std::io::Result<Self> {
         assert!(workers > 0, "a pool needs at least one worker");
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(VecDeque::with_capacity(queue_cap)),
@@ -72,20 +74,27 @@ impl WorkerPool {
             running: registry.gauge("serve.running", &[]),
             worker_panics: registry.counter("serve.worker_panics", &[]),
         });
-        let handles = (0..workers)
+        let handles: std::io::Result<Vec<_>> = (0..workers)
             .map(|k| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("cobra-serve-worker-{k}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawning a worker thread")
             })
             .collect();
-        WorkerPool {
+        let handles = match handles {
+            Ok(handles) => handles,
+            Err(e) => {
+                shared.shutting_down.store(true, Ordering::SeqCst);
+                shared.available.notify_all();
+                return Err(e);
+            }
+        };
+        Ok(WorkerPool {
             shared,
             n_workers: workers,
             workers: Mutex::new(handles),
-        }
+        })
     }
 
     /// Admits `job` if there is queue room; never blocks.
@@ -167,7 +176,7 @@ mod tests {
     #[test]
     fn runs_submitted_jobs() {
         let registry = Registry::new();
-        let pool = WorkerPool::new(4, 16, &registry);
+        let pool = WorkerPool::new(4, 16, &registry).expect("pool spawns");
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..32 {
             // Submit with retry: 32 jobs against capacity 4+16 will
@@ -191,7 +200,7 @@ mod tests {
     #[test]
     fn full_queue_rejects_immediately() {
         let registry = Registry::new();
-        let pool = WorkerPool::new(1, 1, &registry);
+        let pool = WorkerPool::new(1, 1, &registry).expect("pool spawns");
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();
         pool.try_submit(Box::new(move || {
@@ -215,7 +224,7 @@ mod tests {
     #[test]
     fn shutdown_drains_admitted_jobs() {
         let registry = Registry::new();
-        let pool = WorkerPool::new(2, 8, &registry);
+        let pool = WorkerPool::new(2, 8, &registry).expect("pool spawns");
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..8 {
             let d = Arc::clone(&done);
@@ -232,7 +241,7 @@ mod tests {
     #[test]
     fn panicking_job_does_not_kill_the_worker() {
         let registry = Registry::new();
-        let pool = WorkerPool::new(1, 4, &registry);
+        let pool = WorkerPool::new(1, 4, &registry).expect("pool spawns");
         pool.try_submit(Box::new(|| panic!("query exploded")))
             .unwrap();
         let (tx, rx) = mpsc::channel::<()>();

@@ -123,6 +123,18 @@ impl ServerHandle {
         for s in sessions {
             let _ = s.join();
         }
+        // Every admitted mutation has drained: force buffered WAL records
+        // to disk and leave a fresh checkpoint, so the next boot replays
+        // nothing. Failure is non-fatal — the WAL already holds
+        // everything acknowledged under `FsyncPolicy::Always`.
+        if let Err(e) = self
+            .shared
+            .vdbms
+            .flush()
+            .and_then(|()| self.shared.vdbms.checkpoint().map(|_| ()))
+        {
+            eprintln!("cobra-serve: checkpoint on drain failed: {e}");
+        }
     }
 }
 
@@ -134,7 +146,7 @@ pub fn start(vdbms: Arc<Vdbms>, config: ServerConfig) -> std::io::Result<ServerH
         config.workers,
         config.queue_cap,
         vdbms.kernel().metrics().registry(),
-    );
+    )?;
     let shared = Arc::new(ServerShared {
         vdbms,
         pool,
@@ -304,6 +316,26 @@ fn handle_request(
                 id,
                 json!({"kind": "videos", "videos": (names)}),
             ));
+        }
+        "checkpoint" => {
+            // Runs inline on the session thread: a checkpoint only clones
+            // dirty BATs under the commit lock, so queries keep flowing.
+            let _ = tx.send(match shared.vdbms.checkpoint() {
+                Ok(Some(outcome)) => ok_response(
+                    id,
+                    json!({
+                        "kind": "checkpoint",
+                        "durable": true,
+                        "bats_written": (outcome.bats_written as f64),
+                        "bats_skipped": (outcome.bats_skipped as f64),
+                        "bytes_written": (outcome.bytes_written as f64),
+                        "wal_files_retired": (outcome.wal_files_retired as f64),
+                        "wal_seq": (outcome.wal_seq as f64),
+                    }),
+                ),
+                Ok(None) => ok_response(id, json!({"kind": "checkpoint", "durable": false})),
+                Err(e) => err_response(id, ErrorKind::Internal, e.to_string()),
+            });
         }
         "query" => submit_query(shared, id, request, tx, inflight),
         "sleep" if shared.config.debug => submit_sleep(shared, id, request, tx, inflight),

@@ -14,11 +14,14 @@ pub const VIDEO: &str = "v";
 /// Builds the shared fixture.
 pub fn fixture_vdbms() -> Arc<Vdbms> {
     let vdbms = Vdbms::try_new().expect("fresh vdbms");
-    vdbms.catalog.register_video(VideoInfo {
-        name: VIDEO.into(),
-        n_clips: 200,
-        n_frames: 200 * 25 / 10,
-    });
+    vdbms
+        .catalog
+        .register_video(VideoInfo {
+            name: VIDEO.into(),
+            n_clips: 200,
+            n_frames: 200 * 25 / 10,
+        })
+        .expect("register fixture video");
     let ev = |kind: &str, start: usize, end: usize, driver: Option<&str>| EventRecord {
         kind: kind.into(),
         start,

@@ -1,0 +1,247 @@
+//! The binary codec shared by WAL records and snapshot files.
+//!
+//! Fixed-width integers are little-endian; floats are stored as their
+//! IEEE-754 bit pattern (so NaN payloads and signed zeros round-trip
+//! exactly, matching the kernel's bit-pattern column equality); strings
+//! and byte runs are `u32` length-prefixed. The decoder is defensive:
+//! every read is bounds-checked against the remaining buffer, and
+//! declared lengths are validated *before* allocation, so corrupt or
+//! adversarial input yields [`CodecError`] instead of a panic or an
+//! attempted multi-gigabyte allocation.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A structural decode failure (truncated buffer, absurd length, bad
+/// UTF-8, unknown tag). Recovery treats any of these as "the record is
+/// corrupt": replay stops cleanly at the previous record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What the decoder was reading when it failed.
+    pub what: String,
+}
+
+impl CodecError {
+    pub(crate) fn new(what: impl Into<String>) -> Self {
+        CodecError { what: what.into() }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt encoding: {}", self.what)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Codec-level result.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// An append-only binary encoder over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` as its two's-complement little-endian bytes.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A bounds-checked binary decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decodes from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole buffer was consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> CodecResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::new(format!(
+                "{what}: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &str) -> CodecResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> CodecResult<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> CodecResult<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self, what: &str) -> CodecResult<i64> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self, what: &str) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a declared element count and validates it against the bytes
+    /// actually remaining (`min_elem_bytes` per element), so a corrupt
+    /// length cannot drive a huge allocation.
+    pub fn count(&mut self, min_elem_bytes: usize, what: &str) -> CodecResult<usize> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(CodecError::new(format!(
+                "{what}: declared {n} elements exceed {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> CodecResult<String> {
+        let n = self.count(1, what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::new(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Like [`str`](Self::str), interned as an `Arc<str>`.
+    pub fn arc_str(&mut self, what: &str) -> CodecResult<Arc<str>> {
+        Ok(Arc::from(self.str(what)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.f64(f64::NAN);
+        e.f64(-0.0);
+        e.str("schumacher");
+        e.str("");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert_eq!(d.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64("c").unwrap(), u64::MAX);
+        assert_eq!(d.i64("d").unwrap(), -42);
+        assert!(d.f64("e").unwrap().is_nan());
+        assert_eq!(d.f64("f").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.str("g").unwrap(), "schumacher");
+        assert_eq!(d.str("h").unwrap(), "");
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut e = Enc::new();
+        e.u64(123);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..5]);
+        assert!(d.u64("x").is_err());
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_before_allocation() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX); // declared length far beyond the buffer
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(d.str("s").is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_codec_error() {
+        let mut e = Enc::new();
+        e.u32(2);
+        let mut bytes = e.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut d = Dec::new(&bytes);
+        assert!(d.str("s").is_err());
+    }
+}

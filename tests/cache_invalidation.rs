@@ -26,11 +26,14 @@ fn event(kind: &str, start: usize, end: usize, driver: Option<&str>) -> EventRec
 
 fn fixture(n_clips: usize, events: &[EventRecord]) -> Arc<Vdbms> {
     let vdbms = Vdbms::try_new().unwrap();
-    vdbms.catalog.register_video(VideoInfo {
-        name: "v".into(),
-        n_clips,
-        n_frames: n_clips * 25 / 10,
-    });
+    vdbms
+        .catalog
+        .register_video(VideoInfo {
+            name: "v".into(),
+            n_clips,
+            n_frames: n_clips * 25 / 10,
+        })
+        .expect("register test video");
     vdbms.catalog.store_events("v", events).unwrap();
     Arc::new(vdbms)
 }

@@ -12,11 +12,14 @@ use f1_cobra::{QueryOutput, Vdbms};
 
 fn fixture() -> Arc<Vdbms> {
     let vdbms = Vdbms::try_new().unwrap();
-    vdbms.catalog.register_video(VideoInfo {
-        name: "v".into(),
-        n_clips: 200,
-        n_frames: 200 * 25 / 10,
-    });
+    vdbms
+        .catalog
+        .register_video(VideoInfo {
+            name: "v".into(),
+            n_clips: 200,
+            n_frames: 200 * 25 / 10,
+        })
+        .expect("register test video");
     let ev = |kind: &str, start: usize, end: usize, driver: Option<&str>| EventRecord {
         kind: kind.into(),
         start,

@@ -1,0 +1,357 @@
+//! Crash-recovery matrix for the durable storage engine.
+//!
+//! Every test boots a [`Vdbms`] against a throwaway data directory,
+//! mutates the catalog, simulates a crash (dropping the handle without
+//! any flush/checkpoint, optionally with a `store.*` fault injected at a
+//! protocol-critical instant) and reboots from the same directory. The
+//! invariant under test is the WAL contract:
+//!
+//! * every *acknowledged* mutation survives the crash, exactly;
+//! * a mutation that failed before acknowledgement is either absent or
+//!   replayed whole — never torn;
+//! * recovery never panics, whatever the tail of the log looks like;
+//! * a post-crash process can never serve a pre-crash cached result
+//!   (boot epochs make version vectors from different incarnations
+//!   disjoint).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cobra_faults::{with_faults, FaultPlan, Trigger};
+use f1_cobra::catalog::{EventRecord, VideoInfo};
+use f1_cobra::{CobraError, StoreConfig, Vdbms};
+
+/// A self-deleting scratch data directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cobra-crash-{}-{tag}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        // A stale dir from a previous (killed) run must not leak state in.
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Durable config with the background checkpointer disabled, so every
+/// checkpoint in these tests happens exactly where the test says.
+fn config(dir: &Path) -> StoreConfig {
+    StoreConfig {
+        checkpoint_every: 0,
+        ..StoreConfig::new(dir)
+    }
+}
+
+fn boot(dir: &Path) -> Vdbms {
+    Vdbms::open(&config(dir)).expect("durable boot")
+}
+
+fn register(vdbms: &Vdbms, video: &str) {
+    vdbms
+        .catalog
+        .register_video(VideoInfo {
+            name: video.into(),
+            n_clips: 120,
+            n_frames: 300,
+        })
+        .expect("register video");
+}
+
+fn event(kind: &str, start: usize, driver: Option<&str>) -> EventRecord {
+    EventRecord {
+        kind: kind.into(),
+        start,
+        end: start + 10,
+        driver: driver.map(str::to_string),
+    }
+}
+
+#[test]
+fn acknowledged_mutations_survive_reboot() {
+    let dir = TempDir::new("plain");
+    // One row per registered clip (`load_features` reads `n_clips` rows);
+    // row 1 carries a NaN to prove bit-exact f64 round-tripping.
+    let mut features: Vec<Vec<f64>> = (0..120)
+        .map(|t| vec![t as f64 * 0.25, -(t as f64)])
+        .collect();
+    features[1][0] = f64::NAN;
+    {
+        let vdbms = boot(&dir.path().join("data"));
+        assert_eq!(vdbms.store_stats().epoch, 1, "fresh dir boots at epoch 1");
+        register(&vdbms, "german");
+        vdbms
+            .catalog
+            .store_features("german", &features)
+            .expect("store features");
+        vdbms
+            .catalog
+            .store_events(
+                "german",
+                &[
+                    event("highlight", 10, None),
+                    event("fly_out", 40, Some("SCHUMACHER")),
+                ],
+            )
+            .expect("store events");
+        // Crash: drop without flush or checkpoint.
+    }
+
+    let vdbms = boot(&dir.path().join("data"));
+    let rec = vdbms.recovery_report().expect("durable boot reports");
+    assert_eq!(rec.epoch, 2);
+    assert!(rec.replayed >= 3, "register + features + events: {rec:?}");
+    assert!(!rec.torn_tail);
+    assert_eq!(vdbms.catalog.videos(), vec!["german".to_string()]);
+    let info = vdbms.catalog.video("german").expect("video info");
+    assert_eq!((info.n_clips, info.n_frames), (120, 300));
+    let loaded = vdbms
+        .catalog
+        .load_features("german", 2)
+        .expect("features back");
+    assert_eq!(loaded.len(), 120);
+    assert_eq!(loaded[2], vec![0.5, -2.0]);
+    assert!(loaded[1][0].is_nan(), "NaN survives the WAL byte-exactly");
+    let events = vdbms.catalog.events("german", None).expect("events back");
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[1].driver.as_deref(), Some("SCHUMACHER"));
+}
+
+#[test]
+fn checkpoint_then_reboot_replays_nothing() {
+    let dir = TempDir::new("ckpt");
+    {
+        let vdbms = boot(dir.path());
+        register(&vdbms, "german");
+        vdbms
+            .catalog
+            .store_events("german", &[event("highlight", 10, None)])
+            .expect("store events");
+        let outcome = vdbms
+            .checkpoint()
+            .expect("checkpoint")
+            .expect("durable backend checkpoints");
+        assert!(outcome.bats_written > 0);
+        assert!(outcome.wal_files_retired > 0, "the cut WAL file retires");
+    }
+
+    let vdbms = boot(dir.path());
+    let rec = vdbms.recovery_report().expect("report");
+    assert_eq!(rec.replayed, 0, "everything came from the snapshot");
+    assert!(rec.bats_loaded > 0);
+    assert_eq!(rec.videos, 1);
+    let events = vdbms.catalog.events("german", None).expect("events back");
+    assert_eq!(events.len(), 1);
+
+    // And mutations *after* the snapshot replay over it on the next boot.
+    vdbms
+        .catalog
+        .store_events("german", &[event("passing", 60, Some("MONTOYA"))])
+        .expect("post-snapshot event");
+    drop(vdbms);
+    let vdbms = boot(dir.path());
+    let events = vdbms.catalog.events("german", None).expect("events back");
+    assert_eq!(events.len(), 2, "snapshot + WAL tail compose");
+}
+
+/// The kill-point matrix around a single unacknowledged mutation: after
+/// recovery the acknowledged batch is intact and the failed batch is
+/// either wholly absent or wholly present — decided by where the kill
+/// landed relative to the WAL append.
+#[test]
+fn wal_fault_matrix_restores_exactly_acknowledged_state() {
+    // (site, may_replay): whether the failed mutation's record reached
+    // the log before the simulated kill.
+    let matrix = [
+        ("store.wal.append", false), // killed before the record was written
+        ("store.wal.torn", false),   // killed mid-write: half a frame on disk
+        ("store.wal.ack", true),     // killed after fsync, before the ack
+    ];
+    for (site, may_replay) in matrix {
+        let dir = TempDir::new(site.rsplit('.').next().unwrap_or("site"));
+        {
+            let vdbms = boot(dir.path());
+            register(&vdbms, "german");
+            vdbms
+                .catalog
+                .store_events("german", &[event("highlight", 10, None)])
+                .expect("acknowledged batch");
+            let (result, faults) =
+                with_faults(FaultPlan::new(17).fail(site, Trigger::Always), || {
+                    vdbms
+                        .catalog
+                        .store_events("german", &[event("fly_out", 40, Some("SCHUMACHER"))])
+                });
+            assert_eq!(faults.count(site), 1, "{site} fired");
+            match result {
+                Err(CobraError::Store(_)) => {}
+                other => panic!("{site}: expected a store error, got {other:?}"),
+            }
+            // The failed mutation was never applied in-process.
+            let events = vdbms.catalog.events("german", None).expect("events");
+            assert_eq!(events.len(), 1, "{site}: unacknowledged batch not applied");
+        }
+
+        let vdbms = boot(dir.path());
+        let rec = vdbms.recovery_report().expect("report").clone();
+        assert_eq!(
+            rec.torn_tail,
+            site == "store.wal.torn",
+            "{site}: torn-tail detection"
+        );
+        let events = vdbms.catalog.events("german", None).expect("events");
+        // The acknowledged batch, exactly.
+        assert_eq!(events[0].kind, "highlight");
+        assert_eq!(events[0].start, 10);
+        if may_replay {
+            // Logged-but-unacknowledged: replayed whole (at-least-once).
+            assert_eq!(events.len(), 2, "{site}: durable record replays");
+            assert_eq!(events[1].kind, "fly_out");
+            assert_eq!(events[1].driver.as_deref(), Some("SCHUMACHER"));
+        } else {
+            assert_eq!(events.len(), 1, "{site}: lost record stays lost");
+        }
+    }
+}
+
+/// A crash at any point of the checkpoint protocol leaves a bootable
+/// directory with exactly the acknowledged state: the WAL stays
+/// authoritative until the manifest rename commits, and retired-file
+/// deletion is idempotent afterwards.
+#[test]
+fn checkpoint_fault_matrix_keeps_directory_bootable() {
+    for site in [
+        "store.checkpoint.write",
+        "store.checkpoint.rename",
+        "store.checkpoint.truncate",
+    ] {
+        let dir = TempDir::new(site.rsplit('.').next().unwrap_or("site"));
+        {
+            let vdbms = boot(dir.path());
+            register(&vdbms, "german");
+            vdbms
+                .catalog
+                .store_events(
+                    "german",
+                    &[event("highlight", 10, None), event("excited", 70, None)],
+                )
+                .expect("events");
+            let (result, faults) =
+                with_faults(FaultPlan::new(23).fail(site, Trigger::Always), || {
+                    vdbms.checkpoint()
+                });
+            assert_eq!(faults.count(site), 1, "{site} fired");
+            assert!(result.is_err(), "{site}: checkpoint reports the fault");
+        }
+
+        let vdbms = boot(dir.path());
+        let events = vdbms.catalog.events("german", None).expect("events");
+        assert_eq!(events.len(), 2, "{site}: no loss, no duplication");
+        assert_eq!(vdbms.catalog.videos().len(), 1);
+
+        // The next checkpoint (faults disarmed) completes and the state
+        // still reboots cleanly from the snapshot.
+        vdbms
+            .checkpoint()
+            .expect("clean checkpoint after faulted one")
+            .expect("durable");
+        drop(vdbms);
+        let vdbms = boot(dir.path());
+        assert_eq!(
+            vdbms.recovery_report().expect("report").replayed,
+            0,
+            "{site}: post-fault checkpoint fully covers the log"
+        );
+        let events = vdbms.catalog.events("german", None).expect("events");
+        assert_eq!(events.len(), 2);
+    }
+}
+
+#[test]
+fn epochs_keep_pre_crash_version_vectors_disjoint() {
+    let dir = TempDir::new("epoch");
+    {
+        let vdbms = boot(dir.path());
+        register(&vdbms, "german");
+        vdbms
+            .catalog
+            .store_events("german", &[event("highlight", 10, None)])
+            .expect("events");
+        // Warm the result cache pre-crash.
+        let pre = vdbms.query("german", "RETRIEVE HIGHLIGHTS").expect("query");
+        assert_eq!(pre.len(), 1);
+        assert_eq!(vdbms.store_stats().epoch, 1);
+    }
+
+    // Reboot: a strictly newer epoch, so any vector captured pre-crash
+    // (however BAT ids and generations collide) can never match.
+    let vdbms = boot(dir.path());
+    assert_eq!(vdbms.store_stats().epoch, 2);
+
+    // Repeating the pre-crash query returns the *recovered* state…
+    let post = vdbms.query("german", "RETRIEVE HIGHLIGHTS").expect("query");
+    assert_eq!(post.len(), 1);
+    // …and keeps tracking mutations made after recovery.
+    vdbms.catalog.clear_events("german").expect("clear");
+    vdbms
+        .catalog
+        .store_events(
+            "german",
+            &[event("highlight", 20, None), event("highlight", 50, None)],
+        )
+        .expect("events");
+    let fresh = vdbms.query("german", "RETRIEVE HIGHLIGHTS").expect("query");
+    assert_eq!(fresh.len(), 2, "post-recovery cache invalidates on write");
+
+    drop(vdbms);
+    let vdbms = boot(dir.path());
+    assert_eq!(
+        vdbms.store_stats().epoch,
+        3,
+        "epochs are strictly increasing"
+    );
+    let survived = vdbms.query("german", "RETRIEVE HIGHLIGHTS").expect("query");
+    assert_eq!(survived.len(), 2, "clear + re-store replays in order");
+}
+
+#[test]
+fn store_stats_expose_wal_and_checkpoint_counters() {
+    let dir = TempDir::new("stats");
+    let vdbms = boot(dir.path());
+    let boot_stats = vdbms.store_stats();
+    assert!(boot_stats.durable);
+    assert_eq!(boot_stats.checkpoints, 0);
+    register(&vdbms, "german");
+    vdbms
+        .catalog
+        .store_events("german", &[event("highlight", 10, None)])
+        .expect("events");
+    let stats = vdbms.store_stats();
+    assert!(
+        stats.wal_records >= boot_stats.wal_records + 2,
+        "register + events logged: {stats:?}"
+    );
+    assert!(stats.wal_bytes > boot_stats.wal_bytes);
+    assert!(stats.pending_records >= 2);
+    vdbms.checkpoint().expect("checkpoint").expect("durable");
+    let stats = vdbms.store_stats();
+    assert_eq!(stats.checkpoints, 1);
+    assert_eq!(
+        stats.pending_records, 0,
+        "checkpoint drains the pending count"
+    );
+}
