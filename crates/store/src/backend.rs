@@ -264,7 +264,8 @@ struct BaselineEntry {
 struct CutState {
     wal_seq: u64,
     pending_at_cut: u64,
-    retired: Vec<PathBuf>,
+    /// Indices of pre-cut WAL files to delete once the manifest commits.
+    retired: Vec<u64>,
 }
 
 /// The durable backend: WAL + snapshots in one data directory.
@@ -274,6 +275,9 @@ pub struct FileBackend {
     policy: FsyncPolicy,
     wal: Mutex<WalWriter>,
     wal_index: AtomicU64,
+    /// Indices of WAL files currently on disk (ascending). Checkpoints
+    /// retire from this list instead of probing every index ever used.
+    live_wal: Mutex<Vec<u64>>,
     pending: AtomicU64,
     ckpt_counter: AtomicU64,
     recovery: Mutex<Option<Recovery>>,
@@ -309,6 +313,20 @@ fn parse_wal_index(name: &str) -> Option<u64> {
         .ok()
 }
 
+/// Cuts a torn WAL file back to its last intact record and fsyncs, so
+/// every subsequent recovery scan reads straight past it.
+fn truncate_torn(path: &Path, valid_bytes: u64) -> StoreResult<()> {
+    let f = fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| StoreError::io("open torn wal", path, e))?;
+    f.set_len(valid_bytes)
+        .map_err(|e| StoreError::io("truncate torn wal", path, e))?;
+    f.sync_data()
+        .map_err(|e| StoreError::io("sync torn wal", path, e))?;
+    Ok(())
+}
+
 impl FileBackend {
     /// Opens (and if necessary creates) the data directory, scans the
     /// manifest and WAL, computes the boot epoch, and readies a fresh
@@ -333,9 +351,13 @@ impl FileBackend {
             Manifest::default()
         };
 
-        // Scan every WAL file in index order; stop at the first torn one
-        // (rotation guarantees later files only exist when earlier ones
-        // ended cleanly, so anything after a tear is untrusted).
+        // Scan every WAL file in index order. A file with a torn tail is
+        // truncated back to its last intact record *now* (and fsynced):
+        // a boot after a tear appends acknowledged records to a fresh
+        // higher-index file, so leaving the tear in place would make the
+        // next recovery stop at it and silently drop those later files.
+        // With the tear cut off, continuing into later files is safe —
+        // sequence numbers still arrive in order.
         let mut wal_indices: Vec<u64> = fs::read_dir(dir)
             .map_err(|e| StoreError::io("scan data dir", dir, e))?
             .filter_map(|e| e.ok())
@@ -345,13 +367,18 @@ impl FileBackend {
 
         let mut replay = Vec::new();
         let mut max_boot_epoch = manifest.epoch;
+        // Highest sequence number any scanned record occupies — Boot
+        // records included, so a reboot never re-issues their seqs.
+        let mut max_seq = manifest.wal_seq;
         let mut torn_tail = false;
         let mut wal_bytes = 0u64;
         let wal_files = wal_indices.len() as u64;
         for &idx in &wal_indices {
-            let scan = read_wal_file(&wal_path(dir, idx))?;
+            let path = wal_path(dir, idx);
+            let scan = read_wal_file(&path)?;
             wal_bytes += scan.valid_bytes;
             for (seq, op) in scan.records {
+                max_seq = max_seq.max(seq);
                 if let WalOp::Boot { epoch } = op {
                     max_boot_epoch = max_boot_epoch.max(epoch);
                 } else if seq > manifest.wal_seq {
@@ -360,15 +387,14 @@ impl FileBackend {
             }
             if scan.torn {
                 torn_tail = true;
-                break;
+                truncate_torn(&path, scan.valid_bytes)?;
             }
         }
+        // Scan order already yields ascending seqs; the stable sort is a
+        // belt against WALs written by older (seq-reusing) builds.
+        replay.sort_by_key(|(seq, _)| *seq);
         let epoch = max_boot_epoch + 1;
-        let next_seq = replay
-            .last()
-            .map(|(s, _)| s + 1)
-            .unwrap_or(manifest.wal_seq + 1)
-            .max(1);
+        let next_seq = max_seq + 1;
 
         // Load snapshot BATs and seed the dirty-tracking baseline with
         // their freshly assigned identities (the same `Bat` values are
@@ -394,6 +420,8 @@ impl FileBackend {
         let mut writer = WalWriter::open(&wal_path(dir, next_index), next_seq, config.fsync)?;
         let boot = writer.append(&WalOp::Boot { epoch })?;
         writer.flush()?;
+        let mut live_wal = wal_indices;
+        live_wal.push(next_index);
 
         let replayed = replay.len() as u64;
         let recovery = Recovery {
@@ -422,6 +450,7 @@ impl FileBackend {
             policy: config.fsync,
             wal: Mutex::new(writer),
             wal_index: AtomicU64::new(next_index),
+            live_wal: Mutex::new(live_wal),
             pending: AtomicU64::new(replayed),
             ckpt_counter: AtomicU64::new(0),
             recovery_stats: (replayed, recovery.bats.len() as u64, torn_tail),
@@ -517,10 +546,12 @@ impl StorageBackend for FileBackend {
         self.wal_index.store(new_index, Ordering::Relaxed);
         drop(wal);
 
-        let retired: Vec<PathBuf> = (1..=old_index)
-            .map(|i| wal_path(&self.dir, i))
-            .filter(|p| p.exists())
-            .collect();
+        let retired: Vec<u64> = {
+            let mut live = self.live_wal.lock();
+            let retired = live.clone();
+            live.push(new_index);
+            retired
+        };
         *cut = Some(CutState {
             wal_seq: cut_seq,
             pending_at_cut: self.pending.load(Ordering::Relaxed),
@@ -604,9 +635,16 @@ impl StorageBackend for FileBackend {
         self.metrics.checkpoints.inc();
 
         cobra_faults::fire("store.checkpoint.truncate")?;
-        for path in &cut.retired {
-            if fs::remove_file(path).is_ok() {
-                outcome.wal_files_retired += 1;
+        {
+            let mut live = self.live_wal.lock();
+            for &idx in &cut.retired {
+                let path = wal_path(&self.dir, idx);
+                if fs::remove_file(&path).is_ok() {
+                    outcome.wal_files_retired += 1;
+                }
+                if !path.exists() {
+                    live.retain(|&i| i != idx);
+                }
             }
         }
         self.gc_unreferenced(&manifest);

@@ -85,6 +85,15 @@ pub enum StoreError {
     /// The WAL writer hit an unrecoverable tail state (a failed write
     /// whose undo also failed); further appends would be lost.
     Poisoned,
+    /// A single record's payload exceeds [`wal::MAX_RECORD_LEN`]; it was
+    /// rejected before any byte hit the log (recovery treats larger
+    /// lengths as torn, so writing it would be silent future data loss).
+    RecordTooLarge {
+        /// Payload bytes the record would have occupied.
+        len: u64,
+        /// The replayable maximum, [`wal::MAX_RECORD_LEN`].
+        max: u64,
+    },
     /// A protocol misuse, e.g. completing a checkpoint that was never
     /// begun.
     Protocol(&'static str),
@@ -111,6 +120,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::Fault { site } => write!(f, "injected store fault at {site}"),
             StoreError::Poisoned => write!(f, "wal writer poisoned by unrecoverable tail"),
+            StoreError::RecordTooLarge { len, max } => {
+                write!(f, "wal record payload of {len} bytes exceeds the {max}-byte cap")
+            }
             StoreError::Protocol(what) => write!(f, "store protocol violation: {what}"),
         }
     }

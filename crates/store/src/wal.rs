@@ -39,8 +39,12 @@ use crate::codec::{CodecError, Dec, Enc};
 use crate::crc::crc32;
 use crate::{StoreError, StoreResult};
 
-/// Upper bound on one record's payload; a corrupt length prefix beyond
-/// this is treated as a torn tail rather than an allocation request.
+/// Upper bound on one record's payload, enforced on both paths: the
+/// writer rejects a larger record before any byte lands (so it is never
+/// acknowledged), and the reader treats a larger length prefix as a torn
+/// tail rather than an allocation request. Writer enforcement is what
+/// makes reader rejection safe — every frame the writer can produce is
+/// replayable.
 pub const MAX_RECORD_LEN: usize = 64 << 20;
 
 /// One event-layer row as logged (mirrors the catalog's `EventRecord`
@@ -388,6 +392,16 @@ impl WalWriter {
         cobra_faults::fire("store.wal.append")?;
         let seq = self.next_seq;
         let frame = encode_record(seq, op);
+        // A frame the reader would refuse must never be written: recovery
+        // treats len > MAX_RECORD_LEN as a torn tail and would silently
+        // drop this record and everything after it in the file.
+        let payload_len = frame.len() - 8;
+        if payload_len > MAX_RECORD_LEN {
+            return Err(StoreError::RecordTooLarge {
+                len: payload_len as u64,
+                max: MAX_RECORD_LEN as u64,
+            });
+        }
 
         if cobra_faults::is_armed() && cobra_faults::fire("store.wal.torn").is_err() {
             // Crash mid-write: half the frame lands, the writer "dies".
@@ -413,9 +427,15 @@ impl WalWriter {
             FsyncPolicy::Never => false,
         };
         if synced {
-            self.file
-                .sync_data()
-                .map_err(|e| StoreError::io("sync wal", &self.path, e))?;
+            if let Err(e) = self.file.sync_data() {
+                // The frame is on disk but was never acknowledged: truncate
+                // it back (like the write-failure path) so its sequence
+                // number stays genuinely unused.
+                if self.file.set_len(self.offset).is_err() {
+                    self.poisoned = true;
+                }
+                return Err(StoreError::io("sync wal", &self.path, e));
+            }
             self.unsynced = 0;
         } else {
             self.unsynced += 1;
@@ -550,6 +570,34 @@ mod tests {
         let scan = read_wal_file(&path).unwrap();
         assert!(scan.torn);
         assert!(scan.records.len() < 5);
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_before_any_byte_lands() {
+        let path = tmp("oversize");
+        let mut w = WalWriter::open(&path, 1, FsyncPolicy::Never).unwrap();
+        // ~68 MB of feature values: payload > MAX_RECORD_LEN (64 MiB).
+        let huge = WalOp::StoreFeatures {
+            video: "german".into(),
+            n_features: 2,
+            values: vec![0.5; 8_500_000],
+        };
+        match w.append(&huge) {
+            Err(StoreError::RecordTooLarge { len, max }) => {
+                assert!(len > max);
+                assert_eq!(max, MAX_RECORD_LEN as u64);
+            }
+            other => panic!("expected RecordTooLarge, got {other:?}"),
+        }
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0, "nothing written");
+        // The rejected op consumed no sequence number; the log stays
+        // fully replayable.
+        let appended = w.append(&WalOp::Boot { epoch: 1 }).unwrap();
+        assert_eq!(appended.seq, 1);
+        w.flush().unwrap();
+        let scan = read_wal_file(&path).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records.len(), 1);
     }
 
     #[test]

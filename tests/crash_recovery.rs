@@ -228,6 +228,63 @@ fn wal_fault_matrix_restores_exactly_acknowledged_state() {
     }
 }
 
+/// A torn tail must not poison *later* incarnations: recovery truncates
+/// the tear away, so a second crash after post-tear ingests still
+/// replays every acknowledged record and keeps epochs strictly
+/// increasing. (Without the truncation, boot 3 would stop its scan at
+/// the still-torn old file, drop the boot-2 WAL file entirely, and
+/// hand out epoch 2 twice.)
+#[test]
+fn torn_tail_survives_a_second_crash_cycle() {
+    let dir = TempDir::new("torn-twice");
+    {
+        let vdbms = boot(dir.path());
+        register(&vdbms, "german");
+        vdbms
+            .catalog
+            .store_events("german", &[event("highlight", 10, None)])
+            .expect("acknowledged before the tear");
+        let (result, faults) = with_faults(
+            FaultPlan::new(17).fail("store.wal.torn", Trigger::Always),
+            || {
+                vdbms
+                    .catalog
+                    .store_events("german", &[event("fly_out", 40, None)])
+            },
+        );
+        assert_eq!(faults.count("store.wal.torn"), 1);
+        assert!(result.is_err(), "torn write is never acknowledged");
+        // Crash with half a frame on disk.
+    }
+
+    {
+        let vdbms = boot(dir.path());
+        let rec = vdbms.recovery_report().expect("report").clone();
+        assert!(rec.torn_tail, "boot 2 sees (and truncates) the tear");
+        assert_eq!(vdbms.store_stats().epoch, 2);
+        vdbms
+            .catalog
+            .store_events("german", &[event("passing", 60, Some("MONTOYA"))])
+            .expect("acknowledged after the torn boot");
+        // Crash again, no flush, no checkpoint.
+    }
+
+    let vdbms = boot(dir.path());
+    let rec = vdbms.recovery_report().expect("report").clone();
+    assert!(
+        !rec.torn_tail,
+        "boot 2 truncated the tear; boot 3 scans cleanly past it"
+    );
+    assert_eq!(vdbms.store_stats().epoch, 3, "epochs never repeat");
+    let events = vdbms.catalog.events("german", None).expect("events");
+    assert_eq!(
+        events.iter().map(|e| e.kind.as_str()).collect::<Vec<_>>(),
+        vec!["highlight", "passing"],
+        "acknowledged records from both incarnations survive, the torn one stays lost"
+    );
+    assert_eq!(events[1].driver.as_deref(), Some("MONTOYA"));
+}
+
 /// A crash at any point of the checkpoint protocol leaves a bootable
 /// directory with exactly the acknowledged state: the WAL stays
 /// authoritative until the manifest rename commits, and retired-file
