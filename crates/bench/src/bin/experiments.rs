@@ -4,7 +4,7 @@
 //! ```text
 //! experiments [--duration SECONDS] [table1 table2 table3 table4 ablation
 //!              fig9 temporal clustering keywords endpoint shots hmm queries
-//!              monet obs serve cache wal]
+//!              monet optimizer obs serve cache wal]
 //! ```
 //!
 //! With no experiment names, everything runs. Traces for Fig. 9 are
@@ -164,6 +164,13 @@ fn main() {
         println!("{table}");
         if std::fs::write("BENCH_monet.json", json.to_string()).is_ok() {
             println!("(benchmarks written to BENCH_monet.json)");
+        }
+    }
+    if want("optimizer") {
+        let (table, json) = experiments::optimizer();
+        println!("{table}");
+        if std::fs::write("BENCH_opt.json", json.to_string()).is_ok() {
+            println!("(optimizer benchmark written to BENCH_opt.json)");
         }
     }
     if want("obs") {

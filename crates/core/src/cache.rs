@@ -24,6 +24,7 @@
 //! `stats` and `PROFILE` make hits, misses, evictions and residency
 //! visible.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cobra_cache::Lru;
@@ -38,15 +39,25 @@ const PLAN_CACHE_CAP: usize = 256;
 /// Entry bound of the result cache.
 const RESULT_CACHE_CAP: usize = 512;
 
-/// A compiled event-selection plan: the optimized Moa selection rendered
-/// to MIL, plus the three column-join programs built from it.
+/// A compiled event-selection plan: the cost-based planner's chosen Moa
+/// selection rendered to MIL, plus the three column-join programs built
+/// from it and the planning verdict that produced them.
 #[derive(Debug)]
 pub struct CompiledPlan {
     /// The selection sub-program (for `PROFILE` metadata).
     pub sel_mil: String,
     /// Full programs joining the selection against the start/end/driver
-    /// event columns, in that order.
+    /// event columns, in that order. Already carry the planner's
+    /// `threadcnt` prefix when `threads > 1`.
     pub column_programs: [String; 3],
+    /// Worker count the planner chose (1 = sequential).
+    pub threads: usize,
+    /// Cost-model generation this plan was compiled under.
+    pub generation: u64,
+    /// Planner's cost estimate of the fixed-rewrite baseline, ns.
+    pub baseline_cost: f64,
+    /// Planner's cost estimate of the chosen plan, ns.
+    pub chosen_cost: f64,
 }
 
 /// The catalog state a cached result was computed against.
@@ -94,12 +105,18 @@ impl CachedResult {
 
 /// Plan and result caches with their observability counters.
 pub struct QueryCaches {
-    plan: Lru<(String, String), Arc<CompiledPlan>>,
+    plan: Lru<(String, String, u64), Arc<CompiledPlan>>,
     result: Lru<(String, String), Arc<CachedResult>>,
+    /// Cost-model generation. It participates in every plan-cache key,
+    /// so advancing it orphans all cached plans at once — they age out
+    /// of the LRU while every lookup recompiles against fresh
+    /// statistics.
+    generation: AtomicU64,
     plan_hits: Arc<Counter>,
     plan_misses: Arc<Counter>,
     plan_evictions: Arc<Counter>,
     plan_entries: Arc<Gauge>,
+    plan_generation: Arc<Gauge>,
     result_hits: Arc<Counter>,
     result_misses: Arc<Counter>,
     result_evictions: Arc<Counter>,
@@ -115,10 +132,12 @@ impl QueryCaches {
         QueryCaches {
             plan: Lru::new(PLAN_CACHE_CAP),
             result: Lru::new(RESULT_CACHE_CAP),
+            generation: AtomicU64::new(0),
             plan_hits: registry.counter("cache.plan", &[("result", "hit")]),
             plan_misses: registry.counter("cache.plan", &[("result", "miss")]),
             plan_evictions: registry.counter("cache.plan", &[("result", "eviction")]),
             plan_entries: registry.gauge("cache.plan.entries", &[]),
+            plan_generation: registry.gauge("cache.plan.generation", &[]),
             result_hits: registry.counter("cache.result", &[("result", "hit")]),
             result_misses: registry.counter("cache.result", &[("result", "miss")]),
             result_evictions: registry.counter("cache.result", &[("result", "eviction")]),
@@ -128,9 +147,24 @@ impl QueryCaches {
         }
     }
 
-    /// Cached compiled plan for `(video, kind)`, counting hit/miss.
+    /// Current cost-model generation.
+    pub fn plan_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Advances the cost-model generation, orphaning every cached plan
+    /// (their keys carry the old generation). Returns the new value.
+    pub fn advance_plan_generation(&self) -> u64 {
+        let next = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        self.plan_generation.set(next as i64);
+        next
+    }
+
+    /// Cached compiled plan for `(video, kind)` at the current
+    /// generation, counting hit/miss.
     pub fn plan(&self, video: &str, kind: &str) -> Option<Arc<CompiledPlan>> {
-        let found = self.plan.get(&(video.to_string(), kind.to_string()));
+        let key = (video.to_string(), kind.to_string(), self.plan_generation());
+        let found = self.plan.get(&key);
         match &found {
             Some(_) => self.plan_hits.inc(),
             None => self.plan_misses.inc(),
@@ -138,11 +172,21 @@ impl QueryCaches {
         found
     }
 
-    /// Stores a freshly compiled plan.
+    /// Like [`QueryCaches::plan`] but without touching the hit/miss
+    /// counters — for `EXPLAIN`, which must never skew execution stats.
+    pub fn peek_plan(&self, video: &str, kind: &str) -> Option<Arc<CompiledPlan>> {
+        self.plan
+            .get(&(video.to_string(), kind.to_string(), self.plan_generation()))
+    }
+
+    /// Stores a freshly compiled plan under the current generation.
     pub fn store_plan(&self, video: &str, kind: &str, plan: Arc<CompiledPlan>) {
         if self
             .plan
-            .insert((video.to_string(), kind.to_string()), plan)
+            .insert(
+                (video.to_string(), kind.to_string(), self.plan_generation()),
+                plan,
+            )
             .is_some()
         {
             self.plan_evictions.inc();
@@ -270,23 +314,51 @@ mod tests {
         assert_eq!(snap.gauge("cache.result.bytes", &[]), 0);
     }
 
+    fn plan_stub(generation: u64) -> Arc<CompiledPlan> {
+        Arc::new(CompiledPlan {
+            sel_mil: "sel".into(),
+            column_programs: ["a".into(), "b".into(), "c".into()],
+            threads: 1,
+            generation,
+            baseline_cost: 10.0,
+            chosen_cost: 10.0,
+        })
+    }
+
     #[test]
     fn plan_cache_counts_hits_and_misses() {
         let registry = Registry::new();
         let caches = QueryCaches::new(&registry);
         assert!(caches.plan("v", "highlight").is_none());
-        caches.store_plan(
-            "v",
-            "highlight",
-            Arc::new(CompiledPlan {
-                sel_mil: "sel".into(),
-                column_programs: ["a".into(), "b".into(), "c".into()],
-            }),
-        );
+        caches.store_plan("v", "highlight", plan_stub(0));
         assert!(caches.plan("v", "highlight").is_some());
         let snap = registry.snapshot();
         assert_eq!(snap.counter("cache.plan", &[("result", "hit")]), 1);
         assert_eq!(snap.counter("cache.plan", &[("result", "miss")]), 1);
         assert_eq!(snap.gauge("cache.plan.entries", &[]), 1);
+    }
+
+    #[test]
+    fn advancing_the_generation_orphans_cached_plans() {
+        let registry = Registry::new();
+        let caches = QueryCaches::new(&registry);
+        caches.store_plan("v", "highlight", plan_stub(0));
+        assert!(caches.plan("v", "highlight").is_some());
+
+        // New cost-model generation: the old plan is unreachable, the
+        // next lookup must recompile.
+        assert_eq!(caches.advance_plan_generation(), 1);
+        assert!(caches.plan("v", "highlight").is_none());
+        assert!(caches.peek_plan("v", "highlight").is_none());
+
+        // A plan stored under the new generation hits again.
+        caches.store_plan("v", "highlight", plan_stub(1));
+        assert_eq!(caches.plan("v", "highlight").map(|p| p.generation), Some(1));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("cache.plan.generation", &[]), 1);
+        // peek_plan never counted: one miss (post-advance), two hits.
+        assert_eq!(snap.counter("cache.plan", &[("result", "hit")]), 2);
+        assert_eq!(snap.counter("cache.plan", &[("result", "miss")]), 1);
     }
 }

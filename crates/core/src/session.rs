@@ -6,7 +6,7 @@
 //! Bayesian fusion with recognized text.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -200,6 +200,10 @@ pub struct Vdbms {
     /// Plan and versioned-result caches (§"never recompute what the
     /// system already knows"), shared by every retrieval entry point.
     caches: QueryCaches,
+    /// `mil.evals` reading at the last cost-model refresh; the plan
+    /// cache's generation advances once the kernel has observed roughly
+    /// twice as many evaluations as when plans were last costed.
+    plan_cost_evals: AtomicU64,
     /// What recovery-on-boot replayed; `None` for memory-only boots.
     recovery: Option<RecoveryReport>,
     /// Background checkpointer shutdown flag + thread.
@@ -329,6 +333,7 @@ impl Vdbms {
             nets,
             methods: MethodRegistry::formula1(),
             caches,
+            plan_cost_evals: AtomicU64::new(0),
             recovery,
             ckpt_stop,
             ckpt_handle,
@@ -891,7 +896,7 @@ impl Vdbms {
             Statement::Profile(q) => Ok(QueryOutput::Profile(
                 self.profile_cached(video, &q, budget)?,
             )),
-            Statement::Explain(q) => Ok(QueryOutput::Plan(self.explain(&q))),
+            Statement::Explain(q) => Ok(QueryOutput::Plan(self.explain(video, &q))),
         }
     }
 
@@ -994,15 +999,50 @@ impl Vdbms {
         })
     }
 
-    /// The static plan of `q`: the span-tree shape [`profile`](Self::profile)
-    /// would produce, with no execution and all timings zero.
-    pub fn explain(&self, q: &Query) -> SpanNode {
+    /// The plan of `q`: the span-tree shape [`profile`](Self::profile)
+    /// would produce, with no execution and all timings zero. For
+    /// event-kind targets the `moa:compile` node carries the cost-based
+    /// planner's before/after view — the rule-based plan next to the
+    /// chosen one, each with per-node cardinality and cost estimates —
+    /// plus the plan-cache state at the current cost-model generation.
+    /// Read-only: it never executes, stores, or skews cache counters.
+    pub fn explain(&self, video: &str, q: &Query) -> SpanNode {
         let conceptual = match event_kind(&q.target) {
-            Some(kind) => SpanNode::new("conceptual:select_events")
-                .with_meta("kind", kind)
-                .with_child(SpanNode::new("moa:compile"))
-                .with_child(SpanNode::new("mil:eval"))
-                .with_child(SpanNode::new("fetch:results")),
+            Some(kind) => {
+                let choice = self.plan_event_selection(video, kind);
+                let cache = if self.caches.peek_plan(video, kind).is_some() {
+                    "hit"
+                } else {
+                    "miss"
+                };
+                let compile_node = SpanNode::new("moa:compile")
+                    .with_meta("mil", choice.mil())
+                    .with_meta("cache", cache)
+                    .with_meta("generation", self.caches.plan_generation().to_string())
+                    .with_child(
+                        SpanNode::new("plan:rule_based")
+                            .with_meta("est_cost_ns", format!("{:.0}", choice.baseline_cost))
+                            .with_meta(
+                                "nodes",
+                                f1_moa::PlanChoice::render_nodes(&choice.baseline_nodes),
+                            ),
+                    )
+                    .with_child(
+                        SpanNode::new("plan:chosen")
+                            .with_meta("est_cost_ns", format!("{:.0}", choice.chosen_cost))
+                            .with_meta("threads", choice.threads.to_string())
+                            .with_meta("rationale", choice.rationale.as_str())
+                            .with_meta(
+                                "nodes",
+                                f1_moa::PlanChoice::render_nodes(&choice.chosen_nodes),
+                            ),
+                    );
+                SpanNode::new("conceptual:select_events")
+                    .with_meta("kind", kind)
+                    .with_child(compile_node)
+                    .with_child(SpanNode::new("mil:eval"))
+                    .with_child(SpanNode::new("fetch:results"))
+            }
             None => match &q.target {
                 Target::Leader => SpanNode::new("conceptual:leader_segments"),
                 _ => SpanNode::new("conceptual:driver_visible"),
@@ -1105,6 +1145,71 @@ impl Vdbms {
         Ok(out)
     }
 
+    /// Plans the event-kind selection with the cost-based planner
+    /// against the kernel's current measured statistics (per-opcode
+    /// ns/row, index hit rate, morsel throughput, tail sketches).
+    fn plan_event_selection(&self, video: &str, kind: &str) -> f1_moa::PlanChoice {
+        let kind_bat = format!("{video}.ev.kind");
+        let expr = f1_moa::MoaExpr::collection(&kind_bat)
+            .select(f1_moa::Predicate::Eq(f1_monet::Atom::str(kind)));
+        let stats = self.kernel.plan_stats(&[kind_bat.as_str()]);
+        let cfg = f1_moa::PlannerConfig {
+            max_threads: std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(8),
+        };
+        f1_moa::plan(expr, &stats, &cfg)
+    }
+
+    /// Compiles the planner's chosen event selection to the three
+    /// column-join MIL programs, carrying the `threadcnt` prefix when
+    /// the planner chose parallelism.
+    fn compile_event_plan(&self, video: &str, kind: &str) -> Arc<CompiledPlan> {
+        let choice = self.plan_event_selection(video, kind);
+        let sel_mil = choice.mil();
+        let prefix = choice.mil_prefix();
+        let column_programs = ["start", "end", "driver"].map(|col| {
+            format!("{prefix}RETURN (({sel_mil}).mirror).join(bat(\"{video}.ev.{col}\"));")
+        });
+        Arc::new(CompiledPlan {
+            sel_mil,
+            column_programs,
+            threads: choice.threads,
+            generation: self.caches.plan_generation(),
+            baseline_cost: choice.baseline_cost,
+            chosen_cost: choice.chosen_cost,
+        })
+    }
+
+    /// Advances the cost-model generation once the kernel has observed
+    /// roughly twice as many MIL evaluations as at the previous refresh
+    /// (with a small floor so a barely-warm system doesn't churn).
+    /// Cached plans from the old generation become unreachable and
+    /// every lookup replans against the fresher measurements.
+    fn maybe_refresh_plan_costs(&self) {
+        const PLAN_REFRESH_MIN_EVALS: u64 = 32;
+        let evals = self.kernel.metrics().mil_evals.get();
+        let last = self.plan_cost_evals.load(Ordering::Acquire);
+        if evals >= PLAN_REFRESH_MIN_EVALS.max(last.saturating_mul(2))
+            && self
+                .plan_cost_evals
+                .compare_exchange(last, evals, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.caches.advance_plan_generation();
+        }
+    }
+
+    /// Forces a cost-model refresh (the doubling policy's manual lever,
+    /// used by benchmarks and tests): advances the plan-cache generation
+    /// so every subsequent lookup replans against current statistics.
+    /// Returns the new generation.
+    pub fn refresh_plan_costs(&self) -> u64 {
+        self.plan_cost_evals
+            .store(self.kernel.metrics().mil_evals.get(), Ordering::Release);
+        self.caches.advance_plan_generation()
+    }
+
     /// Answers an event-kind retrieval through all three levels: a Moa
     /// selection over the event layer's kind column is compiled to MIL,
     /// and the MIL program position-joins the matching rows against the
@@ -1131,25 +1236,16 @@ impl Vdbms {
         }
 
         // Conceptual → logical: a Moa selection over the kind column,
-        // through the same optimizer every Moa plan passes. The plan
-        // depends only on (video, kind), so a cached compilation is
-        // reused verbatim; the execution budget below still applies.
+        // through the cost-based planner. The plan depends only on
+        // (video, kind, cost-model generation), so a cached compilation
+        // is reused verbatim until the generation advances; the
+        // execution budget below still applies.
+        self.maybe_refresh_plan_costs();
         let t = Instant::now();
         let (plan, compile_cached) = match self.caches.plan(video, kind) {
             Some(plan) => (plan, "hit"),
             None => {
-                let sel = f1_moa::optimize(
-                    f1_moa::MoaExpr::collection(&kind_bat)
-                        .select(f1_moa::Predicate::Eq(f1_monet::Atom::str(kind))),
-                );
-                let sel_mil = f1_moa::compile(&sel);
-                let column_programs = ["start", "end", "driver"].map(|col| {
-                    format!("RETURN (({sel_mil}).mirror).join(bat(\"{video}.ev.{col}\"));")
-                });
-                let plan = Arc::new(CompiledPlan {
-                    sel_mil,
-                    column_programs,
-                });
+                let plan = self.compile_event_plan(video, kind);
                 self.caches.store_plan(video, kind, Arc::clone(&plan));
                 (plan, "miss")
             }
@@ -1157,7 +1253,9 @@ impl Vdbms {
         node.child(
             SpanNode::leaf("moa:compile", t.elapsed().as_nanos() as u64)
                 .with_meta("mil", plan.sel_mil.as_str())
-                .with_meta("cache", compile_cached),
+                .with_meta("cache", compile_cached)
+                .with_meta("generation", plan.generation.to_string())
+                .with_meta("threads", plan.threads.to_string()),
         );
 
         // Logical → physical: mirror the matching oids and join them
@@ -1170,7 +1268,10 @@ impl Vdbms {
         }
         let mil_ns = t.elapsed().as_nanos() as u64;
         let delta = self.kernel.metrics().registry().snapshot().delta(&before);
-        let mut mil_node = SpanNode::leaf("mil:eval", mil_ns);
+        // Estimated (planner) next to measured (wall clock), so PROFILE
+        // exposes how far the cost model is off.
+        let mut mil_node = SpanNode::leaf("mil:eval", mil_ns)
+            .with_meta("plan_est_ns", format!("{:.0}", plan.chosen_cost));
         for (key, h) in delta.histograms_named("mil.op_ns") {
             if h.count() == 0 {
                 continue;

@@ -14,14 +14,19 @@
 //!   semijoin, aggregation) plus *extension calls*, the hook through
 //!   which the HMM/DBN/video extensions surface in the algebra,
 //! * [`compile`] — Moa → MIL code generation with a selection-pushdown
-//!   rewrite, and execution against a [`f1_monet::Kernel`].
+//!   rewrite, and execution against a [`f1_monet::Kernel`],
+//! * [`plan`] — the cost-based planner that scores result-identical
+//!   plan variants against measured kernel statistics
+//!   ([`f1_monet::PlanStats`]) before MIL emission.
 
 pub mod compile;
 pub mod expr;
+pub mod plan;
 pub mod types;
 
 pub use compile::{compile, execute, execute_with, optimize};
 pub use expr::{Aggregate, MoaExpr, Predicate};
+pub use plan::{plan, PlanChoice, PlanNode, PlannerConfig};
 pub use types::MoaType;
 
 /// Errors raised at the logical level.

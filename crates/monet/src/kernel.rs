@@ -19,10 +19,15 @@ use crate::guard::ExecBudget;
 use crate::index::ColumnIndex;
 use crate::metrics::KernelMetrics;
 use crate::mil::{self, MilValue};
+use crate::sketch::{BatSketch, PlanStats};
 
 /// Entry bound for the head-index cache; the least-recently-used entry is
 /// evicted when a new BAT's index would exceed it.
 const INDEX_CACHE_CAP: usize = 128;
+
+/// Entry bound for the tail-sketch cache. Sketches are a few dozen bytes
+/// each, so the cap exists only to bound id churn.
+const SKETCH_CACHE_CAP: usize = 256;
 
 /// A shareable handle to a catalog-resident (or MIL-local) BAT.
 pub type BatHandle = Arc<RwLock<Bat>>;
@@ -58,6 +63,9 @@ pub struct Kernel {
     /// stale entry is detected (and rebuilt) on the next lookup. Bounded
     /// by [`INDEX_CACHE_CAP`] with per-entry LRU eviction.
     index_cache: Lru<u64, (u64, Arc<ColumnIndex>)>,
+    /// Tail-column cardinality sketches for the plan coster, keyed and
+    /// invalidated exactly like the head-index cache.
+    sketch_cache: Lru<u64, (u64, Arc<BatSketch>)>,
     /// Observability: pre-resolved handles over this kernel's metric
     /// registry. Snapshot via `kernel.metrics().registry()`.
     metrics: Arc<KernelMetrics>,
@@ -71,6 +79,7 @@ impl Kernel {
             modules: RwLock::new(HashMap::new()),
             procs: RwLock::new(HashMap::new()),
             index_cache: Lru::new(INDEX_CACHE_CAP),
+            sketch_cache: Lru::new(SKETCH_CACHE_CAP),
             metrics: Arc::new(KernelMetrics::default()),
         }
     }
@@ -111,6 +120,77 @@ impl Kernel {
     /// Number of live entries in the head-index cache (for tests/metrics).
     pub fn cached_indexes(&self) -> usize {
         self.index_cache.len()
+    }
+
+    /// The tail sketch of `bat`, cached per (BAT id, version) — stale
+    /// entries (a mutated BAT bumps its version) rebuild on lookup.
+    pub fn tail_sketch(&self, bat: &Bat) -> Arc<BatSketch> {
+        let key = bat.id();
+        if let Some((version, sketch)) = self.sketch_cache.get(&key) {
+            if version == bat.version() {
+                self.metrics.sketch_hits.inc();
+                return sketch;
+            }
+        }
+        self.metrics.sketch_misses.inc();
+        let built = Arc::new(BatSketch::build(bat));
+        self.sketch_cache
+            .insert(key, (bat.version(), Arc::clone(&built)));
+        built
+    }
+
+    /// Assembles the measured statistics a planning pass runs against:
+    /// per-opcode ns/row from the `mil.op_ns`/`mil.op_rows` histograms,
+    /// index-cache hit rate, sequential vs parallel morsel throughput,
+    /// and tail sketches for each named catalog collection (unknown
+    /// names are simply absent, so planning stays total).
+    pub fn plan_stats(&self, collections: &[&str]) -> PlanStats {
+        let mut stats = PlanStats::default();
+        let snap = self.metrics.registry().snapshot();
+        let mut rows_per_op: HashMap<String, u64> = HashMap::new();
+        for (key, h) in snap.histograms_named("mil.op_rows") {
+            if let Some(op) = key.label("op") {
+                rows_per_op.insert(op.to_string(), h.sum());
+            }
+        }
+        for (key, h) in snap.histograms_named("mil.op_ns") {
+            let Some(op) = key.label("op") else { continue };
+            stats.ops_observed += h.count();
+            let rows = rows_per_op.get(op).copied().unwrap_or(0);
+            if rows > 0 && h.sum() > 0 {
+                stats
+                    .op_ns_per_row
+                    .insert(op.to_string(), h.sum() as f64 / rows as f64);
+            }
+        }
+        let (hits, misses) = (
+            self.metrics.index_hits.get(),
+            self.metrics.index_misses.get(),
+        );
+        if hits + misses > 0 {
+            stats.index_hit_rate = Some(hits as f64 / (hits + misses) as f64);
+        }
+        let (seq_ns, seq_rows) = (
+            self.metrics.morsel_seq_ns.get(),
+            self.metrics.morsel_seq_rows.get(),
+        );
+        if seq_rows > 0 {
+            stats.seq_ns_per_row = Some(seq_ns as f64 / seq_rows as f64);
+        }
+        let (par_ns, par_rows) = (
+            self.metrics.morsel_par_ns.get(),
+            self.metrics.morsel_par_rows.get(),
+        );
+        if par_rows > 0 {
+            stats.par_ns_per_row = Some(par_ns as f64 / par_rows as f64);
+        }
+        for &name in collections {
+            if let Ok(handle) = self.bat(name) {
+                let sketch = self.tail_sketch(&handle.read());
+                stats.sketches.insert(name.to_string(), sketch);
+            }
+        }
+        stats
     }
 
     /// Registers `bat` in the catalog under `name`. Fails when taken.

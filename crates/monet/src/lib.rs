@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod mil;
 pub mod ops;
 pub mod parallel;
+pub mod sketch;
 pub mod value;
 
 /// Convenient glob-import of the kernel's most used types.
@@ -68,4 +69,5 @@ pub use kernel::{Kernel, MelModule};
 pub use metrics::KernelMetrics;
 pub use mil::MilValue;
 pub use ops::OpCtx;
+pub use sketch::{BatSketch, PlanStats};
 pub use value::{Atom, AtomType};

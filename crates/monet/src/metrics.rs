@@ -43,6 +43,18 @@ pub struct KernelMetrics {
     pub morsels: Arc<Counter>,
     /// Rows covered by morsel-driven operator runs.
     pub morsel_rows: Arc<Counter>,
+    /// Wall nanoseconds spent in sequential operator runs.
+    pub morsel_seq_ns: Arc<Counter>,
+    /// Rows covered by sequential operator runs.
+    pub morsel_seq_rows: Arc<Counter>,
+    /// Wall nanoseconds spent in parallel (fanned-out) operator runs.
+    pub morsel_par_ns: Arc<Counter>,
+    /// Rows covered by parallel operator runs.
+    pub morsel_par_rows: Arc<Counter>,
+    /// Tail-sketch cache probes that found a current sketch.
+    pub sketch_hits: Arc<Counter>,
+    /// Tail-sketch cache probes that had to (re)build.
+    pub sketch_misses: Arc<Counter>,
     /// Thread count most recently requested from an operator context.
     pub threads: Arc<Gauge>,
 }
@@ -64,6 +76,12 @@ impl KernelMetrics {
             morsel_runs_par: registry.counter("kernel.morsel_runs", &[("mode", "parallel")]),
             morsels: registry.counter("kernel.morsels", &[]),
             morsel_rows: registry.counter("kernel.morsel_rows", &[]),
+            morsel_seq_ns: registry.counter("kernel.morsel_ns", &[("mode", "sequential")]),
+            morsel_seq_rows: registry.counter("kernel.morsel_mode_rows", &[("mode", "sequential")]),
+            morsel_par_ns: registry.counter("kernel.morsel_ns", &[("mode", "parallel")]),
+            morsel_par_rows: registry.counter("kernel.morsel_mode_rows", &[("mode", "parallel")]),
+            sketch_hits: registry.counter("kernel.sketch_cache", &[("result", "hit")]),
+            sketch_misses: registry.counter("kernel.sketch_cache", &[("result", "miss")]),
             threads: registry.gauge("kernel.threads", &[]),
             registry,
         }
@@ -79,6 +97,16 @@ impl KernelMetrics {
         self.registry
             .histogram("mil.op_ns", &[("op", op)])
             .record(ns);
+    }
+
+    /// Records one MIL BAT-method invocation together with the receiver's
+    /// row count, so `op_ns.sum() / op_rows.sum()` yields a measured
+    /// nanoseconds-per-row figure per opcode for the plan coster.
+    pub fn record_op_sized(&self, op: &str, ns: u64, rows: u64) {
+        self.record_op(op, ns);
+        self.registry
+            .histogram("mil.op_rows", &[("op", op)])
+            .record(rows);
     }
 
     /// Records one extension-procedure call (`kernel.proc_ns{proc=...}`).

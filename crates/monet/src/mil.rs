@@ -1334,11 +1334,18 @@ fn eval_method(env: &Env<'_>, recv: &MilValue, name: &str, args: &[MilValue]) ->
             return Err(fault.into());
         }
     }
+    // The receiver's row count is the dominant input size of every BAT
+    // method; recorded alongside the wall time it gives the plan coster
+    // a measured ns-per-row figure per opcode.
+    let rows = recv
+        .as_bat()
+        .ok()
+        .map_or(0, |handle| handle.read().len() as u64);
     let start = std::time::Instant::now();
     let out = eval_method_op(env, recv, name, args);
     env.kernel
         .metrics()
-        .record_op(name, start.elapsed().as_nanos() as u64);
+        .record_op_sized(name, start.elapsed().as_nanos() as u64, rows);
     out
 }
 

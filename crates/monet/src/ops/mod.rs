@@ -85,40 +85,47 @@ impl<'g> OpCtx<'g> {
 const MIN_MORSEL_ROWS: usize = 4096;
 /// Morsels handed out per worker, for load balancing.
 const MORSELS_PER_THREAD: usize = 4;
+/// Minimum rows *per requested worker* before a run leaves the calling
+/// thread. Below this the fan-out (thread wake-ups, per-morsel result
+/// merges) costs more than it saves: `BENCH_monet.json` measured
+/// `select_range` over 100k rows at 0.19 ms on one thread vs 0.28 ms on
+/// two, so `threadcnt > 1` must never slow small BATs down.
+pub const MIN_PAR_ROWS_PER_THREAD: usize = 65_536;
 
 /// Runs `f` over morsel ranges of `0..len`, sequentially or on the
 /// context's workers, returning per-morsel results in range order. The
-/// guard is ticked once per morsel.
+/// guard is ticked once per morsel. Per-mode wall time and row counts
+/// are recorded so the planner can compare measured sequential vs
+/// parallel throughput.
 fn run_morsels<T, F>(ctx: &OpCtx<'_>, len: usize, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let parts = if ctx.threads <= 1 {
+    let parts = if ctx.threads <= 1 || len < ctx.threads * MIN_PAR_ROWS_PER_THREAD {
         1
     } else {
         (ctx.threads * MORSELS_PER_THREAD).min(len.div_ceil(MIN_MORSEL_ROWS).max(1))
     };
     let ranges = parallel::morsels(len, parts);
-    if ctx.threads <= 1 || ranges.len() <= 1 {
-        if let Some(m) = ctx.metrics {
-            m.morsel_runs_seq.inc();
-            m.morsels.add(ranges.len() as u64);
-            m.morsel_rows.add(len as u64);
-        }
+    if parts <= 1 || ranges.len() <= 1 {
+        let n_morsels = ranges.len() as u64;
+        let start = std::time::Instant::now();
         let mut out = Vec::with_capacity(ranges.len());
         for r in ranges {
             ctx.tick()?;
             out.push(f(r));
         }
+        if let Some(m) = ctx.metrics {
+            m.morsel_runs_seq.inc();
+            m.morsels.add(n_morsels);
+            m.morsel_rows.add(len as u64);
+            m.morsel_seq_ns.add(start.elapsed().as_nanos() as u64);
+            m.morsel_seq_rows.add(len as u64);
+        }
         return Ok(out);
     }
-    if let Some(m) = ctx.metrics {
-        m.morsel_runs_par.inc();
-        m.morsels.add(ranges.len() as u64);
-        m.morsel_rows.add(len as u64);
-        m.threads.set(ctx.threads as i64);
-    }
+    let n_morsels = ranges.len() as u64;
     let guard = ctx.guard;
     let jobs: Vec<_> = ranges
         .into_iter()
@@ -132,7 +139,17 @@ where
             }
         })
         .collect();
-    parallel::run_jobs(ctx.threads, jobs)?.into_iter().collect()
+    let start = std::time::Instant::now();
+    let out = parallel::run_jobs(ctx.threads, jobs)?.into_iter().collect();
+    if let Some(m) = ctx.metrics {
+        m.morsel_runs_par.inc();
+        m.morsels.add(n_morsels);
+        m.morsel_rows.add(len as u64);
+        m.threads.set(ctx.threads as i64);
+        m.morsel_par_ns.add(start.elapsed().as_nanos() as u64);
+        m.morsel_par_rows.add(len as u64);
+    }
+    out
 }
 
 fn concat_positions(chunks: Vec<Vec<u32>>) -> Vec<u32> {
@@ -1457,10 +1474,37 @@ mod tests {
     fn ctx_operators_respect_budget() {
         let guard = crate::guard::ExecBudget::unlimited().with_fuel(1).start();
         let ctx = OpCtx::new(4, &guard);
-        let b = Bat::from_tail(AtomType::Int, (0..100_000).map(Atom::Int)).unwrap();
+        // Large enough to clear the per-thread parallel floor at t=4.
+        let rows = 4 * MIN_PAR_ROWS_PER_THREAD + 1;
+        let b = Bat::from_tail(AtomType::Int, (0..rows as i64).map(Atom::Int)).unwrap();
         // More than one morsel, one fuel unit: the scan must be cut short.
         let err = select_range_ctx(&b, &Atom::Int(0), &Atom::Int(99), &ctx).unwrap_err();
         assert!(matches!(err, MonetError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn parallel_floor_keeps_small_inputs_sequential() {
+        // BENCH_monet.json showed threadcnt=2 losing to threadcnt=1 at
+        // 100k rows; the per-thread floor pins that regime to the
+        // sequential path while genuinely large runs still fan out.
+        let metrics = crate::metrics::KernelMetrics::default();
+        let small = Bat::from_tail(AtomType::Int, (0..100_000).map(Atom::Int)).unwrap();
+        let ctx = OpCtx {
+            threads: 2,
+            guard: None,
+            metrics: Some(&metrics),
+        };
+        select_range_ctx(&small, &Atom::Int(5), &Atom::Int(50), &ctx).unwrap();
+        assert_eq!(metrics.morsel_runs_seq.get(), 1);
+        assert_eq!(metrics.morsel_runs_par.get(), 0);
+
+        let big_rows = 2 * MIN_PAR_ROWS_PER_THREAD;
+        let big = Bat::from_tail(AtomType::Int, (0..big_rows as i64).map(Atom::Int)).unwrap();
+        select_range_ctx(&big, &Atom::Int(5), &Atom::Int(50), &ctx).unwrap();
+        assert_eq!(metrics.morsel_runs_par.get(), 1);
+        // Both modes recorded their measured throughput for the planner.
+        assert!(metrics.morsel_seq_rows.get() >= 100_000);
+        assert!(metrics.morsel_par_rows.get() >= big_rows as u64);
     }
 
     #[test]

@@ -121,7 +121,10 @@ impl fmt::Display for StoreError {
             StoreError::Fault { site } => write!(f, "injected store fault at {site}"),
             StoreError::Poisoned => write!(f, "wal writer poisoned by unrecoverable tail"),
             StoreError::RecordTooLarge { len, max } => {
-                write!(f, "wal record payload of {len} bytes exceeds the {max}-byte cap")
+                write!(
+                    f,
+                    "wal record payload of {len} bytes exceeds the {max}-byte cap"
+                )
             }
             StoreError::Protocol(what) => write!(f, "store protocol violation: {what}"),
         }

@@ -589,7 +589,11 @@ mod tests {
             }
             other => panic!("expected RecordTooLarge, got {other:?}"),
         }
-        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0, "nothing written");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            0,
+            "nothing written"
+        );
         // The rejected op consumed no sequence number; the log stays
         // fully replayable.
         let appended = w.append(&WalOp::Boot { epoch: 1 }).unwrap();

@@ -1,0 +1,182 @@
+//! The cost-based optimizer's query-layer surface: `EXPLAIN`'s
+//! before/after plan view (rule-based vs chosen, per-node estimates),
+//! plan-cache behaviour across cold, warm, and post-cost-model-refresh
+//! lookups, and result-identity of planned queries.
+
+use cobra_obs::SpanNode;
+use f1_cobra::catalog::{EventRecord, VideoInfo};
+use f1_cobra::{QueryOutput, Vdbms};
+
+/// A catalog-only fixture with a handful of events.
+fn fixture() -> Vdbms {
+    let vdbms = Vdbms::try_new().unwrap();
+    vdbms
+        .catalog
+        .register_video(VideoInfo {
+            name: "v".into(),
+            n_clips: 200,
+            n_frames: 200 * 25 / 10,
+        })
+        .expect("register test video");
+    let ev = |kind: &str, start: usize, end: usize, driver: Option<&str>| EventRecord {
+        kind: kind.into(),
+        start,
+        end,
+        driver: driver.map(str::to_string),
+    };
+    vdbms
+        .catalog
+        .store_events(
+            "v",
+            &[
+                ev("highlight", 10, 40, None),
+                ev("highlight", 60, 80, Some("MONTOYA")),
+                ev("fly_out", 15, 25, Some("SCHUMACHER")),
+                ev("caption:pit_stop", 20, 35, Some("MONTOYA")),
+            ],
+        )
+        .unwrap();
+    vdbms
+}
+
+fn explain(vdbms: &Vdbms, q: &str) -> SpanNode {
+    match vdbms.run("v", &format!("EXPLAIN {q}")).unwrap() {
+        QueryOutput::Plan(span) => span,
+        other => panic!("EXPLAIN returned {other:?}"),
+    }
+}
+
+fn meta<'a>(node: &'a SpanNode, key: &str) -> &'a str {
+    node.meta
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("node {} missing meta '{key}'", node.name))
+}
+
+#[test]
+fn explain_shows_rule_based_and_chosen_plans_with_estimates() {
+    let vdbms = fixture();
+    let plan = explain(&vdbms, "RETRIEVE HIGHLIGHTS");
+    let rule_based = plan.find("plan:rule_based").expect("rule-based view");
+    let chosen = plan.find("plan:chosen").expect("chosen view");
+
+    // Both sides carry a cost estimate and a node-by-node rendering
+    // with cardinalities.
+    let baseline_cost: f64 = meta(rule_based, "est_cost_ns").parse().unwrap();
+    let chosen_cost: f64 = meta(chosen, "est_cost_ns").parse().unwrap();
+    assert!(baseline_cost >= 0.0);
+    assert!(
+        chosen_cost <= baseline_cost,
+        "the planner must never pick a plan it estimates as worse: {chosen_cost} > {baseline_cost}"
+    );
+    for view in [rule_based, chosen] {
+        let nodes = meta(view, "nodes");
+        assert!(nodes.contains("collection:v.ev.kind"), "{nodes}");
+        assert!(nodes.contains("select"), "{nodes}");
+        assert!(nodes.contains("rows="), "{nodes}");
+        assert!(nodes.contains("ns="), "{nodes}");
+    }
+    // The threadcnt decision and its reasoning are visible.
+    let threads: usize = meta(chosen, "threads").parse().unwrap();
+    assert!(threads >= 1);
+    assert!(meta(chosen, "rationale").contains("threadcnt"));
+}
+
+#[test]
+fn explain_reports_cold_then_warm_then_regenerated_plan_cache() {
+    let vdbms = fixture();
+
+    // Cold: nothing cached at generation 0.
+    let plan = explain(&vdbms, "RETRIEVE HIGHLIGHTS");
+    let compile = plan.find("moa:compile").unwrap();
+    assert_eq!(meta(compile, "cache"), "miss");
+    assert_eq!(meta(compile, "generation"), "0");
+
+    // Warm: executing the query populates the plan cache, EXPLAIN sees
+    // the hit without executing anything itself.
+    vdbms.query("v", "RETRIEVE HIGHLIGHTS").unwrap();
+    let plan = explain(&vdbms, "RETRIEVE HIGHLIGHTS");
+    assert_eq!(meta(plan.find("moa:compile").unwrap(), "cache"), "hit");
+
+    // A cost-model refresh advances the generation: the cached plan is
+    // orphaned and the next lookup must replan.
+    let generation = vdbms.refresh_plan_costs();
+    let plan = explain(&vdbms, "RETRIEVE HIGHLIGHTS");
+    let compile = plan.find("moa:compile").unwrap();
+    assert_eq!(meta(compile, "cache"), "miss");
+    assert_eq!(meta(compile, "generation"), generation.to_string());
+
+    // Re-executing recompiles under the new generation and warms it
+    // up. (A distinct query text dodges the result cache — the plan
+    // cache is keyed by event kind, so EXPLAIN RETRIEVE HIGHLIGHTS
+    // still sees the recompiled plan.)
+    vdbms
+        .query("v", "RETRIEVE HIGHLIGHTS WITH DRIVER \"MONTOYA\"")
+        .unwrap();
+    let plan = explain(&vdbms, "RETRIEVE HIGHLIGHTS");
+    assert_eq!(meta(plan.find("moa:compile").unwrap(), "cache"), "hit");
+}
+
+#[test]
+fn cost_model_refresh_recompiles_plans_and_keeps_answers_identical() {
+    let vdbms = fixture();
+    let before_refresh = vdbms.query("v", "RETRIEVE HIGHLIGHTS").unwrap();
+    let misses = |v: &Vdbms| {
+        v.kernel()
+            .metrics()
+            .registry()
+            .snapshot()
+            .counter("cache.plan", &[("result", "miss")])
+    };
+    let baseline_misses = misses(&vdbms);
+
+    // Warm plan cache: a different query over the same event kind (its
+    // own result-cache entry, same plan key) compiles nothing.
+    vdbms
+        .query("v", "RETRIEVE HIGHLIGHTS WITH DRIVER \"MONTOYA\"")
+        .unwrap();
+    assert_eq!(misses(&vdbms), baseline_misses, "warm run must hit");
+
+    // Invalidate the result cache with an unrelated event append (the
+    // version vector moves; highlight answers are untouched), then
+    // refresh the cost model: the re-run must replan — a plan-cache
+    // miss — and still return byte-identical results.
+    vdbms
+        .catalog
+        .store_events(
+            "v",
+            &[EventRecord {
+                kind: "caption:final_lap".into(),
+                start: 150,
+                end: 160,
+                driver: None,
+            }],
+        )
+        .unwrap();
+    vdbms.refresh_plan_costs();
+    let after_refresh = vdbms.query("v", "RETRIEVE HIGHLIGHTS").unwrap();
+    assert!(misses(&vdbms) > baseline_misses, "refresh must replan");
+    assert_eq!(before_refresh, after_refresh);
+
+    // The regeneration is visible in the generation gauge.
+    let snap = vdbms.kernel().metrics().registry().snapshot();
+    assert_eq!(snap.gauge("cache.plan.generation", &[]), 1);
+}
+
+#[test]
+fn explain_never_executes_or_skews_plan_cache_counters() {
+    let vdbms = fixture();
+    let counters = |v: &Vdbms| {
+        let snap = v.kernel().metrics().registry().snapshot();
+        (
+            snap.counter("cache.plan", &[("result", "hit")]),
+            snap.counter("cache.plan", &[("result", "miss")]),
+            snap.counter("mil.evals", &[]),
+        )
+    };
+    let before = counters(&vdbms);
+    explain(&vdbms, "RETRIEVE HIGHLIGHTS");
+    explain(&vdbms, "RETRIEVE PITSTOPS");
+    assert_eq!(counters(&vdbms), before, "EXPLAIN must be read-only");
+}
