@@ -4,7 +4,7 @@
 //! ```text
 //! experiments [--duration SECONDS] [table1 table2 table3 table4 ablation
 //!              fig9 temporal clustering keywords endpoint shots hmm queries
-//!              monet optimizer obs serve cache wal]
+//!              monet optimizer obs serve cache wal shard]
 //! ```
 //!
 //! With no experiment names, everything runs. Traces for Fig. 9 are
@@ -202,6 +202,13 @@ fn main() {
         println!("{table}");
         if std::fs::write("BENCH_wal.json", json.to_string()).is_ok() {
             println!("(durability benchmark written to BENCH_wal.json)");
+        }
+    }
+    if want("shard") {
+        let (table, json) = experiments::shard();
+        println!("{table}");
+        if std::fs::write("BENCH_shard.json", json.to_string()).is_ok() {
+            println!("(sharding benchmark written to BENCH_shard.json)");
         }
     }
 

@@ -1875,3 +1875,209 @@ pub fn optimizer() -> (Table, serde_json::Value) {
     });
     (table, doc)
 }
+
+/// **Sharded serving** — throughput of the scatter-gather router as the
+/// same catalog is split across 1, 2 and 4 kernel worker *processes*.
+/// Each topology seeds per-shard durable data dirs with the ring the
+/// router routes by, spawns genuine `cobra-serve` children, and drives
+/// an all-cold closed-loop mix of cross-video sweeps and single-video
+/// queries through the router (result cache off, so every request
+/// executes). Near-linear 1→4 scaling needs cores to scale onto; the
+/// report carries the parallelism the host offered so the CI bound can
+/// be honest about constrained runners. Returns the table plus the
+/// JSON document `BENCH_shard.json` (schema-validated by CI).
+pub fn shard() -> (Table, serde_json::Value) {
+    use cobra_serve::load::{run as run_load, LoadConfig, LoadReport};
+    use cobra_serve::ring::{Ring, DEFAULT_SEED};
+    use cobra_serve::router::{start as start_router, RouterConfig};
+    use cobra_serve::spawn::{find_worker_binary, spawn_worker, WorkerProcess};
+    use f1_cobra::catalog::{EventRecord, VideoInfo};
+    use f1_cobra::{FsyncPolicy, RetryPolicy, StoreConfig, Vdbms};
+
+    const VIDEOS: usize = 8;
+    const CLIPS: usize = 1200;
+    const CLIENTS: usize = 8;
+    const REQUESTS_PER_CLIENT: usize = 60;
+    const WORKERS_PER_SHARD: usize = 2;
+    const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+
+    let binary = find_worker_binary().expect("cobra-serve binary next to the experiments binary");
+
+    // One run of the closed-loop mix against a freshly seeded topology.
+    let run_topology = |shards: u32| -> LoadReport {
+        let root =
+            std::env::temp_dir().join(format!("cobra-bench-shard-{}-{shards}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let ring = Ring::new(shards, DEFAULT_SEED);
+
+        // Seed each shard's slice durably (fsync off: seeding is not
+        // the measurement), exactly as the router will partition it.
+        for shard in 0..shards {
+            let config = StoreConfig {
+                fsync: FsyncPolicy::Never,
+                ..StoreConfig::new(root.join(format!("shard-{shard}")))
+            };
+            let vdbms = Vdbms::open(&config).expect("seed shard data dir");
+            for v in 0..VIDEOS {
+                let name = format!("race-{v}");
+                if ring.owner(&name) != shard {
+                    continue;
+                }
+                vdbms
+                    .catalog
+                    .register_video(VideoInfo {
+                        name: name.clone(),
+                        n_clips: CLIPS,
+                        n_frames: CLIPS * VIDEO_FPS / clips_per_second(),
+                    })
+                    .expect("register bench video");
+                let events: Vec<EventRecord> = (0..CLIPS / 2)
+                    .map(|i| EventRecord {
+                        kind: match i % 3 {
+                            0 => "highlight",
+                            1 => "excited",
+                            _ => "caption:pit_stop",
+                        }
+                        .into(),
+                        start: i * 2,
+                        end: i * 2 + 1,
+                        driver: (i % 4 == 0).then(|| format!("Z{}", i % 64)),
+                    })
+                    .collect();
+                vdbms
+                    .catalog
+                    .store_events(&name, &events)
+                    .expect("store bench events");
+            }
+            vdbms.checkpoint().expect("checkpoint seed data");
+        }
+
+        let workers: Vec<WorkerProcess> = (0..shards)
+            .map(|shard| {
+                let args = vec![
+                    "--addr".to_string(),
+                    "127.0.0.1:0".to_string(),
+                    "--workers".to_string(),
+                    WORKERS_PER_SHARD.to_string(),
+                    "--queue-cap".to_string(),
+                    "64".to_string(),
+                    "--data-dir".to_string(),
+                    root.join(format!("shard-{shard}")).display().to_string(),
+                ];
+                spawn_worker(&binary, &args)
+                    .unwrap_or_else(|e| panic!("spawning bench shard {shard}: {e}"))
+            })
+            .collect();
+        let router = start_router(RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: workers.iter().map(|w| w.addr().to_string()).collect(),
+            seed: DEFAULT_SEED,
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_ms: 25,
+            },
+            // All-cold by construction: every request must execute, so
+            // the numbers measure scatter-gather + kernel work, not the
+            // router's result cache.
+            cache: false,
+        })
+        .expect("start bench router");
+
+        let report = run_load(
+            router.addr(),
+            &LoadConfig {
+                clients: CLIENTS,
+                requests_per_client: REQUESTS_PER_CLIENT,
+                video: "*".into(),
+                queries: vec![
+                    "RETRIEVE HIGHLIGHTS".to_string(),
+                    "RETRIEVE EXCITED".to_string(),
+                    "RETRIEVE PITSTOPS".to_string(),
+                ],
+                deadline_ms: None,
+                distinct: 4096,
+                zipf: None,
+            },
+        );
+
+        router.shutdown();
+        drop(workers); // SIGKILL + reap
+        let _ = std::fs::remove_dir_all(&root);
+        report
+    };
+
+    let reports: Vec<(u32, LoadReport)> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| (shards, run_topology(shards)))
+        .collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rps_at = |n: u32| -> f64 {
+        reports
+            .iter()
+            .find(|(shards, _)| *shards == n)
+            .map(|(_, r)| r.throughput_rps())
+            .unwrap_or(0.0)
+    };
+    let base = rps_at(1).max(1e-9);
+
+    let mut table = Table::new(
+        &format!(
+            "Sharding — cross-video sweeps through the scatter-gather router \
+             ({VIDEOS} videos, {CLIENTS} clients, {WORKERS_PER_SHARD} threads/shard, \
+             {cores} host cores)"
+        ),
+        &[
+            "shards", "ok", "overload", "errors", "rps", "speedup", "p50 us", "p95 us",
+        ],
+    );
+    for (shards, report) in &reports {
+        let j = report.to_json();
+        let p = |k: &str| {
+            j.get("latency_us")
+                .and_then(|l| l.get(k))
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        table.row(vec![
+            Cell::Num(*shards as f64),
+            Cell::Num(report.ok as f64),
+            Cell::Num(report.overloaded as f64),
+            Cell::Num(report.errors as f64),
+            Cell::Num(report.throughput_rps()),
+            Cell::Num(report.throughput_rps() / base),
+            Cell::Num(p("p50")),
+            Cell::Num(p("p95")),
+        ]);
+    }
+
+    let results: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|(shards, report)| {
+            serde_json::json!({
+                "shards": (*shards as f64),
+                "report": (report.to_json()),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "experiment": "shard",
+        "config": {
+            "videos": (VIDEOS as f64),
+            "clips": (CLIPS as f64),
+            "clients": (CLIENTS as f64),
+            "requests_per_client": (REQUESTS_PER_CLIENT as f64),
+            "workers_per_shard": (WORKERS_PER_SHARD as f64),
+            "shard_counts": (SHARD_COUNTS.iter().map(|&n| n as f64).collect::<Vec<_>>()),
+            "host_cores": (cores as f64),
+        },
+        "results": (results),
+        "scaling": {
+            "x2_vs_x1": (rps_at(2) / base),
+            "x4_vs_x1": (rps_at(4) / base),
+        },
+    });
+    (table, doc)
+}

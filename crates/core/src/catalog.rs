@@ -63,6 +63,12 @@ pub struct Catalog {
     /// Bumped on raw-layer changes (video (re)registration), which BAT
     /// versions can't see. Part of the result-cache version vector.
     generation: AtomicU64,
+    /// Bumped on *every* catalog mutation (registration, feature store,
+    /// event append/clear), live or replayed. A single monotonic scalar
+    /// summarizing "has anything changed", cheap enough to ship over the
+    /// wire: paired with the boot [`epoch`](Self::epoch) it is the
+    /// per-shard entry of the scatter-gather router's version vectors.
+    data_version: AtomicU64,
     /// The durability backend ([`MemBackend`] keeps the old pure
     /// main-memory behaviour at zero overhead).
     store: Arc<dyn StorageBackend>,
@@ -87,6 +93,7 @@ impl Catalog {
             kernel,
             videos: RwLock::new(HashMap::new()),
             generation: AtomicU64::new(0),
+            data_version: AtomicU64::new(0),
             store,
             commit: Mutex::new(()),
             ckpt: Mutex::new(()),
@@ -127,11 +134,20 @@ impl Catalog {
     fn apply_register(&self, info: VideoInfo) {
         self.videos.write().insert(info.name.clone(), info);
         self.generation.fetch_add(1, Ordering::Release);
+        self.data_version.fetch_add(1, Ordering::Release);
     }
 
     /// Raw-layer change counter (see the `generation` field).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
+    }
+
+    /// Whole-catalog mutation counter (see the `data_version` field):
+    /// strictly increases on every acknowledged mutation within one boot
+    /// epoch, so `(epoch, data_version)` equality proves the catalog is
+    /// unchanged across observations.
+    pub fn data_version(&self) -> u64 {
+        self.data_version.load(Ordering::Acquire)
     }
 
     /// The (BAT id, BAT version) pairs of `video`'s event layer, in the
@@ -201,6 +217,7 @@ impl Catalog {
             let bat = Bat::from_tail(AtomType::Dbl, matrix.iter().map(|row| Atom::Dbl(row[k])))?;
             self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
         }
+        self.data_version.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -218,6 +235,7 @@ impl Catalog {
             )?;
             self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
         }
+        self.data_version.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -301,6 +319,7 @@ impl Catalog {
                 .write()
                 .append_void(Atom::str(e.driver.as_deref().unwrap_or("")))?;
         }
+        self.data_version.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -321,6 +340,7 @@ impl Catalog {
         for suffix in ["kind", "start", "end", "driver"] {
             let _ = self.kernel.drop_bat(&format!("{video}.ev.{suffix}"));
         }
+        self.data_version.fetch_add(1, Ordering::Release);
     }
 
     /// Loads the event layer, optionally filtered by kind.
@@ -588,6 +608,45 @@ mod tests {
         assert!(!c.has_events("german", "fly_out"));
         c.clear_events("german").unwrap();
         assert!(c.events("german", None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn data_version_bumps_on_every_mutation() {
+        let c = Catalog::new(Arc::new(Kernel::new()));
+        let v0 = c.data_version();
+        c.register_video(VideoInfo {
+            name: "german".into(),
+            n_clips: 4,
+            n_frames: 10,
+        })
+        .unwrap();
+        let v1 = c.data_version();
+        assert!(v1 > v0, "registration must advance the data version");
+        c.store_features("german", &vec![vec![0.5]; 4]).unwrap();
+        let v2 = c.data_version();
+        assert!(v2 > v1, "feature store must advance the data version");
+        c.store_events(
+            "german",
+            &[EventRecord {
+                kind: "highlight".into(),
+                start: 0,
+                end: 2,
+                driver: None,
+            }],
+        )
+        .unwrap();
+        let v3 = c.data_version();
+        assert!(v3 > v2, "event append must advance the data version");
+        c.clear_events("german").unwrap();
+        assert!(
+            c.data_version() > v3,
+            "event clear must advance the data version"
+        );
+        // Reads leave it alone.
+        let quiesced = c.data_version();
+        let _ = c.events("german", None);
+        let _ = c.videos();
+        assert_eq!(c.data_version(), quiesced);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use cobra_obs::SpanNode;
 use serde_json::{json, Value};
 
 use crate::query::RetrievedSegment;
-use crate::session::{IngestReport, MethodAttempt, MethodRank, QueryOutput, QueryProfile};
+use crate::session::{
+    IngestReport, MethodAttempt, MethodRank, QueryOutput, QueryProfile, VideoSegments,
+};
 
 /// Encodes one retrieved segment.
 pub fn segment_to_json(seg: &RetrievedSegment) -> Value {
@@ -48,7 +50,7 @@ pub fn segments_from_json(v: &Value) -> Option<Vec<RetrievedSegment>> {
 }
 
 /// Encodes a query answer as a tagged object:
-/// `{"kind": "segments" | "profile" | "plan", ...}`.
+/// `{"kind": "segments" | "profile" | "plan" | "multi", ...}`.
 pub fn query_output_to_json(out: &QueryOutput) -> Value {
     match out {
         QueryOutput::Segments(segments) => json!({
@@ -63,6 +65,18 @@ pub fn query_output_to_json(out: &QueryOutput) -> Value {
         QueryOutput::Plan(span) => json!({
             "kind": "plan",
             "span": (span.to_json()),
+        }),
+        QueryOutput::Multi(groups) => json!({
+            "kind": "multi",
+            "videos": (Value::Array(
+                groups
+                    .iter()
+                    .map(|g| json!({
+                        "video": (g.video.clone()),
+                        "segments": (segments_to_json(&g.segments)),
+                    }))
+                    .collect(),
+            )),
         }),
     }
 }
@@ -79,6 +93,20 @@ pub fn query_output_from_json(v: &Value) -> Option<QueryOutput> {
             span: SpanNode::from_json(v.get("span")?)?,
         })),
         "plan" => Some(QueryOutput::Plan(SpanNode::from_json(v.get("span")?)?)),
+        "multi" => {
+            let groups = v
+                .get("videos")?
+                .as_array()?
+                .iter()
+                .map(|g| {
+                    Some(VideoSegments {
+                        video: g.get("video")?.as_str()?.to_string(),
+                        segments: segments_from_json(g.get("segments")?)?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(QueryOutput::Multi(groups))
+        }
         _ => None,
     }
 }
@@ -140,6 +168,16 @@ mod tests {
     fn segments_round_trip() {
         for output in [
             QueryOutput::Segments(sample_segments()),
+            QueryOutput::Multi(vec![
+                VideoSegments {
+                    video: "german".into(),
+                    segments: sample_segments(),
+                },
+                VideoSegments {
+                    video: "monza".into(),
+                    segments: Vec::new(),
+                },
+            ]),
             QueryOutput::Plan(
                 SpanNode::new("query")
                     .with_meta("target", "Highlights")
@@ -161,6 +199,7 @@ mod tests {
                     assert_eq!(a.segments, b.segments);
                     assert_eq!(a.span, b.span);
                 }
+                (QueryOutput::Multi(a), QueryOutput::Multi(b)) => assert_eq!(a, b),
                 _ => panic!("variant changed across round trip"),
             }
         }
@@ -172,6 +211,8 @@ mod tests {
             serde_json::json!({"kind": "segments"}),
             serde_json::json!({"kind": "nonsense"}),
             serde_json::json!({"segments": []}),
+            serde_json::json!({"kind": "multi"}),
+            serde_json::json!({"kind": "multi", "videos": [{"segments": []}]}),
             serde_json::from_str(r#"{"kind": "segments", "segments": [{"start": -1}]}"#)
                 .expect("valid JSON text"),
             serde_json::Value::Null,

@@ -29,10 +29,11 @@ pub mod session;
 pub use cache::{CachedResult, CompiledPlan, QueryCaches, VersionVector};
 pub use catalog::Catalog;
 pub use cobra_store::{CheckpointOutcome, FsyncPolicy, StoreConfig, StoreStats};
-pub use extensions::{CostModel, CostStat, MethodRegistry};
+pub use extensions::{CostModel, CostStat, MethodRegistry, RetryPolicy};
 pub use query::{parse_query, parse_statement, Query, RetrievedSegment, Statement};
 pub use session::{
     IngestReport, MethodAttempt, MethodRank, QueryOutput, QueryProfile, RecoveryReport, Vdbms,
+    VideoSegments,
 };
 
 /// Errors raised by the VDBMS layer.

@@ -109,6 +109,15 @@ pub struct QueryProfile {
     pub span: SpanNode,
 }
 
+/// One video's contribution to a cross-video answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VideoSegments {
+    /// Catalog name of the video the segments came from.
+    pub video: String,
+    /// The segments retrieved from that video.
+    pub segments: Vec<RetrievedSegment>,
+}
+
 /// What [`Vdbms::run`] produced for a statement.
 #[derive(Debug, Clone)]
 pub enum QueryOutput {
@@ -118,6 +127,10 @@ pub enum QueryOutput {
     Profile(QueryProfile),
     /// An `EXPLAIN RETRIEVE` plan (not executed, timings zero).
     Plan(SpanNode),
+    /// A cross-video `RETRIEVE` answer (`video = "*"`): one group per
+    /// catalog video, sorted by name so the answer is deterministic and
+    /// scatter-gather merges from disjoint shards are order-stable.
+    Multi(Vec<VideoSegments>),
 }
 
 /// The event-layer kind an event-backed target selects, `None` for the
@@ -898,6 +911,29 @@ impl Vdbms {
             )),
             Statement::Explain(q) => Ok(QueryOutput::Plan(self.explain(video, &q))),
         }
+    }
+
+    /// Runs a plain `RETRIEVE` against *every* catalog video (the
+    /// `video = "*"` form the scatter-gather router fans out per shard)
+    /// and returns the answers grouped by video, sorted by name. All
+    /// per-video executions share `budget`, so a deadline bounds the
+    /// whole sweep, not each video. `PROFILE`/`EXPLAIN` are per-video
+    /// diagnostics and are rejected here with a parse error.
+    pub fn run_multi_with_budget(&self, text: &str, budget: &ExecBudget) -> Result<QueryOutput> {
+        let q = match parse_statement(text)? {
+            Statement::Retrieve(q) => q,
+            Statement::Profile(_) | Statement::Explain(_) => {
+                return Err(crate::CobraError::Parse(
+                    "PROFILE/EXPLAIN cannot target all videos ('*'); name one video".into(),
+                ))
+            }
+        };
+        let mut groups = Vec::new();
+        for video in self.catalog.videos() {
+            let segments = self.execute_cached(&video, &q, budget)?;
+            groups.push(VideoSegments { video, segments });
+        }
+        Ok(QueryOutput::Multi(groups))
     }
 
     /// The result-cache version vector for `video`: the catalog

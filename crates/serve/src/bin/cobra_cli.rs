@@ -21,6 +21,11 @@
 //! cobra-cli query german RETRIEVE HIGHLIGHTS WITH DRIVER schumacher
 //! cobra-cli query german PROFILE RETRIEVE PITSTOPS
 //! ```
+//!
+//! Against a `cobra-router` the same commands work unchanged; `query
+//! '*' TEXT...` runs the statement across every video in the cluster,
+//! and `shards` prints the per-shard topology (address, epoch, data
+//! version, owned videos).
 
 use cobra_serve::client::{Client, QueryReply, RequestOpts};
 
@@ -30,7 +35,7 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 }
 
 const USAGE: &str = "usage: cobra-cli [--addr HOST:PORT] \
-                     (ping | videos | stats | checkpoint \
+                     (ping | videos | stats | checkpoint | shards \
                      | query [--deadline-ms N] [--fuel N] VIDEO TEXT...)";
 
 fn main() {
@@ -129,9 +134,19 @@ fn main() {
                     print!("{}", span.render());
                 }
                 Ok(QueryReply::Plan(span)) => print!("{}", span.render()),
+                Ok(QueryReply::Multi(groups)) => {
+                    for group in groups {
+                        println!("=== {} ===", group.video);
+                        print_segments(&group.segments);
+                    }
+                }
                 Err(e) => fail(e),
             }
         }
+        "shards" => match client.version() {
+            Ok(version) => print_shards(&version),
+            Err(e) => fail(e),
+        },
         other => fail(format!("unknown command '{other}'\n{USAGE}")),
     }
 }
@@ -156,6 +171,45 @@ fn print_store_summary(snapshot: &serde_json::Value) {
     println!("--- store ---");
     for (name, value) in counters.into_iter().chain(gauges) {
         println!("{name:<44} {value}");
+    }
+}
+
+/// Renders a `version` answer — a worker's single entry or a router's
+/// per-shard topology — as one line per shard.
+fn print_shards(version: &serde_json::Value) {
+    use serde_json::Value;
+    let entry_line = |entry: &Value| {
+        let shard = entry.get("shard").and_then(Value::as_u64);
+        let prefix = match shard {
+            Some(shard) => format!("shard {shard}"),
+            None => "local".to_string(),
+        };
+        if let Some(error) = entry.get("error") {
+            let message = error.get("message").and_then(Value::as_str).unwrap_or("?");
+            println!("{prefix:<10} UNAVAILABLE: {message}");
+            return;
+        }
+        let num = |name: &str| entry.get(name).and_then(Value::as_u64).unwrap_or(0);
+        let videos = entry
+            .get("videos")
+            .and_then(Value::as_array)
+            .map(|v| {
+                v.iter()
+                    .filter_map(Value::as_str)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
+        let addr = entry.get("addr").and_then(Value::as_str).unwrap_or("-");
+        println!(
+            "{prefix:<10} {addr:<21} epoch {:<4} data_version {:<6} [{videos}]",
+            num("epoch"),
+            num("data_version"),
+        );
+    };
+    match version.get("shards").and_then(Value::as_array) {
+        Some(entries) => entries.iter().for_each(entry_line),
+        None => entry_line(version),
     }
 }
 

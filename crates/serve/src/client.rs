@@ -85,6 +85,9 @@ pub enum QueryReply {
     },
     /// `EXPLAIN RETRIEVE`: the plan shape.
     Plan(SpanNode),
+    /// Cross-video `RETRIEVE` (`video = "*"`): one segment group per
+    /// catalogued video, sorted by video name.
+    Multi(Vec<f1_cobra::VideoSegments>),
 }
 
 /// A blocking protocol session.
@@ -199,6 +202,39 @@ impl Client {
         decode_reply(&result)
     }
 
+    /// The peer's shard-version summary. A worker answers
+    /// `{kind: "version", epoch, catalog_gen, data_version, videos}`;
+    /// a router answers `{kind: "version", shards: [...]}` with one
+    /// such entry per shard.
+    pub fn version(&mut self) -> Result<Value, ClientError> {
+        self.call(json!({"cmd": "version"}))
+    }
+
+    /// Debug command (server must run with `debug`): append one event
+    /// record to `video`'s event layer. Routers forward this to the
+    /// owning shard, which is what the cross-shard cache-invalidation
+    /// tests lean on.
+    pub fn write_event(
+        &mut self,
+        video: &str,
+        kind: &str,
+        start: u64,
+        end: u64,
+        driver: Option<&str>,
+    ) -> Result<Value, ClientError> {
+        let mut request = json!({
+            "cmd": "write_event",
+            "video": (video),
+            "kind": (kind),
+            "start": (start as f64),
+            "end": (end as f64),
+        });
+        if let (Value::Object(map), Some(d)) = (&mut request, driver) {
+            map.insert("driver".into(), Value::String(d.to_string()));
+        }
+        self.call(request)
+    }
+
     /// Debug command (server must run with `debug`): occupy a worker
     /// for `ms` milliseconds under the request's budget.
     pub fn sleep_ms(&mut self, ms: u64, opts: RequestOpts) -> Result<(), ClientError> {
@@ -249,6 +285,7 @@ fn decode_reply(result: &Value) -> Result<QueryReply, ClientError> {
             span: p.span,
         }),
         Some(f1_cobra::QueryOutput::Plan(span)) => Ok(QueryReply::Plan(span)),
+        Some(f1_cobra::QueryOutput::Multi(groups)) => Ok(QueryReply::Multi(groups)),
         None => Err(shape_err()),
     }
 }

@@ -10,8 +10,11 @@
 //! draining in-flight queries on shutdown ([`server`]).
 //!
 //! The same crate ships the blocking [`client`] library (used by the
-//! `cobra-cli` binary and the integration tests) and the closed-loop
-//! [`load`] generator behind `experiments serve`.
+//! `cobra-cli` binary and the integration tests), the closed-loop
+//! [`load`] generator behind `experiments serve`, and the sharding
+//! layer: a seeded consistent-hash [`ring`] assigning videos to worker
+//! processes and a scatter-gather [`router`] that speaks the same wire
+//! protocol on both sides (`cobra-router` binary).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -32,10 +35,16 @@
 pub mod client;
 pub mod load;
 pub mod protocol;
+pub mod ring;
+pub mod router;
 pub mod scheduler;
 pub mod server;
+pub mod spawn;
 
 pub use client::{Client, ClientError, QueryReply, RequestOpts};
 pub use protocol::ErrorKind;
+pub use ring::{Ring, DEFAULT_SEED};
+pub use router::{RouterConfig, RouterHandle};
 pub use scheduler::{SubmitError, WorkerPool};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use spawn::{find_worker_binary, spawn_worker, WorkerProcess};

@@ -107,6 +107,11 @@ pub enum ErrorKind {
     UnknownVideo,
     /// The request frame was structurally invalid.
     BadRequest,
+    /// The shard that owns the requested data is unreachable (worker
+    /// death the router could not mask by re-dispatching), or a
+    /// forwarded frame addressed a shard epoch the worker has moved
+    /// past (it rebooted since the router last spoke to it).
+    ShardUnavailable,
     /// Anything else that went wrong server-side.
     Internal,
 }
@@ -123,6 +128,7 @@ impl ErrorKind {
             ErrorKind::Parse => "parse",
             ErrorKind::UnknownVideo => "unknown_video",
             ErrorKind::BadRequest => "bad_request",
+            ErrorKind::ShardUnavailable => "shard_unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -139,6 +145,7 @@ impl ErrorKind {
             "parse" => ErrorKind::Parse,
             "unknown_video" => ErrorKind::UnknownVideo,
             "bad_request" => ErrorKind::BadRequest,
+            "shard_unavailable" => ErrorKind::ShardUnavailable,
             _ => ErrorKind::Internal,
         }
     }
@@ -227,6 +234,7 @@ mod tests {
             ErrorKind::Parse,
             ErrorKind::UnknownVideo,
             ErrorKind::BadRequest,
+            ErrorKind::ShardUnavailable,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::parse(kind.as_str()), kind);

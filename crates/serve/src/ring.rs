@@ -1,0 +1,161 @@
+//! The consistent-hash ring that assigns videos to shards.
+//!
+//! Each shard contributes [`VNODES`] virtual points on a `u64` ring; a
+//! video is owned by the shard whose point is the first at or past the
+//! video's hash (wrapping at the top). The construction is a pure
+//! function of `(seed, shard count)` — no OS entropy, no wall clock —
+//! so every router restart, every worker, and every test computes the
+//! same assignment, and growing the cluster from `n` to `n + 1` shards
+//! moves only the keys that land on the new shard's points (≈ `1/(n+1)`
+//! of them) instead of rehashing the world.
+
+/// Virtual points per shard. Enough that per-shard ring share
+/// concentrates near `1/n` (relative deviation ~`1/sqrt(VNODES)`),
+/// small enough that building the ring is trivially cheap.
+pub const VNODES: usize = 64;
+
+/// Default ring seed. Routers, workers and tests that don't pick their
+/// own seed agree through this one.
+pub const DEFAULT_SEED: u64 = 0xF1;
+
+/// SplitMix64 finalizer: cheap, well-mixed, stable across platforms.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the bytes, finished through SplitMix64 so short keys
+/// with shared prefixes still spread over the whole ring.
+fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// A seeded consistent-hash ring over `shards` shards.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, shard)` sorted by point; ties broken by shard id so the
+    /// ring is deterministic even in the astronomically unlikely event
+    /// of a point collision.
+    points: Vec<(u64, u32)>,
+    shards: u32,
+    seed: u64,
+}
+
+impl Ring {
+    /// Builds the ring for `shards` shards (at least 1) from `seed`.
+    pub fn new(shards: u32, seed: u64) -> Ring {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards as usize * VNODES);
+        for shard in 0..shards {
+            for vnode in 0..VNODES {
+                let point = hash_bytes(seed, format!("shard/{shard}/vnode/{vnode}").as_bytes());
+                points.push((point, shard));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            shards,
+            seed,
+        }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The seed the ring was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shard that owns `video`: the first ring point at or past the
+    /// video's hash, wrapping to the lowest point at the top of the
+    /// ring. Total and deterministic — every key has exactly one owner.
+    pub fn owner(&self, video: &str) -> u32 {
+        let h = hash_bytes(self.seed, video.as_bytes());
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("race-{i}")).collect()
+    }
+
+    #[test]
+    fn ownership_is_total_and_deterministic() {
+        let ring = Ring::new(4, DEFAULT_SEED);
+        let again = Ring::new(4, DEFAULT_SEED);
+        for k in keys(1000) {
+            let owner = ring.owner(&k);
+            assert!(owner < 4);
+            assert_eq!(owner, ring.owner(&k), "owner must be a pure function");
+            assert_eq!(owner, again.owner(&k), "rebuilt ring must agree");
+        }
+    }
+
+    #[test]
+    fn shards_split_the_keyspace_roughly_evenly() {
+        for shards in [2u32, 3, 4, 8] {
+            let ring = Ring::new(shards, DEFAULT_SEED);
+            let mut counts = vec![0usize; shards as usize];
+            let n = 4096;
+            for k in keys(n) {
+                counts[ring.owner(&k) as usize] += 1;
+            }
+            let ideal = n / shards as usize;
+            for (shard, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > ideal / 4 && c < ideal * 4,
+                    "shard {shard}/{shards} owns {c} of {n} keys (ideal {ideal})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_only_a_fraction_of_keys() {
+        let n = 4096;
+        for shards in [1u32, 2, 4] {
+            let before = Ring::new(shards, DEFAULT_SEED);
+            let after = Ring::new(shards + 1, DEFAULT_SEED);
+            let moved = keys(n)
+                .iter()
+                .filter(|k| before.owner(k) != after.owner(k))
+                .count();
+            let expected = n / (shards as usize + 1);
+            assert!(
+                moved <= expected * 2,
+                "{shards}->{} shards moved {moved} of {n} keys (expected ~{expected})",
+                shards + 1
+            );
+            // And every moved key lands on the new shard — growth never
+            // shuffles keys between surviving shards.
+            for k in keys(n) {
+                if before.owner(&k) != after.owner(&k) {
+                    assert_eq!(after.owner(&k), shards);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let ring = Ring::new(0, DEFAULT_SEED);
+        assert_eq!(ring.shards(), 1);
+        assert_eq!(ring.owner("anything"), 0);
+    }
+}

@@ -1,0 +1,815 @@
+//! The scatter-gather router: one front door over N kernel workers.
+//!
+//! The catalog is partitioned across worker processes by the seeded
+//! consistent-hash [`Ring`]: every video has exactly one owning shard.
+//! The router speaks the same length-prefixed JSON protocol on both
+//! sides — clients connect to it exactly as they would to a single
+//! `cobra-serve`, and it forwards frames to workers over the same
+//! protocol, stamped with a `shard` object carrying the original
+//! request id and the shard epoch the router handshook with.
+//!
+//! * **Single-video queries** are forwarded to the owning shard.
+//! * **Cross-video queries** (`video = "*"`) scatter to every shard and
+//!   gather one segment group per video, merged in video-name order —
+//!   the answer is byte-identical no matter which shard replies first.
+//! * **Worker death never hangs a request**: a dead connection is
+//!   retried under the configured [`RetryPolicy`] (queries are
+//!   idempotent reads, so re-dispatch is safe); when retries exhaust,
+//!   the client gets the typed `shard_unavailable` error, not silence.
+//! * **Epochs fence reboots**: workers refuse frames stamped with a
+//!   stale epoch, so a router never acts on the answer of a worker
+//!   incarnation it has not handshook with.
+//! * **The router result cache** holds whole answers guarded by a
+//!   per-shard version vector — one `(shard, epoch, data_version)`
+//!   stamp per shard the answer read. A write on shard A invalidates
+//!   exactly the cached answers that read shard A; answers pinned to
+//!   other shards keep hitting.
+//!
+//! Fault site: `router.forward` fires at the top of every forward
+//! attempt, simulating a transport failure without touching the real
+//! connection — `Times(1)` proves one re-dispatch masks a blip,
+//! `Always` proves exhaustion surfaces the typed error.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cobra_cache::Lru;
+use cobra_obs::{Counter, Registry};
+use f1_cobra::RetryPolicy;
+use serde_json::{json, Value};
+
+use crate::client::{unwrap_response, Client, ClientError};
+use crate::protocol::{err_response, ok_response, write_frame, ErrorKind, FrameError};
+use crate::ring::{Ring, DEFAULT_SEED};
+use crate::server::read_exact_interruptible;
+
+/// Entry bound of the router's result cache.
+const ROUTER_CACHE_CAP: usize = 512;
+
+/// Read timeout for control probes (`version` during handshake and
+/// cache-guard capture). Probes run inline on the worker's session
+/// thread, so a probe that takes this long means the worker is gone.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How the router is wired.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks a free port (the handle reports it).
+    pub addr: String,
+    /// Worker addresses, indexed by shard id. The ring is built over
+    /// `shards.len()` shards.
+    pub shards: Vec<String>,
+    /// Ring seed; every router and test using the same seed computes
+    /// the same video → shard assignment.
+    pub seed: u64,
+    /// Per-forward retry policy for dead or rebooted workers.
+    pub retry: RetryPolicy,
+    /// Enables the router-side result cache.
+    pub cache: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: Vec::new(),
+            seed: DEFAULT_SEED,
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_ms: 50,
+            },
+            cache: true,
+        }
+    }
+}
+
+/// One shard's catalog state at capture time. Equal stamps mean the
+/// shard has neither rebooted (epoch) nor committed any mutation
+/// (data_version) since.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShardStamp {
+    shard: u32,
+    epoch: u64,
+    data_version: u64,
+}
+
+/// A cached cross- or single-shard answer plus the per-shard stamps it
+/// was computed against.
+struct RouterCached {
+    result: Value,
+    guard: Vec<ShardStamp>,
+}
+
+struct ResultCache {
+    entries: Lru<(String, String), Arc<RouterCached>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidated: Arc<Counter>,
+}
+
+impl ResultCache {
+    fn new(registry: &Registry) -> Self {
+        ResultCache {
+            entries: Lru::new(ROUTER_CACHE_CAP),
+            hits: registry.counter("cache.result", &[("result", "hit")]),
+            misses: registry.counter("cache.result", &[("result", "miss")]),
+            invalidated: registry.counter("cache.result", &[("result", "invalidated")]),
+        }
+    }
+
+    /// Cached answer for `key` provided it was computed against exactly
+    /// `current`; a stamp mismatch drops the stale entry (counted as
+    /// `invalidated`) and reports a miss.
+    fn lookup(&self, key: &(String, String), current: &[ShardStamp]) -> Option<Value> {
+        if let Some(cached) = self.entries.get(key) {
+            if cached.guard == current {
+                self.hits.inc();
+                return Some(cached.result.clone());
+            }
+            if self.entries.remove(key).is_some() {
+                self.invalidated.inc();
+            }
+        }
+        self.misses.inc();
+        None
+    }
+
+    fn store(&self, key: (String, String), result: Value, guard: Vec<ShardStamp>) {
+        self.entries
+            .insert(key, Arc::new(RouterCached { result, guard }));
+    }
+}
+
+struct RouterShared {
+    ring: Ring,
+    /// Current worker addresses, indexed by shard id. Mutable so a
+    /// restarted worker (fresh port) can be re-pointed without
+    /// restarting the router.
+    addrs: Mutex<Vec<String>>,
+    retry: RetryPolicy,
+    registry: Arc<Registry>,
+    cache: Option<ResultCache>,
+    shutting_down: AtomicBool,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running router. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) leaves it running detached.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (with the real port when the config said 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's own metrics registry (`router.forward`,
+    /// `cache.result`, `serve.requests` series).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Re-points `shard` at a new worker address (a restarted worker
+    /// binds a fresh port). Sessions notice on their next forward: the
+    /// old connection errors, and the retry reconnects here.
+    pub fn set_shard_addr(&self, shard: u32, addr: impl Into<String>) {
+        let mut addrs = self.shared.addrs.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(slot) = addrs.get_mut(shard as usize) {
+            *slot = addr.into();
+        }
+    }
+
+    /// Stops accepting, joins every session thread. Workers are
+    /// external processes and are not touched.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let sessions = std::mem::take(
+            &mut *self
+                .shared
+                .sessions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
+        for s in sessions {
+            let _ = s.join();
+        }
+    }
+}
+
+/// Starts the router over the configured worker addresses.
+pub fn start(config: RouterConfig) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let registry = Arc::new(Registry::new());
+    let cache = config.cache.then(|| ResultCache::new(&registry));
+    let shared = Arc::new(RouterShared {
+        ring: Ring::new(config.shards.len() as u32, config.seed),
+        addrs: Mutex::new(config.shards.clone()),
+        retry: config.retry,
+        registry,
+        cache,
+        shutting_down: AtomicBool::new(false),
+        sessions: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("cobra-router-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    Ok(RouterHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let session_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("cobra-router-session".into())
+            .spawn(move || session_loop(stream, &session_shared));
+        if let Ok(handle) = handle {
+            shared
+                .sessions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(handle);
+        }
+    }
+}
+
+/// One connection to one shard, plus the epoch handshook at connect
+/// time. Each router session owns its own set, so sessions never
+/// contend on shard sockets.
+struct ShardConn {
+    shard: u32,
+    client: Option<Client>,
+    epoch: u64,
+}
+
+/// What one forward attempt concluded.
+enum Attempt {
+    /// A definitive answer (success or a typed logical error) — stop.
+    Done(Result<Value, (ErrorKind, String)>),
+    /// Transport-level trouble — worth another attempt.
+    Retry(String),
+}
+
+/// Connects to the shard's current address and handshakes the epoch.
+fn connect_shard(shared: &RouterShared, conn: &mut ShardConn) -> Result<(), String> {
+    let addr = {
+        let addrs = shared.addrs.lock().unwrap_or_else(|p| p.into_inner());
+        addrs
+            .get(conn.shard as usize)
+            .cloned()
+            .ok_or_else(|| format!("shard {} is not on the ring", conn.shard))?
+    };
+    let client = Client::connect(&addr)
+        .map_err(|e| format!("connect to shard {} at {addr}: {e}", conn.shard))?;
+    let _ = client.set_timeout(Some(PROBE_TIMEOUT));
+    let mut client = client;
+    let version = client
+        .version()
+        .map_err(|e| format!("handshake with shard {} at {addr}: {e}", conn.shard))?;
+    let epoch = version
+        .get("epoch")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| {
+            format!(
+                "shard {} answered a version frame without an epoch",
+                conn.shard
+            )
+        })?;
+    conn.client = Some(client);
+    conn.epoch = epoch;
+    Ok(())
+}
+
+/// Runs one forward attempt against the shard's live connection.
+fn attempt_once(
+    shared: &RouterShared,
+    conn: &mut ShardConn,
+    body: &Value,
+    req_id: u64,
+    deadline_at: Option<Instant>,
+) -> Attempt {
+    // The injectable transport failure: the connection is left intact,
+    // only this attempt is declared lost.
+    if let Err(e) = cobra_faults::fire("router.forward") {
+        return Attempt::Retry(format!("injected transport fault: {e}"));
+    }
+    if let Some(at) = deadline_at {
+        if Instant::now() >= at {
+            return Attempt::Done(Err((
+                ErrorKind::Deadline,
+                "deadline lapsed while routing".into(),
+            )));
+        }
+    }
+    if conn.client.is_none() {
+        if let Err(e) = connect_shard(shared, conn) {
+            return Attempt::Retry(e);
+        }
+    }
+    let Some(client) = conn.client.as_mut() else {
+        return Attempt::Retry(format!("shard {} has no connection", conn.shard));
+    };
+
+    let is_probe = body.get("cmd").and_then(Value::as_str) == Some("version");
+    let mut frame = body.clone();
+    if let Value::Object(map) = &mut frame {
+        if !is_probe {
+            // Stamp the interconnect frame: original request id for
+            // tracing, handshook epoch so a rebooted worker refuses it.
+            map.insert(
+                "shard".into(),
+                json!({"req": (req_id as f64), "epoch": (conn.epoch as f64)}),
+            );
+        }
+        if let Some(at) = deadline_at {
+            // The worker gets what is *left* of the client's deadline —
+            // routing and queue time already consumed the rest.
+            let remaining = at
+                .saturating_duration_since(Instant::now())
+                .as_millis()
+                .max(1) as u64;
+            map.insert("deadline_ms".into(), Value::Number(remaining as f64));
+        }
+    }
+    // Bound the read so a lapsed deadline surfaces even if the worker
+    // stalls; without a deadline, rely on the kernel resetting the
+    // connection when the worker process dies (SIGKILL included).
+    let read_timeout = match deadline_at {
+        Some(at) => Some(at.saturating_duration_since(Instant::now()) + Duration::from_millis(500)),
+        None if is_probe => Some(PROBE_TIMEOUT),
+        None => None,
+    };
+    let _ = client.set_timeout(read_timeout);
+
+    let id = match client.send(frame) {
+        Ok(id) => id,
+        Err(e) => {
+            conn.client = None;
+            return Attempt::Retry(format!("send to shard {}: {e}", conn.shard));
+        }
+    };
+    loop {
+        let response = match client.recv() {
+            Ok(r) => r,
+            Err(e) => {
+                conn.client = None;
+                return Attempt::Retry(format!("recv from shard {}: {e}", conn.shard));
+            }
+        };
+        if response.get("id").and_then(Value::as_u64) != Some(id) {
+            continue; // stale answer from an abandoned attempt
+        }
+        return match unwrap_response(&response) {
+            Ok(result) => Attempt::Done(Ok(result)),
+            Err(ClientError::Server {
+                kind: ErrorKind::ShardUnavailable,
+                message,
+            }) => {
+                // The worker rebooted past the epoch we stamped: drop
+                // the connection so the next attempt re-handshakes.
+                conn.client = None;
+                Attempt::Retry(format!("shard {} fenced the epoch: {message}", conn.shard))
+            }
+            Err(ClientError::Server { kind, message }) => Attempt::Done(Err((kind, message))),
+            Err(e) => {
+                conn.client = None;
+                Attempt::Retry(format!("shard {} answered garbage: {e}", conn.shard))
+            }
+        };
+    }
+}
+
+/// Forwards `body` to the shard behind `conn`, retrying transport
+/// failures under the router's [`RetryPolicy`]. Returns the worker's
+/// `result` object, or a typed error — never hangs past the deadline.
+fn forward(
+    shared: &RouterShared,
+    conn: &mut ShardConn,
+    body: &Value,
+    req_id: u64,
+    deadline_at: Option<Instant>,
+) -> Result<Value, (ErrorKind, String)> {
+    let attempts = 1 + shared.retry.max_retries;
+    let mut last = String::from("no attempt made");
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            shared
+                .registry
+                .counter("router.forward", &[("result", "retried")])
+                .inc();
+            if shared.retry.backoff_ms > 0 {
+                std::thread::sleep(Duration::from_millis(shared.retry.backoff_ms));
+            }
+        }
+        match attempt_once(shared, conn, body, req_id, deadline_at) {
+            Attempt::Done(Ok(result)) => {
+                shared
+                    .registry
+                    .counter("router.forward", &[("result", "ok")])
+                    .inc();
+                return Ok(result);
+            }
+            Attempt::Done(Err(e)) => return Err(e),
+            Attempt::Retry(why) => last = why,
+        }
+    }
+    shared
+        .registry
+        .counter("router.forward", &[("result", "failed")])
+        .inc();
+    Err((
+        ErrorKind::ShardUnavailable,
+        format!(
+            "shard {} unavailable after {attempts} attempts: {last}",
+            conn.shard
+        ),
+    ))
+}
+
+/// Forwards `body` to every shard concurrently; results come back in
+/// shard order regardless of completion order.
+fn scatter(
+    shared: &RouterShared,
+    conns: &mut [ShardConn],
+    body: &Value,
+    req_id: u64,
+    deadline_at: Option<Instant>,
+) -> Vec<Result<Value, (ErrorKind, String)>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = conns
+            .iter_mut()
+            .map(|conn| {
+                let body = body.clone();
+                s.spawn(move || forward(shared, conn, &body, req_id, deadline_at))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err((ErrorKind::Internal, "scatter thread panicked".into()))
+                })
+            })
+            .collect()
+    })
+}
+
+/// Extracts the `(epoch, data_version)` stamp from a `version` answer.
+fn stamp_from_version(shard: u32, version: &Value) -> Result<ShardStamp, (ErrorKind, String)> {
+    let (Some(epoch), Some(data_version)) = (
+        version.get("epoch").and_then(Value::as_u64),
+        version.get("data_version").and_then(Value::as_u64),
+    ) else {
+        return Err((
+            ErrorKind::Internal,
+            format!("shard {shard} answered a malformed version frame"),
+        ));
+    };
+    Ok(ShardStamp {
+        shard,
+        epoch,
+        data_version,
+    })
+}
+
+/// Captures the version stamps of the shards a query is about to read —
+/// *before* execution, so any later write makes the stored guard stale
+/// rather than the served answer.
+fn capture_stamps(
+    shared: &RouterShared,
+    conns: &mut [ShardConn],
+    owner: Option<u32>,
+    req_id: u64,
+) -> Result<Vec<ShardStamp>, (ErrorKind, String)> {
+    let probe = json!({"cmd": "version"});
+    match owner {
+        Some(shard) => {
+            let conn = conns
+                .get_mut(shard as usize)
+                .ok_or_else(|| (ErrorKind::Internal, format!("shard {shard} out of range")))?;
+            let version = forward(shared, conn, &probe, req_id, None)?;
+            Ok(vec![stamp_from_version(shard, &version)?])
+        }
+        None => {
+            let results = scatter(shared, conns, &probe, req_id, None);
+            let mut stamps = Vec::with_capacity(results.len());
+            for (shard, result) in results.into_iter().enumerate() {
+                stamps.push(stamp_from_version(shard as u32, &result?)?);
+            }
+            Ok(stamps)
+        }
+    }
+}
+
+/// Merges per-shard `multi` answers into one, ordered by video name.
+fn merge_multi(
+    results: Vec<Result<Value, (ErrorKind, String)>>,
+) -> Result<Value, (ErrorKind, String)> {
+    let mut groups: Vec<Value> = Vec::new();
+    for result in results {
+        let result = result?; // lowest failed shard id decides the error
+        let Some(videos) = result.get("videos").and_then(Value::as_array) else {
+            return Err((
+                ErrorKind::Internal,
+                "a shard answered a cross-video query without segment groups".into(),
+            ));
+        };
+        groups.extend(videos.iter().cloned());
+    }
+    // Deterministic merge ordering: the gather order is completion
+    // order, so impose video-name order before anyone sees the answer.
+    groups.sort_by(|a, b| {
+        let a = a.get("video").and_then(Value::as_str).unwrap_or("");
+        let b = b.get("video").and_then(Value::as_str).unwrap_or("");
+        a.cmp(b)
+    });
+    Ok(json!({"kind": "multi", "videos": (Value::Array(groups))}))
+}
+
+fn respond(id: u64, outcome: Result<Value, (ErrorKind, String)>) -> Value {
+    match outcome {
+        Ok(result) => ok_response(id, result),
+        Err((kind, message)) => err_response(id, kind, message),
+    }
+}
+
+fn handle_query(shared: &RouterShared, conns: &mut [ShardConn], id: u64, request: &Value) -> Value {
+    let (Some(video), Some(text)) = (
+        request.get("video").and_then(Value::as_str),
+        request.get("text").and_then(Value::as_str),
+    ) else {
+        return err_response(
+            id,
+            ErrorKind::BadRequest,
+            "query needs string fields 'video' and 'text'",
+        );
+    };
+    let deadline_at = request
+        .get("deadline_ms")
+        .and_then(Value::as_u64)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let owner = (video != "*").then(|| shared.ring.owner(video));
+
+    // Cache eligibility mirrors the worker's single-flight rule: only
+    // plain retrievals without per-request limits, and only statements
+    // that parse (so the key is the *normalized* text).
+    let limited = request.get("deadline_ms").is_some() || request.get("fuel").is_some();
+    let key = if !limited {
+        match f1_cobra::parse_statement(text) {
+            Ok(s @ f1_cobra::Statement::Retrieve(_)) => Some((video.to_string(), s.normalized())),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    let mut guard: Option<Vec<ShardStamp>> = None;
+    if let (Some(cache), Some(key)) = (shared.cache.as_ref(), key.as_ref()) {
+        let stamps = match capture_stamps(shared, conns, owner, id) {
+            Ok(stamps) => stamps,
+            Err(e) => return respond(id, Err(e)),
+        };
+        if let Some(result) = cache.lookup(key, &stamps) {
+            return ok_response(id, result);
+        }
+        guard = Some(stamps);
+    }
+
+    let mut body = json!({"cmd": "query", "video": (video), "text": (text)});
+    if let (Value::Object(map), Some(fuel)) = (&mut body, request.get("fuel")) {
+        map.insert("fuel".into(), fuel.clone());
+    }
+    let outcome = match owner {
+        Some(shard) => match conns.get_mut(shard as usize) {
+            Some(conn) => forward(shared, conn, &body, id, deadline_at),
+            None => Err((ErrorKind::Internal, format!("shard {shard} out of range"))),
+        },
+        None => merge_multi(scatter(shared, conns, &body, id, deadline_at)),
+    };
+
+    if let (Some(cache), Some(key), Some(guard), Ok(result)) =
+        (shared.cache.as_ref(), key, guard, &outcome)
+    {
+        cache.store(key, result.clone(), guard);
+    }
+    respond(id, outcome)
+}
+
+fn handle_request(shared: &RouterShared, conns: &mut [ShardConn], request: &Value) -> Value {
+    let id = request.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
+        return err_response(id, ErrorKind::BadRequest, "missing 'cmd'");
+    };
+    shared
+        .registry
+        .counter("serve.requests", &[("cmd", cmd)])
+        .inc();
+    match cmd {
+        "ping" => ok_response(id, json!({"kind": "pong"})),
+        "version" => {
+            // The aggregated topology view: one entry per shard, in
+            // shard order, with the address the router would dial.
+            let results = scatter(shared, conns, &json!({"cmd": "version"}), id, None);
+            let addrs = shared
+                .addrs
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            let mut entries = Vec::with_capacity(results.len());
+            for (shard, result) in results.into_iter().enumerate() {
+                let addr = addrs.get(shard).cloned().unwrap_or_default();
+                match result {
+                    Ok(mut version) => {
+                        if let Value::Object(map) = &mut version {
+                            map.insert("shard".into(), Value::Number(shard as f64));
+                            map.insert("addr".into(), Value::String(addr));
+                        }
+                        entries.push(version);
+                    }
+                    Err((kind, message)) => entries.push(json!({
+                        "shard": (shard as f64),
+                        "addr": (addr),
+                        "error": {"kind": (kind.as_str()), "message": (message)},
+                    })),
+                }
+            }
+            ok_response(
+                id,
+                json!({
+                    "kind": "version",
+                    "seed": (shared.ring.seed() as f64),
+                    "shards": (Value::Array(entries)),
+                }),
+            )
+        }
+        "videos" => {
+            let results = scatter(shared, conns, &json!({"cmd": "videos"}), id, None);
+            let mut names: Vec<String> = Vec::new();
+            for result in results {
+                match result {
+                    Ok(v) => {
+                        if let Some(list) = v.get("videos").and_then(Value::as_array) {
+                            names.extend(
+                                list.iter()
+                                    .filter_map(Value::as_str)
+                                    .map(str::to_string),
+                            );
+                        }
+                    }
+                    Err((kind, message)) => return err_response(id, kind, message),
+                }
+            }
+            names.sort();
+            names.dedup();
+            ok_response(id, json!({"kind": "videos", "videos": (names)}))
+        }
+        "stats" => {
+            // The router's own snapshot, with every reachable shard's
+            // snapshot attached. A dead shard degrades to an error
+            // entry rather than failing the whole answer: stats is the
+            // command you run *while* a shard is down.
+            let results = scatter(shared, conns, &json!({"cmd": "stats"}), id, None);
+            let entries: Vec<Value> = results
+                .into_iter()
+                .enumerate()
+                .map(|(shard, result)| match result {
+                    Ok(v) => json!({
+                        "shard": (shard as f64),
+                        "snapshot": (v.get("snapshot").cloned().unwrap_or(Value::Null)),
+                    }),
+                    Err((kind, message)) => json!({
+                        "shard": (shard as f64),
+                        "error": {"kind": (kind.as_str()), "message": (message)},
+                    }),
+                })
+                .collect();
+            ok_response(
+                id,
+                json!({
+                    "kind": "stats",
+                    "snapshot": (shared.registry.snapshot().to_json()),
+                    "shards": (Value::Array(entries)),
+                }),
+            )
+        }
+        "checkpoint" => {
+            let results = scatter(shared, conns, &json!({"cmd": "checkpoint"}), id, None);
+            let mut entries = Vec::with_capacity(results.len());
+            let mut durable = false;
+            for (shard, result) in results.into_iter().enumerate() {
+                match result {
+                    Ok(mut v) => {
+                        durable |= v.get("durable").and_then(Value::as_bool).unwrap_or(false);
+                        if let Value::Object(map) = &mut v {
+                            map.insert("shard".into(), Value::Number(shard as f64));
+                        }
+                        entries.push(v);
+                    }
+                    Err((kind, message)) => return err_response(id, kind, message),
+                }
+            }
+            ok_response(
+                id,
+                json!({
+                    "kind": "checkpoint",
+                    "durable": (durable),
+                    "shards": (Value::Array(entries)),
+                }),
+            )
+        }
+        "query" => handle_query(shared, conns, id, request),
+        "write_event" => {
+            // Forwarded to the owner; the worker enforces its own debug
+            // gate. The router cache needs no eager invalidation — the
+            // write bumps the shard's data_version, so every cached
+            // answer that read this shard fails its next guard check.
+            let Some(video) = request.get("video").and_then(Value::as_str) else {
+                return err_response(id, ErrorKind::BadRequest, "write_event needs 'video'");
+            };
+            let shard = shared.ring.owner(video);
+            let mut body = request.clone();
+            if let Value::Object(map) = &mut body {
+                map.remove("id");
+                map.remove("shard");
+            }
+            match conns.get_mut(shard as usize) {
+                Some(conn) => respond(id, forward(shared, conn, &body, id, None)),
+                None => err_response(id, ErrorKind::Internal, format!("shard {shard} out of range")),
+            }
+        }
+        other => err_response(
+            id,
+            ErrorKind::BadRequest,
+            format!("unknown command '{other}' (the router speaks ping, version, videos, stats, checkpoint, query, write_event)"),
+        ),
+    }
+}
+
+fn session_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut conns: Vec<ShardConn> = (0..shared.ring.shards())
+        .map(|shard| ShardConn {
+            shard,
+            client: None,
+            epoch: 0,
+        })
+        .collect();
+    loop {
+        let stop = || shared.shutting_down.load(Ordering::SeqCst);
+        let mut prefix = [0u8; 4];
+        match read_exact_interruptible(&mut stream, &mut prefix, stop) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+        let len = u32::from_be_bytes(prefix) as usize;
+        if len > crate::protocol::MAX_FRAME_LEN {
+            let _ = write_frame(
+                &mut stream,
+                &err_response(
+                    0,
+                    ErrorKind::BadRequest,
+                    FrameError::Oversized(len).to_string(),
+                ),
+            );
+            break; // the stream is beyond resync
+        }
+        let mut payload = vec![0u8; len];
+        match read_exact_interruptible(&mut stream, &mut payload, stop) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+        let response = match serde_json::from_slice(&payload) {
+            Ok(request) => handle_request(shared, &mut conns, &request),
+            Err(e) => err_response(0, ErrorKind::BadRequest, e.to_string()),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            break;
+        }
+    }
+}

@@ -189,7 +189,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
 /// observe the shutdown flag. Returns `Ok(false)` on clean EOF or when
 /// `stop` fires (a partial frame abandoned at shutdown was never
 /// admitted, so nothing is lost).
-fn read_exact_interruptible(
+pub(crate) fn read_exact_interruptible(
     stream: &mut TcpStream,
     buf: &mut [u8],
     stop: impl Fn() -> bool,
@@ -299,9 +299,47 @@ fn handle_request(
     };
     let registry = shared.registry();
     registry.counter("serve.requests", &[("cmd", cmd)]).inc();
+    // A router forwarding on behalf of a client stamps the shard epoch
+    // it handshook with. If this process has rebooted since (a new
+    // epoch), the router's view — ring state, cached vectors, possibly
+    // the data dir itself — is stale: refuse with the typed shard error
+    // so it re-handshakes instead of acting on a dead incarnation.
+    if let Some(expected) = request
+        .get("shard")
+        .and_then(|s| s.get("epoch"))
+        .and_then(Value::as_u64)
+    {
+        let actual = shared.vdbms.catalog.epoch();
+        if expected != actual {
+            registry.counter("serve.shard_epoch_mismatch", &[]).inc();
+            let _ = tx.send(err_response(
+                id,
+                ErrorKind::ShardUnavailable,
+                format!("shard epoch is {actual}, frame addressed epoch {expected}"),
+            ));
+            return;
+        }
+    }
     match cmd {
         "ping" => {
             let _ = tx.send(ok_response(id, json!({"kind": "pong"})));
+        }
+        "version" => {
+            // The router's handshake/revalidation probe: who am I
+            // (epoch), has anything changed (data_version), what do I
+            // hold (videos). Cheap enough to run before serving a
+            // cached cross-shard answer.
+            let catalog = &shared.vdbms.catalog;
+            let _ = tx.send(ok_response(
+                id,
+                json!({
+                    "kind": "version",
+                    "epoch": (catalog.epoch() as f64),
+                    "catalog_gen": (catalog.generation() as f64),
+                    "data_version": (catalog.data_version() as f64),
+                    "videos": (catalog.videos()),
+                }),
+            ));
         }
         "stats" => {
             let snapshot = registry.snapshot().to_json();
@@ -339,6 +377,13 @@ fn handle_request(
         }
         "query" => submit_query(shared, id, request, tx, inflight),
         "sleep" if shared.config.debug => submit_sleep(shared, id, request, tx, inflight),
+        "write_event" if shared.config.debug => {
+            // Debug-only event append over the wire: the sharding tests
+            // mutate one shard of a live cluster with it and prove the
+            // router's cross-shard cache invalidation. Runs inline — the
+            // catalog serializes mutations on its commit lock.
+            let _ = tx.send(handle_write_event(shared, id, request));
+        }
         other => {
             let _ = tx.send(err_response(
                 id,
@@ -346,6 +391,42 @@ fn handle_request(
                 format!("unknown command '{other}'"),
             ));
         }
+    }
+}
+
+/// Debug-only `write_event`: appends one event-layer record to `video`
+/// and answers with the catalog's post-write data version.
+fn handle_write_event(shared: &Arc<ServerShared>, id: u64, request: &Value) -> Value {
+    let (Some(video), Some(kind), Some(start), Some(end)) = (
+        request.get("video").and_then(Value::as_str),
+        request.get("kind").and_then(Value::as_str),
+        request.get("start").and_then(Value::as_u64),
+        request.get("end").and_then(Value::as_u64),
+    ) else {
+        return err_response(
+            id,
+            ErrorKind::BadRequest,
+            "write_event needs 'video', 'kind', 'start', 'end'",
+        );
+    };
+    let record = f1_cobra::catalog::EventRecord {
+        kind: kind.to_string(),
+        start: start as usize,
+        end: end as usize,
+        driver: request
+            .get("driver")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+    };
+    match shared.vdbms.catalog.store_events(video, &[record]) {
+        Ok(()) => ok_response(
+            id,
+            json!({
+                "kind": "written",
+                "data_version": (shared.vdbms.catalog.data_version() as f64),
+            }),
+        ),
+        Err(e) => err_response(id, crate::protocol::classify(&e), e.to_string()),
     }
 }
 
@@ -569,7 +650,15 @@ fn submit_query(
 
     admit(shared, id, request, tx, inflight, flight_key, move |ctx| {
         let budget = ctx.budget();
-        match ctx.shared.vdbms.run_with_budget(&video, &text, &budget) {
+        // `"*"` runs the statement against every catalogued video — the
+        // cross-video form the scatter-gather router also speaks, so a
+        // single worker answers it identically to a one-shard cluster.
+        let result = if video == "*" {
+            ctx.shared.vdbms.run_multi_with_budget(&text, &budget)
+        } else {
+            ctx.shared.vdbms.run_with_budget(&video, &text, &budget)
+        };
+        match result {
             Ok(output) => ctx.finish(ok_response(
                 ctx.id,
                 f1_cobra::json::query_output_to_json(&output),

@@ -6,6 +6,8 @@
 //! unused helpers are expected.
 #![allow(dead_code)]
 
+pub mod shard;
+
 use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig, Span};
 use f1_media::time::clips_per_second;
 

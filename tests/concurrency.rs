@@ -113,7 +113,9 @@ fn concurrent_profile_and_plain_runs_coexist() {
                             assert_eq!(p.segments, plain);
                             assert_eq!(p.span.name, "query");
                         }
-                        QueryOutput::Plan(_) => unreachable!("no EXPLAIN issued"),
+                        QueryOutput::Plan(_) | QueryOutput::Multi(_) => {
+                            unreachable!("no EXPLAIN or '*' issued")
+                        }
                     }
                 }
             })

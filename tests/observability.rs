@@ -62,7 +62,9 @@ fn shapes(vdbms: &Vdbms, prefix: &str) -> String {
         let span = match vdbms.run("v", &format!("{prefix} {q}")).unwrap() {
             QueryOutput::Plan(span) => span,
             QueryOutput::Profile(p) => p.span,
-            QueryOutput::Segments(_) => panic!("{prefix} {q} returned bare segments"),
+            QueryOutput::Segments(_) | QueryOutput::Multi(_) => {
+                panic!("{prefix} {q} returned bare segments")
+            }
         };
         out.push_str(&format!("== {q}\n{}", span.shape()));
     }

@@ -1,0 +1,114 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! The ring is the contract between the router, the seeding harness,
+//! and the per-shard data dirs: everything breaks quietly if ownership
+//! is not total, not deterministic across process restarts, or not
+//! stable when the cluster grows. These properties pin all three down
+//! over randomized key sets and shard counts.
+
+use std::collections::HashMap;
+
+use cobra_serve::ring::{Ring, DEFAULT_SEED};
+use proptest::prelude::*;
+
+/// Renders a byte script into a plausible mixed-shape video name.
+fn key_name(i: usize, code: u8) -> String {
+    match code % 4 {
+        0 => format!("race-{i}"),
+        1 => format!("gp/2002/round-{i:02}"),
+        2 => format!("onboard_{code}_{i}"),
+        _ => format!("v{i}"),
+    }
+}
+
+proptest! {
+    /// Every key maps to exactly one in-range shard, and the mapping is
+    /// a pure function: the same ring answers the same way every time.
+    #[test]
+    fn ownership_is_total_and_pure(
+        shards in 1u32..=12,
+        seed in 0u64..=u64::MAX,
+        codes in proptest::collection::vec(0u8..=255, 1..64),
+    ) {
+        let ring = Ring::new(shards, seed);
+        for (i, &code) in codes.iter().enumerate() {
+            let key = key_name(i, code);
+            let owner = ring.owner(&key);
+            prop_assert!(owner < shards, "owner {owner} out of range for {shards} shards");
+            prop_assert_eq!(owner, ring.owner(&key), "ownership must be pure");
+        }
+    }
+
+    /// Assignment survives a restart: a freshly constructed ring with
+    /// the same (shards, seed) pair — as after a router reboot — agrees
+    /// on every key. This is what lets the harness seed data dirs
+    /// before any process exists.
+    #[test]
+    fn assignment_is_deterministic_across_rebuilds(
+        shards in 1u32..=12,
+        seed in 0u64..=u64::MAX,
+        codes in proptest::collection::vec(0u8..=255, 1..64),
+    ) {
+        let before = Ring::new(shards, seed);
+        let after = Ring::new(shards, seed);
+        for (i, &code) in codes.iter().enumerate() {
+            let key = key_name(i, code);
+            prop_assert_eq!(before.owner(&key), after.owner(&key));
+        }
+    }
+
+    /// Growing the cluster by one shard is a *consistent* change: every
+    /// key that moves lands on the new shard (nothing reshuffles among
+    /// the old shards), and only a bounded fraction moves at all.
+    #[test]
+    fn adding_a_shard_moves_few_keys_and_only_onto_it(
+        shards in 1u32..=11,
+        codes in proptest::collection::vec(0u8..=255, 64..256),
+    ) {
+        let old = Ring::new(shards, DEFAULT_SEED);
+        let grown = Ring::new(shards + 1, DEFAULT_SEED);
+        let mut moved = 0usize;
+        for (i, &code) in codes.iter().enumerate() {
+            let key = key_name(i, code);
+            let before = old.owner(&key);
+            let after = grown.owner(&key);
+            if before != after {
+                moved += 1;
+                prop_assert_eq!(
+                    after, shards,
+                    "a moved key must land on the new shard, not reshuffle"
+                );
+            }
+        }
+        // Ideal is n/(N+1); allow 2x slack for vnode placement variance
+        // on small keysets.
+        let bound = 2 * codes.len() / (shards as usize + 1) + 1;
+        prop_assert!(
+            moved <= bound,
+            "growing {shards}->{} moved {moved}/{} keys (bound {bound})",
+            shards + 1,
+            codes.len()
+        );
+    }
+
+    /// No shard starves: with enough keys, every shard of a small ring
+    /// owns some of them (the vnode count keeps the cut points spread).
+    #[test]
+    fn every_shard_owns_a_share(
+        shards in 1u32..=6,
+        codes in proptest::collection::vec(0u8..=255, 256..512),
+    ) {
+        let ring = Ring::new(shards, DEFAULT_SEED);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for (i, &code) in codes.iter().enumerate() {
+            *counts.entry(ring.owner(&key_name(i, code))).or_default() += 1;
+        }
+        for shard in 0..shards {
+            prop_assert!(
+                counts.get(&shard).copied().unwrap_or(0) > 0,
+                "shard {shard}/{shards} owns nothing across {} keys",
+                codes.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Sharded serving integration tests: real worker processes, a real
+//! scatter-gather router, deterministic answers, and death without
+//! hangs.
+//!
+//! Every test boots a [`ShardCluster`] — genuine `cobra-serve` children
+//! over seeded per-shard data dirs, fronted by an in-process router —
+//! and drives it through the public wire protocol only. The tests
+//! share one process-wide gate: fault injection is process-global and
+//! the clusters spawn real processes, so running them serially keeps
+//! every observation attributable.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cobra_faults::{with_faults, FaultPlan, Trigger};
+use cobra_serve::client::{unwrap_response, Client, ClientError, QueryReply};
+use cobra_serve::ring::{Ring, DEFAULT_SEED};
+use cobra_serve::ErrorKind;
+use common::shard::{event, seed_video, SeedVideo, ShardCluster};
+use serde_json::{json, Value};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Six videos with distinct, deterministic event layers.
+fn fixture_videos() -> Vec<SeedVideo> {
+    (0..6)
+        .map(|i| {
+            seed_video(
+                &format!("race-{i}"),
+                400,
+                vec![
+                    event("highlight", 10 + i * 3, 30 + i * 3, None),
+                    event("highlight", 100 + i * 5, 120 + i * 5, Some("MONTOYA")),
+                    event("pit_stop", 200, 202, None),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Sends a query over the raw protocol and returns the undecoded
+/// `result` object — for byte-identical comparisons.
+fn raw_query(client: &mut Client, video: &str, text: &str) -> Result<Value, ClientError> {
+    let id = client.send(json!({"cmd": "query", "video": (video), "text": (text)}))?;
+    loop {
+        let response = client.recv()?;
+        if response.get("id").and_then(Value::as_u64) != Some(id) {
+            continue;
+        }
+        return unwrap_response(&response);
+    }
+}
+
+#[test]
+fn queries_route_to_the_owning_shard() {
+    let _gate = serialize();
+    let videos = fixture_videos();
+    let cluster = ShardCluster::start(3, &videos);
+    let mut router = cluster.client();
+
+    // The catalog is the union of the shards, sorted.
+    let names: Vec<String> = videos.iter().map(|v| v.name.clone()).collect();
+    assert_eq!(router.videos().expect("videos over the router"), names);
+
+    for video in &videos {
+        let owner = cluster.owner(&video.name);
+        let via_router =
+            raw_query(&mut router, &video.name, "RETRIEVE HIGHLIGHTS").expect("routed query");
+        let mut owner_client = cluster.worker_client(owner);
+        let direct = raw_query(&mut owner_client, &video.name, "RETRIEVE HIGHLIGHTS")
+            .expect("direct query on the owner");
+        assert_eq!(
+            via_router, direct,
+            "router answer for {} must be the owner shard's answer",
+            video.name
+        );
+
+        // Partitioning is real: every other shard does not know the video.
+        for other in 0..cluster.ring().shards() {
+            if other == owner {
+                continue;
+            }
+            let mut other_client = cluster.worker_client(other);
+            let err = raw_query(&mut other_client, &video.name, "RETRIEVE HIGHLIGHTS")
+                .expect_err("non-owner shard must not hold the video");
+            assert_eq!(err.server_kind(), Some(ErrorKind::UnknownVideo));
+        }
+    }
+}
+
+#[test]
+fn cross_video_answers_merge_deterministically() {
+    let _gate = serialize();
+    let videos = fixture_videos();
+    // Cache off: both sweeps must *execute* and still agree — the merge
+    // order itself is deterministic, not just memoized.
+    let cluster = ShardCluster::start_opts(3, &videos, false);
+    let mut router = cluster.client();
+
+    let first = raw_query(&mut router, "*", "RETRIEVE HIGHLIGHTS").expect("first sweep");
+    let second = raw_query(&mut router, "*", "RETRIEVE HIGHLIGHTS").expect("second sweep");
+    assert_eq!(first, second, "identical sweeps must answer identically");
+
+    assert_eq!(first.get("kind").and_then(Value::as_str), Some("multi"));
+    let groups = first
+        .get("videos")
+        .and_then(Value::as_array)
+        .expect("segment groups");
+    let group_names: Vec<&str> = groups
+        .iter()
+        .filter_map(|g| g.get("video").and_then(Value::as_str))
+        .collect();
+    let mut sorted = group_names.clone();
+    sorted.sort_unstable();
+    assert_eq!(group_names, sorted, "groups must come back in name order");
+    assert_eq!(
+        group_names,
+        videos.iter().map(|v| v.name.as_str()).collect::<Vec<_>>(),
+        "the sweep must cover every video exactly once"
+    );
+
+    // The sweep equals the union of single-video answers.
+    for group in groups {
+        let name = group.get("video").and_then(Value::as_str).expect("name");
+        let single = raw_query(&mut router, name, "RETRIEVE HIGHLIGHTS").expect("single query");
+        assert_eq!(
+            group.get("segments"),
+            single.get("segments"),
+            "sweep group for {name} must equal the single-video answer"
+        );
+    }
+}
+
+#[test]
+fn worker_death_mid_scatter_is_typed_and_never_hangs() {
+    let _gate = serialize();
+    let videos = fixture_videos();
+    let mut cluster = ShardCluster::start(3, &videos);
+    let mut router = cluster.client();
+
+    let baseline = raw_query(&mut router, "*", "RETRIEVE HIGHLIGHTS").expect("baseline sweep");
+    let victim = cluster.owner("race-0");
+    let pre_kill_epoch = cluster
+        .worker_client(victim)
+        .version()
+        .expect("victim version")
+        .get("epoch")
+        .and_then(Value::as_u64)
+        .expect("victim epoch");
+
+    // A background client hammers cross-video sweeps while the worker
+    // dies. Every outcome must be a full answer or the typed shard
+    // error, within the harness timeout — nothing in between, and no
+    // hang (the client read timeout turns one into a loud failure).
+    let stop = Arc::new(AtomicBool::new(false));
+    let sweeper = {
+        let stop = Arc::clone(&stop);
+        let mut client = cluster.client();
+        std::thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                outcomes.push(raw_query(&mut client, "*", "RETRIEVE HIGHLIGHTS"));
+            }
+            outcomes
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    cluster.kill(victim);
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // With the shard down, a sweep fails *typed*; videos on surviving
+    // shards keep answering.
+    let err = raw_query(&mut router, "*", "RETRIEVE HIGHLIGHTS")
+        .expect_err("sweep with a dead shard must fail");
+    assert_eq!(err.server_kind(), Some(ErrorKind::ShardUnavailable));
+    let survivor = videos
+        .iter()
+        .find(|v| cluster.owner(&v.name) != victim)
+        .expect("a video on a surviving shard");
+    raw_query(&mut router, &survivor.name, "RETRIEVE HIGHLIGHTS")
+        .expect("surviving shards keep serving");
+
+    stop.store(true, Ordering::Release);
+    let outcomes = sweeper.join().expect("sweeper never hangs or panics");
+    assert!(!outcomes.is_empty());
+    for outcome in &outcomes {
+        match outcome {
+            Ok(_) => {}
+            Err(e) => assert_eq!(
+                e.server_kind(),
+                Some(ErrorKind::ShardUnavailable),
+                "mid-kill sweeps may only fail with the typed shard error, got: {e}"
+            ),
+        }
+    }
+
+    // Restart over the same data dir: WAL recovery brings the slice
+    // back, the epoch moves past the dead incarnation, the router is
+    // re-pointed, and the sweep answers byte-identically again.
+    cluster.restart(victim);
+    let post_restart_epoch = cluster
+        .worker_client(victim)
+        .version()
+        .expect("restarted version")
+        .get("epoch")
+        .and_then(Value::as_u64)
+        .expect("restarted epoch");
+    assert!(
+        post_restart_epoch > pre_kill_epoch,
+        "restart must advance the shard epoch ({pre_kill_epoch} -> {post_restart_epoch})"
+    );
+    let recovered = raw_query(&mut router, "*", "RETRIEVE HIGHLIGHTS").expect("recovered sweep");
+    assert_eq!(
+        recovered, baseline,
+        "the recovered sweep must be byte-identical to the pre-kill answer"
+    );
+}
+
+#[test]
+fn injected_forward_faults_are_retried_then_typed() {
+    let _gate = serialize();
+    let videos = fixture_videos();
+    // Cache off so each request is exactly one forward (no version
+    // probes consuming armed fault invocations).
+    let cluster = ShardCluster::start_opts(2, &videos, false);
+    let registry = cluster.registry();
+    let mut router = cluster.client();
+    raw_query(&mut router, "race-0", "RETRIEVE HIGHLIGHTS").expect("warm-up query");
+
+    // One transient transport fault: masked by a re-dispatch.
+    let snap = registry.snapshot();
+    let (result, report) = with_faults(
+        FaultPlan::new(7).fail_transient("router.forward", Trigger::Times(1)),
+        || raw_query(&mut router, "race-0", "RETRIEVE HIGHLIGHTS"),
+    );
+    result.expect("one transport blip must be masked by re-dispatch");
+    assert_eq!(report.count("router.forward"), 1);
+    let d = registry.snapshot().delta(&snap);
+    assert_eq!(d.counter("router.forward", &[("result", "retried")]), 1);
+    assert_eq!(d.counter("router.forward", &[("result", "ok")]), 1);
+
+    // A permanently failing transport: retries exhaust into the typed
+    // error instead of hanging or lying.
+    let snap = registry.snapshot();
+    let (result, report) = with_faults(
+        FaultPlan::new(7).fail_transient("router.forward", Trigger::Always),
+        || raw_query(&mut router, "race-0", "RETRIEVE HIGHLIGHTS"),
+    );
+    let err = result.expect_err("a dead transport must surface");
+    assert_eq!(err.server_kind(), Some(ErrorKind::ShardUnavailable));
+    assert_eq!(report.count("router.forward"), 3, "1 try + 2 retries");
+    let d = registry.snapshot().delta(&snap);
+    assert_eq!(d.counter("router.forward", &[("result", "failed")]), 1);
+
+    // Faults disarmed: the same session keeps working (the simulated
+    // failure never corrupted the real connection).
+    raw_query(&mut router, "race-0", "RETRIEVE HIGHLIGHTS").expect("recovery after faults");
+}
+
+#[test]
+fn cross_shard_writes_invalidate_only_dependent_cached_answers() {
+    let _gate = serialize();
+    // Two videos on provably different shards of a 2-shard ring.
+    let ring = Ring::new(2, DEFAULT_SEED);
+    let names: Vec<String> = (0..32).map(|i| format!("race-{i}")).collect();
+    let video_a = names
+        .iter()
+        .find(|n| ring.owner(n) == 0)
+        .expect("a shard-0 video")
+        .clone();
+    let video_b = names
+        .iter()
+        .find(|n| ring.owner(n) == 1)
+        .expect("a shard-1 video")
+        .clone();
+    let videos = vec![
+        seed_video(
+            &video_a,
+            400,
+            vec![
+                event("highlight", 10, 30, None),
+                event("highlight", 100, 120, None),
+            ],
+        ),
+        seed_video(&video_b, 400, vec![event("highlight", 50, 70, None)]),
+    ];
+    let cluster = ShardCluster::start(2, &videos);
+    let registry = cluster.registry();
+    let mut router = cluster.client();
+
+    let count = |client: &mut Client, video: &str| -> usize {
+        match client.query(video, "RETRIEVE HIGHLIGHTS") {
+            Ok(QueryReply::Segments(segments)) => segments.len(),
+            other => panic!("expected segments for {video}, got {other:?}"),
+        }
+    };
+    let sweep_count = |client: &mut Client, video: &str| -> usize {
+        match client.query("*", "RETRIEVE HIGHLIGHTS") {
+            Ok(QueryReply::Multi(groups)) => groups
+                .iter()
+                .find(|g| g.video == video)
+                .map(|g| g.segments.len())
+                .expect("sweep group"),
+            other => panic!("expected a multi reply, got {other:?}"),
+        }
+    };
+
+    // Populate, then prove all three answers hit.
+    assert_eq!(count(&mut router, &video_a), 2);
+    assert_eq!(count(&mut router, &video_b), 1);
+    assert_eq!(sweep_count(&mut router, &video_a), 2);
+    let snap = registry.snapshot();
+    count(&mut router, &video_a);
+    count(&mut router, &video_b);
+    sweep_count(&mut router, &video_a);
+    let d = registry.snapshot().delta(&snap);
+    assert_eq!(d.counter("cache.result", &[("result", "hit")]), 3);
+    assert_eq!(d.counter("cache.result", &[("result", "invalidated")]), 0);
+
+    // Write through the router onto video A's shard.
+    router
+        .write_event(&video_a, "highlight", 300, 310, None)
+        .expect("routed write");
+
+    // Video B's cached answer read only shard 1 — still a hit.
+    let snap = registry.snapshot();
+    assert_eq!(count(&mut router, &video_b), 1);
+    let d = registry.snapshot().delta(&snap);
+    assert_eq!(d.counter("cache.result", &[("result", "hit")]), 1);
+    assert_eq!(d.counter("cache.result", &[("result", "invalidated")]), 0);
+
+    // Video A's answer and the cross-shard sweep both read shard 0:
+    // exactly those two are invalidated, and both see the new event.
+    let snap = registry.snapshot();
+    assert_eq!(count(&mut router, &video_a), 3);
+    assert_eq!(sweep_count(&mut router, &video_a), 3);
+    let d = registry.snapshot().delta(&snap);
+    assert_eq!(d.counter("cache.result", &[("result", "invalidated")]), 2);
+    assert_eq!(d.counter("cache.result", &[("result", "hit")]), 0);
+
+    // And the re-executed answers are themselves cached again.
+    let snap = registry.snapshot();
+    assert_eq!(count(&mut router, &video_a), 3);
+    let d = registry.snapshot().delta(&snap);
+    assert_eq!(d.counter("cache.result", &[("result", "hit")]), 1);
+}
+
+#[test]
+fn topology_commands_report_every_shard() {
+    let _gate = serialize();
+    let videos = fixture_videos();
+    let cluster = ShardCluster::start(3, &videos);
+    let mut router = cluster.client();
+
+    // `version` aggregates one entry per shard, in shard order, and
+    // places every video on exactly the shard the ring assigns.
+    let version = router.version().expect("router version");
+    let shards = version
+        .get("shards")
+        .and_then(Value::as_array)
+        .expect("per-shard entries");
+    assert_eq!(shards.len(), 3);
+    for (shard, entry) in shards.iter().enumerate() {
+        assert_eq!(
+            entry.get("shard").and_then(Value::as_u64),
+            Some(shard as u64)
+        );
+        let held: Vec<&str> = entry
+            .get("videos")
+            .and_then(Value::as_array)
+            .expect("shard videos")
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        for video in &videos {
+            let owned_here = cluster.owner(&video.name) == shard as u32;
+            assert_eq!(
+                held.contains(&video.name.as_str()),
+                owned_here,
+                "video {} on shard {shard}",
+                video.name
+            );
+        }
+    }
+
+    // `stats` answers with the router's own snapshot plus per-shard
+    // snapshots; `checkpoint` fans out and reports durability.
+    let stats = router.stats().expect("router stats");
+    assert!(stats.get("counters").is_some());
+    let checkpoint = router.checkpoint().expect("router checkpoint");
+    assert_eq!(
+        checkpoint.get("durable").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        checkpoint
+            .get("shards")
+            .and_then(Value::as_array)
+            .map(Vec::len),
+        Some(3)
+    );
+}
