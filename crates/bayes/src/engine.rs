@@ -90,6 +90,131 @@ impl Posteriors {
     }
 }
 
+/// Resumable Boyen–Koller filter: the forward pass of
+/// [`Engine::filter`] exposed one slice at a time, so the DBN can run
+/// *online* as evidence windows arrive (live ingest) instead of
+/// requiring the whole sequence up front.
+///
+/// Created by [`Engine::stepper`]. Each [`step`](BkState::step) call
+/// consumes one evidence slice and returns the (projected) joint
+/// belief after absorbing it; the state carries the running alpha
+/// vector, slice count, accumulated log-likelihood, and the cached
+/// transition matrix across calls. Feeding the same slices through
+/// `step` produces bit-identical beliefs to one batch `filter` call —
+/// batch filtering is implemented *on top of* this type.
+pub struct BkState<'e, 'a> {
+    engine: &'e Engine<'a>,
+    clusters: Option<Vec<Vec<NodeId>>>,
+    alpha: Vec<f64>,
+    steps: usize,
+    loglik: f64,
+    cached_trans: Option<Vec<f64>>,
+}
+
+impl<'e, 'a> BkState<'e, 'a> {
+    /// Absorbs evidence slice `t` of `ev` and returns the belief after
+    /// the step. The first call runs the prior update; every later call
+    /// runs transition → observation → normalize → project. Callers
+    /// stream windows by passing each window's slices in arrival order
+    /// (the `t` index addresses *within* `ev`; the filter's own clock
+    /// is [`slices`](BkState::slices)).
+    pub fn step(&mut self, ev: &EvidenceSeq, t: usize) -> Result<Vec<f64>> {
+        let engine = self.engine;
+        let hard = engine.hard_values(ev, t)?;
+        let mut next = if self.steps == 0 {
+            engine.prior_vec(&hard)?
+        } else {
+            let trans = if engine.time_varying {
+                self.trans_matrix(&hard)?
+            } else {
+                match &self.cached_trans {
+                    Some(m) => m.clone(),
+                    None => {
+                        let m = self.trans_matrix(&hard)?;
+                        self.cached_trans = Some(m.clone());
+                        m
+                    }
+                }
+            };
+            let n = engine.n_states;
+            let mut next = vec![0.0; n];
+            for prev in 0..n {
+                let w = self.alpha[prev];
+                if w == 0.0 {
+                    continue;
+                }
+                let row = &trans[prev * n..(prev + 1) * n];
+                for cur in 0..n {
+                    next[cur] += w * row[cur];
+                }
+            }
+            next
+        };
+        let obs = engine.obs_factor(ev, t, &hard)?;
+        for (x, o) in next.iter_mut().zip(&obs) {
+            *x *= o;
+        }
+        let scale = Engine::normalize(&mut next)?.ln();
+        // Match `filter`'s operation order exactly: at t=0 the
+        // projection runs *after* the loglik accumulation either way,
+        // but later steps normalize before projecting.
+        if let Some(c) = &self.clusters {
+            engine.project(&mut next, c)?;
+        }
+        self.loglik += scale;
+        self.alpha = next.clone();
+        self.steps += 1;
+        Ok(next)
+    }
+
+    fn trans_matrix(&self, hard: &HashMap<NodeId, usize>) -> Result<Vec<f64>> {
+        self.engine.trans_matrix(hard)
+    }
+
+    /// Feeds every slice of `ev` in order. Returns the number of slices
+    /// absorbed (convenience for chunked ingest).
+    pub fn run(&mut self, ev: &EvidenceSeq) -> Result<usize> {
+        for t in 0..ev.len() {
+            self.step(ev, t)?;
+        }
+        Ok(ev.len())
+    }
+
+    /// Number of slices absorbed so far.
+    pub fn slices(&self) -> usize {
+        self.steps
+    }
+
+    /// Accumulated log-likelihood of everything absorbed so far.
+    pub fn loglik(&self) -> f64 {
+        self.loglik
+    }
+
+    /// Current joint belief (empty before the first step).
+    pub fn belief(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Marginal of a hidden node under the current belief.
+    pub fn marginal(&self, node: NodeId) -> Result<Vec<f64>> {
+        if self.steps == 0 {
+            return Err(BayesError::EmptySequence);
+        }
+        let engine = self.engine;
+        let h = engine
+            .hidden
+            .iter()
+            .position(|&n| n == node)
+            .ok_or(BayesError::UnknownNode(node))?;
+        let card = engine.cards[h];
+        let mut out = vec![0.0; card];
+        for (state, w) in self.alpha.iter().enumerate() {
+            out[(state / engine.strides[h]) % card] += w;
+        }
+        Ok(out)
+    }
+}
+
 /// Smoothed posteriors plus pairwise slice posteriors, for EM.
 pub struct Smoothed {
     /// Smoothed per-slice joint posteriors γ_t.
@@ -361,76 +486,44 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// Starts a resumable Boyen–Koller filter over this engine. With
+    /// `clusters = None` (or one cluster) each step is exact; otherwise
+    /// the BK projection is applied after every step. The returned
+    /// [`BkState`] absorbs evidence one slice at a time — the online
+    /// form of [`Engine::filter`], which is built on top of it.
+    pub fn stepper(&self, clusters: Option<&[Vec<NodeId>]>) -> Result<BkState<'_, 'a>> {
+        if let Some(c) = clusters {
+            self.validate_clusters(c)?;
+        }
+        Ok(BkState {
+            engine: self,
+            clusters: clusters.map(|c| c.to_vec()),
+            alpha: Vec::new(),
+            steps: 0,
+            loglik: 0.0,
+            cached_trans: None,
+        })
+    }
+
     /// Forward filtering. With `clusters = None` (or one cluster) this is
     /// exact; otherwise the Boyen–Koller projection is applied after every
     /// step — the paper's "modified Boyen-Koller algorithm for approximate
-    /// inference".
+    /// inference". Implemented by driving [`Engine::stepper`] over every
+    /// slice, so batch and online filtering cannot drift apart.
     pub fn filter(&self, ev: &EvidenceSeq, clusters: Option<&[Vec<NodeId>]>) -> Result<Posteriors> {
         if ev.is_empty() {
             return Err(BayesError::EmptySequence);
         }
-        if let Some(c) = clusters {
-            self.validate_clusters(c)?;
-        }
+        let mut state = self.stepper(clusters)?;
         let mut beliefs = Vec::with_capacity(ev.len());
-        let mut loglik = 0.0;
-        let mut cached_trans: Option<Vec<f64>> = None;
-        let mut alpha = {
-            let hard = self.hard_values(ev, 0)?;
-            let mut a = self.prior_vec(&hard)?;
-            let obs = self.obs_factor(ev, 0, &hard)?;
-            for (x, o) in a.iter_mut().zip(&obs) {
-                *x *= o;
-            }
-            loglik += Self::normalize(&mut a)?.ln();
-            a
-        };
-        if let Some(c) = clusters {
-            self.project(&mut alpha, c)?;
-        }
-        beliefs.push(alpha.clone());
-        for t in 1..ev.len() {
-            let hard = self.hard_values(ev, t)?;
-            let trans = if self.time_varying {
-                self.trans_matrix(&hard)?
-            } else {
-                match &cached_trans {
-                    Some(m) => m.clone(),
-                    None => {
-                        let m = self.trans_matrix(&hard)?;
-                        cached_trans = Some(m.clone());
-                        m
-                    }
-                }
-            };
-            let n = self.n_states;
-            let mut next = vec![0.0; n];
-            for prev in 0..n {
-                let w = alpha[prev];
-                if w == 0.0 {
-                    continue;
-                }
-                let row = &trans[prev * n..(prev + 1) * n];
-                for cur in 0..n {
-                    next[cur] += w * row[cur];
-                }
-            }
-            let obs = self.obs_factor(ev, t, &hard)?;
-            for (x, o) in next.iter_mut().zip(&obs) {
-                *x *= o;
-            }
-            loglik += Self::normalize(&mut next)?.ln();
-            if let Some(c) = clusters {
-                self.project(&mut next, c)?;
-            }
-            alpha = next;
-            beliefs.push(alpha.clone());
+        for t in 0..ev.len() {
+            beliefs.push(state.step(ev, t)?);
         }
         Ok(Posteriors {
             hidden: self.hidden.clone(),
             cards: self.cards.clone(),
             strides: self.strides.clone(),
-            loglik,
+            loglik: state.loglik(),
             beliefs,
         })
     }

@@ -96,6 +96,77 @@ proptest! {
     }
 
     #[test]
+    fn bk_step_api_matches_batch_filter(
+        p0 in prob(), stay0 in prob(), stay1 in prob(),
+        e0 in prob(), e1 in prob(),
+        soft in proptest::collection::vec(prob(), 1..12),
+        clustered in 0u8..2,
+    ) {
+        // Differential: the resumable step API, fed evidence ONE SLICE
+        // AT A TIME (each step sees only a 1-slice window, exactly like
+        // a live ingest chunk), must produce beliefs identical to batch
+        // filtering over the whole sequence.
+        let d = hmm_dbn(p0, stay0, stay1, e0, e1);
+        let mut ev = EvidenceSeq::new(soft.len());
+        for (t, &p) in soft.iter().enumerate() {
+            ev.set_prob(t, 1, p);
+        }
+        let eng = Engine::new(&d).unwrap();
+        let clusters: Option<Vec<Vec<usize>>> = (clustered == 1).then(|| vec![vec![0]]);
+        let batch = eng.filter(&ev, clusters.as_deref()).unwrap();
+        let mut state = eng.stepper(clusters.as_deref()).unwrap();
+        for t in 0..soft.len() {
+            let slice = ev.window(t, t + 1);
+            let belief = state.step(&slice, 0).unwrap();
+            prop_assert_eq!(belief.as_slice(), batch.belief(t),
+                "belief diverged at t={}", t);
+            let m = state.marginal(0).unwrap();
+            let bm = batch.marginal(t, 0).unwrap();
+            prop_assert_eq!(m, bm, "marginal diverged at t={}", t);
+        }
+        prop_assert_eq!(state.slices(), batch.len());
+        prop_assert!((state.loglik() - batch.loglik).abs() < 1e-12,
+            "loglik diverged: step={} batch={}", state.loglik(), batch.loglik);
+    }
+
+    #[test]
+    fn bk_step_projection_matches_batch_on_coupled_net(
+        p0 in prob(), c0 in prob(), c1 in prob(),
+        s0 in prob(), s1 in prob(),
+        e0 in prob(), e1 in prob(),
+        obs in proptest::collection::vec(0usize..2, 1..10),
+    ) {
+        // Two coupled hidden nodes with singleton BK clusters: the
+        // projection is a genuine approximation here, so this checks the
+        // step API reproduces the *projected* trajectory, not just the
+        // exact one.
+        let mut s = SliceNet::new();
+        let a = s.hidden("A", 2, &[]);
+        let b = s.hidden("B", 2, &[a]);
+        let kw = s.observed("Kw", 2, &[b]);
+        let mut d = Dbn::new(s, vec![(a, a), (b, b)]).unwrap();
+        d.set_prior_cpt(a, Cpt::binary(vec![], &[p0]).unwrap()).unwrap();
+        d.set_prior_cpt(b, Cpt::binary(vec![2], &[c0, c1]).unwrap()).unwrap();
+        d.set_trans_cpt(a, Cpt::binary(vec![2], &[1.0 - s0, s0]).unwrap()).unwrap();
+        d.set_trans_cpt(b, Cpt::binary(vec![2, 2], &[c0, s1, c1, s1]).unwrap()).unwrap();
+        d.set_cpt(kw, Cpt::binary(vec![2], &[e0, e1]).unwrap()).unwrap();
+        let mut ev = EvidenceSeq::new(obs.len());
+        for (t, &o) in obs.iter().enumerate() {
+            ev.set(t, kw, Obs::Hard(o));
+        }
+        let eng = Engine::new(&d).unwrap();
+        let clusters = vec![vec![a], vec![b]];
+        let batch = eng.filter(&ev, Some(&clusters)).unwrap();
+        let mut state = eng.stepper(Some(&clusters)).unwrap();
+        for t in 0..obs.len() {
+            let belief = state.step(&ev.window(t, t + 1), 0).unwrap();
+            prop_assert_eq!(belief.as_slice(), batch.belief(t),
+                "projected belief diverged at t={}", t);
+        }
+        prop_assert!((state.loglik() - batch.loglik).abs() < 1e-12);
+    }
+
+    #[test]
     fn em_never_decreases_loglik(
         seed in 0u64..1000,
         t_len in 4usize..16,

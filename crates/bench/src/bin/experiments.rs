@@ -4,7 +4,7 @@
 //! ```text
 //! experiments [--duration SECONDS] [table1 table2 table3 table4 ablation
 //!              fig9 temporal clustering keywords endpoint shots hmm queries
-//!              monet optimizer obs serve cache wal shard]
+//!              monet optimizer obs serve cache wal shard stream]
 //! ```
 //!
 //! With no experiment names, everything runs. Traces for Fig. 9 are
@@ -209,6 +209,13 @@ fn main() {
         println!("{table}");
         if std::fs::write("BENCH_shard.json", json.to_string()).is_ok() {
             println!("(sharding benchmark written to BENCH_shard.json)");
+        }
+    }
+    if want("stream") {
+        let (table, json) = experiments::stream();
+        println!("{table}");
+        if std::fs::write("BENCH_stream.json", json.to_string()).is_ok() {
+            println!("(streaming benchmark written to BENCH_stream.json)");
         }
     }
 

@@ -1078,6 +1078,8 @@ pub fn serve() -> (Table, serde_json::Value) {
         // the hot side).
         distinct: 50_000,
         zipf: None,
+        seed: 0,
+        arrival_rps: None,
     };
 
     // Regime A: 32 concurrent clients, below the admission limit —
@@ -1289,6 +1291,8 @@ pub fn cache() -> (Table, serde_json::Value) {
         deadline_ms: None,
         distinct: 0,
         zipf: None,
+        seed: 0,
+        arrival_rps: None,
     };
     let regime_delta = |snap: &cobra_obs::Snapshot| {
         let d = serve_registry.snapshot().delta(snap);
@@ -1997,6 +2001,8 @@ pub fn shard() -> (Table, serde_json::Value) {
                 deadline_ms: None,
                 distinct: 4096,
                 zipf: None,
+                seed: 0,
+                arrival_rps: None,
             },
         );
 
@@ -2077,6 +2083,199 @@ pub fn shard() -> (Table, serde_json::Value) {
         "scaling": {
             "x2_vs_x1": (rps_at(2) / base),
             "x4_vs_x1": (rps_at(4) / base),
+        },
+    });
+    (table, doc)
+}
+
+/// Live-race streaming: ingest-to-notify latency and sustained chunk
+/// throughput through the `subscribe` push path (DESIGN.md §6j).
+///
+/// Two runs against an in-process server, each with a standing
+/// `RETRIEVE PITSTOPS` subscription registered *before* the first
+/// chunk arrives:
+///
+/// * **latency** — chunks are ingested one at a time and, whenever a
+///   chunk changes the standing answer, the run blocks until the
+///   subscriber's delta frame lands. Latency is commit-to-push:
+///   measured from `ingest_chunk` returning (the change feed has
+///   published by then) to `next_push` handing the frame over. Chunks
+///   that leave the answer unchanged are counted, not timed — silence
+///   is the contract there, so there is nothing to wait for. The same
+///   broadcast is streamed into `ROUNDS` separate videos (each with
+///   its own standing query) so the percentiles rest on more than the
+///   handful of answer-changing chunks one race contains.
+/// * **sustained** — every chunk is ingested back-to-back with the
+///   subscriber attached but never waited on, measuring how much
+///   faster than real time the incremental pipeline absorbs a
+///   broadcast while the notifier keeps pushing deltas. The run then
+///   drains the push stream and checks the final total matches a
+///   direct query — backpressure must not have cost frames.
+///
+/// Returns the table plus the JSON document `BENCH_stream.json`
+/// (schema-validated by CI's stream-smoke job).
+pub fn stream() -> (Table, serde_json::Value) {
+    use cobra_serve::client::Client;
+    use cobra_serve::server::{start, ServerConfig};
+    use f1_cobra::Vdbms;
+    use f1_media::synth::scenario::{RaceProfile, RaceScenario, ScenarioConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SECONDS: usize = 120;
+    const CHUNK_S: usize = 5;
+    const ROUNDS: usize = 4;
+    const QUERY: &str = "RETRIEVE PITSTOPS";
+    /// Generous bound on one commit-to-push wait; the single-server
+    /// notifier wakes on the change-feed condvar, so hitting this
+    /// means the push path is broken, not slow.
+    const PUSH_WAIT: Duration = Duration::from_secs(10);
+
+    let scenario = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, SECONDS));
+    let n_chunks = scenario.chunks(CHUNK_S).count();
+
+    let percentile = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+    };
+
+    // Run 1: commit-to-push latency, one chunk at a time.
+    let (latencies_us, unchanged) = {
+        let vdbms = Arc::new(Vdbms::new());
+        let handle = start(Arc::clone(&vdbms), ServerConfig::default()).expect("start server");
+        let mut subscriber = Client::connect(handle.addr()).expect("connect subscriber");
+        subscriber
+            .set_timeout(Some(PUSH_WAIT))
+            .expect("set push timeout");
+
+        let mut latencies_us: Vec<u64> = Vec::new();
+        let mut unchanged = 0usize;
+        for round in 0..ROUNDS {
+            let video = format!("race-{round}");
+            subscriber.subscribe(&video, QUERY).expect("subscribe");
+            let mut last_total = 0u64;
+            for chunk in scenario.chunks(CHUNK_S) {
+                let report = vdbms
+                    .ingest_chunk(&video, &scenario, &chunk)
+                    .expect("ingest chunk");
+                let committed = Instant::now();
+                // Did this chunk move the standing answer? Compare
+                // against ground truth; only then is a push owed.
+                let total = vdbms
+                    .query(&video, QUERY)
+                    .expect("ground-truth query")
+                    .len() as u64;
+                if total == last_total {
+                    unchanged += 1;
+                    continue;
+                }
+                loop {
+                    let push = subscriber.next_push().expect("push frame within bound");
+                    if push.video == video
+                        && push.data_version >= report.data_version
+                        && push.total == total
+                    {
+                        latencies_us.push(committed.elapsed().as_micros() as u64);
+                        last_total = total;
+                        break;
+                    }
+                }
+            }
+        }
+        handle.shutdown();
+        latencies_us.sort_unstable();
+        (latencies_us, unchanged)
+    };
+
+    // Run 2: sustained chunk rate with the subscriber attached.
+    let (elapsed, drained_total, expected_total) = {
+        let vdbms = Arc::new(Vdbms::new());
+        let handle = start(Arc::clone(&vdbms), ServerConfig::default()).expect("start server");
+        let mut subscriber = Client::connect(handle.addr()).expect("connect subscriber");
+        subscriber.subscribe("german", QUERY).expect("subscribe");
+        subscriber
+            .set_timeout(Some(PUSH_WAIT))
+            .expect("set push timeout");
+
+        let t = Instant::now();
+        for chunk in scenario.chunks(CHUNK_S) {
+            vdbms
+                .ingest_chunk("german", &scenario, &chunk)
+                .expect("ingest chunk");
+        }
+        let elapsed = t.elapsed();
+        let expected_total = vdbms
+            .query("german", QUERY)
+            .expect("ground-truth query")
+            .len() as u64;
+        // Coalescing is allowed (the notifier may fold several chunks
+        // into one delta) but the stream must converge on the truth.
+        let mut drained_total = 0u64;
+        while drained_total < expected_total {
+            drained_total = subscriber.next_push().expect("converging push").total;
+        }
+        handle.shutdown();
+        (elapsed, drained_total, expected_total)
+    };
+
+    let pushes = latencies_us.len();
+    let p50 = percentile(&latencies_us, 0.50);
+    let p99 = percentile(&latencies_us, 0.99);
+    let chunks_per_s = n_chunks as f64 / elapsed.as_secs_f64().max(1e-9);
+    // How much faster than the live broadcast the pipeline ingests:
+    // 1.0 is barely keeping up with the race, less is falling behind.
+    let realtime = chunks_per_s * CHUNK_S as f64;
+
+    let mut table = Table::new(
+        &format!(
+            "Streaming ingest — {SECONDS}s broadcast in {CHUNK_S}s chunks x {ROUNDS} races, \
+             standing '{QUERY}' subscriber"
+        ),
+        &[
+            "chunks",
+            "pushes",
+            "unchanged",
+            "p50 us",
+            "p99 us",
+            "chunks/s",
+            "x realtime",
+        ],
+    );
+    table.row(vec![
+        Cell::Num((ROUNDS * n_chunks) as f64),
+        Cell::Num(pushes as f64),
+        Cell::Num(unchanged as f64),
+        Cell::Num(p50 as f64),
+        Cell::Num(p99 as f64),
+        Cell::Num(chunks_per_s),
+        Cell::Num(realtime),
+    ]);
+
+    let doc = serde_json::json!({
+        "experiment": "stream",
+        "config": {
+            "seconds": (SECONDS as f64),
+            "chunk_s": (CHUNK_S as f64),
+            "chunks": (n_chunks as f64),
+            "rounds": (ROUNDS as f64),
+            "query": QUERY,
+        },
+        "latency": {
+            "pushes": (pushes as f64),
+            "unchanged": (unchanged as f64),
+            "commit_to_push_us": {
+                "p50": (p50 as f64),
+                "p99": (p99 as f64),
+            },
+        },
+        "sustained": {
+            "elapsed_s": (elapsed.as_secs_f64()),
+            "chunks_per_s": (chunks_per_s),
+            "x_realtime": (realtime),
+            "pushed_total": (drained_total as f64),
+            "expected_total": (expected_total as f64),
         },
     });
     (table, doc)

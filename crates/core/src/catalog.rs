@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -48,6 +49,65 @@ pub struct EventRecord {
     pub driver: Option<String>,
 }
 
+/// The catalog's change feed: a condvar-backed broadcast of the
+/// [`data_version`](Catalog::data_version) counter. Every acknowledged
+/// mutation publishes the new version; subscribers block in
+/// [`wait_past`](ChangeFeed::wait_past) until the counter moves beyond
+/// what they have already seen (or a timeout elapses). This is the
+/// notification source for `SUBSCRIBE` standing queries — the same
+/// version scalar the result cache keys on, reused as a wakeup signal
+/// instead of a poll loop.
+#[derive(Default)]
+pub struct ChangeFeed {
+    seq: std::sync::Mutex<u64>,
+    cond: std::sync::Condvar,
+}
+
+impl ChangeFeed {
+    /// Publishes a new data version (monotonic; stale publishes are
+    /// ignored) and wakes every waiter.
+    fn publish(&self, version: u64) {
+        let mut seq = self.seq.lock().expect("change feed lock");
+        if version > *seq {
+            *seq = version;
+            self.cond.notify_all();
+        }
+    }
+
+    /// The latest published data version.
+    pub fn current(&self) -> u64 {
+        *self.seq.lock().expect("change feed lock")
+    }
+
+    /// Blocks until the published version exceeds `seen`, returning the
+    /// new version, or `None` when `timeout` elapses first. Spurious
+    /// wakeups are absorbed; a version already past `seen` returns
+    /// immediately without blocking.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> Option<u64> {
+        let deadline = Instant::now() + timeout;
+        let mut seq = self.seq.lock().expect("change feed lock");
+        loop {
+            if *seq > seen {
+                return Some(*seq);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            // A poisoned lock only means a publisher panicked mid-bump;
+            // the counter itself is still valid, so keep waiting on it.
+            let (guard, timed_out) = self
+                .cond
+                .wait_timeout(seq, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            seq = guard;
+            if timed_out.timed_out() && *seq <= seen {
+                return None;
+            }
+        }
+    }
+}
+
 /// The catalog, backed by a shared Monet kernel and (optionally) a
 /// durable storage backend.
 ///
@@ -78,6 +138,8 @@ pub struct Catalog {
     /// Serializes whole checkpoints (the background checkpointer versus
     /// an explicit `CHECKPOINT`).
     ckpt: Mutex<()>,
+    /// Broadcasts `data_version` bumps to standing-query subscribers.
+    feed: ChangeFeed,
 }
 
 impl Catalog {
@@ -97,7 +159,21 @@ impl Catalog {
             store,
             commit: Mutex::new(()),
             ckpt: Mutex::new(()),
+            feed: ChangeFeed::default(),
         }
+    }
+
+    /// The change feed publishing every `data_version` bump.
+    pub fn change_feed(&self) -> &ChangeFeed {
+        &self.feed
+    }
+
+    /// Advances the whole-catalog mutation counter and publishes the new
+    /// value on the change feed. Called by every apply path, live or
+    /// replayed.
+    fn bump_data_version(&self) {
+        let version = self.data_version.fetch_add(1, Ordering::Release) + 1;
+        self.feed.publish(version);
     }
 
     /// The underlying kernel.
@@ -134,7 +210,7 @@ impl Catalog {
     fn apply_register(&self, info: VideoInfo) {
         self.videos.write().insert(info.name.clone(), info);
         self.generation.fetch_add(1, Ordering::Release);
-        self.data_version.fetch_add(1, Ordering::Release);
+        self.bump_data_version();
     }
 
     /// Raw-layer change counter (see the `generation` field).
@@ -217,7 +293,7 @@ impl Catalog {
             let bat = Bat::from_tail(AtomType::Dbl, matrix.iter().map(|row| Atom::Dbl(row[k])))?;
             self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
         }
-        self.data_version.fetch_add(1, Ordering::Release);
+        self.bump_data_version();
         Ok(())
     }
 
@@ -235,7 +311,82 @@ impl Catalog {
             )?;
             self.kernel.set_bat(&Self::feature_bat_name(video, k), bat);
         }
-        self.data_version.fetch_add(1, Ordering::Release);
+        self.bump_data_version();
+        Ok(())
+    }
+
+    /// Appends feature rows to the tail of the feature layer (streaming
+    /// ingest: one call per arrival window). Creates the columns on
+    /// first use; later appends must match the existing column count.
+    /// Validated first, then logged, then applied — the same
+    /// log-before-apply path as every other mutation, so a crash
+    /// mid-stream replays to exactly the acknowledged prefix.
+    pub fn append_features(&self, video: &str, rows: &[Vec<f64>]) -> Result<()> {
+        self.video(video)?;
+        let n_features = rows.first().map(Vec::len).unwrap_or(0);
+        if let Some(t) = rows.iter().position(|row| row.len() != n_features) {
+            return Err(CobraError::MissingMetadata {
+                video: video.to_string(),
+                what: format!(
+                    "ragged feature chunk: row {t} has {} features, expected {n_features}",
+                    rows[t].len()
+                ),
+            });
+        }
+        let existing = self.feature_width(video);
+        if existing > 0 && n_features != existing {
+            return Err(CobraError::MissingMetadata {
+                video: video.to_string(),
+                what: format!(
+                    "feature chunk width {n_features} does not match existing layer width {existing}"
+                ),
+            });
+        }
+        let _commit = self.commit.lock();
+        if self.store.is_durable() {
+            self.store.log(&WalOp::AppendFeatures {
+                video: video.to_string(),
+                n_features: n_features as u64,
+                values: rows.iter().flatten().copied().collect(),
+            })?;
+        }
+        self.apply_feature_rows(video, n_features, rows.iter().map(|r| r.as_slice()))
+    }
+
+    /// Number of feature columns currently stored for `video` (0 when
+    /// the layer is absent).
+    fn feature_width(&self, video: &str) -> usize {
+        let mut k = 0;
+        while self.kernel.has_bat(&Self::feature_bat_name(video, k)) {
+            k += 1;
+        }
+        k
+    }
+
+    /// Appends rows to the feature columns, creating empty `[void,dbl]`
+    /// BATs on first use. Shared by the live append and WAL replay.
+    fn apply_feature_rows<'r>(
+        &self,
+        video: &str,
+        n_features: usize,
+        rows: impl Iterator<Item = &'r [f64]>,
+    ) -> Result<()> {
+        for k in 0..n_features {
+            let name = Self::feature_bat_name(video, k);
+            if !self.kernel.has_bat(&name) {
+                self.kernel
+                    .set_bat(&name, Bat::new(AtomType::Void, AtomType::Dbl));
+            }
+        }
+        for row in rows {
+            for (k, &v) in row.iter().enumerate() {
+                self.kernel
+                    .bat(&Self::feature_bat_name(video, k))?
+                    .write()
+                    .append_void(Atom::Dbl(v))?;
+            }
+        }
+        self.bump_data_version();
         Ok(())
     }
 
@@ -319,7 +470,7 @@ impl Catalog {
                 .write()
                 .append_void(Atom::str(e.driver.as_deref().unwrap_or("")))?;
         }
-        self.data_version.fetch_add(1, Ordering::Release);
+        self.bump_data_version();
         Ok(())
     }
 
@@ -340,7 +491,7 @@ impl Catalog {
         for suffix in ["kind", "start", "end", "driver"] {
             let _ = self.kernel.drop_bat(&format!("{video}.ev.{suffix}"));
         }
-        self.data_version.fetch_add(1, Ordering::Release);
+        self.bump_data_version();
     }
 
     /// Loads the event layer, optionally filtered by kind.
@@ -448,6 +599,14 @@ impl Catalog {
             WalOp::ClearEvents { video } => {
                 self.apply_clear_events(&video);
                 Ok(())
+            }
+            WalOp::AppendFeatures {
+                video,
+                n_features,
+                values,
+            } => {
+                let n_features = n_features as usize;
+                self.apply_feature_rows(&video, n_features, values.chunks_exact(n_features.max(1)))
             }
         }
     }
@@ -647,6 +806,106 @@ mod tests {
         let _ = c.events("german", None);
         let _ = c.videos();
         assert_eq!(c.data_version(), quiesced);
+    }
+
+    #[test]
+    fn append_features_builds_the_layer_incrementally() {
+        let c = catalog();
+        c.append_features("german", &[vec![0.1, 0.9], vec![0.2, 0.8]])
+            .unwrap();
+        c.append_features("german", &[vec![0.3, 0.7], vec![0.4, 0.6]])
+            .unwrap();
+        let loaded = c.load_features("german", 2).unwrap();
+        assert_eq!(
+            loaded,
+            vec![
+                vec![0.1, 0.9],
+                vec![0.2, 0.8],
+                vec![0.3, 0.7],
+                vec![0.4, 0.6],
+            ]
+        );
+    }
+
+    #[test]
+    fn append_features_appends_to_a_batch_stored_layer() {
+        let c = catalog();
+        c.store_features("german", &[vec![0.1], vec![0.2], vec![0.3]])
+            .unwrap();
+        c.append_features("german", &[vec![0.4]]).unwrap();
+        let loaded = c.load_features("german", 1).unwrap();
+        assert_eq!(loaded, vec![vec![0.1], vec![0.2], vec![0.3], vec![0.4]]);
+    }
+
+    #[test]
+    fn append_features_rejects_width_mismatch_and_ragged_chunks() {
+        let c = catalog();
+        c.append_features("german", &[vec![0.1, 0.9]]).unwrap();
+        let err = c.append_features("german", &[vec![0.5]]).unwrap_err();
+        assert!(
+            matches!(&err, CobraError::MissingMetadata { what, .. } if what.contains("width")),
+            "got {err}"
+        );
+        let err = c
+            .append_features("german", &[vec![0.5, 0.5], vec![0.5]])
+            .unwrap_err();
+        assert!(
+            matches!(&err, CobraError::MissingMetadata { what, .. } if what.contains("ragged")),
+            "got {err}"
+        );
+        // The failed appends left the layer untouched.
+        assert_eq!(c.kernel().bat("german.f1").unwrap().read().len(), 1);
+        assert_eq!(c.kernel().bat("german.f2").unwrap().read().len(), 1);
+    }
+
+    #[test]
+    fn append_features_bumps_versions_like_any_mutation() {
+        let c = catalog();
+        let v0 = c.data_version();
+        c.append_features("german", &[vec![0.5]]).unwrap();
+        assert!(c.data_version() > v0);
+    }
+
+    #[test]
+    fn change_feed_publishes_every_mutation() {
+        let c = catalog();
+        let seen = c.change_feed().current();
+        assert_eq!(seen, c.data_version());
+        // No mutation: the wait times out.
+        assert_eq!(
+            c.change_feed().wait_past(seen, Duration::from_millis(10)),
+            None
+        );
+        c.store_events(
+            "german",
+            &[EventRecord {
+                kind: "highlight".into(),
+                start: 0,
+                end: 1,
+                driver: None,
+            }],
+        )
+        .unwrap();
+        // Already-published version returns without blocking.
+        let v = c
+            .change_feed()
+            .wait_past(seen, Duration::from_millis(10))
+            .expect("mutation must wake the feed");
+        assert_eq!(v, c.data_version());
+    }
+
+    #[test]
+    fn change_feed_wakes_a_blocked_waiter() {
+        let c = Arc::new(catalog());
+        let seen = c.change_feed().current();
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.change_feed().wait_past(seen, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        c.append_features("german", &[vec![0.5]]).unwrap();
+        let got = waiter.join().unwrap();
+        assert_eq!(got, Some(c.data_version()));
     }
 
     #[test]

@@ -76,6 +76,16 @@ pub enum CobraError {
     /// applied or acknowledged: a caller seeing this error knows the
     /// catalog is unchanged.
     Store(cobra_store::StoreError),
+    /// A streamed ingest chunk arrived out of arrival order; the
+    /// catalog is unchanged and the expected chunk can still be sent.
+    StreamOrder {
+        /// The video being streamed.
+        video: String,
+        /// The clip the stream expected the chunk to start at.
+        expected: usize,
+        /// The clip the chunk actually started at.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for CobraError {
@@ -97,6 +107,16 @@ impl std::fmt::Display for CobraError {
                 write!(f, "every extraction method failed for video '{video}'")
             }
             CobraError::Store(e) => write!(f, "store: {e}"),
+            CobraError::StreamOrder {
+                video,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "video '{video}': chunk starts at clip {got} but the stream expects clip {expected}"
+                )
+            }
         }
     }
 }
@@ -115,7 +135,8 @@ impl std::error::Error for CobraError {
             CobraError::Store(e) => Some(e),
             CobraError::UnknownVideo(_)
             | CobraError::MissingMetadata { .. }
-            | CobraError::Parse(_) => None,
+            | CobraError::Parse(_)
+            | CobraError::StreamOrder { .. } => None,
         }
     }
 }

@@ -22,6 +22,7 @@ use f1_bayes::paper::{audio_visual_dbn, AvNodes};
 use f1_keyword::{keyword_feature, spot, AcousticModel, Grammar, PhonemeStream, SpotterConfig};
 use f1_media::features::vector::{FeatureExtractor, VectorConfig, N_FEATURES};
 use f1_media::synth::scenario::{CaptionKind, EventKind, RaceScenario, Span};
+use f1_media::synth::stream::Chunk;
 use f1_media::synth::video::VideoSynth;
 use f1_monet::{ExecBudget, Kernel};
 use f1_rules::{
@@ -89,6 +90,38 @@ pub struct IngestReport {
     pub rationale: String,
 }
 
+/// What one streamed ingest window stored.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChunkReport {
+    /// Arrival index of the window.
+    pub index: usize,
+    /// Clips appended by this window.
+    pub n_clips: usize,
+    /// Captions recognized inside this window.
+    pub n_captions: usize,
+    /// Catalog `data_version` after the window's writes committed —
+    /// the value the change feed published, so a caller can correlate
+    /// this chunk with subscriber notifications.
+    pub data_version: u64,
+    /// True for the final window; the stream's session state is
+    /// released once it is ingested.
+    pub is_last: bool,
+}
+
+/// Per-video state held across [`Vdbms::ingest_chunk`] calls.
+///
+/// Keyword spotting runs once when the stream opens (the phoneme
+/// stream is a broadcast-wide signal), producing a per-clip score
+/// vector indexed absolutely by clip — which is what lets each window
+/// extract `fx.extract(&kw, lo, hi)` without re-reading earlier audio.
+/// The extraction method is also pinned at stream open so a mid-race
+/// re-rank cannot mix feature qualities within one video.
+struct StreamState {
+    kw: Vec<f64>,
+    method: String,
+    next_clip: usize,
+}
+
 /// What annotation derived.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AnnotateReport {
@@ -145,6 +178,45 @@ fn event_kind(target: &Target) -> Option<&str> {
         Target::FinalLap => Some("caption:final_lap"),
         Target::Leader | Target::Segments => None,
     }
+}
+
+/// Recognizes superimposed text over `[frame_lo, frame_hi)` and maps
+/// the parsed captions onto clip-grid [`EventRecord`]s. Both the batch
+/// and the streamed ingest path store captions through here, so chunked
+/// ingest reproduces batch caption events window by window.
+fn scan_captions(scenario: &RaceScenario, frame_lo: usize, frame_hi: usize) -> Vec<EventRecord> {
+    let video = VideoSynth::new(scenario);
+    let vocab = Vocabulary::formula1();
+    let captions = scan_broadcast(
+        &video,
+        frame_lo,
+        frame_hi,
+        &vocab,
+        &f1_text::pipeline::PipelineConfig::default(),
+    );
+    let cps = f1_media::time::clips_per_second();
+    let fps = f1_media::time::VIDEO_FPS;
+    captions
+        .iter()
+        .filter_map(|c| {
+            let parsed = c.parsed.as_ref()?;
+            let kind = match parsed.kind {
+                CaptionKind::PitStop => "caption:pit_stop",
+                CaptionKind::Classification => "caption:classification",
+                CaptionKind::FastestLap => "caption:fastest_lap",
+                CaptionKind::FinalLap => "caption:final_lap",
+                CaptionKind::Winner => "caption:winner",
+            };
+            Some(EventRecord {
+                kind: kind.to_string(),
+                start: c.start_frame * cps / fps,
+                end: (c.end_frame * cps / fps).max(c.start_frame * cps / fps + 1),
+                driver: parsed
+                    .driver
+                    .map(|d| f1_media::synth::scenario::DRIVERS[d].to_string()),
+            })
+        })
+        .collect()
 }
 
 /// Compares the live extraction ranking against the static (unmeasured)
@@ -219,6 +291,8 @@ pub struct Vdbms {
     plan_cost_evals: AtomicU64,
     /// What recovery-on-boot replayed; `None` for memory-only boots.
     recovery: Option<RecoveryReport>,
+    /// Open streaming-ingest sessions, one per video being streamed.
+    streams: parking_lot::Mutex<HashMap<String, StreamState>>,
     /// Background checkpointer shutdown flag + thread.
     ckpt_stop: Arc<AtomicBool>,
     ckpt_handle: Option<std::thread::JoinHandle<()>>,
@@ -348,6 +422,7 @@ impl Vdbms {
             caches,
             plan_cost_evals: AtomicU64::new(0),
             recovery,
+            streams: parking_lot::Mutex::new(HashMap::new()),
             ckpt_stop,
             ckpt_handle,
         })
@@ -518,38 +593,7 @@ impl Vdbms {
 
         // Superimposed text: recognize captions, store as events.
         let t = Instant::now();
-        let video = VideoSynth::new(scenario);
-        let vocab = Vocabulary::formula1();
-        let captions = scan_broadcast(
-            &video,
-            0,
-            scenario.n_frames(),
-            &vocab,
-            &f1_text::pipeline::PipelineConfig::default(),
-        );
-        let cps = f1_media::time::clips_per_second();
-        let fps = f1_media::time::VIDEO_FPS;
-        let records: Vec<EventRecord> = captions
-            .iter()
-            .filter_map(|c| {
-                let parsed = c.parsed.as_ref()?;
-                let kind = match parsed.kind {
-                    CaptionKind::PitStop => "caption:pit_stop",
-                    CaptionKind::Classification => "caption:classification",
-                    CaptionKind::FastestLap => "caption:fastest_lap",
-                    CaptionKind::FinalLap => "caption:final_lap",
-                    CaptionKind::Winner => "caption:winner",
-                };
-                Some(EventRecord {
-                    kind: kind.to_string(),
-                    start: c.start_frame * cps / fps,
-                    end: (c.end_frame * cps / fps).max(c.start_frame * cps / fps + 1),
-                    driver: parsed
-                        .driver
-                        .map(|d| f1_media::synth::scenario::DRIVERS[d].to_string()),
-                })
-            })
-            .collect();
+        let records = scan_captions(scenario, 0, scenario.n_frames());
         self.catalog.store_events(name, &records)?;
         stage("caption_recognition", t);
 
@@ -566,6 +610,135 @@ impl Vdbms {
         })
     }
 
+    /// Ingests one arrival-order window of a live broadcast.
+    ///
+    /// The first chunk (clip 0) opens the stream: it registers the
+    /// video, runs keyword spotting over the broadcast audio, and pins
+    /// the best-ranked extraction method for the stream's lifetime.
+    /// Every chunk then extracts features for exactly its clip window
+    /// (appended through the WAL via [`Catalog::append_features`]) and
+    /// recognizes captions inside its frame window (appended as
+    /// events), so each window commits through the same log-before-
+    /// apply path as batch ingest and bumps `data_version` — which the
+    /// [`ChangeFeed`](crate::catalog::ChangeFeed) broadcasts to
+    /// subscribers.
+    ///
+    /// Chunks must arrive in order; an out-of-order chunk fails with
+    /// [`CobraError::StreamOrder`](crate::CobraError::StreamOrder) and
+    /// leaves the catalog unchanged, so the expected chunk (or a retry
+    /// of a failed one) can still be sent. The final chunk releases the
+    /// stream's session state. A caption straddling a window boundary
+    /// is recognized per window, so it may surface as two adjacent
+    /// events where batch ingest stores one — the price of not reading
+    /// footage that has not arrived yet.
+    pub fn ingest_chunk(
+        &self,
+        name: &str,
+        scenario: &RaceScenario,
+        chunk: &Chunk,
+    ) -> Result<ChunkReport> {
+        let registry = Arc::clone(self.kernel.metrics().registry());
+        registry.counter("ingest.chunks", &[]).inc();
+        let t = Instant::now();
+
+        // One streaming session per video. The map lock is held for the
+        // whole window: chunks are arrival-ordered, so within one video
+        // there is nothing to parallelize, and the lock is what makes
+        // the order check and the append atomic against a racing
+        // duplicate of the same chunk.
+        let mut streams = self.streams.lock();
+        let state = match streams.entry(name.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if chunk.clips.start != 0 {
+                    return Err(crate::CobraError::StreamOrder {
+                        video: name.to_string(),
+                        expected: 0,
+                        got: chunk.clips.start,
+                    });
+                }
+                self.catalog.register_video(VideoInfo {
+                    name: name.to_string(),
+                    n_clips: scenario.n_clips,
+                    n_frames: scenario.n_frames(),
+                })?;
+                let stream = PhonemeStream::from_scenario(scenario);
+                let spots = spot(
+                    &stream,
+                    &Grammar::formula1(),
+                    AcousticModel::TvNews,
+                    &SpotterConfig::default(),
+                );
+                // The keyword vector is indexed absolutely by clip, so
+                // one broadcast-wide vector serves every window.
+                let kw = keyword_feature(&spots, scenario.n_clips);
+                let method = self
+                    .methods
+                    .ranked("feature_extraction", 0.9)
+                    .first()
+                    .map(|m| m.name.clone())
+                    .ok_or_else(|| crate::CobraError::MissingMetadata {
+                        video: name.to_string(),
+                        what: "no feature_extraction methods registered".into(),
+                    })?;
+                e.insert(StreamState {
+                    kw,
+                    method,
+                    next_clip: 0,
+                })
+            }
+        };
+        if chunk.clips.start != state.next_clip {
+            return Err(crate::CobraError::StreamOrder {
+                video: name.to_string(),
+                expected: state.next_clip,
+                got: chunk.clips.start,
+            });
+        }
+
+        // Features for exactly this window, appended through the WAL.
+        let attempt = Instant::now();
+        let cost_model = Arc::clone(self.methods.cost_model());
+        let matrix = match self.run_extraction_window(
+            &state.method,
+            scenario,
+            &state.kw,
+            chunk.clips.start,
+            chunk.clips.end,
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                cost_model.observe_failure(&state.method);
+                return Err(e);
+            }
+        };
+        let ms = attempt.elapsed().as_secs_f64() * 1e3;
+        cost_model.observe(&state.method, ms / chunk.len().max(1) as f64);
+        self.catalog.append_features(name, &matrix)?;
+
+        // Captions inside this window, appended as events.
+        let records = scan_captions(scenario, chunk.frame_lo, chunk.frame_hi);
+        if !records.is_empty() {
+            self.catalog.store_events(name, &records)?;
+        }
+
+        state.next_clip = chunk.clips.end;
+        let data_version = self.catalog.data_version();
+        if chunk.is_last {
+            streams.remove(name);
+        }
+        registry
+            .histogram("ingest.stage_ns", &[("stage", "chunk")])
+            .record(t.elapsed().as_nanos() as u64);
+        Ok(ChunkReport {
+            index: chunk.index,
+            n_clips: chunk.len(),
+            n_captions: records.len(),
+            data_version,
+            is_last: chunk.is_last,
+        })
+    }
+
     /// Runs one extraction method over the scenario. The fault site
     /// `extract.{method}` lets tests knock out a specific method.
     fn run_extraction(
@@ -573,6 +746,20 @@ impl Vdbms {
         method: &str,
         scenario: &RaceScenario,
         kw: &[f64],
+    ) -> Result<Vec<Vec<f64>>> {
+        self.run_extraction_window(method, scenario, kw, 0, scenario.n_clips)
+    }
+
+    /// Runs one extraction method over `[lo_clip, hi_clip)`. The
+    /// keyword vector is indexed absolutely by clip, so the same
+    /// broadcast-wide vector serves both batch and windowed calls.
+    fn run_extraction_window(
+        &self,
+        method: &str,
+        scenario: &RaceScenario,
+        kw: &[f64],
+        lo_clip: usize,
+        hi_clip: usize,
     ) -> Result<Vec<Vec<f64>>> {
         if cobra_faults::is_armed() {
             cobra_faults::fire(&format!("extract.{method}")).map_err(f1_monet::MonetError::from)?;
@@ -589,7 +776,7 @@ impl Vdbms {
             )?,
             _ => FeatureExtractor::new(scenario)?,
         };
-        Ok(fx.extract(kw, 0, scenario.n_clips)?)
+        Ok(fx.extract(kw, lo_clip, hi_clip)?)
     }
 
     /// Trains the audio-visual highlight DBN on labelled windows of an
@@ -948,6 +1135,31 @@ impl Vdbms {
             catalog_gen: self.catalog.generation(),
             bats: self.catalog.event_versions(video),
         }
+    }
+
+    /// The current [`VersionVector`] of `video` — the watch set a
+    /// standing (`SUBSCRIBE`) query re-arms on after each evaluation.
+    /// Comparing two vectors for equality is how the serving layer
+    /// decides whether a change-feed bump touched a BAT the query read.
+    pub fn video_version_vector(&self, video: &str) -> VersionVector {
+        self.version_vector(video)
+    }
+
+    /// Evaluates a plain `RETRIEVE` for a standing query and returns
+    /// the answer together with the version vector captured *before*
+    /// execution. A write landing mid-evaluation leaves the returned
+    /// vector stale against the post-write state, so the subscriber's
+    /// next change-feed sweep re-evaluates instead of missing the
+    /// write.
+    pub fn query_watched(
+        &self,
+        video: &str,
+        text: &str,
+    ) -> Result<(Vec<RetrievedSegment>, VersionVector)> {
+        let q = parse_query(text)?;
+        let versions = self.version_vector(video);
+        let segments = self.execute_cached(video, &q, &ExecBudget::unlimited())?;
+        Ok((segments, versions))
     }
 
     /// [`execute`](Self::execute) behind the versioned result cache:
@@ -1539,6 +1751,112 @@ mod tests {
             })
             .filter(|w| !w.is_empty())
             .collect()
+    }
+
+    #[test]
+    fn chunked_ingest_reproduces_batch_ingest() {
+        let scenario = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 180));
+        let batch = Vdbms::new();
+        batch.ingest("german", &scenario).unwrap();
+
+        let streamed = Vdbms::new();
+        let mut reports = Vec::new();
+        for chunk in scenario.chunks(30) {
+            reports.push(streamed.ingest_chunk("german", &scenario, &chunk).unwrap());
+        }
+        assert!(reports.len() > 2, "want a genuinely multi-window stream");
+        assert!(reports.last().unwrap().is_last);
+        assert_eq!(
+            reports.iter().map(|r| r.n_clips).sum::<usize>(),
+            scenario.n_clips
+        );
+        // Every window's commit is visible to the change feed.
+        for w in reports.windows(2) {
+            assert!(w[0].data_version < w[1].data_version);
+        }
+
+        // Features: per-clip columns are byte-identical with batch
+        // ingest; the replay flag (column 11) is detected from wipes
+        // inside each window, so it may disagree near window
+        // boundaries — but only there.
+        let a = batch.catalog.load_features("german", N_FEATURES).unwrap();
+        let b = streamed
+            .catalog
+            .load_features("german", N_FEATURES)
+            .unwrap();
+        assert_eq!(a.len(), b.len());
+        for (clip, (ra, rb)) in a.iter().zip(&b).enumerate() {
+            for (k, (va, vb)) in ra.iter().zip(rb).enumerate() {
+                if k != 11 {
+                    assert_eq!(va, vb, "clip {clip} feature {k} differs from batch");
+                }
+            }
+        }
+        let agree = a.iter().zip(&b).filter(|(ra, rb)| ra[11] == rb[11]).count();
+        assert!(
+            agree * 10 >= a.len() * 9,
+            "replay flag agrees on only {agree}/{} clips",
+            a.len()
+        );
+
+        // Captions: chunked recognition sees the same superimposed
+        // text (a window boundary can split a caption, so compare by
+        // coverage of the batch events, not exact equality).
+        assert!(reports.iter().map(|r| r.n_captions).sum::<usize>() > 0);
+        let batch_events = batch.catalog.events("german", None).unwrap();
+        let stream_events = streamed.catalog.events("german", None).unwrap();
+        let covered = batch_events
+            .iter()
+            .filter(|e| {
+                stream_events
+                    .iter()
+                    .any(|s| s.kind == e.kind && s.start < e.end && e.start < s.end)
+            })
+            .count();
+        assert!(
+            covered * 2 > batch_events.len(),
+            "only {covered}/{} batch captions covered by the stream",
+            batch_events.len()
+        );
+    }
+
+    #[test]
+    fn chunked_ingest_enforces_arrival_order_and_releases_state() {
+        let scenario = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 60));
+        let vdbms = Vdbms::new();
+        let chunks: Vec<_> = scenario.chunks(20).collect();
+        assert!(chunks.len() >= 2);
+
+        // A stream must open at clip 0.
+        let err = vdbms
+            .ingest_chunk("german", &scenario, &chunks[1])
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::CobraError::StreamOrder { expected: 0, .. }),
+            "unexpected error: {err}"
+        );
+
+        vdbms.ingest_chunk("german", &scenario, &chunks[0]).unwrap();
+        // Replaying the same chunk is rejected and changes nothing.
+        let before = vdbms.catalog.data_version();
+        let err = vdbms
+            .ingest_chunk("german", &scenario, &chunks[0])
+            .unwrap_err();
+        assert!(matches!(err, crate::CobraError::StreamOrder { .. }));
+        assert_eq!(vdbms.catalog.data_version(), before);
+
+        for chunk in &chunks[1..] {
+            vdbms.ingest_chunk("german", &scenario, chunk).unwrap();
+        }
+        // The final chunk released the stream state: a fresh stream of
+        // the same name can open again at clip 0.
+        let err = vdbms
+            .ingest_chunk("german", &scenario, &chunks[1])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CobraError::StreamOrder { expected: 0, .. }
+        ));
     }
 
     #[test]

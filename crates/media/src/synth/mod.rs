@@ -10,4 +10,5 @@
 
 pub mod audio;
 pub mod scenario;
+pub mod stream;
 pub mod video;

@@ -1,0 +1,179 @@
+//! Chunked (arrival-order) view of a broadcast.
+//!
+//! Batch ingest sees the whole race at once; a *live* race arrives as a
+//! sequence of short windows. [`ChunkStream`] slices a generated
+//! [`RaceScenario`] into contiguous arrival-order [`Chunk`]s on the
+//! clip grid, each carrying the clip span and the matching video-frame
+//! range, so the extractors can process exactly the clips that have
+//! "arrived" so far — `FeatureExtractor::extract` and the caption
+//! pipeline already take clip/frame ranges, which is what makes
+//! incremental ingest possible without re-reading earlier footage.
+//!
+//! The stream is a pure function of the scenario and the chunk length:
+//! replaying the same seeded scenario through the same chunking yields
+//! byte-identical windows, which the streaming tests and benchmarks
+//! rely on.
+
+use crate::synth::scenario::{RaceScenario, Span};
+use crate::time::{clips_per_second, VIDEO_FPS};
+
+/// One arrival-order window of a broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Zero-based arrival index.
+    pub index: usize,
+    /// The clips that arrive in this window.
+    pub clips: Span,
+    /// First video frame of the window.
+    pub frame_lo: usize,
+    /// One past the last video frame of the window.
+    pub frame_hi: usize,
+    /// True for the final window of the broadcast.
+    pub is_last: bool,
+}
+
+impl Chunk {
+    /// Number of clips in the window.
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// True when the window holds no clips.
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+}
+
+/// Iterator of arrival-order [`Chunk`]s over one scenario.
+pub struct ChunkStream<'a> {
+    scenario: &'a RaceScenario,
+    chunk_clips: usize,
+    next_clip: usize,
+    index: usize,
+}
+
+impl<'a> ChunkStream<'a> {
+    /// Slices `scenario` into windows of `chunk_s` seconds (the last
+    /// window may be shorter). A zero `chunk_s` is clamped to one
+    /// second so the stream always terminates.
+    pub fn new(scenario: &'a RaceScenario, chunk_s: usize) -> Self {
+        ChunkStream {
+            scenario,
+            chunk_clips: chunk_s.max(1) * clips_per_second(),
+            next_clip: 0,
+            index: 0,
+        }
+    }
+
+    /// Total number of windows this stream will yield.
+    pub fn n_chunks(&self) -> usize {
+        self.scenario.n_clips.div_ceil(self.chunk_clips)
+    }
+}
+
+impl Iterator for ChunkStream<'_> {
+    type Item = Chunk;
+
+    fn next(&mut self) -> Option<Chunk> {
+        let n_clips = self.scenario.n_clips;
+        if self.next_clip >= n_clips {
+            return None;
+        }
+        let cps = clips_per_second();
+        let lo = self.next_clip;
+        let hi = (lo + self.chunk_clips).min(n_clips);
+        let is_last = hi == n_clips;
+        let chunk = Chunk {
+            index: self.index,
+            clips: Span::new(lo, hi),
+            frame_lo: lo * VIDEO_FPS / cps,
+            // The final window owns the tail frames left over by the
+            // integer clip→frame mapping.
+            frame_hi: if is_last {
+                self.scenario.n_frames()
+            } else {
+                hi * VIDEO_FPS / cps
+            },
+            is_last,
+        };
+        self.next_clip = hi;
+        self.index += 1;
+        Some(chunk)
+    }
+}
+
+impl RaceScenario {
+    /// Streams the broadcast in arrival order as windows of `chunk_s`
+    /// seconds each — the live-ingest view of the same ground truth
+    /// that [`RaceScenario::generate`] produced in batch.
+    pub fn chunks(&self, chunk_s: usize) -> ChunkStream<'_> {
+        ChunkStream::new(self, chunk_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::scenario::{RaceProfile, ScenarioConfig};
+
+    fn scenario() -> RaceScenario {
+        RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, 120))
+    }
+
+    #[test]
+    fn chunks_tile_the_broadcast_exactly() {
+        let s = scenario();
+        let chunks: Vec<Chunk> = s.chunks(10).collect();
+        assert_eq!(chunks.len(), s.chunks(10).n_chunks());
+        assert_eq!(chunks[0].clips.start, 0);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].clips.end, w[1].clips.start, "gap between windows");
+            assert_eq!(w[0].frame_hi, w[1].frame_lo);
+            assert_eq!(w[0].index + 1, w[1].index);
+            assert!(!w[0].is_last);
+        }
+        let last = chunks.last().unwrap();
+        assert!(last.is_last);
+        assert_eq!(last.clips.end, s.n_clips);
+        assert_eq!(last.frame_hi, s.n_frames());
+    }
+
+    #[test]
+    fn frame_ranges_follow_the_clip_grid() {
+        let s = scenario();
+        let cps = clips_per_second();
+        for c in s.chunks(7) {
+            assert_eq!(c.frame_lo, c.clips.start * VIDEO_FPS / cps);
+            if !c.is_last {
+                assert_eq!(c.frame_hi, c.clips.end * VIDEO_FPS / cps);
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_tail_is_shorter_never_empty() {
+        let s = scenario();
+        let chunks: Vec<Chunk> = s.chunks(7).collect();
+        for c in &chunks {
+            assert!(!c.is_empty());
+            assert!(c.len() <= 7 * clips_per_second());
+        }
+        let covered: usize = chunks.iter().map(Chunk::len).sum();
+        assert_eq!(covered, s.n_clips);
+    }
+
+    #[test]
+    fn zero_chunk_length_is_clamped() {
+        let s = scenario();
+        assert!(s.chunks(0).n_chunks() <= s.n_clips);
+        assert_eq!(s.chunks(0).map(|c| c.len()).sum::<usize>(), s.n_clips);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let s = scenario();
+        let a: Vec<Chunk> = s.chunks(10).collect();
+        let b: Vec<Chunk> = s.chunks(10).collect();
+        assert_eq!(a, b);
+    }
+}

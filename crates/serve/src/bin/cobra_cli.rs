@@ -22,12 +22,21 @@
 //! cobra-cli query german PROFILE RETRIEVE PITSTOPS
 //! ```
 //!
+//! `subscribe VIDEO TEXT...` is the live dashboard: it registers the
+//! statement as a standing query, prints the initial answer, then
+//! blocks printing one delta block per push frame until interrupted.
+//! `VIDEO` may be `'*'` to watch every video. A `shard_unavailable`
+//! line means a shard died under the subscription (it resumes when the
+//! shard returns); the client exiting with `slow_consumer` means it
+//! fell too far behind the ingest rate and the server cut it loose.
+//!
 //! Against a `cobra-router` the same commands work unchanged; `query
 //! '*' TEXT...` runs the statement across every video in the cluster,
 //! and `shards` prints the per-shard topology (address, epoch, data
 //! version, owned videos).
 
-use cobra_serve::client::{Client, QueryReply, RequestOpts};
+use cobra_serve::client::{Client, ClientError, QueryReply, RequestOpts};
+use cobra_serve::protocol::ErrorKind;
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("cobra-cli: {msg}");
@@ -36,7 +45,8 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 
 const USAGE: &str = "usage: cobra-cli [--addr HOST:PORT] \
                      (ping | videos | stats | checkpoint | shards \
-                     | query [--deadline-ms N] [--fuel N] VIDEO TEXT...)";
+                     | query [--deadline-ms N] [--fuel N] VIDEO TEXT... \
+                     | subscribe VIDEO TEXT...)";
 
 fn main() {
     let mut addr = "127.0.0.1:7477".to_string();
@@ -143,11 +153,80 @@ fn main() {
                 Err(e) => fail(e),
             }
         }
+        "subscribe" => {
+            if args.len() < 3 {
+                fail(USAGE);
+            }
+            let video = args[1].clone();
+            let text = args[2..].join(" ");
+            run_subscribe(&mut client, &video, &text);
+        }
         "shards" => match client.version() {
             Ok(version) => print_shards(&version),
             Err(e) => fail(e),
         },
         other => fail(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+/// The live dashboard: prints the initial answer, then one block per
+/// delta push until the connection ends or the user interrupts.
+/// Stdout is flushed after every block: dashboards are watched through
+/// pipes and log files (CI tails one), where block buffering would sit
+/// on a delta for kilobytes.
+fn run_subscribe(client: &mut Client, video: &str, text: &str) {
+    let (sub, initial) = match client.subscribe(video, text) {
+        Ok(r) => r,
+        Err(e) => fail(e),
+    };
+    let videos = initial
+        .get("videos")
+        .and_then(serde_json::Value::as_array)
+        .cloned()
+        .unwrap_or_default();
+    for group in &videos {
+        let name = group
+            .get("video")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?");
+        let n = group
+            .get("segments")
+            .and_then(serde_json::Value::as_array)
+            .map_or(0, Vec::len);
+        println!("subscribed #{sub}: {name} — {n} segment(s) now");
+    }
+    if videos.is_empty() {
+        println!("subscribed #{sub}: nothing ingested yet — waiting for the race");
+    }
+    let flush = || {
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    };
+    flush();
+    loop {
+        match client.next_push() {
+            Ok(push) => {
+                println!(
+                    "push [{}] +{} -{} (total {}, data_version {})",
+                    push.video,
+                    push.added.len(),
+                    push.removed,
+                    push.total,
+                    push.data_version
+                );
+                print_segments(&push.added);
+            }
+            Err(ClientError::Server {
+                kind: ErrorKind::ShardUnavailable,
+                message,
+            }) => {
+                // The subscription survives a shard outage: report it
+                // and keep listening for the recovery.
+                println!("shard_unavailable: {message}");
+            }
+            Err(e) => fail(e),
+        }
+        flush();
     }
 }
 

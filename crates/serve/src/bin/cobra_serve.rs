@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cobra-serve [--addr 127.0.0.1:7477] [--workers 8] [--queue-cap 32]
-//!             [--data-dir PATH] [--demo SECONDS] [--debug]
+//!             [--data-dir PATH] [--demo SECONDS] [--seed N]
+//!             [--stream-chunk SECONDS] [--stream-interval-ms N] [--debug]
 //! ```
 //!
 //! `--data-dir PATH` makes the catalog durable: mutations are logged to
@@ -13,9 +14,20 @@
 //! `--demo N` synthesizes an N-second German-profile broadcast and runs
 //! the full ingest → train → annotate pipeline on it before listening,
 //! so a fresh checkout has a queryable video named `german` without any
-//! external data. Without an explicit `--data-dir`, `--demo` persists to
-//! a per-process temp data dir so the durability path is exercised out
-//! of the box. `--debug` enables the `sleep` test command.
+//! external data. `--seed N` overrides the scenario's RNG seed, so two
+//! demo servers (or a demo server and a test) can agree on — or differ
+//! in — the exact broadcast. Without an explicit `--data-dir`, `--demo`
+//! persists to a per-process temp data dir so the durability path is
+//! exercised out of the box. `--debug` enables the `sleep` and
+//! `write_event` test commands.
+//!
+//! `--stream-chunk S` turns the demo into a *live race*: the server
+//! starts listening immediately and the broadcast arrives in S-second
+//! chunks through the incremental ingest path, one every
+//! `--stream-interval-ms` (default 200). A `subscribe` issued while the
+//! race streams in sees a push frame after each chunk that changes its
+//! answer — this is the backing for the README's live-dashboard
+//! quickstart and the CI stream smoke.
 //!
 //! The process serves until it receives a `quit` line on stdin (CI and
 //! scripts use this for a graceful, draining shutdown) or is killed.
@@ -33,6 +45,9 @@ struct Cli {
     config: ServerConfig,
     demo: Option<usize>,
     data_dir: Option<PathBuf>,
+    seed: Option<u64>,
+    stream_chunk: Option<usize>,
+    stream_interval_ms: u64,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -42,6 +57,9 @@ fn parse_args() -> Result<Cli, String> {
     };
     let mut demo = None;
     let mut data_dir = None;
+    let mut seed = None;
+    let mut stream_chunk = None;
+    let mut stream_interval_ms = 200;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -65,14 +83,42 @@ fn parse_args() -> Result<Cli, String> {
                         .map_err(|e| format!("--demo: {e}"))?,
                 )
             }
+            "--seed" => {
+                seed = Some(
+                    take("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--stream-chunk" => {
+                stream_chunk = Some(
+                    take("--stream-chunk")?
+                        .parse()
+                        .map_err(|e| format!("--stream-chunk: {e}"))?,
+                )
+            }
+            "--stream-interval-ms" => {
+                stream_interval_ms = take("--stream-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--stream-interval-ms: {e}"))?
+            }
             "--debug" => config.debug = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if stream_chunk.is_some() && demo.is_none() {
+        return Err("--stream-chunk needs --demo (it chunks the demo broadcast)".into());
+    }
+    if stream_chunk == Some(0) {
+        return Err("--stream-chunk must be at least 1 second".into());
     }
     Ok(Cli {
         config,
         demo,
         data_dir,
+        seed,
+        stream_chunk,
+        stream_interval_ms,
     })
 }
 
@@ -87,9 +133,23 @@ fn training_windows(scenario: &RaceScenario) -> Vec<Span> {
         .collect()
 }
 
-fn prepare_demo(vdbms: &Vdbms, seconds: usize) -> Result<(), Box<dyn std::error::Error>> {
+/// The demo scenario config: the conventional German seed unless
+/// `--seed` overrode it.
+fn demo_config(seconds: usize, seed: Option<u64>) -> ScenarioConfig {
+    let mut config = ScenarioConfig::new(RaceProfile::German, seconds);
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    config
+}
+
+fn prepare_demo(
+    vdbms: &Vdbms,
+    seconds: usize,
+    seed: Option<u64>,
+) -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("demo: synthesizing a {seconds}s German-profile broadcast");
-    let scenario = RaceScenario::generate(ScenarioConfig::new(RaceProfile::German, seconds));
+    let scenario = RaceScenario::generate(demo_config(seconds, seed));
     let report = vdbms.ingest("german", &scenario)?;
     eprintln!(
         "demo: ingested {} clips ({} captions, {} keyword spots) via '{}'",
@@ -104,6 +164,45 @@ fn prepare_demo(vdbms: &Vdbms, seconds: usize) -> Result<(), Box<dyn std::error:
     Ok(())
 }
 
+/// Feeds the demo broadcast through the incremental ingest path, one
+/// chunk per interval, on a background thread — the "live race". Runs
+/// after the server is already listening, so subscribers watch the
+/// answer grow.
+fn stream_demo(
+    vdbms: Arc<Vdbms>,
+    seconds: usize,
+    seed: Option<u64>,
+    chunk_s: usize,
+    interval: std::time::Duration,
+) {
+    let spawned = std::thread::Builder::new()
+        .name("cobra-demo-stream".into())
+        .spawn(move || {
+            eprintln!("demo: streaming a {seconds}s German-profile broadcast in {chunk_s}s chunks");
+            let scenario = RaceScenario::generate(demo_config(seconds, seed));
+            for chunk in scenario.chunks(chunk_s) {
+                let index = chunk.index;
+                match vdbms.ingest_chunk("german", &scenario, &chunk) {
+                    Ok(report) => eprintln!(
+                        "demo: chunk {} — {} clips, {} captions (data_version {})",
+                        report.index, report.n_clips, report.n_captions, report.data_version
+                    ),
+                    Err(e) => {
+                        eprintln!("demo: chunk {index} failed: {e}");
+                        return;
+                    }
+                }
+                if !chunk.is_last {
+                    std::thread::sleep(interval);
+                }
+            }
+            eprintln!("demo: stream complete");
+        });
+    if let Err(e) = spawned {
+        eprintln!("cobra-serve: demo stream thread failed to start: {e}");
+    }
+}
+
 fn main() {
     let cli = match parse_args() {
         Ok(parsed) => parsed,
@@ -116,6 +215,9 @@ fn main() {
         config,
         demo,
         mut data_dir,
+        seed,
+        stream_chunk,
+        stream_interval_ms,
     } = cli;
     // `--demo` without an explicit data dir still exercises the durable
     // path: persist to a per-process temp dir (kept after exit so a
@@ -158,16 +260,20 @@ fn main() {
         },
         None => Arc::new(Vdbms::new()),
     };
+    let mut stream_pending = false;
     if let Some(seconds) = demo {
         // A recovered catalog already has the demo video: skip the
         // (expensive) pipeline and prove the data survived instead.
         if vdbms.catalog.videos().iter().any(|v| v == "german") {
             eprintln!("demo: 'german' recovered from the data dir; skipping re-ingest");
-        } else if let Err(e) = prepare_demo(&vdbms, seconds) {
+        } else if stream_chunk.is_some() {
+            stream_pending = true; // starts after the server listens
+        } else if let Err(e) = prepare_demo(&vdbms, seconds, seed) {
             eprintln!("cobra-serve: demo setup failed: {e}");
             std::process::exit(1);
         }
     }
+    let stream_vdbms = Arc::clone(&vdbms);
     let handle = match start(vdbms, config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -177,6 +283,17 @@ fn main() {
     };
     // The readiness line scripts wait for; stdout, flushed by newline.
     println!("listening on {}", handle.addr());
+    if stream_pending {
+        if let (Some(seconds), Some(chunk_s)) = (demo, stream_chunk) {
+            stream_demo(
+                stream_vdbms,
+                seconds,
+                seed,
+                chunk_s,
+                std::time::Duration::from_millis(stream_interval_ms),
+            );
+        }
+    }
 
     for line in std::io::stdin().lock().lines() {
         match line {

@@ -8,6 +8,7 @@
 //! tests (and load generators) that want pipelining or mid-request
 //! disconnects.
 
+use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -90,10 +91,35 @@ pub enum QueryReply {
     Multi(Vec<f1_cobra::VideoSegments>),
 }
 
+/// One delta frame pushed by a standing `SUBSCRIBE` query.
+#[derive(Debug, Clone)]
+pub struct PushFrame {
+    /// The subscription the delta belongs to.
+    pub subscription: u64,
+    /// The video whose answer changed.
+    pub video: String,
+    /// Segments that entered the answer since the last frame.
+    pub added: Vec<RetrievedSegment>,
+    /// Number of segments that left the answer.
+    pub removed: u64,
+    /// Size of the full answer after this delta.
+    pub total: u64,
+    /// The server's catalog `data_version` when the delta was computed.
+    pub data_version: u64,
+}
+
+/// True when `frame` is a subscription push rather than a response.
+fn is_push(frame: &Value) -> bool {
+    frame.get("push").and_then(Value::as_bool) == Some(true)
+}
+
 /// A blocking protocol session.
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    /// Push frames that arrived while waiting for a response; drained
+    /// by [`next_push`](Client::next_push) in arrival order.
+    pushes: VecDeque<Value>,
 }
 
 impl Client {
@@ -101,7 +127,11 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream, next_id: 0 })
+        Ok(Client {
+            stream,
+            next_id: 0,
+            pushes: VecDeque::new(),
+        })
     }
 
     /// Bounds how long [`recv`](Self::recv) blocks; `None` blocks
@@ -127,12 +157,17 @@ impl Client {
     }
 
     /// Sends `request` and blocks for its answer, unwrapping the typed
-    /// error envelope. Responses are matched by id; with one request
-    /// outstanding the next frame is always ours.
+    /// error envelope. Responses are matched by id; push frames that
+    /// interleave (they reuse their subscription's id) are buffered for
+    /// [`next_push`](Self::next_push) rather than mistaken for answers.
     fn call(&mut self, request: Value) -> Result<Value, ClientError> {
         let id = self.send(request)?;
         loop {
             let response = self.recv()?;
+            if is_push(&response) {
+                self.pushes.push_back(response);
+                continue;
+            }
             if response.get("id").and_then(Value::as_u64) != Some(id) {
                 continue; // stale answer from an abandoned request
             }
@@ -235,6 +270,48 @@ impl Client {
         self.call(request)
     }
 
+    /// Registers a standing query. Returns the subscription id plus the
+    /// initial answer (`{kind: "subscribed", videos: [...]}`); deltas
+    /// then arrive via [`next_push`](Self::next_push). `video` may be
+    /// `"*"` to watch every catalogued video.
+    pub fn subscribe(&mut self, video: &str, text: &str) -> Result<(u64, Value), ClientError> {
+        let result = self.call(json!({"cmd": "subscribe", "video": (video), "text": (text)}))?;
+        let sub = result
+            .get("subscription")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("subscribed without 'subscription'".into()))?;
+        Ok((sub, result))
+    }
+
+    /// Retires a standing query.
+    pub fn unsubscribe(&mut self, subscription: u64) -> Result<(), ClientError> {
+        self.call(json!({"cmd": "unsubscribe", "subscription": (subscription as f64)}))
+            .map(|_| ())
+    }
+
+    /// Blocks (subject to [`set_timeout`](Self::set_timeout)) for the
+    /// next subscription delta. A typed server error arriving instead —
+    /// `slow_consumer` when this client fell behind, `shard_unavailable`
+    /// when a shard died under the subscription — surfaces as
+    /// [`ClientError::Server`]; stale responses to abandoned requests
+    /// are skipped.
+    pub fn next_push(&mut self) -> Result<PushFrame, ClientError> {
+        let frame = match self.pushes.pop_front() {
+            Some(f) => f,
+            None => loop {
+                let f = self.recv()?;
+                if is_push(&f) {
+                    break f;
+                }
+                // Not a push: either a typed error aimed at this
+                // subscriber (surface it) or a stale success response
+                // (skip it).
+                unwrap_response(&f)?;
+            },
+        };
+        decode_push(&frame)
+    }
+
     /// Debug command (server must run with `debug`): occupy a worker
     /// for `ms` milliseconds under the request's budget.
     pub fn sleep_ms(&mut self, ms: u64, opts: RequestOpts) -> Result<(), ClientError> {
@@ -274,6 +351,37 @@ pub fn unwrap_response(response: &Value) -> Result<Value, ClientError> {
         }
         None => Err(ClientError::Protocol("response without 'ok'".into())),
     }
+}
+
+/// Decodes a push frame into a [`PushFrame`].
+fn decode_push(frame: &Value) -> Result<PushFrame, ClientError> {
+    let shape_err = || ClientError::Protocol(format!("unexpected push frame: {frame}"));
+    let result = frame.get("result").ok_or_else(shape_err)?;
+    let added = result
+        .get("added")
+        .and_then(Value::as_array)
+        .ok_or_else(shape_err)?
+        .iter()
+        .map(|v| f1_cobra::json::segment_from_json(v).ok_or_else(shape_err))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(PushFrame {
+        subscription: result
+            .get("subscription")
+            .and_then(Value::as_u64)
+            .ok_or_else(shape_err)?,
+        video: result
+            .get("video")
+            .and_then(Value::as_str)
+            .ok_or_else(shape_err)?
+            .to_string(),
+        added,
+        removed: result.get("removed").and_then(Value::as_u64).unwrap_or(0),
+        total: result.get("total").and_then(Value::as_u64).unwrap_or(0),
+        data_version: result
+            .get("data_version")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+    })
 }
 
 fn decode_reply(result: &Value) -> Result<QueryReply, ClientError> {

@@ -40,11 +40,13 @@ pub mod router;
 pub mod scheduler;
 pub mod server;
 pub mod spawn;
+pub mod stream;
 
-pub use client::{Client, ClientError, QueryReply, RequestOpts};
+pub use client::{Client, ClientError, PushFrame, QueryReply, RequestOpts};
 pub use protocol::ErrorKind;
 pub use ring::{Ring, DEFAULT_SEED};
 pub use router::{RouterConfig, RouterHandle};
 pub use scheduler::{SubmitError, WorkerPool};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use spawn::{find_worker_binary, spawn_worker, WorkerProcess};
+pub use stream::{Subscriptions, DEFAULT_PUSH_QUEUE_CAP};

@@ -1,12 +1,22 @@
-//! Closed-loop load generator for the serve experiment.
+//! Closed- and open-loop load generator for the serve experiments.
 //!
 //! `clients` threads each open one session and issue
-//! `requests_per_client` queries back to back, cycling through a query
-//! mix. Latency is recorded per successful request (exact percentiles
-//! from the sorted vector — no histogram bucketing error in the
-//! report); rejections are counted by type. An `overloaded` answer is
-//! followed by a 1 ms backoff, which is the cooperative reaction the
+//! `requests_per_client` queries, cycling through a query mix. Latency
+//! is recorded per successful request (exact percentiles from the
+//! sorted vector — no histogram bucketing error in the report);
+//! rejections are counted by type. An `overloaded` answer is followed
+//! by a 1 ms backoff, which is the cooperative reaction the
 //! admission-control contract asks of clients.
+//!
+//! By default the loop is *closed*: each client fires its next request
+//! the moment the previous answer lands, so offered load adapts to the
+//! server. [`LoadConfig::arrival_rps`] switches to an *open* loop: the
+//! target rate is split evenly across clients and each request is
+//! fired on a fixed schedule regardless of how the previous one fared,
+//! with latency measured from the request's *scheduled* arrival time —
+//! a server that falls behind the arrival rate shows the backlog as
+//! growing latency instead of quietly slowing the generator down
+//! (coordinated omission).
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +52,13 @@ pub struct LoadConfig {
     /// `None` draws ranks uniformly. Realistic hot-key traffic is
     /// `Some(1.0)`-ish: rank r drawn with weight 1/(r+1)^s.
     pub zipf: Option<f64>,
+    /// Base seed mixed into every client's rank sampler, so two runs
+    /// with the same seed offer the same request sequence and two
+    /// seeds offer different ones.
+    pub seed: u64,
+    /// Open-loop arrival rate in requests/second, split evenly across
+    /// clients; `None` keeps the closed loop.
+    pub arrival_rps: Option<f64>,
 }
 
 /// Deterministic per-client rank sampler over `[0, distinct)`:
@@ -161,8 +178,19 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                     return;
                 };
                 let mut mine = Vec::with_capacity(config.requests_per_client);
-                let mut sampler = (config.distinct > 0)
-                    .then(|| RankSampler::new(config.distinct, config.zipf, k as u64 + 1));
+                let mut sampler = (config.distinct > 0).then(|| {
+                    RankSampler::new(
+                        config.distinct,
+                        config.zipf,
+                        config.seed.wrapping_add(k as u64).wrapping_add(1),
+                    )
+                });
+                // Open loop: this client's fixed inter-arrival gap.
+                let gap = config
+                    .arrival_rps
+                    .filter(|r| *r > 0.0)
+                    .map(|r| Duration::from_secs_f64(config.clients as f64 / r));
+                let opened = Instant::now();
                 for i in 0..config.requests_per_client {
                     let text = match &mut sampler {
                         // Distinct regime: a driver-variant suffix makes
@@ -178,7 +206,19 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                         deadline_ms: config.deadline_ms,
                         fuel: None,
                     };
-                    let t = Instant::now();
+                    // Open loop: wait for the schedule slot, then charge
+                    // latency from the slot — a late send *is* latency.
+                    let t = match gap {
+                        Some(gap) => {
+                            let due = opened + gap.mul_f64(i as f64);
+                            let now = Instant::now();
+                            if due > now {
+                                std::thread::sleep(due - now);
+                            }
+                            due
+                        }
+                        None => Instant::now(),
+                    };
                     match client.query_opts(&config.video, &text, opts) {
                         Ok(_) => {
                             mine.push(t.elapsed().as_micros() as u64);

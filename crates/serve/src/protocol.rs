@@ -112,6 +112,10 @@ pub enum ErrorKind {
     /// forwarded frame addressed a shard epoch the worker has moved
     /// past (it rebooted since the router last spoke to it).
     ShardUnavailable,
+    /// A subscriber's push queue overflowed: the client drained result
+    /// frames slower than the ingest side produced them, so the server
+    /// disconnected it rather than buffer without bound.
+    SlowConsumer,
     /// Anything else that went wrong server-side.
     Internal,
 }
@@ -129,6 +133,7 @@ impl ErrorKind {
             ErrorKind::UnknownVideo => "unknown_video",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::ShardUnavailable => "shard_unavailable",
+            ErrorKind::SlowConsumer => "slow_consumer",
             ErrorKind::Internal => "internal",
         }
     }
@@ -146,6 +151,7 @@ impl ErrorKind {
             "unknown_video" => ErrorKind::UnknownVideo,
             "bad_request" => ErrorKind::BadRequest,
             "shard_unavailable" => ErrorKind::ShardUnavailable,
+            "slow_consumer" => ErrorKind::SlowConsumer,
             _ => ErrorKind::Internal,
         }
     }
@@ -235,6 +241,7 @@ mod tests {
             ErrorKind::UnknownVideo,
             ErrorKind::BadRequest,
             ErrorKind::ShardUnavailable,
+            ErrorKind::SlowConsumer,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::parse(kind.as_str()), kind);

@@ -24,12 +24,22 @@
 //!   stamp per shard the answer read. A write on shard A invalidates
 //!   exactly the cached answers that read shard A; answers pinned to
 //!   other shards keep hitting.
+//! * **Standing `subscribe` queries** work through the router too: a
+//!   per-session notifier polls the version stamps of exactly the
+//!   shards a subscription reads, and a bump re-issues the standing
+//!   query *only to the bumped shard* — a write on shard A never costs
+//!   shard B a query, and only shard-A subscribers see a push. A dead
+//!   shard surfaces as a one-time typed `shard_unavailable` frame; the
+//!   subscription stays armed and resumes when the shard's probe
+//!   answers again (a reboot shows up as a fresh epoch, which is just
+//!   another stamp mismatch).
 //!
 //! Fault site: `router.forward` fires at the top of every forward
 //! attempt, simulating a transport failure without touching the real
 //! connection — `Times(1)` proves one re-dispatch masks a blip,
 //! `Always` proves exhaustion surfaces the typed error.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -53,6 +63,13 @@ const ROUTER_CACHE_CAP: usize = 512;
 /// cache-guard capture). Probes run inline on the worker's session
 /// thread, so a probe that takes this long means the worker is gone.
 const PROBE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How often a session's notifier polls the version stamps of the
+/// shards its standing queries read. Inside one process the change
+/// feed is a condvar; across processes the router only has the wire,
+/// so this interval is the ingest-to-notify latency floor through a
+/// router.
+const SHARD_POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// How the router is wired.
 #[derive(Debug, Clone)]
@@ -558,6 +575,445 @@ fn respond(id: u64, outcome: Result<Value, (ErrorKind, String)>) -> Value {
     }
 }
 
+/// One standing `subscribe` query routed through this session.
+struct RouterStanding {
+    /// Subscribed video, or `"*"` for every catalogued video.
+    video: String,
+    /// The plain `RETRIEVE` statement.
+    text: String,
+    /// Per shard: the stamp the standing query was last evaluated
+    /// against. A mismatch with the live probe means that shard must be
+    /// re-queried; equality means it provably holds the same answer.
+    stamps: HashMap<u32, ShardStamp>,
+    /// Last-delivered answer per concrete video, in wire form.
+    views: HashMap<String, Vec<Value>>,
+    /// Shards this subscriber has already been told are unreachable —
+    /// the outage is reported once, not once per poll cycle.
+    down: HashSet<u32>,
+}
+
+impl RouterStanding {
+    /// The shards this standing query reads.
+    fn watched(&self, ring: &Ring) -> Vec<u32> {
+        if self.video == "*" {
+            (0..ring.shards()).collect()
+        } else {
+            vec![ring.owner(&self.video)]
+        }
+    }
+}
+
+/// The standing queries of one router session, plus the notifier
+/// thread that polls their shards. Responses from the session loop and
+/// pushes from the notifier share one write-side mutex, so frames
+/// never tear on the client socket.
+struct RouterSubs {
+    shared: Arc<RouterShared>,
+    writer: Arc<Mutex<TcpStream>>,
+    closed: AtomicBool,
+    subs: Mutex<HashMap<u64, RouterStanding>>,
+    notifier: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RouterSubs {
+    fn new(shared: Arc<RouterShared>, writer: Arc<Mutex<TcpStream>>) -> Arc<RouterSubs> {
+        Arc::new(RouterSubs {
+            shared,
+            writer,
+            closed: AtomicBool::new(false),
+            subs: Mutex::new(HashMap::new()),
+            notifier: Mutex::new(None),
+        })
+    }
+
+    /// Writes one frame to the session's client under the shared
+    /// write-side mutex.
+    fn write(&self, frame: &Value) -> Result<(), FrameError> {
+        let mut stream = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        write_frame(&mut *stream, frame)
+    }
+
+    /// Spawns the session's notifier thread on first use.
+    fn ensure_notifier(self: &Arc<Self>) {
+        let mut slot = self.notifier.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_some() {
+            return;
+        }
+        let subs = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("cobra-router-notify".into())
+            .spawn(move || subs.notify_loop());
+        if let Ok(h) = handle {
+            *slot = Some(h);
+        }
+    }
+
+    /// Stops the notifier and forgets every standing query. Called when
+    /// the session loop ends, for any reason.
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let handle = self
+            .notifier
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        let mut table = self.subs.lock().unwrap_or_else(|p| p.into_inner());
+        let n = table.len();
+        if n > 0 {
+            self.shared
+                .registry
+                .gauge("stream.active", &[])
+                .add(-(n as i64));
+            table.clear();
+        }
+    }
+
+    /// Polls the watched shards' version stamps and sweeps the standing
+    /// queries after every cycle. The notifier owns its own shard
+    /// connections, so it never contends with the session loop's.
+    fn notify_loop(&self) {
+        let mut conns: Vec<ShardConn> = (0..self.shared.ring.shards())
+            .map(|shard| ShardConn {
+                shard,
+                client: None,
+                epoch: 0,
+            })
+            .collect();
+        loop {
+            std::thread::sleep(SHARD_POLL_INTERVAL);
+            if self.closed.load(Ordering::SeqCst)
+                || self.shared.shutting_down.load(Ordering::SeqCst)
+            {
+                return;
+            }
+            let watched: BTreeSet<u32> = {
+                let table = self.subs.lock().unwrap_or_else(|p| p.into_inner());
+                table
+                    .values()
+                    .flat_map(|s| s.watched(&self.shared.ring))
+                    .collect()
+            };
+            if watched.is_empty() {
+                continue;
+            }
+            let mut probes: HashMap<u32, Result<ShardStamp, String>> = HashMap::new();
+            for &shard in &watched {
+                let outcome = match conns.get_mut(shard as usize) {
+                    Some(conn) => forward(&self.shared, conn, &json!({"cmd": "version"}), 0, None)
+                        .map_err(|(_, m)| m)
+                        .and_then(|v| stamp_from_version(shard, &v).map_err(|(_, m)| m)),
+                    None => Err(format!("shard {shard} is not on the ring")),
+                };
+                probes.insert(shard, outcome);
+            }
+            self.sweep(&mut conns, &probes);
+        }
+    }
+
+    /// Reports `shard` unreachable to `sub_id` — once per outage.
+    /// Returns `false` when the client socket is gone.
+    fn report_down(
+        &self,
+        sub_id: u64,
+        standing: &mut RouterStanding,
+        shard: u32,
+        why: &str,
+    ) -> bool {
+        if !standing.down.insert(shard) {
+            return true;
+        }
+        self.shared.registry.counter("stream.shard_down", &[]).inc();
+        let frame = err_response(
+            sub_id,
+            ErrorKind::ShardUnavailable,
+            format!(
+                "shard {shard} is unreachable under subscription {sub_id} ({why}); \
+                 the subscription stays armed and resumes when the shard returns"
+            ),
+        );
+        self.write(&frame).is_ok()
+    }
+
+    /// Re-examines every standing query against this cycle's probe
+    /// results: shards whose stamp is unchanged are skipped without a
+    /// query; a bumped shard is re-queried alone, and a changed answer
+    /// is pushed as a delta frame.
+    fn sweep(&self, conns: &mut [ShardConn], probes: &HashMap<u32, Result<ShardStamp, String>>) {
+        let registry = &self.shared.registry;
+        let mut table = self.subs.lock().unwrap_or_else(|p| p.into_inner());
+        for (&sub_id, standing) in table.iter_mut() {
+            if self.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            for shard in standing.watched(&self.shared.ring) {
+                let Some(probe) = probes.get(&shard) else {
+                    continue;
+                };
+                let stamp = match probe {
+                    Err(why) => {
+                        if !self.report_down(sub_id, standing, shard, why) {
+                            self.closed.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                        continue;
+                    }
+                    Ok(stamp) => stamp,
+                };
+                if standing.down.remove(&shard) {
+                    registry.counter("stream.shard_recovered", &[]).inc();
+                }
+                if standing.stamps.get(&shard) == Some(stamp) {
+                    registry.counter("stream.skipped", &[]).inc();
+                    continue;
+                }
+                let body = json!({
+                    "cmd": "query",
+                    "video": (standing.video.clone()),
+                    "text": (standing.text.clone()),
+                });
+                let result = match conns.get_mut(shard as usize) {
+                    Some(conn) => forward(&self.shared, conn, &body, sub_id, None),
+                    None => continue,
+                };
+                let groups = match result {
+                    Ok(r) => answer_groups(&standing.video, &r),
+                    Err((ErrorKind::ShardUnavailable, why)) => {
+                        if !self.report_down(sub_id, standing, shard, &why) {
+                            self.closed.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(_) => {
+                        // A logical error (video not ingested yet, …)
+                        // evaluates to the empty answer; the
+                        // subscription stays armed.
+                        registry.counter("stream.eval_errors", &[]).inc();
+                        if standing.video == "*" {
+                            Vec::new()
+                        } else {
+                            vec![(standing.video.clone(), Vec::new())]
+                        }
+                    }
+                };
+                // The stamp was captured *before* the query, so a write
+                // racing the evaluation leaves the stored stamp stale
+                // and the next cycle re-evaluates.
+                standing.stamps.insert(shard, stamp.clone());
+                for (video, segments) in groups {
+                    let known = standing.views.contains_key(&video);
+                    let old = standing.views.get(&video).cloned().unwrap_or_default();
+                    let added: Vec<Value> = segments
+                        .iter()
+                        .filter(|s| !old.contains(s))
+                        .cloned()
+                        .collect();
+                    let removed = old.iter().filter(|s| !segments.contains(s)).count();
+                    let total = segments.len();
+                    standing.views.insert(video.clone(), segments);
+                    if added.is_empty() && removed == 0 && known {
+                        registry.counter("stream.unchanged", &[]).inc();
+                        continue;
+                    }
+                    let frame = json!({
+                        "id": (sub_id as f64),
+                        "ok": true,
+                        "push": true,
+                        "result": {
+                            "kind": "delta",
+                            "subscription": (sub_id as f64),
+                            "video": (video),
+                            "shard": (shard as f64),
+                            "added": (Value::Array(added)),
+                            "removed": (removed as f64),
+                            "total": (total as f64),
+                            "data_version": (stamp.data_version as f64),
+                        },
+                    });
+                    registry.counter("stream.pushes", &[]).inc();
+                    if self.write(&frame).is_err() {
+                        self.closed.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flattens a worker's query answer into `(video, segments)` groups: a
+/// `segments` answer is one group under the subscribed name, a `multi`
+/// answer is one group per video it carries.
+fn answer_groups(video: &str, result: &Value) -> Vec<(String, Vec<Value>)> {
+    match result.get("kind").and_then(Value::as_str) {
+        Some("segments") => vec![(
+            video.to_string(),
+            result
+                .get("segments")
+                .and_then(Value::as_array)
+                .cloned()
+                .unwrap_or_default(),
+        )],
+        Some("multi") => result
+            .get("videos")
+            .and_then(Value::as_array)
+            .map(|groups| {
+                groups
+                    .iter()
+                    .filter_map(|g| {
+                        let name = g.get("video").and_then(Value::as_str)?;
+                        let segs = g.get("segments").and_then(Value::as_array)?.clone();
+                        Some((name.to_string(), segs))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    }
+}
+
+/// Registers a standing query: captures the watched shards' stamps,
+/// evaluates the initial answer, and arms the session's notifier. The
+/// subscription id *is* the request id, matching the worker protocol.
+fn handle_subscribe(
+    shared: &RouterShared,
+    conns: &mut [ShardConn],
+    subs: &Arc<RouterSubs>,
+    id: u64,
+    request: &Value,
+) -> Value {
+    let (Some(video), Some(text)) = (
+        request.get("video").and_then(Value::as_str),
+        request.get("text").and_then(Value::as_str),
+    ) else {
+        return err_response(
+            id,
+            ErrorKind::BadRequest,
+            "subscribe needs string fields 'video' and 'text'",
+        );
+    };
+    // Only plain `RETRIEVE` statements can stand, same as on a worker.
+    if let Err(e) = f1_cobra::parse_query(text) {
+        return err_response(id, ErrorKind::Parse, e.to_string());
+    }
+    {
+        let table = subs.subs.lock().unwrap_or_else(|p| p.into_inner());
+        if table.contains_key(&id) {
+            return err_response(
+                id,
+                ErrorKind::BadRequest,
+                format!("subscription {id} already exists on this connection"),
+            );
+        }
+    }
+    let owner = (video != "*").then(|| shared.ring.owner(video));
+    // Stamps before evaluation: a write racing the initial answer makes
+    // the stored stamp stale, so the first poll cycle re-evaluates
+    // instead of the write being missed.
+    let stamps = match capture_stamps(shared, conns, owner, id) {
+        Ok(stamps) => stamps,
+        Err(e) => return respond(id, Err(e)),
+    };
+    let body = json!({"cmd": "query", "video": (video), "text": (text)});
+    let result = match owner {
+        Some(shard) => match conns.get_mut(shard as usize) {
+            Some(conn) => forward(shared, conn, &body, id, None),
+            None => Err((ErrorKind::Internal, format!("shard {shard} out of range"))),
+        },
+        None => merge_multi(scatter(shared, conns, &body, id, None)),
+    };
+    let groups = match result {
+        Ok(r) => answer_groups(video, &r),
+        Err((ErrorKind::ShardUnavailable, m)) => {
+            return respond(id, Err((ErrorKind::ShardUnavailable, m)))
+        }
+        Err(_) => {
+            // Not ingested yet (or otherwise unanswerable right now):
+            // the subscription arms over the empty answer and delivers
+            // once data arrives.
+            shared.registry.counter("stream.eval_errors", &[]).inc();
+            if video == "*" {
+                Vec::new()
+            } else {
+                vec![(video.to_string(), Vec::new())]
+            }
+        }
+    };
+    let mut standing = RouterStanding {
+        video: video.to_string(),
+        text: text.to_string(),
+        stamps: stamps.iter().map(|s| (s.shard, s.clone())).collect(),
+        views: HashMap::new(),
+        down: HashSet::new(),
+    };
+    let videos_json: Vec<Value> = groups
+        .iter()
+        .map(|(v, segs)| json!({"video": (v.clone()), "segments": (Value::Array(segs.clone()))}))
+        .collect();
+    for (v, segs) in groups {
+        standing.views.insert(v, segs);
+    }
+    {
+        let mut table = subs.subs.lock().unwrap_or_else(|p| p.into_inner());
+        table.insert(id, standing);
+    }
+    shared.registry.counter("stream.subscribed", &[]).inc();
+    shared.registry.gauge("stream.active", &[]).add(1);
+    subs.ensure_notifier();
+    let shard_stamps: Vec<Value> = stamps
+        .iter()
+        .map(|s| {
+            json!({
+                "shard": (s.shard as f64),
+                "epoch": (s.epoch as f64),
+                "data_version": (s.data_version as f64),
+            })
+        })
+        .collect();
+    ok_response(
+        id,
+        json!({
+            "kind": "subscribed",
+            "subscription": (id as f64),
+            "videos": (Value::Array(videos_json)),
+            "shards": (Value::Array(shard_stamps)),
+            "data_version": (stamps.iter().map(|s| s.data_version).max().unwrap_or(0) as f64),
+        }),
+    )
+}
+
+/// Retires a standing query.
+fn handle_unsubscribe(subs: &RouterSubs, id: u64, request: &Value) -> Value {
+    let Some(subscription) = request.get("subscription").and_then(Value::as_u64) else {
+        return err_response(
+            id,
+            ErrorKind::BadRequest,
+            "unsubscribe needs an integer 'subscription'",
+        );
+    };
+    let mut table = subs.subs.lock().unwrap_or_else(|p| p.into_inner());
+    if table.remove(&subscription).is_some() {
+        subs.shared
+            .registry
+            .counter("stream.unsubscribed", &[])
+            .inc();
+        subs.shared.registry.gauge("stream.active", &[]).add(-1);
+        ok_response(
+            id,
+            json!({"kind": "unsubscribed", "subscription": (subscription as f64)}),
+        )
+    } else {
+        err_response(
+            id,
+            ErrorKind::BadRequest,
+            format!("unknown subscription {subscription}"),
+        )
+    }
+}
+
 fn handle_query(shared: &RouterShared, conns: &mut [ShardConn], id: u64, request: &Value) -> Value {
     let (Some(video), Some(text)) = (
         request.get("video").and_then(Value::as_str),
@@ -620,7 +1076,12 @@ fn handle_query(shared: &RouterShared, conns: &mut [ShardConn], id: u64, request
     respond(id, outcome)
 }
 
-fn handle_request(shared: &RouterShared, conns: &mut [ShardConn], request: &Value) -> Value {
+fn handle_request(
+    shared: &RouterShared,
+    conns: &mut [ShardConn],
+    subs: &Arc<RouterSubs>,
+    request: &Value,
+) -> Value {
     let id = request.get("id").and_then(Value::as_u64).unwrap_or(0);
     let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
         return err_response(id, ErrorKind::BadRequest, "missing 'cmd'");
@@ -743,6 +1204,8 @@ fn handle_request(shared: &RouterShared, conns: &mut [ShardConn], request: &Valu
             )
         }
         "query" => handle_query(shared, conns, id, request),
+        "subscribe" => handle_subscribe(shared, conns, subs, id, request),
+        "unsubscribe" => handle_unsubscribe(subs, id, request),
         "write_event" => {
             // Forwarded to the owner; the worker enforces its own debug
             // gate. The router cache needs no eager invalidation — the
@@ -765,7 +1228,7 @@ fn handle_request(shared: &RouterShared, conns: &mut [ShardConn], request: &Valu
         other => err_response(
             id,
             ErrorKind::BadRequest,
-            format!("unknown command '{other}' (the router speaks ping, version, videos, stats, checkpoint, query, write_event)"),
+            format!("unknown command '{other}' (the router speaks ping, version, videos, stats, checkpoint, query, subscribe, unsubscribe, write_event)"),
         ),
     }
 }
@@ -773,6 +1236,12 @@ fn handle_request(shared: &RouterShared, conns: &mut [ShardConn], request: &Valu
 fn session_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // Responses from this loop and push frames from the notifier share
+    // one write-side mutex, so frames never tear on the client socket.
+    let subs = RouterSubs::new(Arc::clone(shared), Arc::new(Mutex::new(write_half)));
     let mut conns: Vec<ShardConn> = (0..shared.ring.shards())
         .map(|shard| ShardConn {
             shard,
@@ -781,7 +1250,8 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
         })
         .collect();
     loop {
-        let stop = || shared.shutting_down.load(Ordering::SeqCst);
+        let stop =
+            || shared.shutting_down.load(Ordering::SeqCst) || subs.closed.load(Ordering::SeqCst);
         let mut prefix = [0u8; 4];
         match read_exact_interruptible(&mut stream, &mut prefix, stop) {
             Ok(true) => {}
@@ -789,14 +1259,11 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
         }
         let len = u32::from_be_bytes(prefix) as usize;
         if len > crate::protocol::MAX_FRAME_LEN {
-            let _ = write_frame(
-                &mut stream,
-                &err_response(
-                    0,
-                    ErrorKind::BadRequest,
-                    FrameError::Oversized(len).to_string(),
-                ),
-            );
+            let _ = subs.write(&err_response(
+                0,
+                ErrorKind::BadRequest,
+                FrameError::Oversized(len).to_string(),
+            ));
             break; // the stream is beyond resync
         }
         let mut payload = vec![0u8; len];
@@ -805,11 +1272,12 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
             Ok(false) | Err(_) => break,
         }
         let response = match serde_json::from_slice(&payload) {
-            Ok(request) => handle_request(shared, &mut conns, &request),
+            Ok(request) => handle_request(shared, &mut conns, &subs, &request),
             Err(e) => err_response(0, ErrorKind::BadRequest, e.to_string()),
         };
-        if write_frame(&mut stream, &response).is_err() {
+        if subs.write(&response).is_err() {
             break;
         }
     }
+    subs.close();
 }

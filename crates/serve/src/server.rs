@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Sender};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,6 +35,7 @@ use serde_json::{json, Value};
 
 use crate::protocol::{err_response, ok_response, write_frame, ErrorKind, FrameError};
 use crate::scheduler::{SubmitError, WorkerPool};
+use crate::stream::{FrameTx, Outbound, Subscriptions, DEFAULT_PUSH_QUEUE_CAP};
 
 /// How the server is sized and where it listens.
 #[derive(Debug, Clone)]
@@ -49,6 +50,9 @@ pub struct ServerConfig {
     /// Enables the `sleep` debug command (deterministic slow queries
     /// for overload and deadline tests). Off in production.
     pub debug: bool,
+    /// Push frames allowed to queue behind one connection's writer
+    /// before the subscriber is disconnected as a slow consumer.
+    pub push_queue_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +62,7 @@ impl Default for ServerConfig {
             workers: 8,
             queue_cap: 32,
             debug: false,
+            push_queue_cap: DEFAULT_PUSH_QUEUE_CAP,
         }
     }
 }
@@ -66,7 +71,7 @@ impl Default for ServerConfig {
 /// the leader's response and receives a copy with its own id.
 struct FlightWaiter {
     id: u64,
-    tx: Sender<Value>,
+    tx: FrameTx,
     since: Instant,
 }
 
@@ -226,20 +231,45 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
     let Ok(mut write_half) = stream.try_clone() else {
         return;
     };
-    let (tx, rx) = mpsc::channel::<Value>();
+    let Ok(sub_socket) = stream.try_clone() else {
+        return;
+    };
+    let (raw_tx, rx) = mpsc::channel::<Outbound>();
     let writer = std::thread::Builder::new()
         .name("cobra-serve-writer".into())
         .spawn(move || {
-            while let Ok(v) = rx.recv() {
-                if write_frame(&mut write_half, &v).is_err() {
+            while let Ok(out) = rx.recv() {
+                let (v, pending) = match out {
+                    Outbound::Frame(v) => (v, None),
+                    Outbound::Push { frame, pending } => (frame, Some(pending)),
+                };
+                let result = write_frame(&mut write_half, &v);
+                // The push left the queue whether or not the socket
+                // took it; freeing the credit after the write is what
+                // makes `pending` count frames not yet on the wire.
+                if let Some(p) = &pending {
+                    p.fetch_sub(1, Ordering::AcqRel);
+                }
+                if result.is_err() {
                     // Keep draining so senders never see a full pipe;
                     // the session notices the dead socket on read.
-                    for _ in rx.iter() {}
+                    for out in rx.iter() {
+                        if let Outbound::Push { pending, .. } = out {
+                            pending.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
                     return;
                 }
             }
         });
     let Ok(writer) = writer else { return };
+    let tx = FrameTx::new(raw_tx);
+    let subs = Subscriptions::new(
+        Arc::clone(&shared.vdbms),
+        tx.clone(),
+        sub_socket,
+        shared.config.push_queue_cap,
+    );
 
     let inflight: Inflight = Arc::new(Mutex::new(HashMap::new()));
     loop {
@@ -264,7 +294,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
             Ok(false) | Err(_) => break,
         }
         match serde_json::from_slice(&payload) {
-            Ok(request) => handle_request(shared, &request, &tx, &inflight),
+            Ok(request) => handle_request(shared, &request, &tx, &inflight, &subs),
             Err(e) => {
                 let _ = tx.send(err_response(0, ErrorKind::BadRequest, e.to_string()));
             }
@@ -282,6 +312,14 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
             token.cancel();
         }
     }
+    // Retire the standing queries (and their notifier) before the
+    // writer channel closes, so the notifier never pushes into a
+    // dropped channel. The `Subscriptions` itself holds a `FrameTx`
+    // clone, so it must be dropped too — `close()` has joined the
+    // notifier, making this the last strong reference — or the writer
+    // below would never see its channel close and the join would hang.
+    subs.close();
+    drop(subs);
     drop(tx);
     let _ = writer.join();
 }
@@ -289,8 +327,9 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
 fn handle_request(
     shared: &Arc<ServerShared>,
     request: &Value,
-    tx: &Sender<Value>,
+    tx: &FrameTx,
     inflight: &Inflight,
+    subs: &Arc<Subscriptions>,
 ) {
     let id = request.get("id").and_then(Value::as_u64).unwrap_or(0);
     let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
@@ -375,6 +414,34 @@ fn handle_request(
                 Err(e) => err_response(id, ErrorKind::Internal, e.to_string()),
             });
         }
+        "subscribe" => {
+            let (Some(video), Some(text)) = (
+                request.get("video").and_then(Value::as_str),
+                request.get("text").and_then(Value::as_str),
+            ) else {
+                let _ = tx.send(err_response(
+                    id,
+                    ErrorKind::BadRequest,
+                    "subscribe needs string fields 'video' and 'text'",
+                ));
+                return;
+            };
+            // Registration and the initial evaluation run inline on the
+            // session thread — a standing query is a cached read, not a
+            // pooled job.
+            let _ = tx.send(subs.subscribe(id, video, text));
+        }
+        "unsubscribe" => {
+            let Some(subscription) = request.get("subscription").and_then(Value::as_u64) else {
+                let _ = tx.send(err_response(
+                    id,
+                    ErrorKind::BadRequest,
+                    "unsubscribe needs integer field 'subscription'",
+                ));
+                return;
+            };
+            let _ = tx.send(subs.unsubscribe(id, subscription));
+        }
         "query" => submit_query(shared, id, request, tx, inflight),
         "sleep" if shared.config.debug => submit_sleep(shared, id, request, tx, inflight),
         "write_event" if shared.config.debug => {
@@ -455,7 +522,7 @@ fn fan_out(shared: &Arc<ServerShared>, key: &str, response: &Value) {
 struct JobCtx {
     shared: Arc<ServerShared>,
     id: u64,
-    tx: Sender<Value>,
+    tx: FrameTx,
     inflight: Inflight,
     token: CancellationToken,
     deadline_at: Option<Instant>,
@@ -542,7 +609,7 @@ fn admit(
     shared: &Arc<ServerShared>,
     id: u64,
     request: &Value,
-    tx: &Sender<Value>,
+    tx: &FrameTx,
     inflight: &Inflight,
     flight_key: Option<String>,
     run: impl FnOnce(&JobCtx) + Send + 'static,
@@ -603,7 +670,7 @@ fn submit_query(
     shared: &Arc<ServerShared>,
     id: u64,
     request: &Value,
-    tx: &Sender<Value>,
+    tx: &FrameTx,
     inflight: &Inflight,
 ) {
     let (Some(video), Some(text)) = (
@@ -676,7 +743,7 @@ fn submit_sleep(
     shared: &Arc<ServerShared>,
     id: u64,
     request: &Value,
-    tx: &Sender<Value>,
+    tx: &FrameTx,
     inflight: &Inflight,
 ) {
     let Some(ms) = request.get("ms").and_then(Value::as_u64) else {

@@ -1,0 +1,460 @@
+//! cobra-stream: standing `SUBSCRIBE` queries over the live change feed.
+//!
+//! A subscriber registers a plain `RETRIEVE` statement once and then
+//! receives *push frames* whenever a catalog write changes its answer.
+//! The notification source is the version machinery the caches already
+//! trust: every committed mutation bumps the catalog's `data_version`,
+//! which the [`ChangeFeed`](f1_cobra::catalog::ChangeFeed) broadcasts;
+//! a per-connection notifier thread wakes on the broadcast, compares
+//! each standing query's stored [`VersionVector`] (the same (BAT id,
+//! version) watch set that guards the result cache) against the
+//! current one, and only re-evaluates queries whose watched BATs
+//! actually moved. A re-evaluation whose answer is unchanged re-arms
+//! silently — subscribers see *deltas*, not heartbeats.
+//!
+//! Push frames ride the connection's ordinary writer thread, marked
+//! `"push": true` and carrying the subscription id, so request
+//! responses and pushes interleave on one socket without tearing
+//! frames. Backpressure is a bounded per-subscriber queue: each
+//! connection counts push frames accepted but not yet written, and a
+//! subscriber that falls more than the cap behind is sent a typed
+//! `slow_consumer` error and disconnected — the server never buffers
+//! an unbounded backlog for a stalled dashboard.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{SendError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cobra_obs::Registry;
+use f1_cobra::{RetrievedSegment, Vdbms, VersionVector};
+use serde_json::{json, Value};
+
+use crate::protocol::{err_response, ok_response, ErrorKind};
+
+/// Default bound on push frames queued behind one connection's writer.
+pub const DEFAULT_PUSH_QUEUE_CAP: usize = 64;
+
+/// How long the notifier sleeps when the change feed is silent. A
+/// write wakes it immediately through the feed's condvar; the timeout
+/// only bounds the race where a subscription is registered between a
+/// commit and the notifier's next wait.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(250);
+
+/// One frame bound for a connection's writer thread.
+pub enum Outbound {
+    /// An ordinary response frame.
+    Frame(Value),
+    /// A subscription push frame; `pending` is decremented after the
+    /// frame reaches the socket, closing the backpressure loop.
+    Push {
+        /// The frame to write.
+        frame: Value,
+        /// The connection's queued-push counter.
+        pending: Arc<AtomicUsize>,
+    },
+}
+
+/// A clonable handle for enqueueing frames onto one connection's
+/// writer thread.
+#[derive(Clone)]
+pub struct FrameTx(Sender<Outbound>);
+
+impl FrameTx {
+    /// Wraps the writer channel's sender.
+    pub fn new(tx: Sender<Outbound>) -> FrameTx {
+        FrameTx(tx)
+    }
+
+    /// Enqueues an ordinary response frame.
+    pub fn send(&self, frame: Value) -> Result<(), SendError<Outbound>> {
+        self.0.send(Outbound::Frame(frame))
+    }
+
+    /// Enqueues a push frame counted against `pending`.
+    pub fn send_push(
+        &self,
+        frame: Value,
+        pending: Arc<AtomicUsize>,
+    ) -> Result<(), SendError<Outbound>> {
+        self.0.send(Outbound::Push { frame, pending })
+    }
+}
+
+/// One video's last-delivered answer and the version vector it was
+/// computed against.
+struct View {
+    versions: VersionVector,
+    segments: Vec<RetrievedSegment>,
+}
+
+/// One standing query.
+struct Standing {
+    /// Subscribed video, or `"*"` for every catalogued video.
+    video: String,
+    /// The plain `RETRIEVE` statement.
+    text: String,
+    /// Last-delivered state per concrete video.
+    views: HashMap<String, View>,
+}
+
+/// All standing queries of one connection, plus the notifier thread
+/// that serves them.
+pub struct Subscriptions {
+    vdbms: Arc<Vdbms>,
+    tx: FrameTx,
+    /// A clone of the connection's socket, used only to force a
+    /// disconnect when the subscriber falls too far behind.
+    socket: TcpStream,
+    closed: Arc<AtomicBool>,
+    subs: Mutex<HashMap<u64, Standing>>,
+    /// Push frames accepted but not yet written to the socket.
+    pending: Arc<AtomicUsize>,
+    /// Bound on `pending` before the subscriber is disconnected.
+    cap: usize,
+    notifier: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Subscriptions {
+    /// Creates the (initially empty) subscription set of one connection.
+    pub fn new(
+        vdbms: Arc<Vdbms>,
+        tx: FrameTx,
+        socket: TcpStream,
+        cap: usize,
+    ) -> Arc<Subscriptions> {
+        Arc::new(Subscriptions {
+            vdbms,
+            tx,
+            socket,
+            closed: Arc::new(AtomicBool::new(false)),
+            subs: Mutex::new(HashMap::new()),
+            pending: Arc::new(AtomicUsize::new(0)),
+            cap: cap.max(1),
+            notifier: Mutex::new(None),
+        })
+    }
+
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(self.vdbms.kernel().metrics().registry())
+    }
+
+    /// Registers a standing query under the request's id and answers
+    /// with the initial result set. The subscription id *is* the
+    /// request id, so every later push frame for it carries an id the
+    /// client already knows.
+    pub fn subscribe(self: &Arc<Self>, id: u64, video: &str, text: &str) -> Value {
+        // Only plain `RETRIEVE` statements can stand; PROFILE/EXPLAIN
+        // are one-shot diagnostics.
+        if let Err(e) = f1_cobra::parse_query(text) {
+            return err_response(id, ErrorKind::Parse, e.to_string());
+        }
+        let registry = self.registry();
+        let mut subs = self.subs.lock().expect("subscription table");
+        if subs.contains_key(&id) {
+            return err_response(
+                id,
+                ErrorKind::BadRequest,
+                format!("subscription {id} already exists on this connection"),
+            );
+        }
+        let mut standing = Standing {
+            video: video.to_string(),
+            text: text.to_string(),
+            views: HashMap::new(),
+        };
+        let mut initial = Vec::new();
+        for v in self.targets(&standing.video) {
+            let (versions, segments) = self.eval_one(&v, &standing.text);
+            initial.push(json!({
+                "video": (v.clone()),
+                "segments": (segments.iter().map(f1_cobra::json::segment_to_json).collect::<Vec<_>>()),
+            }));
+            standing.views.insert(v, View { versions, segments });
+        }
+        subs.insert(id, standing);
+        registry.counter("stream.subscribed", &[]).inc();
+        registry.gauge("stream.active", &[]).add(1);
+        drop(subs);
+        self.ensure_notifier();
+        ok_response(
+            id,
+            json!({
+                "kind": "subscribed",
+                "subscription": (id as f64),
+                "videos": (initial),
+                "data_version": (self.vdbms.catalog.data_version() as f64),
+            }),
+        )
+    }
+
+    /// Retires a standing query.
+    pub fn unsubscribe(&self, id: u64, subscription: u64) -> Value {
+        let mut subs = self.subs.lock().expect("subscription table");
+        if subs.remove(&subscription).is_some() {
+            let registry = self.registry();
+            registry.counter("stream.unsubscribed", &[]).inc();
+            registry.gauge("stream.active", &[]).add(-1);
+            ok_response(
+                id,
+                json!({"kind": "unsubscribed", "subscription": (subscription as f64)}),
+            )
+        } else {
+            err_response(
+                id,
+                ErrorKind::BadRequest,
+                format!("unknown subscription {subscription}"),
+            )
+        }
+    }
+
+    /// Stops the notifier and forgets every standing query. Called when
+    /// the connection's session loop ends, for any reason.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let handle = self.notifier.lock().expect("notifier slot").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        let mut subs = self.subs.lock().expect("subscription table");
+        let n = subs.len();
+        if n > 0 {
+            self.registry().gauge("stream.active", &[]).add(-(n as i64));
+            subs.clear();
+        }
+    }
+
+    /// The concrete videos a subscription watches right now.
+    fn targets(&self, video: &str) -> Vec<String> {
+        if video == "*" {
+            self.vdbms.catalog.videos()
+        } else {
+            vec![video.to_string()]
+        }
+    }
+
+    /// Evaluates the standing statement against one video. A video
+    /// that is not (yet) ingested or annotated evaluates to the empty
+    /// answer — the subscription stays armed and delivers once the
+    /// data arrives.
+    fn eval_one(&self, video: &str, text: &str) -> (VersionVector, Vec<RetrievedSegment>) {
+        match self.vdbms.query_watched(video, text) {
+            Ok((segments, versions)) => (versions, segments),
+            Err(_) => {
+                self.registry().counter("stream.eval_errors", &[]).inc();
+                (self.vdbms.video_version_vector(video), Vec::new())
+            }
+        }
+    }
+
+    /// Spawns the connection's notifier thread on first use.
+    fn ensure_notifier(self: &Arc<Self>) {
+        let mut slot = self.notifier.lock().expect("notifier slot");
+        if slot.is_some() {
+            return;
+        }
+        let subs = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("cobra-stream-notify".into())
+            .spawn(move || subs.notify_loop());
+        if let Ok(h) = handle {
+            *slot = Some(h);
+        }
+    }
+
+    /// Waits on the change feed and sweeps the standing queries after
+    /// every bump (and, at a slow cadence, unconditionally — which
+    /// closes the race where a write lands between a subscription's
+    /// initial evaluation and its registration).
+    fn notify_loop(&self) {
+        let feed = self.vdbms.catalog.change_feed();
+        let mut seen = feed.current();
+        while !self.closed.load(Ordering::SeqCst) {
+            if let Some(v) = feed.wait_past(seen, SWEEP_INTERVAL) {
+                seen = v;
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            self.sweep();
+        }
+    }
+
+    /// Re-examines every standing query: videos whose watched version
+    /// vector is unchanged are skipped without evaluation; changed ones
+    /// are re-evaluated, and a changed *answer* is pushed as a delta
+    /// frame.
+    fn sweep(&self) {
+        let registry = self.registry();
+        let mut subs = self.subs.lock().expect("subscription table");
+        for (&sub_id, standing) in subs.iter_mut() {
+            if self.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            let targets = self.targets(&standing.video);
+            standing.views.retain(|v, _| targets.contains(v));
+            for v in &targets {
+                let current = self.vdbms.video_version_vector(v);
+                if standing
+                    .views
+                    .get(v)
+                    .is_some_and(|view| view.versions == current)
+                {
+                    registry.counter("stream.skipped", &[]).inc();
+                    continue;
+                }
+                let known = standing.views.contains_key(v);
+                let (versions, segments) = self.eval_one(v, &standing.text);
+                let empty: &[RetrievedSegment] = &[];
+                let old = standing
+                    .views
+                    .get(v)
+                    .map_or(empty, |view| view.segments.as_slice());
+                let added: Vec<Value> = segments
+                    .iter()
+                    .filter(|s| !old.contains(s))
+                    .map(f1_cobra::json::segment_to_json)
+                    .collect();
+                let removed = segments_removed(old, &segments);
+                let total = segments.len();
+                standing
+                    .views
+                    .insert(v.clone(), View { versions, segments });
+                if added.is_empty() && removed == 0 && known {
+                    // The watched BATs moved but the answer did not
+                    // (a write the query does not read): re-arm
+                    // silently instead of heartbeating.
+                    registry.counter("stream.unchanged", &[]).inc();
+                    continue;
+                }
+                let frame = json!({
+                    "id": (sub_id as f64),
+                    "ok": true,
+                    "push": true,
+                    "result": {
+                        "kind": "delta",
+                        "subscription": (sub_id as f64),
+                        "video": (v.clone()),
+                        "added": (added),
+                        "removed": (removed as f64),
+                        "total": (total as f64),
+                        "data_version": (self.vdbms.catalog.data_version() as f64),
+                    },
+                });
+                if !self.push_or_disconnect(sub_id, frame) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Enqueues one push frame against the connection's bounded queue.
+    /// Overflow means the client is not draining: it gets a typed
+    /// `slow_consumer` error and the socket is shut down. Returns
+    /// `false` when the connection was torn down.
+    fn push_or_disconnect(&self, sub_id: u64, frame: Value) -> bool {
+        let registry = self.registry();
+        let queued = self.pending.fetch_add(1, Ordering::AcqRel);
+        if queued >= self.cap {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            registry
+                .counter("stream.slow_consumer_disconnects", &[])
+                .inc();
+            let _ = self.tx.send(err_response(
+                sub_id,
+                ErrorKind::SlowConsumer,
+                format!(
+                    "subscriber fell {queued} push frames behind the cap of {}; disconnecting",
+                    self.cap
+                ),
+            ));
+            self.closed.store(true, Ordering::SeqCst);
+            // Give the writer a bounded window to flush the typed
+            // error, then sever the read side so the session loop
+            // observes the disconnect.
+            let _ = self.socket.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = self.socket.shutdown(Shutdown::Read);
+            return false;
+        }
+        registry.counter("stream.pushes", &[]).inc();
+        let _ = self.tx.send_push(frame, Arc::clone(&self.pending));
+        true
+    }
+}
+
+/// Segments present in `old` but absent from `new`.
+fn segments_removed(old: &[RetrievedSegment], new: &[RetrievedSegment]) -> usize {
+    old.iter().filter(|s| !new.contains(s)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::mpsc;
+
+    /// A connected socket pair plus an undrained writer channel — the
+    /// anatomy of a subscriber that has stopped consuming.
+    fn stalled_subscriber(cap: usize) -> (Arc<Subscriptions>, mpsc::Receiver<Outbound>, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let subs = Subscriptions::new(Arc::new(Vdbms::new()), FrameTx::new(tx), server_side, cap);
+        (subs, rx, client)
+    }
+
+    #[test]
+    fn push_overflow_sends_typed_error_and_tears_down() {
+        let (subs, rx, _client) = stalled_subscriber(1);
+
+        // First push fits under the cap of 1; with no writer thread
+        // draining, `pending` stays raised.
+        assert!(subs.push_or_disconnect(7, json!({"n": 1})));
+        // Second push overflows: typed error, connection condemned.
+        assert!(!subs.push_or_disconnect(7, json!({"n": 2})));
+        assert!(subs.closed.load(Ordering::SeqCst));
+
+        match rx.try_recv().unwrap() {
+            Outbound::Push { .. } => {}
+            Outbound::Frame(_) => panic!("first enqueue must be the push"),
+        }
+        let error = match rx.try_recv().unwrap() {
+            Outbound::Frame(frame) => frame,
+            Outbound::Push { .. } => panic!("overflow must enqueue the typed error, not a push"),
+        };
+        assert_eq!(error.get("ok").and_then(Value::as_bool), Some(false));
+        let kind = error
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str);
+        assert_eq!(kind, Some(ErrorKind::SlowConsumer.as_str()));
+        assert_eq!(error.get("id").and_then(Value::as_u64), Some(7));
+        // The overflowing frame itself was dropped, not queued.
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn pushes_under_the_cap_flow_and_count_pending() {
+        let (subs, rx, _client) = stalled_subscriber(8);
+        for n in 0..3u64 {
+            assert!(subs.push_or_disconnect(9, json!({"n": (n as f64)})));
+        }
+        assert_eq!(subs.pending.load(Ordering::SeqCst), 3);
+        assert!(!subs.closed.load(Ordering::SeqCst));
+        for _ in 0..3 {
+            match rx.try_recv().unwrap() {
+                Outbound::Push { pending, .. } => {
+                    // What the writer thread does after write_frame.
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                }
+                Outbound::Frame(_) => panic!("only pushes were enqueued"),
+            }
+        }
+        assert_eq!(subs.pending.load(Ordering::SeqCst), 0);
+    }
+}

@@ -100,6 +100,17 @@ pub enum WalOp {
         /// The video.
         video: String,
     },
+    /// Feature rows appended to the tail of a video's feature layer
+    /// (streaming ingest), row-major like `StoreFeatures`. Replay
+    /// extends the existing columns instead of replacing them.
+    AppendFeatures {
+        /// The video.
+        video: String,
+        /// Features per clip (must match the existing layer, if any).
+        n_features: u64,
+        /// Row-major appended values (`n_new_clips * n_features`).
+        values: Vec<f64>,
+    },
 }
 
 const TAG_BOOT: u8 = 1;
@@ -107,6 +118,7 @@ const TAG_REGISTER: u8 = 2;
 const TAG_FEATURES: u8 = 3;
 const TAG_EVENTS: u8 = 4;
 const TAG_CLEAR: u8 = 5;
+const TAG_APPEND_FEATURES: u8 = 6;
 
 impl WalOp {
     /// Encodes the op body (tag included) into `e`.
@@ -159,6 +171,19 @@ impl WalOp {
             WalOp::ClearEvents { video } => {
                 e.u8(TAG_CLEAR);
                 e.str(video);
+            }
+            WalOp::AppendFeatures {
+                video,
+                n_features,
+                values,
+            } => {
+                e.u8(TAG_APPEND_FEATURES);
+                e.str(video);
+                e.u64(*n_features);
+                e.u32(values.len() as u32);
+                for v in values {
+                    e.f64(*v);
+                }
             }
         }
     }
@@ -220,6 +245,25 @@ impl WalOp {
             TAG_CLEAR => Ok(WalOp::ClearEvents {
                 video: d.str("video name")?,
             }),
+            TAG_APPEND_FEATURES => {
+                let video = d.str("video name")?;
+                let n_features = d.u64("n_features")?;
+                let n = d.count(8, "appended feature values")?;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(d.f64("feature value")?);
+                }
+                if n_features > 0 && !(n as u64).is_multiple_of(n_features) {
+                    return Err(CodecError::new(format!(
+                        "appended features: {n} values not divisible by {n_features} columns"
+                    )));
+                }
+                Ok(WalOp::AppendFeatures {
+                    video,
+                    n_features,
+                    values,
+                })
+            }
             other => Err(CodecError::new(format!("unknown op tag {other}"))),
         }
     }
@@ -506,6 +550,11 @@ mod tests {
             WalOp::ClearEvents {
                 video: "german".into(),
             },
+            WalOp::AppendFeatures {
+                video: "german".into(),
+                n_features: 2,
+                values: vec![0.5, 0.75],
+            },
         ]
     }
 
@@ -518,10 +567,10 @@ mod tests {
         }
         let scan = read_wal_file(&path).unwrap();
         assert!(!scan.torn);
-        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.records.len(), 6);
         assert_eq!(
             scan.records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
-            vec![1, 2, 3, 4, 5]
+            vec![1, 2, 3, 4, 5, 6]
         );
         let decoded: Vec<WalOp> = scan.records.into_iter().map(|(_, op)| op).collect();
         // NaN != NaN under PartialEq for f64; compare via bit patterns.
@@ -536,6 +585,7 @@ mod tests {
         }
         assert_eq!(decoded[0], sample_ops()[0]);
         assert_eq!(decoded[3], sample_ops()[3]);
+        assert_eq!(decoded[5], sample_ops()[5]);
     }
 
     #[test]

@@ -132,6 +132,48 @@ fn acknowledged_mutations_survive_reboot() {
 }
 
 #[test]
+fn streamed_feature_appends_survive_reboot() {
+    let dir = TempDir::new("append");
+    // Chunked ingest: appends straddle a checkpoint, so recovery must
+    // extend the snapshotted columns with the replayed tail — exactly
+    // the crash-mid-stream case.
+    {
+        let vdbms = boot(&dir.path().join("data"));
+        register(&vdbms, "german");
+        vdbms
+            .catalog
+            .append_features("german", &[vec![0.1, 1.0], vec![0.2, 2.0]])
+            .expect("append chunk 1");
+        vdbms
+            .catalog
+            .checkpoint()
+            .expect("checkpoint")
+            .expect("durable backend checkpoints");
+        vdbms
+            .catalog
+            .append_features("german", &[vec![0.3, 3.0]])
+            .expect("append chunk 2");
+        // Crash: chunk 2 lives only in the WAL tail.
+    }
+
+    let vdbms = boot(&dir.path().join("data"));
+    let rec = vdbms.recovery_report().expect("durable boot reports");
+    assert!(!rec.torn_tail);
+    for (k, want) in [(1, vec![0.1, 0.2, 0.3]), (2, vec![1.0, 2.0, 3.0])] {
+        let handle = vdbms
+            .catalog
+            .kernel()
+            .bat(&format!("german.f{k}"))
+            .expect("feature column recovered");
+        let bat = handle.read();
+        let got: Vec<f64> = (0..bat.len())
+            .map(|t| bat.tail_at(t).unwrap().as_dbl().unwrap())
+            .collect();
+        assert_eq!(got, want, "column f{k}");
+    }
+}
+
+#[test]
 fn checkpoint_then_reboot_replays_nothing() {
     let dir = TempDir::new("ckpt");
     {
