@@ -1004,11 +1004,16 @@ pub fn monet() -> (Table, serde_json::Value) {
 /// fleet against a live TCP server over the catalog-only fixture, in
 /// two regimes. *At the admission limit* every request must succeed;
 /// at *twice* the limit the excess must surface as typed `overloaded`
-/// rejections — never hangs, errors or worker panics. Returns the
+/// rejections — never hangs, errors or worker panics. A third section
+/// sweeps the *connection* axis: a mostly-idle population ramped to
+/// 4096 held connections while an 8-client active core keeps querying,
+/// reporting per-level RSS — near-flat per-idle-connection memory is
+/// the reactor's claim (a thread-per-connection server pays two stacks
+/// per connection and falls over well before 4096). Returns the
 /// human-readable table plus the JSON document `BENCH_serve.json`
 /// (schema-validated by the CI serve smoke job).
 pub fn serve() -> (Table, serde_json::Value) {
-    use cobra_serve::load::{run as run_load, LoadConfig};
+    use cobra_serve::load::{connection_sweep, run as run_load, LoadConfig};
     use cobra_serve::server::{start, ServerConfig};
     use f1_cobra::catalog::{EventRecord, VideoInfo};
     use f1_cobra::Vdbms;
@@ -1090,6 +1095,14 @@ pub fn serve() -> (Table, serde_json::Value) {
     // Regime B: twice the admission limit — the excess must be shed as
     // typed `overloaded` rejections, all other answers staying intact.
     let over_limit = run_load(handle.addr(), &regime(2 * admission_limit));
+
+    // Connection sweep: ramp a mostly-idle population to 4096 held
+    // connections while a small active core keeps the query path warm.
+    // The fd ceiling covers 4096 idle + active + server-side fds.
+    let _ = cobra_serve::raise_nofile_limit(16_384);
+    let mut active = regime(8);
+    active.requests_per_client = 25;
+    let sweep = connection_sweep(handle.addr(), &[64, 512, 4096], &active);
     handle.shutdown();
 
     let mut table = Table::new(
@@ -1123,6 +1136,47 @@ pub fn serve() -> (Table, serde_json::Value) {
             Cell::Num(p("p99")),
         ]);
     }
+    if let Some(levels) = sweep.get("levels").and_then(serde_json::Value::as_array) {
+        for level in levels {
+            let g = |k: &str| {
+                level
+                    .get(k)
+                    .and_then(serde_json::Value::as_f64)
+                    .unwrap_or(0.0)
+            };
+            let a = |k: &str| {
+                level
+                    .get("active")
+                    .and_then(|a| a.get(k))
+                    .and_then(serde_json::Value::as_f64)
+                    .unwrap_or(0.0)
+            };
+            let lat = |k: &str| {
+                level
+                    .get("active")
+                    .and_then(|a| a.get("latency_us"))
+                    .and_then(|l| l.get(k))
+                    .and_then(serde_json::Value::as_f64)
+                    .unwrap_or(0.0)
+            };
+            table.row(vec![
+                Cell::Text(format!(
+                    "{} idle ({:.1} KB/conn)",
+                    g("connections"),
+                    g("rss_per_idle_conn_bytes") / 1024.0
+                )),
+                Cell::Num(a("clients")),
+                Cell::Num(a("ok")),
+                Cell::Num(a("overloaded")),
+                Cell::Num(a("deadline")),
+                Cell::Num(a("errors")),
+                Cell::Num(a("throughput_rps")),
+                Cell::Num(lat("p50")),
+                Cell::Num(lat("p95")),
+                Cell::Num(lat("p99")),
+            ]);
+        }
+    }
 
     let doc = serde_json::json!({
         "experiment": "serve_load",
@@ -1137,6 +1191,7 @@ pub fn serve() -> (Table, serde_json::Value) {
             "at_limit": (at_limit.to_json()),
             "over_limit": (over_limit.to_json()),
         },
+        "connection_sweep": (sweep),
     });
     (table, doc)
 }

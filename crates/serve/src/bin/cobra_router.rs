@@ -153,6 +153,9 @@ fn worker_args(cli: &Cli, shard: u32, demo_shard: u32) -> Vec<String> {
 }
 
 fn main() {
+    // The router holds one fd per client plus a handful per shard, so
+    // its connection capacity is the soft nofile limit too.
+    let _ = cobra_serve::raise_nofile_limit(65536);
     let cli = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {

@@ -3,8 +3,17 @@
 //! ```text
 //! cobra-serve [--addr 127.0.0.1:7477] [--workers 8] [--queue-cap 32]
 //!             [--data-dir PATH] [--demo SECONDS] [--seed N]
-//!             [--stream-chunk SECONDS] [--stream-interval-ms N] [--debug]
+//!             [--stream-chunk SECONDS] [--stream-interval-ms N]
+//!             [--idle-timeout-ms N] [--push-queue-cap N] [--sndbuf BYTES]
+//!             [--debug]
 //! ```
+//!
+//! `--idle-timeout-ms N` closes connections that stay silent for N
+//! milliseconds (the reactor's timer wheel; off by default).
+//! `--push-queue-cap N` bounds how many push frames a subscriber may
+//! fall behind before the typed `slow_consumer` disconnect, and
+//! `--sndbuf BYTES` clamps each connection's kernel send buffer so the
+//! backpressure path is testable without gigabytes of queued data.
 //!
 //! `--data-dir PATH` makes the catalog durable: mutations are logged to
 //! a write-ahead log under PATH before being acknowledged, a background
@@ -101,6 +110,27 @@ fn parse_args() -> Result<Cli, String> {
                 stream_interval_ms = take("--stream-interval-ms")?
                     .parse()
                     .map_err(|e| format!("--stream-interval-ms: {e}"))?
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = take("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--idle-timeout-ms must be at least 1".into());
+                }
+                config.idle_timeout = Some(std::time::Duration::from_millis(ms));
+            }
+            "--push-queue-cap" => {
+                config.push_queue_cap = take("--push-queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--push-queue-cap: {e}"))?
+            }
+            "--sndbuf" => {
+                config.sndbuf = Some(
+                    take("--sndbuf")?
+                        .parse()
+                        .map_err(|e| format!("--sndbuf: {e}"))?,
+                )
             }
             "--debug" => config.debug = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -204,6 +234,9 @@ fn stream_demo(
 }
 
 fn main() {
+    // One fd per connection is the whole per-connection story now, so
+    // the soft nofile limit *is* the connection capacity.
+    let _ = cobra_serve::raise_nofile_limit(65536);
     let cli = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {

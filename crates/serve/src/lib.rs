@@ -4,7 +4,12 @@
 //! ROADMAP's north star is that interface serving heavy traffic. This
 //! crate is the serving layer over an in-process [`Vdbms`]: a TCP
 //! service speaking a length-prefixed JSON protocol ([`protocol`]),
-//! scheduling queries on a bounded worker pool with admission control
+//! with all socket I/O owned by a single epoll-based readiness
+//! [`reactor`] — nonblocking accept/read/write state machines, an
+//! incremental frame decoder, per-connection write buffers with
+//! backpressure, and idle timeouts on a timer wheel, so a connection
+//! costs a few kilobytes of bookkeeping rather than two OS threads.
+//! CPU work still runs on a bounded worker pool with admission control
 //! ([`scheduler`]), translating per-request deadlines into kernel
 //! [`ExecBudget`]s, cancelling work whose client disconnected, and
 //! draining in-flight queries on shutdown ([`server`]).
@@ -35,6 +40,7 @@
 pub mod client;
 pub mod load;
 pub mod protocol;
+pub mod reactor;
 pub mod ring;
 pub mod router;
 pub mod scheduler;
@@ -43,10 +49,11 @@ pub mod spawn;
 pub mod stream;
 
 pub use client::{Client, ClientError, PushFrame, QueryReply, RequestOpts};
-pub use protocol::ErrorKind;
+pub use protocol::{ErrorKind, FrameDecoder};
+pub use reactor::raise_nofile_limit;
 pub use ring::{Ring, DEFAULT_SEED};
 pub use router::{RouterConfig, RouterHandle};
 pub use scheduler::{SubmitError, WorkerPool};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use spawn::{find_worker_binary, spawn_worker, WorkerProcess};
-pub use stream::{Subscriptions, DEFAULT_PUSH_QUEUE_CAP};
+pub use stream::{StreamHub, DEFAULT_PUSH_QUEUE_CAP};

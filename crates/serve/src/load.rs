@@ -5,8 +5,17 @@
 //! is recorded per successful request (exact percentiles from the
 //! sorted vector — no histogram bucketing error in the report);
 //! rejections are counted by type. An `overloaded` answer is followed
-//! by a 1 ms backoff, which is the cooperative reaction the
+//! by bounded exponential backoff ([`crate::scheduler::overload_backoff`],
+//! reset on the next success), which is the cooperative reaction the
 //! admission-control contract asks of clients.
+//!
+//! [`connection_sweep`] measures the other axis: not how fast requests
+//! complete, but how many *connections* the server can hold. It ramps a
+//! population of idle connections through configured levels while a
+//! small closed-loop core keeps issuing queries, and reports per-level
+//! server-visible RSS — a per-idle-connection cost near two stack sizes
+//! would betray a thread-per-connection server; the reactor should hold
+//! an idle connection for roughly one fd plus bookkeeping.
 //!
 //! By default the loop is *closed*: each client fires its next request
 //! the moment the previous answer lands, so offered load adapts to the
@@ -191,6 +200,7 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                     .filter(|r| *r > 0.0)
                     .map(|r| Duration::from_secs_f64(config.clients as f64 / r));
                 let opened = Instant::now();
+                let mut rejections_in_a_row = 0u32;
                 for i in 0..config.requests_per_client {
                     let text = match &mut sampler {
                         // Distinct regime: a driver-variant suffix makes
@@ -223,11 +233,15 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                         Ok(_) => {
                             mine.push(t.elapsed().as_micros() as u64);
                             ok.fetch_add(1, Ordering::Relaxed);
+                            rejections_in_a_row = 0;
                         }
                         Err(e) => match e.server_kind() {
                             Some(ErrorKind::Overloaded) => {
                                 overloaded.fetch_add(1, Ordering::Relaxed);
-                                std::thread::sleep(Duration::from_millis(1));
+                                std::thread::sleep(crate::scheduler::overload_backoff(
+                                    rejections_in_a_row,
+                                ));
+                                rejections_in_a_row += 1;
                             }
                             Some(ErrorKind::Deadline) => {
                                 deadline.fetch_add(1, Ordering::Relaxed);
@@ -259,6 +273,64 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         elapsed,
         latencies_us,
     }
+}
+
+/// Resident set size of this process in bytes, from `/proc/self/statm`
+/// (0 where procfs is unavailable). The serve experiment runs server
+/// and generator in one process, so this covers both sides — an idle
+/// client-side `TcpStream` is one fd, so the delta per held connection
+/// is dominated by the server's cost, which is the number under test.
+pub fn rss_bytes() -> u64 {
+    let statm = std::fs::read_to_string("/proc/self/statm").unwrap_or_default();
+    let pages: u64 = statm
+        .split_whitespace()
+        .nth(1)
+        .and_then(|f| f.parse().ok())
+        .unwrap_or(0);
+    pages * 4096
+}
+
+/// Ramps a mostly-idle connection population through `levels` while a
+/// small active core (shaped by `active`) keeps querying, and reports
+/// per-level RSS and active-core latency. Idle connections are plain
+/// TCP connects that never send a frame; they are held open across
+/// levels (the ramp only ever grows) and closed when the sweep returns.
+///
+/// The returned object is the `connection_sweep` section of
+/// `BENCH_serve.json`:
+/// `{"levels": [{connections, rss_total_bytes, rss_per_idle_conn_bytes,
+/// active: <regime object>}], "max_connections": N}`.
+pub fn connection_sweep(addr: SocketAddr, levels: &[usize], active: &LoadConfig) -> Value {
+    let baseline = rss_bytes();
+    let mut idle: Vec<std::net::TcpStream> = Vec::new();
+    let mut out: Vec<Value> = Vec::new();
+    let mut max_held = 0usize;
+    for &level in levels {
+        while idle.len() < level {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => idle.push(s),
+                Err(_) => break, // fd limit or backlog — report what we hold
+            }
+        }
+        // Let the reactor accept and register the new arrivals before
+        // sampling memory.
+        std::thread::sleep(Duration::from_millis(200));
+        let held = idle.len();
+        max_held = max_held.max(held);
+        let rss = rss_bytes();
+        let per_conn = rss.saturating_sub(baseline) / held.max(1) as u64;
+        let report = run(addr, active);
+        out.push(json!({
+            "connections": (held as f64),
+            "rss_total_bytes": (rss as f64),
+            "rss_per_idle_conn_bytes": (per_conn as f64),
+            "active": (report.to_json()),
+        }));
+    }
+    json!({
+        "levels": (Value::Array(out)),
+        "max_connections": (max_held as f64),
+    })
 }
 
 /// Handles `ClientError` classification for callers that use the raw

@@ -71,6 +71,106 @@ pub fn write_frame(w: &mut impl Write, v: &Value) -> Result<(), FrameError> {
     Ok(())
 }
 
+/// Serializes one frame (length prefix plus JSON) into an owned buffer,
+/// for writers that queue bytes instead of owning a socket — the
+/// reactor's per-connection write buffers.
+pub fn encode_frame(v: &Value) -> Result<Vec<u8>, FrameError> {
+    let payload = v.to_string();
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(4 + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+    Ok(out)
+}
+
+/// Incremental frame decoder over a byte stream that arrives in
+/// arbitrary chunks — the read-side state machine of the reactor's
+/// nonblocking connections.
+///
+/// Feed bytes with [`extend`](Self::extend) as the socket produces
+/// them, then drain complete frames with [`next_frame`](Self::next_frame):
+///
+/// * a frame split across reads stays buffered until its length prefix
+///   is satisfied (`Ok(None)` = need more bytes);
+/// * several frames coalesced into one read decode one by one;
+/// * a length prefix beyond [`MAX_FRAME_LEN`] is a fatal
+///   [`FrameError::Oversized`] — nothing is consumed and the
+///   connection is beyond resync;
+/// * a complete frame whose payload is not valid JSON is a
+///   *recoverable* [`FrameError::Json`]: the broken frame is consumed
+///   (the length prefix marks its exact end) and decoding resumes at
+///   the next frame boundary.
+///
+/// The decoder never panics and never buffers more than one maximal
+/// frame plus one read's worth of spillover.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly read bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reclaims consumed prefix space once it dominates the buffer, so
+    /// a long-lived connection does not grow its buffer forever.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Decodes the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Value>, FrameError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+            self.buf[self.pos + 3],
+        ]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(len));
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = &self.buf[self.pos + 4..self.pos + 4 + len];
+        let parsed = serde_json::from_slice(payload).map_err(FrameError::Json);
+        // Consume the frame even when the payload was garbage: the
+        // length prefix marks the boundary, so the stream resyncs.
+        self.pos += 4 + len;
+        self.compact();
+        parsed.map(Some)
+    }
+}
+
 /// Reads one frame. An `Err(FrameError::Io)` with kind `UnexpectedEof`
 /// before any prefix byte means the peer closed cleanly.
 pub fn read_frame(r: &mut impl Read) -> Result<Value, FrameError> {

@@ -8,6 +8,13 @@
 //! protocol, stamped with a `shard` object carrying the original
 //! request id and the shard epoch the router handshook with.
 //!
+//! The client-facing side rides the same readiness reactor as
+//! `cobra-serve` ([`crate::reactor`]): one event-loop thread owns every
+//! client socket, and forwarding runs on a small internal worker pool
+//! whose completions are queued back to the reactor. Each pooled job
+//! checks a set of shard connections out of a shared pool, so shard
+//! sockets are never contended by two jobs at once.
+//!
 //! * **Single-video queries** are forwarded to the owning shard.
 //! * **Cross-video queries** (`video = "*"`) scatter to every shard and
 //!   gather one segment group per video, merged in video-name order —
@@ -24,15 +31,15 @@
 //!   stamp per shard the answer read. A write on shard A invalidates
 //!   exactly the cached answers that read shard A; answers pinned to
 //!   other shards keep hitting.
-//! * **Standing `subscribe` queries** work through the router too: a
-//!   per-session notifier polls the version stamps of exactly the
-//!   shards a subscription reads, and a bump re-issues the standing
-//!   query *only to the bumped shard* — a write on shard A never costs
-//!   shard B a query, and only shard-A subscribers see a push. A dead
-//!   shard surfaces as a one-time typed `shard_unavailable` frame; the
-//!   subscription stays armed and resumes when the shard's probe
-//!   answers again (a reboot shows up as a fresh epoch, which is just
-//!   another stamp mismatch).
+//! * **Standing `subscribe` queries** work through the router too: one
+//!   router-wide notifier thread polls the version stamps of exactly
+//!   the union of shards any subscription reads, and a bump re-issues
+//!   each affected standing query *only to the bumped shard* — a write
+//!   on shard A never costs shard B a query, and only shard-A
+//!   subscribers see a push. A dead shard surfaces as a one-time typed
+//!   `shard_unavailable` frame; the subscription stays armed and
+//!   resumes when the shard's probe answers again (a reboot shows up
+//!   as a fresh epoch, which is just another stamp mismatch).
 //!
 //! Fault site: `router.forward` fires at the top of every forward
 //! attempt, simulating a transport failure without touching the real
@@ -40,8 +47,8 @@
 //! `Always` proves exhaustion surfaces the typed error.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,24 +59,31 @@ use f1_cobra::RetryPolicy;
 use serde_json::{json, Value};
 
 use crate::client::{unwrap_response, Client, ClientError};
-use crate::protocol::{err_response, ok_response, write_frame, ErrorKind, FrameError};
+use crate::protocol::{err_response, ok_response, ErrorKind};
+use crate::reactor::{self, ConnId, ReactorConfig, ReactorCtl, Service};
 use crate::ring::{Ring, DEFAULT_SEED};
-use crate::server::read_exact_interruptible;
+use crate::scheduler::{SubmitError, WorkerPool};
+use crate::stream::DEFAULT_PUSH_QUEUE_CAP;
 
 /// Entry bound of the router's result cache.
 const ROUTER_CACHE_CAP: usize = 512;
 
 /// Read timeout for control probes (`version` during handshake and
-/// cache-guard capture). Probes run inline on the worker's session
-/// thread, so a probe that takes this long means the worker is gone.
+/// cache-guard capture). Probes are answered inline on the worker's
+/// reactor, so a probe that takes this long means the worker is gone.
 const PROBE_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// How often a session's notifier polls the version stamps of the
-/// shards its standing queries read. Inside one process the change
-/// feed is a condvar; across processes the router only has the wire,
-/// so this interval is the ingest-to-notify latency floor through a
-/// router.
+/// How often the notifier polls the version stamps of the shards the
+/// standing queries read. Inside one process the change feed is a
+/// condvar; across processes the router only has the wire, so this
+/// interval is the ingest-to-notify latency floor through a router.
 const SHARD_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Forwarding threads of the router's internal pool. Forwards are
+/// I/O-bound waits on workers, so the pool runs wider than a CPU-bound
+/// one; the queue bounds how many requests may wait behind them.
+const ROUTER_WORKERS: usize = 16;
+const ROUTER_QUEUE_CAP: usize = 256;
 
 /// How the router is wired.
 #[derive(Debug, Clone)]
@@ -170,7 +184,106 @@ struct RouterShared {
     registry: Arc<Registry>,
     cache: Option<ResultCache>,
     shutting_down: AtomicBool,
-    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Everything the reactor-facing service and its pooled jobs share.
+struct RouterInner {
+    shared: Arc<RouterShared>,
+    ctl: ReactorCtl,
+    pool: WorkerPool,
+    hub: Arc<RouterHub>,
+    /// Idle shard-connection sets; a pooled job checks one out for its
+    /// whole run, so no two jobs ever share a shard socket (which the
+    /// stale-id skip in [`attempt_once`] depends on).
+    conn_sets: Mutex<Vec<Vec<ShardConn>>>,
+}
+
+impl RouterInner {
+    fn checkout(&self) -> Vec<ShardConn> {
+        if let Some(set) = self
+            .conn_sets
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+        {
+            return set;
+        }
+        fresh_conns(&self.shared.ring)
+    }
+
+    fn checkin(&self, set: Vec<ShardConn>) {
+        let mut sets = self.conn_sets.lock().unwrap_or_else(|p| p.into_inner());
+        if sets.len() < ROUTER_WORKERS {
+            sets.push(set);
+        }
+    }
+}
+
+fn fresh_conns(ring: &Ring) -> Vec<ShardConn> {
+    (0..ring.shards())
+        .map(|shard| ShardConn {
+            shard,
+            client: None,
+            epoch: 0,
+        })
+        .collect()
+}
+
+/// The reactor-facing half of the router: frames in, closes out.
+struct RouterService {
+    inner: Arc<RouterInner>,
+}
+
+impl Service for RouterService {
+    fn on_frame(&self, conn: ConnId, frame: Value) {
+        let inner = &self.inner;
+        let id = frame.get("id").and_then(Value::as_u64).unwrap_or(0);
+        let cmd = frame.get("cmd").and_then(Value::as_str).unwrap_or("");
+        if !cmd.is_empty() {
+            inner
+                .shared
+                .registry
+                .counter("serve.requests", &[("cmd", cmd)])
+                .inc();
+        }
+        if cmd == "ping" {
+            // Cheap liveness answer straight off the reactor; nothing
+            // shard-shaped to wait for.
+            inner
+                .ctl
+                .send(conn, ok_response(id, json!({"kind": "pong"})));
+            return;
+        }
+        let job_inner = Arc::clone(inner);
+        let outcome = inner.pool.try_submit(Box::new(move || {
+            let mut conns = job_inner.checkout();
+            let response =
+                handle_request(&job_inner.shared, &mut conns, &job_inner.hub, conn, &frame);
+            job_inner.checkin(conns);
+            job_inner.ctl.send(conn, response);
+        }));
+        if let Err(e) = outcome {
+            let (kind, message) = match e {
+                SubmitError::Overloaded { queue_cap } => (
+                    ErrorKind::Overloaded,
+                    format!("router queue full ({queue_cap} waiting); retry with backoff"),
+                ),
+                SubmitError::ShuttingDown => {
+                    (ErrorKind::ShuttingDown, "router is shutting down".into())
+                }
+            };
+            inner
+                .shared
+                .registry
+                .counter("serve.rejected", &[("kind", kind.as_str())])
+                .inc();
+            inner.ctl.send(conn, err_response(id, kind, message));
+        }
+    }
+
+    fn on_close(&self, conn: ConnId) {
+        self.inner.hub.drop_conn(conn);
+    }
 }
 
 /// A running router. Dropping the handle without calling
@@ -178,7 +291,8 @@ struct RouterShared {
 pub struct RouterHandle {
     addr: SocketAddr,
     shared: Arc<RouterShared>,
-    accept_thread: Option<JoinHandle<()>>,
+    inner: Arc<RouterInner>,
+    reactor_thread: Option<JoinHandle<()>>,
 }
 
 impl RouterHandle {
@@ -194,7 +308,7 @@ impl RouterHandle {
     }
 
     /// Re-points `shard` at a new worker address (a restarted worker
-    /// binds a fresh port). Sessions notice on their next forward: the
+    /// binds a fresh port). Jobs notice on their next forward: the
     /// old connection errors, and the retry reconnects here.
     pub fn set_shard_addr(&self, shard: u32, addr: impl Into<String>) {
         let mut addrs = self.shared.addrs.lock().unwrap_or_else(|p| p.into_inner());
@@ -203,23 +317,17 @@ impl RouterHandle {
         }
     }
 
-    /// Stops accepting, joins every session thread. Workers are
+    /// Stops accepting, drains in-flight forwards, flushes and closes
+    /// every client connection, joins the reactor. Workers are
     /// external processes and are not touched.
     pub fn shutdown(mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.inner.ctl.drain();
+        self.inner.hub.close();
+        self.inner.pool.shutdown();
+        self.inner.ctl.stop();
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
-        }
-        let sessions = std::mem::take(
-            &mut *self
-                .shared
-                .sessions
-                .lock()
-                .unwrap_or_else(|p| p.into_inner()),
-        );
-        for s in sessions {
-            let _ = s.join();
         }
     }
 }
@@ -234,50 +342,45 @@ pub fn start(config: RouterConfig) -> std::io::Result<RouterHandle> {
         ring: Ring::new(config.shards.len() as u32, config.seed),
         addrs: Mutex::new(config.shards.clone()),
         retry: config.retry,
-        registry,
+        registry: Arc::clone(&registry),
         cache,
         shutting_down: AtomicBool::new(false),
-        sessions: Mutex::new(Vec::new()),
     });
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
-        .name("cobra-router-accept".into())
-        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    let ctl = ReactorCtl::new()?;
+    let pool = WorkerPool::new(ROUTER_WORKERS, ROUTER_QUEUE_CAP, &registry)?;
+    let hub = RouterHub::new(Arc::clone(&shared), ctl.clone());
+    let inner = Arc::new(RouterInner {
+        shared: Arc::clone(&shared),
+        ctl: ctl.clone(),
+        pool,
+        hub,
+        conn_sets: Mutex::new(Vec::new()),
+    });
+    let service = Arc::new(RouterService {
+        inner: Arc::clone(&inner),
+    });
+    let reactor_thread = reactor::spawn(
+        listener,
+        &ctl,
+        ReactorConfig {
+            name: "cobra-router-reactor".into(),
+            idle_timeout: None,
+            sndbuf: None,
+        },
+        &registry,
+        service,
+    )?;
     Ok(RouterHandle {
         addr,
         shared,
-        accept_thread: Some(accept_thread),
+        inner,
+        reactor_thread: Some(reactor_thread),
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
-    loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                return;
-            }
-            continue;
-        };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
-        let session_shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("cobra-router-session".into())
-            .spawn(move || session_loop(stream, &session_shared));
-        if let Ok(handle) = handle {
-            shared
-                .sessions
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .push(handle);
-        }
-    }
-}
-
 /// One connection to one shard, plus the epoch handshook at connect
-/// time. Each router session owns its own set, so sessions never
-/// contend on shard sockets.
+/// time. Each pooled job (and the notifier) owns its own set, so shard
+/// sockets are never contended.
 struct ShardConn {
     shard: u32,
     client: Option<Client>,
@@ -575,7 +678,7 @@ fn respond(id: u64, outcome: Result<Value, (ErrorKind, String)>) -> Value {
     }
 }
 
-/// One standing `subscribe` query routed through this session.
+/// One standing `subscribe` query routed through the hub.
 struct RouterStanding {
     /// Subscribed video, or `"*"` for every catalogued video.
     video: String,
@@ -603,53 +706,73 @@ impl RouterStanding {
     }
 }
 
-/// The standing queries of one router session, plus the notifier
-/// thread that polls their shards. Responses from the session loop and
-/// pushes from the notifier share one write-side mutex, so frames
-/// never tear on the client socket.
-struct RouterSubs {
+/// Every standing query of one client connection, plus its push
+/// backlog (the reactor decrements `pending` as bytes hit the wire).
+struct RouterConnSubs {
+    pending: Arc<AtomicUsize>,
+    subs: HashMap<u64, RouterStanding>,
+}
+
+/// All standing queries routed through this process, swept by one
+/// notifier thread that polls the union of watched shards — folding
+/// what used to be one notifier thread per client session into a
+/// single poll cycle.
+struct RouterHub {
     shared: Arc<RouterShared>,
-    writer: Arc<Mutex<TcpStream>>,
+    ctl: ReactorCtl,
+    cap: usize,
+    inner: Mutex<HashMap<ConnId, RouterConnSubs>>,
     closed: AtomicBool,
-    subs: Mutex<HashMap<u64, RouterStanding>>,
     notifier: Mutex<Option<JoinHandle<()>>>,
 }
 
-impl RouterSubs {
-    fn new(shared: Arc<RouterShared>, writer: Arc<Mutex<TcpStream>>) -> Arc<RouterSubs> {
-        Arc::new(RouterSubs {
+impl RouterHub {
+    fn new(shared: Arc<RouterShared>, ctl: ReactorCtl) -> Arc<RouterHub> {
+        Arc::new(RouterHub {
             shared,
-            writer,
+            ctl,
+            cap: DEFAULT_PUSH_QUEUE_CAP,
+            inner: Mutex::new(HashMap::new()),
             closed: AtomicBool::new(false),
-            subs: Mutex::new(HashMap::new()),
             notifier: Mutex::new(None),
         })
     }
 
-    /// Writes one frame to the session's client under the shared
-    /// write-side mutex.
-    fn write(&self, frame: &Value) -> Result<(), FrameError> {
-        let mut stream = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        write_frame(&mut *stream, frame)
-    }
-
-    /// Spawns the session's notifier thread on first use.
+    /// Spawns the hub's notifier thread on first use.
     fn ensure_notifier(self: &Arc<Self>) {
         let mut slot = self.notifier.lock().unwrap_or_else(|p| p.into_inner());
         if slot.is_some() {
             return;
         }
-        let subs = Arc::clone(self);
+        let hub = Arc::clone(self);
         let handle = std::thread::Builder::new()
             .name("cobra-router-notify".into())
-            .spawn(move || subs.notify_loop());
+            .spawn(move || hub.notify_loop());
         if let Ok(h) = handle {
             *slot = Some(h);
         }
     }
 
-    /// Stops the notifier and forgets every standing query. Called when
-    /// the session loop ends, for any reason.
+    /// Forgets the standing queries of one dead connection.
+    fn drop_conn(&self, conn: ConnId) {
+        let removed = self
+            .inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&conn);
+        if let Some(entry) = removed {
+            let n = entry.subs.len();
+            if n > 0 {
+                self.shared
+                    .registry
+                    .gauge("stream.active", &[])
+                    .add(-(n as i64));
+            }
+        }
+    }
+
+    /// Stops the notifier and forgets every standing query. Called
+    /// once at router shutdown.
     fn close(&self) {
         self.closed.store(true, Ordering::SeqCst);
         let handle = self
@@ -660,28 +783,22 @@ impl RouterSubs {
         if let Some(h) = handle {
             let _ = h.join();
         }
-        let mut table = self.subs.lock().unwrap_or_else(|p| p.into_inner());
-        let n = table.len();
+        let mut table = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let n: usize = table.values().map(|e| e.subs.len()).sum();
         if n > 0 {
             self.shared
                 .registry
                 .gauge("stream.active", &[])
                 .add(-(n as i64));
-            table.clear();
         }
+        table.clear();
     }
 
     /// Polls the watched shards' version stamps and sweeps the standing
     /// queries after every cycle. The notifier owns its own shard
-    /// connections, so it never contends with the session loop's.
+    /// connections, so it never contends with the pooled jobs'.
     fn notify_loop(&self) {
-        let mut conns: Vec<ShardConn> = (0..self.shared.ring.shards())
-            .map(|shard| ShardConn {
-                shard,
-                client: None,
-                epoch: 0,
-            })
-            .collect();
+        let mut conns = fresh_conns(&self.shared.ring);
         loop {
             std::thread::sleep(SHARD_POLL_INTERVAL);
             if self.closed.load(Ordering::SeqCst)
@@ -690,9 +807,10 @@ impl RouterSubs {
                 return;
             }
             let watched: BTreeSet<u32> = {
-                let table = self.subs.lock().unwrap_or_else(|p| p.into_inner());
+                let table = self.inner.lock().unwrap_or_else(|p| p.into_inner());
                 table
                     .values()
+                    .flat_map(|e| e.subs.values())
                     .flat_map(|s| s.watched(&self.shared.ring))
                     .collect()
             };
@@ -714,16 +832,16 @@ impl RouterSubs {
     }
 
     /// Reports `shard` unreachable to `sub_id` — once per outage.
-    /// Returns `false` when the client socket is gone.
     fn report_down(
         &self,
+        conn: ConnId,
         sub_id: u64,
         standing: &mut RouterStanding,
         shard: u32,
         why: &str,
-    ) -> bool {
+    ) {
         if !standing.down.insert(shard) {
-            return true;
+            return;
         }
         self.shared.registry.counter("stream.shard_down", &[]).inc();
         let frame = err_response(
@@ -734,7 +852,7 @@ impl RouterSubs {
                  the subscription stays armed and resumes when the shard returns"
             ),
         );
-        self.write(&frame).is_ok()
+        self.ctl.send(conn, frame);
     }
 
     /// Re-examines every standing query against this cycle's probe
@@ -743,101 +861,125 @@ impl RouterSubs {
     /// is pushed as a delta frame.
     fn sweep(&self, conns: &mut [ShardConn], probes: &HashMap<u32, Result<ShardStamp, String>>) {
         let registry = &self.shared.registry;
-        let mut table = self.subs.lock().unwrap_or_else(|p| p.into_inner());
-        for (&sub_id, standing) in table.iter_mut() {
+        let mut table = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut doomed: Vec<ConnId> = Vec::new();
+        'conns: for (&conn, entry) in table.iter_mut() {
             if self.closed.load(Ordering::SeqCst) {
                 return;
             }
-            for shard in standing.watched(&self.shared.ring) {
-                let Some(probe) = probes.get(&shard) else {
-                    continue;
-                };
-                let stamp = match probe {
-                    Err(why) => {
-                        if !self.report_down(sub_id, standing, shard, why) {
-                            self.closed.store(true, Ordering::SeqCst);
-                            return;
+            for (&sub_id, standing) in entry.subs.iter_mut() {
+                for shard in standing.watched(&self.shared.ring) {
+                    let Some(probe) = probes.get(&shard) else {
+                        continue;
+                    };
+                    let stamp = match probe {
+                        Err(why) => {
+                            self.report_down(conn, sub_id, standing, shard, why);
+                            continue;
                         }
+                        Ok(stamp) => stamp,
+                    };
+                    if standing.down.remove(&shard) {
+                        registry.counter("stream.shard_recovered", &[]).inc();
+                    }
+                    if standing.stamps.get(&shard) == Some(stamp) {
+                        registry.counter("stream.skipped", &[]).inc();
                         continue;
                     }
-                    Ok(stamp) => stamp,
-                };
-                if standing.down.remove(&shard) {
-                    registry.counter("stream.shard_recovered", &[]).inc();
-                }
-                if standing.stamps.get(&shard) == Some(stamp) {
-                    registry.counter("stream.skipped", &[]).inc();
-                    continue;
-                }
-                let body = json!({
-                    "cmd": "query",
-                    "video": (standing.video.clone()),
-                    "text": (standing.text.clone()),
-                });
-                let result = match conns.get_mut(shard as usize) {
-                    Some(conn) => forward(&self.shared, conn, &body, sub_id, None),
-                    None => continue,
-                };
-                let groups = match result {
-                    Ok(r) => answer_groups(&standing.video, &r),
-                    Err((ErrorKind::ShardUnavailable, why)) => {
-                        if !self.report_down(sub_id, standing, shard, &why) {
-                            self.closed.store(true, Ordering::SeqCst);
-                            return;
-                        }
-                        continue;
-                    }
-                    Err(_) => {
-                        // A logical error (video not ingested yet, …)
-                        // evaluates to the empty answer; the
-                        // subscription stays armed.
-                        registry.counter("stream.eval_errors", &[]).inc();
-                        if standing.video == "*" {
-                            Vec::new()
-                        } else {
-                            vec![(standing.video.clone(), Vec::new())]
-                        }
-                    }
-                };
-                // The stamp was captured *before* the query, so a write
-                // racing the evaluation leaves the stored stamp stale
-                // and the next cycle re-evaluates.
-                standing.stamps.insert(shard, stamp.clone());
-                for (video, segments) in groups {
-                    let known = standing.views.contains_key(&video);
-                    let old = standing.views.get(&video).cloned().unwrap_or_default();
-                    let added: Vec<Value> = segments
-                        .iter()
-                        .filter(|s| !old.contains(s))
-                        .cloned()
-                        .collect();
-                    let removed = old.iter().filter(|s| !segments.contains(s)).count();
-                    let total = segments.len();
-                    standing.views.insert(video.clone(), segments);
-                    if added.is_empty() && removed == 0 && known {
-                        registry.counter("stream.unchanged", &[]).inc();
-                        continue;
-                    }
-                    let frame = json!({
-                        "id": (sub_id as f64),
-                        "ok": true,
-                        "push": true,
-                        "result": {
-                            "kind": "delta",
-                            "subscription": (sub_id as f64),
-                            "video": (video),
-                            "shard": (shard as f64),
-                            "added": (Value::Array(added)),
-                            "removed": (removed as f64),
-                            "total": (total as f64),
-                            "data_version": (stamp.data_version as f64),
-                        },
+                    let body = json!({
+                        "cmd": "query",
+                        "video": (standing.video.clone()),
+                        "text": (standing.text.clone()),
                     });
-                    registry.counter("stream.pushes", &[]).inc();
-                    if self.write(&frame).is_err() {
-                        self.closed.store(true, Ordering::SeqCst);
-                        return;
+                    let result = match conns.get_mut(shard as usize) {
+                        Some(conn) => forward(&self.shared, conn, &body, sub_id, None),
+                        None => continue,
+                    };
+                    let groups = match result {
+                        Ok(r) => answer_groups(&standing.video, &r),
+                        Err((ErrorKind::ShardUnavailable, why)) => {
+                            self.report_down(conn, sub_id, standing, shard, &why);
+                            continue;
+                        }
+                        Err(_) => {
+                            // A logical error (video not ingested yet, …)
+                            // evaluates to the empty answer; the
+                            // subscription stays armed.
+                            registry.counter("stream.eval_errors", &[]).inc();
+                            if standing.video == "*" {
+                                Vec::new()
+                            } else {
+                                vec![(standing.video.clone(), Vec::new())]
+                            }
+                        }
+                    };
+                    // The stamp was captured *before* the query, so a write
+                    // racing the evaluation leaves the stored stamp stale
+                    // and the next cycle re-evaluates.
+                    standing.stamps.insert(shard, stamp.clone());
+                    for (video, segments) in groups {
+                        let known = standing.views.contains_key(&video);
+                        let old = standing.views.get(&video).cloned().unwrap_or_default();
+                        let added: Vec<Value> = segments
+                            .iter()
+                            .filter(|s| !old.contains(s))
+                            .cloned()
+                            .collect();
+                        let removed = old.iter().filter(|s| !segments.contains(s)).count();
+                        let total = segments.len();
+                        standing.views.insert(video.clone(), segments);
+                        if added.is_empty() && removed == 0 && known {
+                            registry.counter("stream.unchanged", &[]).inc();
+                            continue;
+                        }
+                        let frame = json!({
+                            "id": (sub_id as f64),
+                            "ok": true,
+                            "push": true,
+                            "result": {
+                                "kind": "delta",
+                                "subscription": (sub_id as f64),
+                                "video": (video),
+                                "shard": (shard as f64),
+                                "added": (Value::Array(added)),
+                                "removed": (removed as f64),
+                                "total": (total as f64),
+                                "data_version": (stamp.data_version as f64),
+                            },
+                        });
+                        let queued = entry.pending.fetch_add(1, Ordering::AcqRel);
+                        if queued >= self.cap {
+                            entry.pending.fetch_sub(1, Ordering::AcqRel);
+                            registry
+                                .counter("stream.slow_consumer_disconnects", &[])
+                                .inc();
+                            self.ctl.send(
+                                conn,
+                                err_response(
+                                    sub_id,
+                                    ErrorKind::SlowConsumer,
+                                    format!(
+                                        "subscriber fell {queued} push frames behind the cap \
+                                         of {}; disconnecting",
+                                        self.cap
+                                    ),
+                                ),
+                            );
+                            self.ctl.close(conn);
+                            doomed.push(conn);
+                            continue 'conns;
+                        }
+                        registry.counter("stream.pushes", &[]).inc();
+                        self.ctl.send_push(conn, frame, Arc::clone(&entry.pending));
                     }
+                }
+            }
+        }
+        for conn in doomed {
+            if let Some(entry) = table.remove(&conn) {
+                let n = entry.subs.len();
+                if n > 0 {
+                    registry.gauge("stream.active", &[]).add(-(n as i64));
                 }
             }
         }
@@ -876,12 +1018,13 @@ fn answer_groups(video: &str, result: &Value) -> Vec<(String, Vec<Value>)> {
 }
 
 /// Registers a standing query: captures the watched shards' stamps,
-/// evaluates the initial answer, and arms the session's notifier. The
+/// evaluates the initial answer, and arms the hub's notifier. The
 /// subscription id *is* the request id, matching the worker protocol.
 fn handle_subscribe(
     shared: &RouterShared,
     conns: &mut [ShardConn],
-    subs: &Arc<RouterSubs>,
+    hub: &Arc<RouterHub>,
+    conn_id: ConnId,
     id: u64,
     request: &Value,
 ) -> Value {
@@ -900,8 +1043,11 @@ fn handle_subscribe(
         return err_response(id, ErrorKind::Parse, e.to_string());
     }
     {
-        let table = subs.subs.lock().unwrap_or_else(|p| p.into_inner());
-        if table.contains_key(&id) {
+        let table = hub.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if table
+            .get(&conn_id)
+            .is_some_and(|e| e.subs.contains_key(&id))
+        {
             return err_response(
                 id,
                 ErrorKind::BadRequest,
@@ -957,12 +1103,16 @@ fn handle_subscribe(
         standing.views.insert(v, segs);
     }
     {
-        let mut table = subs.subs.lock().unwrap_or_else(|p| p.into_inner());
-        table.insert(id, standing);
+        let mut table = hub.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = table.entry(conn_id).or_insert_with(|| RouterConnSubs {
+            pending: Arc::new(AtomicUsize::new(0)),
+            subs: HashMap::new(),
+        });
+        entry.subs.insert(id, standing);
     }
     shared.registry.counter("stream.subscribed", &[]).inc();
     shared.registry.gauge("stream.active", &[]).add(1);
-    subs.ensure_notifier();
+    hub.ensure_notifier();
     let shard_stamps: Vec<Value> = stamps
         .iter()
         .map(|s| {
@@ -986,7 +1136,7 @@ fn handle_subscribe(
 }
 
 /// Retires a standing query.
-fn handle_unsubscribe(subs: &RouterSubs, id: u64, request: &Value) -> Value {
+fn handle_unsubscribe(hub: &RouterHub, conn_id: ConnId, id: u64, request: &Value) -> Value {
     let Some(subscription) = request.get("subscription").and_then(Value::as_u64) else {
         return err_response(
             id,
@@ -994,13 +1144,17 @@ fn handle_unsubscribe(subs: &RouterSubs, id: u64, request: &Value) -> Value {
             "unsubscribe needs an integer 'subscription'",
         );
     };
-    let mut table = subs.subs.lock().unwrap_or_else(|p| p.into_inner());
-    if table.remove(&subscription).is_some() {
-        subs.shared
+    let mut table = hub.inner.lock().unwrap_or_else(|p| p.into_inner());
+    let removed = table
+        .get_mut(&conn_id)
+        .is_some_and(|e| e.subs.remove(&subscription).is_some());
+    drop(table);
+    if removed {
+        hub.shared
             .registry
             .counter("stream.unsubscribed", &[])
             .inc();
-        subs.shared.registry.gauge("stream.active", &[]).add(-1);
+        hub.shared.registry.gauge("stream.active", &[]).add(-1);
         ok_response(
             id,
             json!({"kind": "unsubscribed", "subscription": (subscription as f64)}),
@@ -1079,17 +1233,14 @@ fn handle_query(shared: &RouterShared, conns: &mut [ShardConn], id: u64, request
 fn handle_request(
     shared: &RouterShared,
     conns: &mut [ShardConn],
-    subs: &Arc<RouterSubs>,
+    hub: &Arc<RouterHub>,
+    conn_id: ConnId,
     request: &Value,
 ) -> Value {
     let id = request.get("id").and_then(Value::as_u64).unwrap_or(0);
     let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
         return err_response(id, ErrorKind::BadRequest, "missing 'cmd'");
     };
-    shared
-        .registry
-        .counter("serve.requests", &[("cmd", cmd)])
-        .inc();
     match cmd {
         "ping" => ok_response(id, json!({"kind": "pong"})),
         "version" => {
@@ -1204,8 +1355,8 @@ fn handle_request(
             )
         }
         "query" => handle_query(shared, conns, id, request),
-        "subscribe" => handle_subscribe(shared, conns, subs, id, request),
-        "unsubscribe" => handle_unsubscribe(subs, id, request),
+        "subscribe" => handle_subscribe(shared, conns, hub, conn_id, id, request),
+        "unsubscribe" => handle_unsubscribe(hub, conn_id, id, request),
         "write_event" => {
             // Forwarded to the owner; the worker enforces its own debug
             // gate. The router cache needs no eager invalidation — the
@@ -1231,53 +1382,4 @@ fn handle_request(
             format!("unknown command '{other}' (the router speaks ping, version, videos, stats, checkpoint, query, subscribe, unsubscribe, write_event)"),
         ),
     }
-}
-
-fn session_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    // Responses from this loop and push frames from the notifier share
-    // one write-side mutex, so frames never tear on the client socket.
-    let subs = RouterSubs::new(Arc::clone(shared), Arc::new(Mutex::new(write_half)));
-    let mut conns: Vec<ShardConn> = (0..shared.ring.shards())
-        .map(|shard| ShardConn {
-            shard,
-            client: None,
-            epoch: 0,
-        })
-        .collect();
-    loop {
-        let stop =
-            || shared.shutting_down.load(Ordering::SeqCst) || subs.closed.load(Ordering::SeqCst);
-        let mut prefix = [0u8; 4];
-        match read_exact_interruptible(&mut stream, &mut prefix, stop) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => break,
-        }
-        let len = u32::from_be_bytes(prefix) as usize;
-        if len > crate::protocol::MAX_FRAME_LEN {
-            let _ = subs.write(&err_response(
-                0,
-                ErrorKind::BadRequest,
-                FrameError::Oversized(len).to_string(),
-            ));
-            break; // the stream is beyond resync
-        }
-        let mut payload = vec![0u8; len];
-        match read_exact_interruptible(&mut stream, &mut payload, stop) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => break,
-        }
-        let response = match serde_json::from_slice(&payload) {
-            Ok(request) => handle_request(shared, &mut conns, &subs, &request),
-            Err(e) => err_response(0, ErrorKind::BadRequest, e.to_string()),
-        };
-        if subs.write(&response).is_err() {
-            break;
-        }
-    }
-    subs.close();
 }

@@ -24,6 +24,16 @@ use cobra_obs::{Counter, Gauge, Registry};
 /// A unit of admitted work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// How long a client of the pool should sleep before re-submitting
+/// after [`SubmitError::Overloaded`], given how many rejections it has
+/// absorbed in a row. Bounded exponential backoff — 1ms doubling to a
+/// 64ms ceiling — so a saturated pool is never busy-spun against
+/// (`yield_now` in a retry loop burns a core without yielding queue
+/// room), yet the first retry lands fast when the overload was a blip.
+pub fn overload_backoff(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(1u64 << attempt.min(6))
+}
+
 /// Why a submission was refused. Both variants are immediate — the
 /// scheduler never blocks an admission decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,19 +192,31 @@ mod tests {
             // Submit with retry: 32 jobs against capacity 4+16 will
             // transiently overload, which is the designed behavior.
             let done = Arc::clone(&done);
+            let mut attempt = 0u32;
             loop {
                 let d = Arc::clone(&done);
                 match pool.try_submit(Box::new(move || {
                     d.fetch_add(1, Ordering::SeqCst);
                 })) {
                     Ok(()) => break,
-                    Err(SubmitError::Overloaded { .. }) => std::thread::yield_now(),
+                    Err(SubmitError::Overloaded { .. }) => {
+                        std::thread::sleep(overload_backoff(attempt));
+                        attempt += 1;
+                    }
                     Err(SubmitError::ShuttingDown) => panic!("not shutting down"),
                 }
             }
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn overload_backoff_doubles_to_a_ceiling() {
+        assert_eq!(overload_backoff(0), Duration::from_millis(1));
+        assert_eq!(overload_backoff(3), Duration::from_millis(8));
+        assert_eq!(overload_backoff(6), Duration::from_millis(64));
+        assert_eq!(overload_backoff(1000), Duration::from_millis(64));
     }
 
     #[test]

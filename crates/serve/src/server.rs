@@ -1,12 +1,14 @@
 //! The TCP query service.
 //!
-//! One accept thread hands each connection to its own session thread; a
-//! session thread reads frames, answers cheap control commands inline
-//! (`ping`, `stats`, `videos`) and submits queries to the shared
-//! [`WorkerPool`](crate::scheduler::WorkerPool). Responses flow through
-//! a per-session writer thread, so a worker finishing a query never
-//! blocks on a slow client socket and pipelined answers can return out
-//! of order.
+//! A single reactor thread ([`crate::reactor`]) owns every client
+//! socket: it accepts, decodes length-prefixed frames incrementally,
+//! and batches response flushes. Cheap control commands (`ping`,
+//! `version`, `stats`, `videos`) are answered inline on the reactor;
+//! everything that touches the engine — queries, checkpoints,
+//! subscriptions, debug writes — runs on the shared bounded
+//! [`WorkerPool`](crate::scheduler::WorkerPool), whose completions are
+//! queued back to the reactor through [`ReactorCtl`] and flushed to
+//! the socket without ever blocking a worker on a slow client.
 //!
 //! Guard rails, all typed on the wire:
 //! * **Admission control** — a full queue answers `overloaded` at once.
@@ -15,14 +17,16 @@
 //!   `deadline`. Time spent waiting in the queue counts.
 //! * **Disconnect cancellation** — when a client's socket closes, every
 //!   query it still has in flight is cancelled through its budget token.
-//! * **Graceful shutdown** — admitted queries drain, new ones are
-//!   refused with `shutting_down`, then sessions and workers join.
+//! * **Backpressure** — a connection whose peer stops draining is not
+//!   read from past a buffer high-water mark; subscribers that fall too
+//!   far behind are disconnected with `slow_consumer`.
+//! * **Graceful shutdown** — the listener closes first, admitted
+//!   queries drain, new ones are refused with `shutting_down`, then
+//!   every connection is flushed and the reactor joins.
 
 use std::collections::HashMap;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,9 +37,10 @@ use f1_cobra::Vdbms;
 use f1_monet::{ExecBudget, MonetError};
 use serde_json::{json, Value};
 
-use crate::protocol::{err_response, ok_response, write_frame, ErrorKind, FrameError};
+use crate::protocol::{err_response, ok_response, ErrorKind};
+use crate::reactor::{self, ConnId, ReactorConfig, ReactorCtl, Service};
 use crate::scheduler::{SubmitError, WorkerPool};
-use crate::stream::{FrameTx, Outbound, Subscriptions, DEFAULT_PUSH_QUEUE_CAP};
+use crate::stream::{StreamHub, DEFAULT_PUSH_QUEUE_CAP};
 
 /// How the server is sized and where it listens.
 #[derive(Debug, Clone)]
@@ -50,9 +55,16 @@ pub struct ServerConfig {
     /// Enables the `sleep` debug command (deterministic slow queries
     /// for overload and deadline tests). Off in production.
     pub debug: bool,
-    /// Push frames allowed to queue behind one connection's writer
-    /// before the subscriber is disconnected as a slow consumer.
+    /// Push frames allowed to queue behind one connection before the
+    /// subscriber is disconnected as a slow consumer.
     pub push_queue_cap: usize,
+    /// Evict connections with no traffic in either direction for this
+    /// long. `None` (the default) keeps idle dashboards open forever.
+    pub idle_timeout: Option<Duration>,
+    /// Clamp the kernel send buffer of accepted sockets (bytes). Test
+    /// aid: a tiny buffer makes slow consumers visible to the push
+    /// backlog instead of hiding megabytes in the kernel.
+    pub sndbuf: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -63,7 +75,27 @@ impl Default for ServerConfig {
             queue_cap: 32,
             debug: false,
             push_queue_cap: DEFAULT_PUSH_QUEUE_CAP,
+            idle_timeout: None,
+            sndbuf: None,
         }
+    }
+}
+
+/// Response path of one connection: completions from any thread are
+/// queued on the reactor, which owns the socket and flushes in batches.
+#[derive(Clone)]
+pub(crate) struct ConnTx {
+    ctl: ReactorCtl,
+    conn: ConnId,
+}
+
+impl ConnTx {
+    pub(crate) fn new(ctl: ReactorCtl, conn: ConnId) -> ConnTx {
+        ConnTx { ctl, conn }
+    }
+
+    pub(crate) fn send(&self, frame: Value) {
+        self.ctl.send(self.conn, frame);
     }
 }
 
@@ -71,16 +103,24 @@ impl Default for ServerConfig {
 /// the leader's response and receives a copy with its own id.
 struct FlightWaiter {
     id: u64,
-    tx: FrameTx,
+    tx: ConnTx,
     since: Instant,
 }
+
+/// Per-request state tracked while the query is in the pool:
+/// cancelling the token interrupts the running query via its budget.
+type Inflight = Arc<Mutex<HashMap<u64, CancellationToken>>>;
 
 struct ServerShared {
     vdbms: Arc<Vdbms>,
     pool: WorkerPool,
     config: ServerConfig,
+    ctl: ReactorCtl,
+    hub: Arc<StreamHub>,
     shutting_down: AtomicBool,
-    sessions: Mutex<Vec<JoinHandle<()>>>,
+    /// In-flight cancellation tokens per connection; an entry appears
+    /// with the connection's first admitted request and dies with it.
+    conns: Mutex<HashMap<ConnId, Inflight>>,
     /// Single-flight table: (video, normalized statement) of every
     /// coalescable query currently admitted, mapped to the followers
     /// that arrived while it was in flight. The leader's presence is the
@@ -93,6 +133,45 @@ impl ServerShared {
     fn registry(&self) -> &Arc<Registry> {
         self.vdbms.kernel().metrics().registry()
     }
+
+    fn tx(&self, conn: ConnId) -> ConnTx {
+        ConnTx::new(self.ctl.clone(), conn)
+    }
+
+    fn inflight_for(&self, conn: ConnId) -> Inflight {
+        let mut conns = self.conns.lock().expect("conn table");
+        Arc::clone(conns.entry(conn).or_default())
+    }
+}
+
+/// The reactor-facing half of the server: frames in, closes out.
+struct ServerService {
+    shared: Arc<ServerShared>,
+}
+
+impl Service for ServerService {
+    fn on_frame(&self, conn: ConnId, frame: Value) {
+        handle_request(&self.shared, conn, &frame);
+    }
+
+    fn on_close(&self, conn: ConnId) {
+        // Client gone (or evicted): interrupt whatever it still has
+        // running and retire its standing queries.
+        let inflight = self.shared.conns.lock().expect("conn table").remove(&conn);
+        if let Some(inflight) = inflight {
+            let orphaned = std::mem::take(&mut *inflight.lock().expect("inflight map"));
+            if !orphaned.is_empty() {
+                self.shared
+                    .registry()
+                    .counter("serve.cancelled_disconnect", &[])
+                    .add(orphaned.len() as u64);
+                for token in orphaned.into_values() {
+                    token.cancel();
+                }
+            }
+        }
+        self.shared.hub.drop_conn(conn);
+    }
 }
 
 /// A running server. Dropping the handle without calling
@@ -100,7 +179,7 @@ impl ServerShared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -114,19 +193,21 @@ impl ServerHandle {
         self.shared.pool.admission_limit()
     }
 
-    /// Graceful shutdown: stop accepting, refuse new queries, drain
-    /// admitted ones, join every session and worker thread.
+    /// Graceful shutdown: close the listener, refuse new queries,
+    /// drain admitted ones, flush every connection, join the reactor.
     pub fn shutdown(mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // The accept loop blocks in `accept`; poke it awake.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        // Closing the listener first means no connection sneaks in
+        // mid-drain; connects are refused from here on.
+        self.shared.ctl.drain();
+        // Admitted jobs run to completion; their responses flow through
+        // the still-live reactor.
         self.shared.pool.shutdown();
-        let sessions = std::mem::take(&mut *self.shared.sessions.lock().expect("session list"));
-        for s in sessions {
-            let _ = s.join();
+        self.shared.hub.close();
+        // Flush-and-close every connection, then the loop exits.
+        self.shared.ctl.stop();
+        if let Some(t) = self.reactor_thread.take() {
+            let _ = t.join();
         }
         // Every admitted mutation has drained: force buffered WAL records
         // to disk and leave a fresh checkpoint, so the next boot replays
@@ -152,188 +233,83 @@ pub fn start(vdbms: Arc<Vdbms>, config: ServerConfig) -> std::io::Result<ServerH
         config.queue_cap,
         vdbms.kernel().metrics().registry(),
     )?;
+    let ctl = ReactorCtl::new()?;
+    let hub = StreamHub::new(Arc::clone(&vdbms), ctl.clone(), config.push_queue_cap);
     let shared = Arc::new(ServerShared {
         vdbms,
         pool,
+        ctl: ctl.clone(),
+        hub,
         config,
         shutting_down: AtomicBool::new(false),
-        sessions: Mutex::new(Vec::new()),
+        conns: Mutex::new(HashMap::new()),
         flights: Mutex::new(HashMap::new()),
     });
     // Pre-resolve so `stats` shows the series from boot.
     shared.registry().counter("cache.coalesced", &[]);
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
-        .name("cobra-serve-accept".into())
-        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    let service = Arc::new(ServerService {
+        shared: Arc::clone(&shared),
+    });
+    let reactor_thread = reactor::spawn(
+        listener,
+        &ctl,
+        ReactorConfig {
+            name: "cobra-serve-reactor".into(),
+            idle_timeout: shared.config.idle_timeout,
+            sndbuf: shared.config.sndbuf,
+        },
+        shared.registry(),
+        service,
+    )?;
     Ok(ServerHandle {
         addr,
         shared,
-        accept_thread: Some(accept_thread),
+        reactor_thread: Some(reactor_thread),
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
-    for stream in listener.incoming() {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(stream) = stream else { continue };
-        shared.registry().counter("serve.connections", &[]).inc();
-        let session_shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("cobra-serve-session".into())
-            .spawn(move || session_loop(stream, &session_shared));
-        if let Ok(handle) = handle {
-            shared.sessions.lock().expect("session list").push(handle);
-        }
-    }
-}
-
-/// Reads `buf.len()` bytes, tolerating read timeouts so the loop can
-/// observe the shutdown flag. Returns `Ok(false)` on clean EOF or when
-/// `stop` fires (a partial frame abandoned at shutdown was never
-/// admitted, so nothing is lost).
-pub(crate) fn read_exact_interruptible(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    stop: impl Fn() -> bool,
-) -> std::io::Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return Ok(false),
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stop() {
-                    return Ok(false);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
-}
-
-/// Per-request state a session tracks while the query is in the pool:
-/// cancelling the token interrupts the running query via its budget.
-type Inflight = Arc<Mutex<HashMap<u64, CancellationToken>>>;
-
-fn session_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let Ok(mut write_half) = stream.try_clone() else {
-        return;
-    };
-    let Ok(sub_socket) = stream.try_clone() else {
-        return;
-    };
-    let (raw_tx, rx) = mpsc::channel::<Outbound>();
-    let writer = std::thread::Builder::new()
-        .name("cobra-serve-writer".into())
-        .spawn(move || {
-            while let Ok(out) = rx.recv() {
-                let (v, pending) = match out {
-                    Outbound::Frame(v) => (v, None),
-                    Outbound::Push { frame, pending } => (frame, Some(pending)),
-                };
-                let result = write_frame(&mut write_half, &v);
-                // The push left the queue whether or not the socket
-                // took it; freeing the credit after the write is what
-                // makes `pending` count frames not yet on the wire.
-                if let Some(p) = &pending {
-                    p.fetch_sub(1, Ordering::AcqRel);
-                }
-                if result.is_err() {
-                    // Keep draining so senders never see a full pipe;
-                    // the session notices the dead socket on read.
-                    for out in rx.iter() {
-                        if let Outbound::Push { pending, .. } = out {
-                            pending.fetch_sub(1, Ordering::AcqRel);
-                        }
-                    }
-                    return;
-                }
-            }
-        });
-    let Ok(writer) = writer else { return };
-    let tx = FrameTx::new(raw_tx);
-    let subs = Subscriptions::new(
-        Arc::clone(&shared.vdbms),
-        tx.clone(),
-        sub_socket,
-        shared.config.push_queue_cap,
-    );
-
-    let inflight: Inflight = Arc::new(Mutex::new(HashMap::new()));
-    loop {
-        let stop = || shared.shutting_down.load(Ordering::SeqCst);
-        let mut prefix = [0u8; 4];
-        match read_exact_interruptible(&mut stream, &mut prefix, stop) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => break,
-        }
-        let len = u32::from_be_bytes(prefix) as usize;
-        if len > crate::protocol::MAX_FRAME_LEN {
-            let _ = tx.send(err_response(
-                0,
-                ErrorKind::BadRequest,
-                FrameError::Oversized(len).to_string(),
-            ));
-            break; // the stream is beyond resync
-        }
-        let mut payload = vec![0u8; len];
-        match read_exact_interruptible(&mut stream, &mut payload, stop) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => break,
-        }
-        match serde_json::from_slice(&payload) {
-            Ok(request) => handle_request(shared, &request, &tx, &inflight, &subs),
-            Err(e) => {
-                let _ = tx.send(err_response(0, ErrorKind::BadRequest, e.to_string()));
-            }
-        }
-    }
-
-    // Client gone (or shutdown): interrupt whatever it still has running.
-    let orphaned = std::mem::take(&mut *inflight.lock().expect("inflight map"));
-    if !orphaned.is_empty() {
+/// Hands a control command (checkpoint, subscribe, …) to the pool and
+/// wires its response back to the connection; a full queue answers the
+/// usual typed rejection. These commands skip the query admission
+/// bookkeeping (no deadline, no cancellation token) but still must not
+/// run on the reactor thread — they take engine locks.
+fn submit_control(
+    shared: &Arc<ServerShared>,
+    id: u64,
+    tx: &ConnTx,
+    run: impl FnOnce() -> Value + Send + 'static,
+) {
+    let reply = tx.clone();
+    let outcome = shared.pool.try_submit(Box::new(move || {
+        reply.send(run());
+    }));
+    if let Err(e) = outcome {
+        let (kind, message) = rejection(e);
         shared
             .registry()
-            .counter("serve.cancelled_disconnect", &[])
-            .add(orphaned.len() as u64);
-        for token in orphaned.into_values() {
-            token.cancel();
-        }
+            .counter("serve.rejected", &[("kind", kind.as_str())])
+            .inc();
+        tx.send(err_response(id, kind, message));
     }
-    // Retire the standing queries (and their notifier) before the
-    // writer channel closes, so the notifier never pushes into a
-    // dropped channel. The `Subscriptions` itself holds a `FrameTx`
-    // clone, so it must be dropped too — `close()` has joined the
-    // notifier, making this the last strong reference — or the writer
-    // below would never see its channel close and the join would hang.
-    subs.close();
-    drop(subs);
-    drop(tx);
-    let _ = writer.join();
 }
 
-fn handle_request(
-    shared: &Arc<ServerShared>,
-    request: &Value,
-    tx: &FrameTx,
-    inflight: &Inflight,
-    subs: &Arc<Subscriptions>,
-) {
+fn rejection(e: SubmitError) -> (ErrorKind, String) {
+    match e {
+        SubmitError::Overloaded { queue_cap } => (
+            ErrorKind::Overloaded,
+            format!("worker queue full ({queue_cap} waiting); retry with backoff"),
+        ),
+        SubmitError::ShuttingDown => (ErrorKind::ShuttingDown, "server is shutting down".into()),
+    }
+}
+
+/// Dispatches one decoded frame. Runs on the reactor thread: anything
+/// that can block hands off to the worker pool.
+fn handle_request(shared: &Arc<ServerShared>, conn: ConnId, request: &Value) {
+    let tx = shared.tx(conn);
     let id = request.get("id").and_then(Value::as_u64).unwrap_or(0);
     let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
-        let _ = tx.send(err_response(id, ErrorKind::BadRequest, "missing 'cmd'"));
+        tx.send(err_response(id, ErrorKind::BadRequest, "missing 'cmd'"));
         return;
     };
     let registry = shared.registry();
@@ -351,7 +327,7 @@ fn handle_request(
         let actual = shared.vdbms.catalog.epoch();
         if expected != actual {
             registry.counter("serve.shard_epoch_mismatch", &[]).inc();
-            let _ = tx.send(err_response(
+            tx.send(err_response(
                 id,
                 ErrorKind::ShardUnavailable,
                 format!("shard epoch is {actual}, frame addressed epoch {expected}"),
@@ -361,7 +337,7 @@ fn handle_request(
     }
     match cmd {
         "ping" => {
-            let _ = tx.send(ok_response(id, json!({"kind": "pong"})));
+            tx.send(ok_response(id, json!({"kind": "pong"})));
         }
         "version" => {
             // The router's handshake/revalidation probe: who am I
@@ -369,7 +345,7 @@ fn handle_request(
             // hold (videos). Cheap enough to run before serving a
             // cached cross-shard answer.
             let catalog = &shared.vdbms.catalog;
-            let _ = tx.send(ok_response(
+            tx.send(ok_response(
                 id,
                 json!({
                     "kind": "version",
@@ -382,22 +358,23 @@ fn handle_request(
         }
         "stats" => {
             let snapshot = registry.snapshot().to_json();
-            let _ = tx.send(ok_response(
+            tx.send(ok_response(
                 id,
                 json!({"kind": "stats", "snapshot": (snapshot)}),
             ));
         }
         "videos" => {
             let names = shared.vdbms.catalog.videos();
-            let _ = tx.send(ok_response(
+            tx.send(ok_response(
                 id,
                 json!({"kind": "videos", "videos": (names)}),
             ));
         }
         "checkpoint" => {
-            // Runs inline on the session thread: a checkpoint only clones
-            // dirty BATs under the commit lock, so queries keep flowing.
-            let _ = tx.send(match shared.vdbms.checkpoint() {
+            // A checkpoint clones dirty BATs under the commit lock —
+            // worker-pool territory, never the reactor's.
+            let shared2 = Arc::clone(shared);
+            submit_control(shared, id, &tx, move || match shared2.vdbms.checkpoint() {
                 Ok(Some(outcome)) => ok_response(
                     id,
                     json!({
@@ -419,40 +396,52 @@ fn handle_request(
                 request.get("video").and_then(Value::as_str),
                 request.get("text").and_then(Value::as_str),
             ) else {
-                let _ = tx.send(err_response(
+                tx.send(err_response(
                     id,
                     ErrorKind::BadRequest,
                     "subscribe needs string fields 'video' and 'text'",
                 ));
                 return;
             };
-            // Registration and the initial evaluation run inline on the
-            // session thread — a standing query is a cached read, not a
-            // pooled job.
-            let _ = tx.send(subs.subscribe(id, video, text));
+            // The initial evaluation is a real query; run it on a
+            // worker and register the standing query in the hub.
+            let (video, text) = (video.to_string(), text.to_string());
+            let shared2 = Arc::clone(shared);
+            submit_control(shared, id, &tx, move || {
+                shared2.hub.subscribe(conn, id, &video, &text)
+            });
         }
         "unsubscribe" => {
             let Some(subscription) = request.get("subscription").and_then(Value::as_u64) else {
-                let _ = tx.send(err_response(
+                tx.send(err_response(
                     id,
                     ErrorKind::BadRequest,
                     "unsubscribe needs integer field 'subscription'",
                 ));
                 return;
             };
-            let _ = tx.send(subs.unsubscribe(id, subscription));
+            // The hub lock is held across sweep evaluations; don't
+            // wait for it on the reactor thread.
+            let shared2 = Arc::clone(shared);
+            submit_control(shared, id, &tx, move || {
+                shared2.hub.unsubscribe(conn, id, subscription)
+            });
         }
-        "query" => submit_query(shared, id, request, tx, inflight),
-        "sleep" if shared.config.debug => submit_sleep(shared, id, request, tx, inflight),
+        "query" => submit_query(shared, conn, id, request, &tx),
+        "sleep" if shared.config.debug => submit_sleep(shared, conn, id, request, &tx),
         "write_event" if shared.config.debug => {
             // Debug-only event append over the wire: the sharding tests
             // mutate one shard of a live cluster with it and prove the
-            // router's cross-shard cache invalidation. Runs inline — the
-            // catalog serializes mutations on its commit lock.
-            let _ = tx.send(handle_write_event(shared, id, request));
+            // router's cross-shard cache invalidation. The catalog
+            // serializes mutations on its commit lock — pool work.
+            let shared2 = Arc::clone(shared);
+            let request = request.clone();
+            submit_control(shared, id, &tx, move || {
+                handle_write_event(&shared2, id, &request)
+            });
         }
         other => {
-            let _ = tx.send(err_response(
+            tx.send(err_response(
                 id,
                 ErrorKind::BadRequest,
                 format!("unknown command '{other}'"),
@@ -514,7 +503,7 @@ fn fan_out(shared: &Arc<ServerShared>, key: &str, response: &Value) {
         if let Value::Object(map) = &mut copy {
             map.insert("id".into(), Value::Number(w.id as f64));
         }
-        let _ = w.tx.send(copy);
+        w.tx.send(copy);
     }
 }
 
@@ -522,7 +511,7 @@ fn fan_out(shared: &Arc<ServerShared>, key: &str, response: &Value) {
 struct JobCtx {
     shared: Arc<ServerShared>,
     id: u64,
-    tx: FrameTx,
+    tx: ConnTx,
     inflight: Inflight,
     token: CancellationToken,
     deadline_at: Option<Instant>,
@@ -574,7 +563,7 @@ impl JobCtx {
         if let Some(key) = &self.flight_key {
             fan_out(&self.shared, key, &response);
         }
-        let _ = self.tx.send(response);
+        self.tx.send(response);
     }
 
     fn fail(&self, kind: ErrorKind, message: impl Into<String>) {
@@ -607,13 +596,14 @@ impl Drop for JobCtx {
 
 fn admit(
     shared: &Arc<ServerShared>,
+    conn: ConnId,
     id: u64,
     request: &Value,
-    tx: &FrameTx,
-    inflight: &Inflight,
+    tx: &ConnTx,
     flight_key: Option<String>,
     run: impl FnOnce(&JobCtx) + Send + 'static,
 ) {
+    let inflight = shared.inflight_for(conn);
     let token = CancellationToken::new();
     let mut map = inflight.lock().expect("inflight map");
     map.insert(id, token.clone());
@@ -623,7 +613,7 @@ fn admit(
         shared: Arc::clone(shared),
         id,
         tx: tx.clone(),
-        inflight: Arc::clone(inflight),
+        inflight: Arc::clone(&inflight),
         token,
         deadline_at: request
             .get("deadline_ms")
@@ -644,15 +634,7 @@ fn admit(
     }));
     if let Err(e) = outcome {
         inflight.lock().expect("inflight map").remove(&id);
-        let (kind, message) = match e {
-            SubmitError::Overloaded { queue_cap } => (
-                ErrorKind::Overloaded,
-                format!("worker queue full ({queue_cap} waiting); retry with backoff"),
-            ),
-            SubmitError::ShuttingDown => {
-                (ErrorKind::ShuttingDown, "server is shutting down".into())
-            }
-        };
+        let (kind, message) = rejection(e);
         shared
             .registry()
             .counter("serve.rejected", &[("kind", kind.as_str())])
@@ -662,22 +644,16 @@ fn admit(
         if let Some(key) = &rejection_key {
             fan_out(shared, key, &response);
         }
-        let _ = tx.send(response);
+        tx.send(response);
     }
 }
 
-fn submit_query(
-    shared: &Arc<ServerShared>,
-    id: u64,
-    request: &Value,
-    tx: &FrameTx,
-    inflight: &Inflight,
-) {
+fn submit_query(shared: &Arc<ServerShared>, conn: ConnId, id: u64, request: &Value, tx: &ConnTx) {
     let (Some(video), Some(text)) = (
         request.get("video").and_then(Value::as_str),
         request.get("text").and_then(Value::as_str),
     ) else {
-        let _ = tx.send(err_response(
+        tx.send(err_response(
             id,
             ErrorKind::BadRequest,
             "query needs string fields 'video' and 'text'",
@@ -715,7 +691,7 @@ fn submit_query(
         flights.insert(key.clone(), Vec::new());
     }
 
-    admit(shared, id, request, tx, inflight, flight_key, move |ctx| {
+    admit(shared, conn, id, request, tx, flight_key, move |ctx| {
         let budget = ctx.budget();
         // `"*"` runs the statement against every catalogued video — the
         // cross-video form the scatter-gather router also speaks, so a
@@ -739,22 +715,16 @@ fn submit_query(
 /// milliseconds while ticking an [`ExecBudget`] guard, so deadline,
 /// cancellation and overload behavior can be tested without hunting
 /// for a genuinely slow retrieval.
-fn submit_sleep(
-    shared: &Arc<ServerShared>,
-    id: u64,
-    request: &Value,
-    tx: &FrameTx,
-    inflight: &Inflight,
-) {
+fn submit_sleep(shared: &Arc<ServerShared>, conn: ConnId, id: u64, request: &Value, tx: &ConnTx) {
     let Some(ms) = request.get("ms").and_then(Value::as_u64) else {
-        let _ = tx.send(err_response(
+        tx.send(err_response(
             id,
             ErrorKind::BadRequest,
             "sleep needs integer field 'ms'",
         ));
         return;
     };
-    admit(shared, id, request, tx, inflight, None, move |ctx| {
+    admit(shared, conn, id, request, tx, None, move |ctx| {
         let budget = ctx.budget();
         let guard = budget.start();
         let end = Instant::now() + Duration::from_millis(ms);

@@ -5,26 +5,30 @@
 //! The notification source is the version machinery the caches already
 //! trust: every committed mutation bumps the catalog's `data_version`,
 //! which the [`ChangeFeed`](f1_cobra::catalog::ChangeFeed) broadcasts;
-//! a per-connection notifier thread wakes on the broadcast, compares
-//! each standing query's stored [`VersionVector`] (the same (BAT id,
-//! version) watch set that guards the result cache) against the
-//! current one, and only re-evaluates queries whose watched BATs
-//! actually moved. A re-evaluation whose answer is unchanged re-arms
-//! silently — subscribers see *deltas*, not heartbeats.
+//! one server-wide notifier thread (the [`StreamHub`]) wakes on the
+//! broadcast, compares each standing query's stored
+//! [`VersionVector`] (the same (BAT id, version) watch set that guards
+//! the result cache) against the current one, and only re-evaluates
+//! queries whose watched BATs actually moved. A re-evaluation whose
+//! answer is unchanged re-arms silently — subscribers see *deltas*,
+//! not heartbeats.
 //!
-//! Push frames ride the connection's ordinary writer thread, marked
-//! `"push": true` and carrying the subscription id, so request
-//! responses and pushes interleave on one socket without tearing
-//! frames. Backpressure is a bounded per-subscriber queue: each
-//! connection counts push frames accepted but not yet written, and a
-//! subscriber that falls more than the cap behind is sent a typed
-//! `slow_consumer` error and disconnected — the server never buffers
-//! an unbounded backlog for a stalled dashboard.
+//! Push frames are queued on the reactor alongside ordinary responses,
+//! marked `"push": true` and carrying the subscription id, so the two
+//! interleave on one socket without tearing frames. Backpressure is a
+//! bounded per-connection queue: each connection counts push frames
+//! accepted but not yet written to its socket (the reactor releases
+//! the credit when the bytes leave), and a subscriber that falls more
+//! than the cap behind is sent a typed `slow_consumer` error and
+//! disconnected — the server never buffers an unbounded backlog for a
+//! stalled dashboard.
+//!
+//! Before the reactor rework each connection ran its own notifier
+//! thread; the hub folds them into one sweep over every connection's
+//! standing queries, so ten thousand idle dashboards cost zero threads.
 
 use std::collections::HashMap;
-use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{SendError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -34,8 +38,9 @@ use f1_cobra::{RetrievedSegment, Vdbms, VersionVector};
 use serde_json::{json, Value};
 
 use crate::protocol::{err_response, ok_response, ErrorKind};
+use crate::reactor::{ConnId, ReactorCtl};
 
-/// Default bound on push frames queued behind one connection's writer.
+/// Default bound on push frames queued behind one connection.
 pub const DEFAULT_PUSH_QUEUE_CAP: usize = 64;
 
 /// How long the notifier sleeps when the change feed is silent. A
@@ -43,46 +48,6 @@ pub const DEFAULT_PUSH_QUEUE_CAP: usize = 64;
 /// only bounds the race where a subscription is registered between a
 /// commit and the notifier's next wait.
 const SWEEP_INTERVAL: Duration = Duration::from_millis(250);
-
-/// One frame bound for a connection's writer thread.
-pub enum Outbound {
-    /// An ordinary response frame.
-    Frame(Value),
-    /// A subscription push frame; `pending` is decremented after the
-    /// frame reaches the socket, closing the backpressure loop.
-    Push {
-        /// The frame to write.
-        frame: Value,
-        /// The connection's queued-push counter.
-        pending: Arc<AtomicUsize>,
-    },
-}
-
-/// A clonable handle for enqueueing frames onto one connection's
-/// writer thread.
-#[derive(Clone)]
-pub struct FrameTx(Sender<Outbound>);
-
-impl FrameTx {
-    /// Wraps the writer channel's sender.
-    pub fn new(tx: Sender<Outbound>) -> FrameTx {
-        FrameTx(tx)
-    }
-
-    /// Enqueues an ordinary response frame.
-    pub fn send(&self, frame: Value) -> Result<(), SendError<Outbound>> {
-        self.0.send(Outbound::Frame(frame))
-    }
-
-    /// Enqueues a push frame counted against `pending`.
-    pub fn send_push(
-        &self,
-        frame: Value,
-        pending: Arc<AtomicUsize>,
-    ) -> Result<(), SendError<Outbound>> {
-        self.0.send(Outbound::Push { frame, pending })
-    }
-}
 
 /// One video's last-delivered answer and the version vector it was
 /// computed against.
@@ -101,39 +66,34 @@ struct Standing {
     views: HashMap<String, View>,
 }
 
-/// All standing queries of one connection, plus the notifier thread
-/// that serves them.
-pub struct Subscriptions {
-    vdbms: Arc<Vdbms>,
-    tx: FrameTx,
-    /// A clone of the connection's socket, used only to force a
-    /// disconnect when the subscriber falls too far behind.
-    socket: TcpStream,
-    closed: Arc<AtomicBool>,
-    subs: Mutex<HashMap<u64, Standing>>,
-    /// Push frames accepted but not yet written to the socket.
+/// Every standing query of one connection, plus its push backlog.
+struct ConnSubs {
+    /// Push frames accepted but not yet written to the socket; the
+    /// reactor decrements as bytes reach the wire.
     pending: Arc<AtomicUsize>,
-    /// Bound on `pending` before the subscriber is disconnected.
+    subs: HashMap<u64, Standing>,
+}
+
+/// All standing queries of a server, swept by one notifier thread.
+pub struct StreamHub {
+    vdbms: Arc<Vdbms>,
+    ctl: ReactorCtl,
+    /// Bound on one connection's `pending` before it is disconnected.
     cap: usize,
+    inner: Mutex<HashMap<ConnId, ConnSubs>>,
+    closed: Arc<AtomicBool>,
     notifier: Mutex<Option<JoinHandle<()>>>,
 }
 
-impl Subscriptions {
-    /// Creates the (initially empty) subscription set of one connection.
-    pub fn new(
-        vdbms: Arc<Vdbms>,
-        tx: FrameTx,
-        socket: TcpStream,
-        cap: usize,
-    ) -> Arc<Subscriptions> {
-        Arc::new(Subscriptions {
+impl StreamHub {
+    /// Creates the (initially empty) hub of a server.
+    pub fn new(vdbms: Arc<Vdbms>, ctl: ReactorCtl, cap: usize) -> Arc<StreamHub> {
+        Arc::new(StreamHub {
             vdbms,
-            tx,
-            socket,
-            closed: Arc::new(AtomicBool::new(false)),
-            subs: Mutex::new(HashMap::new()),
-            pending: Arc::new(AtomicUsize::new(0)),
+            ctl,
             cap: cap.max(1),
+            inner: Mutex::new(HashMap::new()),
+            closed: Arc::new(AtomicBool::new(false)),
             notifier: Mutex::new(None),
         })
     }
@@ -146,21 +106,17 @@ impl Subscriptions {
     /// with the initial result set. The subscription id *is* the
     /// request id, so every later push frame for it carries an id the
     /// client already knows.
-    pub fn subscribe(self: &Arc<Self>, id: u64, video: &str, text: &str) -> Value {
+    pub fn subscribe(self: &Arc<Self>, conn: ConnId, id: u64, video: &str, text: &str) -> Value {
         // Only plain `RETRIEVE` statements can stand; PROFILE/EXPLAIN
         // are one-shot diagnostics.
         if let Err(e) = f1_cobra::parse_query(text) {
             return err_response(id, ErrorKind::Parse, e.to_string());
         }
-        let registry = self.registry();
-        let mut subs = self.subs.lock().expect("subscription table");
-        if subs.contains_key(&id) {
-            return err_response(
-                id,
-                ErrorKind::BadRequest,
-                format!("subscription {id} already exists on this connection"),
-            );
-        }
+        // The initial evaluation runs outside the hub lock so a slow
+        // query never stalls the sweep over every other connection. A
+        // write landing between evaluation and registration is caught
+        // by the notifier's unconditional slow-cadence sweep: the
+        // stored version vectors predate the write, so it re-evaluates.
         let mut standing = Standing {
             video: video.to_string(),
             text: text.to_string(),
@@ -175,10 +131,23 @@ impl Subscriptions {
             }));
             standing.views.insert(v, View { versions, segments });
         }
-        subs.insert(id, standing);
+        let registry = self.registry();
+        let mut inner = self.inner.lock().expect("subscription table");
+        let entry = inner.entry(conn).or_insert_with(|| ConnSubs {
+            pending: Arc::new(AtomicUsize::new(0)),
+            subs: HashMap::new(),
+        });
+        if entry.subs.contains_key(&id) {
+            return err_response(
+                id,
+                ErrorKind::BadRequest,
+                format!("subscription {id} already exists on this connection"),
+            );
+        }
+        entry.subs.insert(id, standing);
+        drop(inner);
         registry.counter("stream.subscribed", &[]).inc();
         registry.gauge("stream.active", &[]).add(1);
-        drop(subs);
         self.ensure_notifier();
         ok_response(
             id,
@@ -192,9 +161,13 @@ impl Subscriptions {
     }
 
     /// Retires a standing query.
-    pub fn unsubscribe(&self, id: u64, subscription: u64) -> Value {
-        let mut subs = self.subs.lock().expect("subscription table");
-        if subs.remove(&subscription).is_some() {
+    pub fn unsubscribe(&self, conn: ConnId, id: u64, subscription: u64) -> Value {
+        let mut inner = self.inner.lock().expect("subscription table");
+        let removed = inner
+            .get_mut(&conn)
+            .is_some_and(|entry| entry.subs.remove(&subscription).is_some());
+        drop(inner);
+        if removed {
             let registry = self.registry();
             registry.counter("stream.unsubscribed", &[]).inc();
             registry.gauge("stream.active", &[]).add(-1);
@@ -211,20 +184,32 @@ impl Subscriptions {
         }
     }
 
-    /// Stops the notifier and forgets every standing query. Called when
-    /// the connection's session loop ends, for any reason.
+    /// Forgets every standing query of one connection. Called by the
+    /// reactor when the connection dies, for any reason.
+    pub fn drop_conn(&self, conn: ConnId) {
+        let removed = self.inner.lock().expect("subscription table").remove(&conn);
+        if let Some(entry) = removed {
+            let n = entry.subs.len();
+            if n > 0 {
+                self.registry().gauge("stream.active", &[]).add(-(n as i64));
+            }
+        }
+    }
+
+    /// Stops the notifier and forgets every standing query. Called
+    /// once at server shutdown.
     pub fn close(&self) {
         self.closed.store(true, Ordering::SeqCst);
         let handle = self.notifier.lock().expect("notifier slot").take();
         if let Some(h) = handle {
             let _ = h.join();
         }
-        let mut subs = self.subs.lock().expect("subscription table");
-        let n = subs.len();
+        let mut inner = self.inner.lock().expect("subscription table");
+        let n: usize = inner.values().map(|e| e.subs.len()).sum();
         if n > 0 {
             self.registry().gauge("stream.active", &[]).add(-(n as i64));
-            subs.clear();
         }
+        inner.clear();
     }
 
     /// The concrete videos a subscription watches right now.
@@ -250,16 +235,16 @@ impl Subscriptions {
         }
     }
 
-    /// Spawns the connection's notifier thread on first use.
+    /// Spawns the hub's notifier thread on first use.
     fn ensure_notifier(self: &Arc<Self>) {
         let mut slot = self.notifier.lock().expect("notifier slot");
         if slot.is_some() {
             return;
         }
-        let subs = Arc::clone(self);
+        let hub = Arc::clone(self);
         let handle = std::thread::Builder::new()
             .name("cobra-stream-notify".into())
-            .spawn(move || subs.notify_loop());
+            .spawn(move || hub.notify_loop());
         if let Ok(h) = handle {
             *slot = Some(h);
         }
@@ -283,69 +268,81 @@ impl Subscriptions {
         }
     }
 
-    /// Re-examines every standing query: videos whose watched version
-    /// vector is unchanged are skipped without evaluation; changed ones
-    /// are re-evaluated, and a changed *answer* is pushed as a delta
-    /// frame.
+    /// Re-examines every standing query of every connection: videos
+    /// whose watched version vector is unchanged are skipped without
+    /// evaluation; changed ones are re-evaluated, and a changed
+    /// *answer* is pushed as a delta frame.
     fn sweep(&self) {
         let registry = self.registry();
-        let mut subs = self.subs.lock().expect("subscription table");
-        for (&sub_id, standing) in subs.iter_mut() {
+        let mut inner = self.inner.lock().expect("subscription table");
+        let mut doomed: Vec<ConnId> = Vec::new();
+        'conns: for (&conn, entry) in inner.iter_mut() {
             if self.closed.load(Ordering::SeqCst) {
                 return;
             }
-            let targets = self.targets(&standing.video);
-            standing.views.retain(|v, _| targets.contains(v));
-            for v in &targets {
-                let current = self.vdbms.video_version_vector(v);
-                if standing
-                    .views
-                    .get(v)
-                    .is_some_and(|view| view.versions == current)
-                {
-                    registry.counter("stream.skipped", &[]).inc();
-                    continue;
+            for (&sub_id, standing) in entry.subs.iter_mut() {
+                let targets = self.targets(&standing.video);
+                standing.views.retain(|v, _| targets.contains(v));
+                for v in &targets {
+                    let current = self.vdbms.video_version_vector(v);
+                    if standing
+                        .views
+                        .get(v)
+                        .is_some_and(|view| view.versions == current)
+                    {
+                        registry.counter("stream.skipped", &[]).inc();
+                        continue;
+                    }
+                    let known = standing.views.contains_key(v);
+                    let (versions, segments) = self.eval_one(v, &standing.text);
+                    let empty: &[RetrievedSegment] = &[];
+                    let old = standing
+                        .views
+                        .get(v)
+                        .map_or(empty, |view| view.segments.as_slice());
+                    let added: Vec<Value> = segments
+                        .iter()
+                        .filter(|s| !old.contains(s))
+                        .map(f1_cobra::json::segment_to_json)
+                        .collect();
+                    let removed = segments_removed(old, &segments);
+                    let total = segments.len();
+                    standing
+                        .views
+                        .insert(v.clone(), View { versions, segments });
+                    if added.is_empty() && removed == 0 && known {
+                        // The watched BATs moved but the answer did not
+                        // (a write the query does not read): re-arm
+                        // silently instead of heartbeating.
+                        registry.counter("stream.unchanged", &[]).inc();
+                        continue;
+                    }
+                    let frame = json!({
+                        "id": (sub_id as f64),
+                        "ok": true,
+                        "push": true,
+                        "result": {
+                            "kind": "delta",
+                            "subscription": (sub_id as f64),
+                            "video": (v.clone()),
+                            "added": (added),
+                            "removed": (removed as f64),
+                            "total": (total as f64),
+                            "data_version": (self.vdbms.catalog.data_version() as f64),
+                        },
+                    });
+                    if !self.push_or_disconnect(conn, &entry.pending, sub_id, frame) {
+                        doomed.push(conn);
+                        continue 'conns;
+                    }
                 }
-                let known = standing.views.contains_key(v);
-                let (versions, segments) = self.eval_one(v, &standing.text);
-                let empty: &[RetrievedSegment] = &[];
-                let old = standing
-                    .views
-                    .get(v)
-                    .map_or(empty, |view| view.segments.as_slice());
-                let added: Vec<Value> = segments
-                    .iter()
-                    .filter(|s| !old.contains(s))
-                    .map(f1_cobra::json::segment_to_json)
-                    .collect();
-                let removed = segments_removed(old, &segments);
-                let total = segments.len();
-                standing
-                    .views
-                    .insert(v.clone(), View { versions, segments });
-                if added.is_empty() && removed == 0 && known {
-                    // The watched BATs moved but the answer did not
-                    // (a write the query does not read): re-arm
-                    // silently instead of heartbeating.
-                    registry.counter("stream.unchanged", &[]).inc();
-                    continue;
-                }
-                let frame = json!({
-                    "id": (sub_id as f64),
-                    "ok": true,
-                    "push": true,
-                    "result": {
-                        "kind": "delta",
-                        "subscription": (sub_id as f64),
-                        "video": (v.clone()),
-                        "added": (added),
-                        "removed": (removed as f64),
-                        "total": (total as f64),
-                        "data_version": (self.vdbms.catalog.data_version() as f64),
-                    },
-                });
-                if !self.push_or_disconnect(sub_id, frame) {
-                    return;
+            }
+        }
+        for conn in doomed {
+            if let Some(entry) = inner.remove(&conn) {
+                let n = entry.subs.len();
+                if n > 0 {
+                    registry.gauge("stream.active", &[]).add(-(n as i64));
                 }
             }
         }
@@ -353,34 +350,41 @@ impl Subscriptions {
 
     /// Enqueues one push frame against the connection's bounded queue.
     /// Overflow means the client is not draining: it gets a typed
-    /// `slow_consumer` error and the socket is shut down. Returns
-    /// `false` when the connection was torn down.
-    fn push_or_disconnect(&self, sub_id: u64, frame: Value) -> bool {
+    /// `slow_consumer` error and the reactor flushes what it can and
+    /// drops the socket. Returns `false` when the connection was
+    /// condemned.
+    fn push_or_disconnect(
+        &self,
+        conn: ConnId,
+        pending: &Arc<AtomicUsize>,
+        sub_id: u64,
+        frame: Value,
+    ) -> bool {
         let registry = self.registry();
-        let queued = self.pending.fetch_add(1, Ordering::AcqRel);
+        let queued = pending.fetch_add(1, Ordering::AcqRel);
         if queued >= self.cap {
-            self.pending.fetch_sub(1, Ordering::AcqRel);
+            pending.fetch_sub(1, Ordering::AcqRel);
             registry
                 .counter("stream.slow_consumer_disconnects", &[])
                 .inc();
-            let _ = self.tx.send(err_response(
-                sub_id,
-                ErrorKind::SlowConsumer,
-                format!(
-                    "subscriber fell {queued} push frames behind the cap of {}; disconnecting",
-                    self.cap
+            self.ctl.send(
+                conn,
+                err_response(
+                    sub_id,
+                    ErrorKind::SlowConsumer,
+                    format!(
+                        "subscriber fell {queued} push frames behind the cap of {}; disconnecting",
+                        self.cap
+                    ),
                 ),
-            ));
-            self.closed.store(true, Ordering::SeqCst);
-            // Give the writer a bounded window to flush the typed
-            // error, then sever the read side so the session loop
-            // observes the disconnect.
-            let _ = self.socket.set_write_timeout(Some(Duration::from_secs(2)));
-            let _ = self.socket.shutdown(Shutdown::Read);
+            );
+            // The reactor gives the typed error a bounded flush window,
+            // then severs the connection.
+            self.ctl.close(conn);
             return false;
         }
         registry.counter("stream.pushes", &[]).inc();
-        let _ = self.tx.send_push(frame, Arc::clone(&self.pending));
+        self.ctl.send_push(conn, frame, Arc::clone(pending));
         true
     }
 }
@@ -393,39 +397,38 @@ fn segments_removed(old: &[RetrievedSegment], new: &[RetrievedSegment]) -> usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
-    use std::sync::mpsc;
+    use crate::reactor::Op;
 
-    /// A connected socket pair plus an undrained writer channel — the
-    /// anatomy of a subscriber that has stopped consuming.
-    fn stalled_subscriber(cap: usize) -> (Arc<Subscriptions>, mpsc::Receiver<Outbound>, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let client = TcpStream::connect(addr).unwrap();
-        let (server_side, _) = listener.accept().unwrap();
-        let (tx, rx) = mpsc::channel();
-        let subs = Subscriptions::new(Arc::new(Vdbms::new()), FrameTx::new(tx), server_side, cap);
-        (subs, rx, client)
+    /// A hub wired to a bare op queue (no event loop) plus one
+    /// connection's backlog counter — the anatomy of a subscriber that
+    /// has stopped consuming, observable without sockets.
+    fn stalled_subscriber(cap: usize) -> (Arc<StreamHub>, ReactorCtl, Arc<AtomicUsize>) {
+        let ctl = ReactorCtl::new().expect("ctl");
+        let hub = StreamHub::new(Arc::new(Vdbms::new()), ctl.clone(), cap);
+        (hub, ctl, Arc::new(AtomicUsize::new(0)))
     }
+
+    const CONN: ConnId = ConnId(1);
 
     #[test]
     fn push_overflow_sends_typed_error_and_tears_down() {
-        let (subs, rx, _client) = stalled_subscriber(1);
+        let (hub, ctl, pending) = stalled_subscriber(1);
 
-        // First push fits under the cap of 1; with no writer thread
-        // draining, `pending` stays raised.
-        assert!(subs.push_or_disconnect(7, json!({"n": 1})));
+        // First push fits under the cap of 1; with nothing flushing,
+        // `pending` stays raised.
+        assert!(hub.push_or_disconnect(CONN, &pending, 7, json!({"n": 1})));
         // Second push overflows: typed error, connection condemned.
-        assert!(!subs.push_or_disconnect(7, json!({"n": 2})));
-        assert!(subs.closed.load(Ordering::SeqCst));
+        assert!(!hub.push_or_disconnect(CONN, &pending, 7, json!({"n": 2})));
 
-        match rx.try_recv().unwrap() {
-            Outbound::Push { .. } => {}
-            Outbound::Frame(_) => panic!("first enqueue must be the push"),
-        }
-        let error = match rx.try_recv().unwrap() {
-            Outbound::Frame(frame) => frame,
-            Outbound::Push { .. } => panic!("overflow must enqueue the typed error, not a push"),
+        let ops = ctl.take_ops();
+        assert_eq!(ops.len(), 3, "push, typed error, close");
+        assert!(matches!(ops[0], Op::Push { conn: CONN, .. }));
+        let error = match &ops[1] {
+            Op::Send { conn, frame } => {
+                assert_eq!(*conn, CONN);
+                frame
+            }
+            _ => panic!("overflow must enqueue the typed error, not a push"),
         };
         assert_eq!(error.get("ok").and_then(Value::as_bool), Some(false));
         let kind = error
@@ -434,27 +437,32 @@ mod tests {
             .and_then(Value::as_str);
         assert_eq!(kind, Some(ErrorKind::SlowConsumer.as_str()));
         assert_eq!(error.get("id").and_then(Value::as_u64), Some(7));
+        assert!(
+            matches!(ops[2], Op::Close { conn: CONN }),
+            "the condemned connection is handed to the reactor to drop"
+        );
         // The overflowing frame itself was dropped, not queued.
-        assert!(rx.try_recv().is_err());
+        assert_eq!(pending.load(Ordering::SeqCst), 1);
     }
 
     #[test]
     fn pushes_under_the_cap_flow_and_count_pending() {
-        let (subs, rx, _client) = stalled_subscriber(8);
+        let (hub, ctl, pending) = stalled_subscriber(8);
         for n in 0..3u64 {
-            assert!(subs.push_or_disconnect(9, json!({"n": (n as f64)})));
+            assert!(hub.push_or_disconnect(CONN, &pending, 9, json!({"n": (n as f64)})));
         }
-        assert_eq!(subs.pending.load(Ordering::SeqCst), 3);
-        assert!(!subs.closed.load(Ordering::SeqCst));
-        for _ in 0..3 {
-            match rx.try_recv().unwrap() {
-                Outbound::Push { pending, .. } => {
-                    // What the writer thread does after write_frame.
+        assert_eq!(pending.load(Ordering::SeqCst), 3);
+        let ops = ctl.take_ops();
+        assert_eq!(ops.len(), 3);
+        for op in ops {
+            match op {
+                Op::Push { pending, .. } => {
+                    // What the reactor does once the bytes hit the wire.
                     pending.fetch_sub(1, Ordering::AcqRel);
                 }
-                Outbound::Frame(_) => panic!("only pushes were enqueued"),
+                _ => panic!("only pushes were enqueued"),
             }
         }
-        assert_eq!(subs.pending.load(Ordering::SeqCst), 0);
+        assert_eq!(pending.load(Ordering::SeqCst), 0);
     }
 }
